@@ -1,0 +1,138 @@
+// Ablation study over Adaptive SGD's design choices (DESIGN.md experiment
+// A1): each of the paper's mechanisms is disabled or varied in isolation on
+// the 4-GPU heterogeneous server, holding everything else fixed.
+//
+//   - dynamic scheduling off  -> static round-robin dispatch
+//   - batch size scaling off  -> fixed b_max everywhere (update-count skew
+//                                persists; merging must compensate)
+//   - perturbation off        -> Algorithm 2 without the (1 +/- delta) push
+//   - momentum off            -> plain weighted-average global update
+//   - kernel fusion off       -> every primitive kernel pays launch overhead
+//   - beta sweep              -> Algorithm 1 step size
+//   - mega-batch size sweep   -> merge frequency
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hetero;
+
+namespace {
+
+void report(const char* label, const core::TrainResult& r) {
+  std::printf("  %-28s | %9.4fs | best %6.2f%% | final %6.2f%% | pert %5.1f%%\n",
+              label, r.total_vtime, 100 * r.best_top1(), 100 * r.final_top1(),
+              100 * r.perturbation_frequency());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const auto megabatches =
+      static_cast<std::size_t>(args.get_int("megabatches", 8));
+  if (args.report_unknown()) return 1;
+
+  const auto dataset = data::generate_xml_dataset(bench::bench_amazon());
+  const auto devices = sim::v100_heterogeneous(4, 0.32);
+  const auto base_cfg = bench::bench_trainer_config(megabatches);
+
+  const auto run = [&](core::TrainerConfig cfg) {
+    auto trainer =
+        core::make_trainer(core::Method::kAdaptive, dataset, cfg, devices);
+    return trainer->train();
+  };
+
+  std::printf("=== Ablation: Adaptive SGD mechanisms (4 heterogeneous GPUs) ===\n");
+  std::printf("  %-28s | %10s | %-11s | %-12s | %s\n", "variant", "vtime",
+              "best top1", "final top1", "pert freq");
+
+  report("full adaptive (baseline)", run(base_cfg));
+  {
+    auto cfg = base_cfg;
+    cfg.dynamic_scheduling = false;
+    report("- dynamic scheduling", run(cfg));
+  }
+  {
+    auto cfg = base_cfg;
+    cfg.enable_batch_scaling = false;
+    report("- batch size scaling", run(cfg));
+  }
+  {
+    auto cfg = base_cfg;
+    cfg.enable_perturbation = false;
+    report("- perturbation", run(cfg));
+  }
+  {
+    auto cfg = base_cfg;
+    cfg.enable_momentum = false;
+    report("- momentum", run(cfg));
+  }
+  {
+    auto cfg = base_cfg;
+    cfg.fused_kernels = false;
+    report("- kernel fusion", run(cfg));
+  }
+
+  std::printf("\n--- beta sweep (Algorithm 1 step size; default b_min/2 = %.0f) ---\n",
+              base_cfg.derived_beta());
+  for (const double beta : {1.0, 4.0, 8.0, 16.0, 32.0}) {
+    auto cfg = base_cfg;
+    cfg.beta = beta;
+    char label[64];
+    std::snprintf(label, sizeof(label), "beta = %.0f", beta);
+    report(label, run(cfg));
+  }
+
+  std::printf("\n--- mega-batch size sweep (batches of b_max per merge) ---\n");
+  for (const std::size_t batches : {10u, 25u, 50u, 100u}) {
+    auto cfg = base_cfg;
+    cfg.batches_per_megabatch = batches;
+    // Keep the total sample budget constant.
+    cfg.num_megabatches =
+        base_cfg.num_megabatches * base_cfg.batches_per_megabatch / batches;
+    char label[64];
+    std::snprintf(label, sizeof(label), "mega-batch = %zu batches", batches);
+    report(label, run(cfg));
+  }
+
+  std::printf("\n--- perturbation threshold sweep (default 0.1) ---\n");
+  for (const double thr : {0.0, 0.01, 0.1, 1.0}) {
+    auto cfg = base_cfg;
+    cfg.pert_threshold = thr;
+    char label[64];
+    std::snprintf(label, sizeof(label), "pert_thr = %.2f", thr);
+    report(label, run(cfg));
+  }
+
+  std::printf("\n--- merge normalization (Algorithm 2 / Section III-B) ---\n");
+  const std::pair<const char*, core::MergeNormalization> norms[] = {
+      {"auto (paper default)", core::MergeNormalization::kAuto},
+      {"by updates", core::MergeNormalization::kUpdates},
+      {"by batch size", core::MergeNormalization::kBatchSize},
+      {"updates x batch", core::MergeNormalization::kUpdatesTimesBatch},
+  };
+  for (const auto& [label, norm] : norms) {
+    auto cfg = base_cfg;
+    cfg.merge_normalization = norm;
+    report(label, run(cfg));
+  }
+
+  // Transient stragglers: on top of the static 32% spread, every device
+  // randomly degrades to 40% throughput for a stretch (thermal throttling /
+  // interference). Dynamic scheduling absorbs these; static assignment
+  // stalls the whole mega-batch on whichever GPU is degraded.
+  std::printf("\n--- transient stragglers (p=0.02/step, 0.4x for 5ms) ---\n");
+  auto straggler_devices = sim::v100_heterogeneous(4, 0.32);
+  for (auto& d : straggler_devices) {
+    d.transient_probability = 0.02;
+    d.transient_factor = 0.4;
+    d.transient_duration = 5e-3;
+  }
+  for (const auto method : {core::Method::kAdaptive, core::Method::kElastic}) {
+    auto trainer =
+        core::make_trainer(method, dataset, base_cfg, straggler_devices);
+    const auto r = trainer->train();
+    report(r.method.c_str(), r);
+  }
+  return 0;
+}

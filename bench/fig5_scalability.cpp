@@ -1,0 +1,85 @@
+// Figure 5: scalability of Adaptive SGD vs the SLIDE CPU baseline.
+//
+//   (a) time-to-accuracy: Adaptive SGD on {1, 2, 4} GPUs and SLIDE on the
+//       32-thread CPU, same sample budget, accuracy vs virtual wall-clock.
+//   (b) statistical efficiency: the same runs plotted against data passes
+//       ("epochs") instead of time.
+//
+// Expected shape (paper): every GPU configuration beats SLIDE on
+// time-to-accuracy (hardware efficiency), while SLIDE needs fewer passes to
+// a given accuracy (statistical efficiency) thanks to one model update per
+// sample. More GPUs => faster time-to-accuracy.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace hetero;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const auto megabatches =
+      static_cast<std::size_t>(args.get_int("megabatches", 8));
+  if (args.report_unknown()) return 1;
+
+  util::CsvWriter csv("fig5_scalability.csv",
+                      {"dataset", "method", "gpus", "vtime", "samples",
+                       "passes", "top1", "test_loss"});
+
+  const std::vector<std::pair<data::SyntheticXmlConfig, double>> datasets = {
+      {bench::bench_amazon(), 0.25}, {bench::bench_delicious(), 0.25}};
+
+  for (const auto& [data_cfg, lr] : datasets) {
+    const auto dataset = data::generate_xml_dataset(data_cfg);
+    std::printf("\n=== Figure 5: %s ===\n", dataset.name.c_str());
+
+    std::vector<core::TrainResult> results;
+    for (const std::size_t gpus : {1u, 2u, 4u}) {
+      auto cfg = bench::bench_trainer_config(megabatches);
+      cfg.learning_rate = lr;
+      auto trainer = core::make_trainer(core::Method::kAdaptive, dataset, cfg,
+                                        sim::v100_heterogeneous(gpus));
+      results.push_back(trainer->train());
+    }
+    {
+      auto gpu_cfg = bench::bench_trainer_config(megabatches);
+      gpu_cfg.learning_rate = lr;
+      auto slide_cfg =
+          bench::bench_slide_config(gpu_cfg, dataset.train.labels.cols());
+      results.push_back(slide::SlideTrainer(dataset, slide_cfg).train());
+    }
+
+    std::printf("\n(a) time-to-accuracy        (b) statistical efficiency\n");
+    for (const auto& r : results) {
+      bench::append_curve_csv(csv, r);
+      const std::string label =
+          r.method == "slide-cpu" ? "slide-cpu(32t)"
+                                  : r.method + "x" + std::to_string(r.num_gpus);
+      std::printf("\n  %s:\n", label.c_str());
+      std::printf("    %10s %8s %8s\n", "vtime(s)", "passes", "top1");
+      for (const auto& p : r.curve) {
+        std::printf("    %10.4f %8.2f %7.2f%%\n", p.vtime, p.passes,
+                    100.0 * p.top1);
+      }
+    }
+
+    // Summary: time and passes to a shared accuracy target.
+    double min_best = 1.0;
+    for (const auto& r : results) min_best = std::min(min_best, r.best_top1());
+    const double target = 0.8 * min_best;
+    std::printf("\n  summary (target top1 = %.1f%%):\n", 100 * target);
+    std::printf("  %-16s %12s %14s\n", "config", "tta(s)", "passes-to-acc");
+    for (const auto& r : results) {
+      const auto tta = r.time_to_accuracy(target);
+      const auto pta = r.passes_to_accuracy(target);
+      const std::string label =
+          r.method == "slide-cpu" ? "slide-cpu(32t)"
+                                  : r.method + "x" + std::to_string(r.num_gpus);
+      std::printf("  %-16s %12s %14s\n", label.c_str(),
+                  tta ? std::to_string(*tta).c_str() : "never",
+                  pta ? std::to_string(*pta).c_str() : "never");
+    }
+  }
+  std::printf("\nseries written to fig5_scalability.csv\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks of the real CPU kernels backing the
+// framework: sparse products, dense GEMM, softmax, SimHash, and the numeric
+// all-reduce path. These measure actual wall-clock (not virtual time) and
+// exist to keep the reference kernels honest as the code evolves.
+#include <benchmark/benchmark.h>
+
+#include "comm/allreduce.h"
+#include "nn/train_step.h"
+#include "sim/profiles.h"
+#include "slide/simhash.h"
+#include "sparse/ops.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+using namespace hetero;
+
+namespace {
+
+sparse::CsrMatrix make_sparse_batch(std::size_t rows, std::size_t cols,
+                                    std::size_t nnz_per_row,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  sparse::CsrBuilder b(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<sparse::Entry> entries;
+    for (std::size_t i = 0; i < nnz_per_row; ++i) {
+      entries.push_back({static_cast<std::uint32_t>(rng.next_below(cols)),
+                         static_cast<float>(rng.uniform(0.1, 1.0))});
+    }
+    b.add_row(std::move(entries));
+  }
+  return b.build();
+}
+
+void BM_Spmm(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto x = make_sparse_batch(batch, 8192, 76, 1);
+  util::Rng rng(2);
+  tensor::Matrix w(8192, 64);
+  tensor::init_gaussian(w, 0.05, rng);
+  tensor::Matrix y;
+  for (auto _ : state) {
+    sparse::spmm(x, w, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.nnz()) * 64);
+}
+BENCHMARK(BM_Spmm)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SpmmTranspose(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const auto x = make_sparse_batch(batch, 8192, 76, 3);
+  util::Rng rng(4);
+  tensor::Matrix d(batch, 64);
+  tensor::init_gaussian(d, 0.05, rng);
+  tensor::Matrix g(8192, 64, 0.0f);
+  for (auto _ : state) {
+    g.fill(0.0f);
+    sparse::spmm_t_accumulate(x, d, g);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_SpmmTranspose)->Arg(32)->Arg(128);
+
+void BM_DenseGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  tensor::Matrix a(128, 64), b(64, n), c;
+  tensor::init_gaussian(a, 0.05, rng);
+  tensor::init_gaussian(b, 0.05, rng);
+  for (auto _ : state) {
+    tensor::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 128 * 64 *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DenseGemm)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  util::Rng rng(6);
+  tensor::Matrix logits(128, static_cast<std::size_t>(state.range(0)));
+  tensor::init_gaussian(logits, 1.0, rng);
+  tensor::Matrix scratch = logits;
+  for (auto _ : state) {
+    scratch = logits;
+    tensor::softmax_rows(scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(1024)->Arg(4096);
+
+void BM_FullSgdStep(benchmark::State& state) {
+  nn::MlpConfig cfg;
+  cfg.num_features = 8192;
+  cfg.hidden = 64;
+  cfg.num_classes = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  nn::MlpModel model(cfg);
+  model.init(rng);
+  const auto x = make_sparse_batch(128, cfg.num_features, 76, 8);
+  sparse::CsrBuilder yb(cfg.num_classes);
+  for (std::size_t r = 0; r < 128; ++r) {
+    yb.add_indicator_row({static_cast<std::uint32_t>(
+        rng.next_below(cfg.num_classes))});
+  }
+  const auto y = yb.build();
+  nn::Workspace ws;
+  for (auto _ : state) {
+    nn::sgd_step(model, x, y, 0.01f, ws);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_FullSgdStep)->Arg(1024)->Arg(2048);
+
+void BM_SimHashSignature(benchmark::State& state) {
+  util::Rng rng(9);
+  slide::SimHash hasher(64, 6, 8, rng);
+  std::vector<float> v(64);
+  for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+  for (auto _ : state) {
+    for (std::size_t t = 0; t < hasher.tables(); ++t) {
+      benchmark::DoNotOptimize(hasher.signature(t, v));
+    }
+  }
+}
+BENCHMARK(BM_SimHashSignature);
+
+void BM_WeightedAllReduceNumerics(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(10);
+  std::vector<std::vector<float>> replicas(4, std::vector<float>(len));
+  for (auto& r : replicas) {
+    for (auto& v : r) v = static_cast<float>(rng.uniform(-1, 1));
+  }
+  const std::vector<double> weights{0.3, 0.3, 0.2, 0.2};
+  comm::AllReducer reducer(comm::AllReduceAlgo::kRingMultiStream,
+                           sim::default_links(4), 4);
+  for (auto _ : state) {
+    std::vector<std::span<float>> views;
+    for (auto& r : replicas) views.emplace_back(r.data(), r.size());
+    reducer.weighted_average(views, weights);
+    benchmark::DoNotOptimize(replicas[0].data());
+  }
+  state.SetBytesProcessed(state.iterations() * 4 *
+                          static_cast<std::int64_t>(len) * sizeof(float));
+}
+BENCHMARK(BM_WeightedAllReduceNumerics)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

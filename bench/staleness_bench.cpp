@@ -1,0 +1,65 @@
+// Staleness study: the SSP parameter-server trade-off curve and the async
+// extreme, versus Adaptive SGD's elastic-averaging approach.
+//
+// The paper motivates Algorithm 1's b_min/b_max bounds by appeal to stale
+// synchronous SGD convergence results (Ho et al. [11], Lian et al. [14]):
+// bounded staleness preserves convergence, unbounded staleness (fully
+// asynchronous) degrades it. This bench traces that curve directly:
+// sweeping the SSP window from 0 (synchronous) to wide-open, measuring the
+// realized average gradient staleness, the wall-clock (tighter windows
+// stall on stragglers), and the accuracy reached.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/param_server.h"
+
+using namespace hetero;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const auto megabatches =
+      static_cast<std::size_t>(args.get_int("megabatches", 5));
+  if (args.report_unknown()) return 1;
+
+  const auto dataset = data::generate_xml_dataset(bench::bench_amazon());
+  auto cfg = bench::bench_trainer_config(megabatches);
+  cfg.learning_rate = 0.25;
+  const auto devices = sim::v100_heterogeneous(4, 0.32);
+
+  std::printf(
+      "=== Bounded staleness (SSP parameter server, 4 GPUs, 32%% gap) ===\n\n");
+  std::printf("%-18s | %10s | %12s | %10s | %10s\n", "config", "vtime(s)",
+              "avg staleness", "ssp stalls", "best top1");
+
+  for (const std::size_t bound : {0u, 1u, 2u, 4u, 8u, 32u}) {
+    core::ParamServerTrainer trainer(dataset, cfg, devices, bound);
+    const auto r = trainer.train();
+    char label[64];
+    std::snprintf(label, sizeof(label), "ssp bound = %zu", bound);
+    std::printf("%-18s | %10.4f | %12.2f | %10zu | %9.2f%%\n", label,
+                r.total_vtime, r.avg_staleness, trainer.ssp_stalls(),
+                100 * r.best_top1());
+  }
+  {
+    auto trainer =
+        core::make_trainer(core::Method::kAsync, dataset, cfg, devices);
+    const auto r = trainer->train();
+    std::printf("%-18s | %10.4f | %12.2f | %10s | %9.2f%%\n",
+                "async (unbounded)", r.total_vtime, r.avg_staleness, "n/a",
+                100 * r.best_top1());
+  }
+  {
+    auto trainer =
+        core::make_trainer(core::Method::kAdaptive, dataset, cfg, devices);
+    const auto r = trainer->train();
+    std::printf("%-18s | %10.4f | %12s | %10s | %9.2f%%\n",
+                "adaptive (elastic)", r.total_vtime, "merge-based", "n/a",
+                100 * r.best_top1());
+  }
+  std::printf(
+      "\nReading: tightening the SSP window costs wall-clock (straggler "
+      "stalls) and buys\nstatistical quality; Adaptive SGD sidesteps the "
+      "trade-off by bounding the update-count\ndiscrepancy through "
+      "b_min/b_max instead of blocking (Section III-A).\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Full-featured training driver: every trainer, every knob, optional Chrome
+// trace export — the command-line face of the HeteroGPU framework.
+//
+//   ./build/examples/hetero_train --method adaptive --gpus 4 --gap 0.32
+//       --megabatches 6 --batch-max 128 --lr 0.5 --trace run.trace.json
+//
+// Methods: adaptive | elastic | sync | crossbow | async | slide
+// The trace file can be loaded in chrome://tracing or https://ui.perfetto.dev
+// (one row per GPU; straggler gaps and merge barriers are clearly visible).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/adaptive_sgd.h"
+#include "core/trainer.h"
+#include "data/dataset_stats.h"
+#include "data/synthetic.h"
+#include "sim/profiles.h"
+#include "sim/gantt.h"
+#include "sim/trace.h"
+#include "slide/slide_trainer.h"
+#include "util/cli.h"
+
+using namespace hetero;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const auto method_name = args.get_string("method", "adaptive");
+  const auto gpus = static_cast<std::size_t>(args.get_int("gpus", 4));
+  const auto gap = args.get_double("gap", 0.32);
+  const auto megabatches =
+      static_cast<std::size_t>(args.get_int("megabatches", 6));
+  const auto batch_max =
+      static_cast<std::size_t>(args.get_int("batch-max", 128));
+  const auto batches_per_megabatch =
+      static_cast<std::size_t>(args.get_int("batches-per-megabatch", 40));
+  const auto lr = args.get_double("lr", 0.5);
+  const auto hidden = static_cast<std::size_t>(args.get_int("hidden", 48));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12345));
+  const auto dataset_name = args.get_string("dataset", "amazon");
+  const auto trace_path = args.get_string("trace", "");
+  const bool threaded = args.get_bool("threaded", false);
+  const auto weight_decay = args.get_double("weight-decay", 0.0);
+  const auto warmup = static_cast<std::size_t>(args.get_int("warmup", 0));
+  const bool adaptive_cadence = args.get_bool("adaptive-cadence", false);
+  const auto speeds_str = args.get_string("speeds", "");  // "1.0,0.9,0.76"
+  const bool show_gantt = args.get_bool("gantt", false);
+  const auto lr_decay = args.get_double("lr-decay", 1.0);
+  const auto lr_decay_every =
+      static_cast<std::size_t>(args.get_int("lr-decay-every", 0));
+  const auto patience = static_cast<std::size_t>(args.get_int("patience", 0));
+  if (args.report_unknown()) return 1;
+
+  auto data_cfg = dataset_name == "delicious" ? data::delicious200k_small()
+                                              : data::amazon670k_small();
+  data_cfg.num_features = 4096;
+  data_cfg.num_classes = 1024;
+  data_cfg.num_train = 8000;
+  data_cfg.num_test = 1600;
+  data_cfg.seed = seed;
+  const auto dataset = data::generate_xml_dataset(data_cfg);
+  data::print_stats_header(std::cout);
+  data::print_stats_row(std::cout, data::compute_stats(dataset));
+
+  core::TrainerConfig cfg;
+  cfg.hidden = hidden;
+  cfg.batch_max = batch_max;
+  cfg.batches_per_megabatch = batches_per_megabatch;
+  cfg.num_megabatches = megabatches;
+  cfg.learning_rate = lr;
+  cfg.compute_scale = 100.0;
+  cfg.seed = seed;
+  cfg.weight_decay = weight_decay;
+  cfg.warmup_megabatches = warmup;
+  cfg.adaptive_scaling_cadence = adaptive_cadence;
+  cfg.lr_decay = lr_decay;
+  cfg.lr_decay_every = lr_decay_every;
+  cfg.early_stop_patience = patience;
+  cfg.early_stop_delta = 0.002;
+  if (threaded) cfg.mode = core::ExecutionMode::kThreaded;
+
+  // Optional custom server topology: --speeds 1.0,0.9,0.76 overrides
+  // --gpus/--gap with explicit per-device speed factors.
+  std::vector<double> speeds;
+  for (std::size_t pos = 0; pos < speeds_str.size();) {
+    auto comma = speeds_str.find(',', pos);
+    if (comma == std::string::npos) comma = speeds_str.size();
+    speeds.push_back(std::strtod(speeds_str.substr(pos, comma - pos).c_str(),
+                                 nullptr));
+    pos = comma + 1;
+  }
+
+  core::TrainResult result;
+  sim::Tracer tracer;
+  if (method_name == "slide") {
+    slide::SlideConfig scfg;
+    scfg.hidden = hidden;
+    scfg.learning_rate = lr / 10.0;
+    scfg.min_active = data_cfg.num_classes / 16;
+    scfg.max_active = data_cfg.num_classes / 6;
+    scfg.eval_every_samples = cfg.megabatch_samples();
+    scfg.total_samples = cfg.megabatch_samples() * megabatches;
+    scfg.compute_scale = cfg.compute_scale;
+    scfg.seed = seed;
+    result = slide::SlideTrainer(dataset, scfg).train();
+  } else {
+    core::Method method;
+    if (method_name == "adaptive") {
+      method = core::Method::kAdaptive;
+    } else if (method_name == "elastic") {
+      method = core::Method::kElastic;
+    } else if (method_name == "sync") {
+      method = core::Method::kSync;
+    } else if (method_name == "crossbow") {
+      method = core::Method::kCrossbow;
+    } else if (method_name == "async") {
+      method = core::Method::kAsync;
+    } else {
+      std::fprintf(stderr, "unknown --method %s\n", method_name.c_str());
+      return 1;
+    }
+    const auto devices = speeds.empty() ? sim::v100_heterogeneous(gpus, gap)
+                                        : sim::v100_custom(speeds);
+    auto trainer = core::make_trainer(method, dataset, cfg, devices);
+    if (!trace_path.empty() || show_gantt) {
+      trainer->runtime().set_tracer(&tracer);
+    }
+    result = trainer->train();
+  }
+
+  std::printf("\n%-10s %10s %9s %8s %8s\n", "megabatch", "vtime(s)",
+              "samples", "top1", "top5");
+  for (const auto& p : result.curve) {
+    std::printf("%-10zu %10.4f %9zu %7.2f%% %7.2f%%\n", p.megabatch, p.vtime,
+                p.samples, 100 * p.top1, 100 * p.top5);
+  }
+  std::printf("\nmethod %s: best top1 %.2f%%, total vtime %.4fs, comm %.4fs",
+              result.method.c_str(), 100 * result.best_top1(),
+              result.total_vtime, result.comm_seconds);
+  if (result.method == "async-sgd") {
+    std::printf(", avg gradient staleness %.2f", result.avg_staleness);
+  }
+  if (result.merges > 0 && result.method == "adaptive-sgd") {
+    std::printf(", perturbation freq %.0f%%",
+                100 * result.perturbation_frequency());
+  }
+  std::printf("\n");
+
+  if (!trace_path.empty() && method_name != "slide") {
+    tracer.write_chrome_json_file(trace_path);
+    std::printf("chrome trace (%zu events) written to %s\n", tracer.size(),
+                trace_path.c_str());
+  }
+  if (show_gantt && method_name != "slide") {
+    sim::GanttOptions opts;
+    opts.width = 100;
+    std::printf("\n%s", sim::render_gantt(tracer, opts).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Domain scenario: explore how the DEGREE of GPU heterogeneity changes the
+// value of Adaptive SGD over Elastic SGD.
+//
+// The paper evaluates one server (4 V100s, ~32% gap). This example sweeps
+// the fastest-to-slowest gap from a homogeneous server to a severely skewed
+// one and reports the straggler time Elastic SGD loses at the mega-batch
+// barrier versus Adaptive SGD's dynamically balanced schedule — answering
+// "when is heterogeneity-aware training worth it?" for a deployment.
+//
+//   ./build/examples/heterogeneity_explorer [--megabatches 4] [--gpus 4]
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "sim/profiles.h"
+#include "util/cli.h"
+
+using namespace hetero;
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  const auto megabatches =
+      static_cast<std::size_t>(args.get_int("megabatches", 4));
+  const auto gpus = static_cast<std::size_t>(args.get_int("gpus", 4));
+  if (args.report_unknown()) return 1;
+
+  auto data_cfg = data::amazon670k_small();
+  data_cfg.num_features = 4096;
+  data_cfg.num_classes = 512;
+  data_cfg.num_train = 8000;
+  data_cfg.num_test = 1600;
+  const auto dataset = data::generate_xml_dataset(data_cfg);
+
+  core::TrainerConfig cfg;
+  cfg.hidden = 48;
+  cfg.batch_max = 128;
+  cfg.batches_per_megabatch = 40;
+  cfg.num_megabatches = megabatches;
+  cfg.learning_rate = 0.5;
+  cfg.compute_scale = 100.0;
+
+  std::printf(
+      "Adaptive vs Elastic SGD across heterogeneity levels (%zu GPUs)\n\n",
+      gpus);
+  std::printf("%6s | %12s %12s %9s | %14s %12s\n", "gap", "adaptive(s)",
+              "elastic(s)", "speedup", "adaptive top1", "elastic top1");
+
+  for (const double gap : {0.0, 0.1, 0.2, 0.32, 0.5, 0.75}) {
+    const auto devices = sim::v100_heterogeneous(gpus, gap);
+    auto adaptive =
+        core::make_trainer(core::Method::kAdaptive, dataset, cfg, devices)
+            ->train();
+    auto elastic =
+        core::make_trainer(core::Method::kElastic, dataset, cfg, devices)
+            ->train();
+    std::printf("%5.0f%% | %12.4f %12.4f %8.2f%% | %13.2f%% %11.2f%%\n",
+                100 * gap, adaptive.total_vtime, elastic.total_vtime,
+                100 * (elastic.total_vtime / adaptive.total_vtime - 1.0),
+                100 * adaptive.best_top1(), 100 * elastic.best_top1());
+  }
+
+  std::printf(
+      "\nReading: 'speedup' is the wall-clock Elastic loses to stragglers "
+      "at each\nheterogeneity level — it should be ~0 on a homogeneous "
+      "server and grow with the gap,\nwhich is exactly the paper's case for "
+      "dynamic scheduling + batch size scaling.\n");
+  return 0;
+}

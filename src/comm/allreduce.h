@@ -1,0 +1,78 @@
+// Weighted all-reduce for model merging (Section IV, "All-reduce Model
+// Merging").
+//
+// The paper implements specialized tree- and ring-based *multi-stream*
+// all-reduce aggregation because NCCL either lacks multi-stream support
+// (no transfer/compute overlap) or targets multi-server topologies. Three
+// algorithms are provided here:
+//
+//   kCentral          — every GPU ships its replica to the host, the host
+//                       reduces and broadcasts back (parameter-server style;
+//                       this is what TensorFlow central-storage does).
+//   kTreeSingleStream — log2(n) pairwise reduce rounds + log2(n) broadcast
+//                       rounds, full buffer per round, one stream.
+//   kRingMultiStream  — the paper's method: the model is split into
+//                       `num_streams` partitions, each partition runs a
+//                       ring reduce-scatter + all-gather on its own stream
+//                       *starting from a different GPU*, so concurrent
+//                       streams always occupy distinct links and transfer
+//                       overlaps reduction compute completely. With
+//                       num_streams == 1 this degrades to the classic
+//                       single-stream ring.
+//
+// Every algorithm computes the same numeric result:
+//     out = sum_i weights[i] * replica_i           (then copied to all)
+// so algorithm choice only affects the virtual-time cost — mirroring the
+// paper, where the merging math is fixed and the all-reduce implementation
+// is a performance decision. The returned cost is derived from the
+// sim::LinkModel and device reduce throughput.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/link_model.h"
+#include "sim/virtual_gpu.h"
+
+namespace hetero::comm {
+
+enum class AllReduceAlgo { kCentral, kTreeSingleStream, kRingMultiStream };
+
+std::string to_string(AllReduceAlgo algo);
+
+struct AllReduceCost {
+  double seconds = 0.0;        // virtual wall-clock of the collective
+  double bytes_moved = 0.0;    // total bytes crossing any link
+  std::size_t steps = 0;       // number of communication steps (per stream)
+};
+
+class AllReducer {
+ public:
+  AllReducer(AllReduceAlgo algo, sim::LinkModel links,
+             std::size_t num_streams);
+
+  /// Numerically merges the replicas in-place: every replica ends holding
+  /// sum_i weights[i] * replica_i. Weights are NOT renormalized here — the
+  /// perturbed weights of Algorithm 2 may deliberately sum to != 1.
+  ///
+  /// Returns the virtual cost for `num_replicas` GPUs holding buffers of
+  /// the given size. Cost does not depend on the weights.
+  AllReduceCost weighted_average(std::vector<std::span<float>> replicas,
+                                 std::span<const double> weights) const;
+
+  /// Cost-only query (used by benches sweeping buffer sizes without data).
+  AllReduceCost cost(std::size_t num_replicas, std::size_t buffer_bytes,
+                     double reduce_gbs = 300.0) const;
+
+  AllReduceAlgo algo() const { return algo_; }
+  std::size_t num_streams() const { return num_streams_; }
+
+ private:
+  AllReduceAlgo algo_;
+  sim::LinkModel links_;
+  std::size_t num_streams_;
+};
+
+}  // namespace hetero::comm

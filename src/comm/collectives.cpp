@@ -1,0 +1,70 @@
+#include "comm/collectives.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetero::comm {
+
+namespace {
+constexpr double kReduceLaunchSeconds = 15e-6;
+
+double reduce_seconds(double bytes, double reduce_gbs) {
+  return 3.0 * bytes / (reduce_gbs * 1e9);
+}
+}  // namespace
+
+double broadcast_seconds(const sim::LinkModel& links,
+                         const CollectiveParams& p) {
+  if (p.num_devices <= 1) return 0.0;
+  const auto rounds = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(p.num_devices))));
+  // Pipelined: the buffer crosses one link once, later rounds only add hop
+  // latency (transfers in one round use distinct links).
+  return links.transfer_seconds(p.bytes, 0, 1, 1) +
+         static_cast<double>(rounds - 1) * links.peer().latency_us * 1e-6;
+}
+
+double reduce_scatter_seconds(const sim::LinkModel& links,
+                              const CollectiveParams& p) {
+  if (p.num_devices <= 1) return 0.0;
+  const std::size_t streams = std::max<std::size_t>(1, p.num_streams);
+  const double chunk = static_cast<double>(p.bytes) /
+                       static_cast<double>(streams) /
+                       static_cast<double>(p.num_devices);
+  const double xfer =
+      links.transfer_seconds(static_cast<std::size_t>(chunk), 0, 1, 1);
+  const double red = reduce_seconds(chunk, p.reduce_gbs);
+  const double per_step =
+      (streams > 1 ? std::max(xfer, red) : xfer + red) + kReduceLaunchSeconds;
+  return static_cast<double>(p.num_devices - 1) * per_step;
+}
+
+double all_gather_seconds(const sim::LinkModel& links,
+                          const CollectiveParams& p) {
+  if (p.num_devices <= 1) return 0.0;
+  const std::size_t streams = std::max<std::size_t>(1, p.num_streams);
+  const double chunk = static_cast<double>(p.bytes) /
+                       static_cast<double>(streams) /
+                       static_cast<double>(p.num_devices);
+  const double xfer =
+      links.transfer_seconds(static_cast<std::size_t>(chunk), 0, 1, 1);
+  // No reduction, but every step still launches a copy kernel.
+  return static_cast<double>(p.num_devices - 1) *
+         (xfer + kReduceLaunchSeconds);
+}
+
+double host_gather_seconds(const sim::LinkModel& links,
+                           const CollectiveParams& p) {
+  if (p.num_devices == 0) return 0.0;
+  return links.transfer_seconds(p.bytes, 0, sim::LinkModel::kHost,
+                                p.num_devices);
+}
+
+double host_broadcast_seconds(const sim::LinkModel& links,
+                              const CollectiveParams& p) {
+  if (p.num_devices == 0) return 0.0;
+  return links.transfer_seconds(p.bytes, sim::LinkModel::kHost, 0,
+                                p.num_devices);
+}
+
+}  // namespace hetero::comm

@@ -1,0 +1,46 @@
+// Cost models for the individual collective primitives the all-reduce
+// implementations are built from. Exposed separately so benches and tests
+// can study each phase: a ring all-reduce is reduce-scatter + all-gather,
+// a tree all-reduce is reduce + broadcast, and the central scheme is
+// gather + broadcast over the host link.
+//
+// All functions return virtual seconds for `n` devices moving a buffer of
+// `bytes`, on the given link model.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/link_model.h"
+
+namespace hetero::comm {
+
+struct CollectiveParams {
+  std::size_t num_devices = 0;
+  std::size_t bytes = 0;
+  std::size_t num_streams = 1;
+  double reduce_gbs = 300.0;  // on-device reduction throughput
+};
+
+/// One-to-all broadcast over peer links, binomial tree: ceil(log2 n) rounds
+/// each forwarding the full buffer.
+double broadcast_seconds(const sim::LinkModel& links,
+                         const CollectiveParams& p);
+
+/// Ring reduce-scatter: after (n-1) steps every device holds the reduced
+/// 1/n-th shard. Multi-stream partitions overlap transfer and reduction.
+double reduce_scatter_seconds(const sim::LinkModel& links,
+                              const CollectiveParams& p);
+
+/// Ring all-gather: (n-1) steps circulating 1/n-th shards (no reduction).
+double all_gather_seconds(const sim::LinkModel& links,
+                          const CollectiveParams& p);
+
+/// All-to-host gather over the shared host link.
+double host_gather_seconds(const sim::LinkModel& links,
+                           const CollectiveParams& p);
+
+/// Host-to-all broadcast over the shared host link.
+double host_broadcast_seconds(const sim::LinkModel& links,
+                              const CollectiveParams& p);
+
+}  // namespace hetero::comm

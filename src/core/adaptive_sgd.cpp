@@ -1,0 +1,110 @@
+#include "core/adaptive_sgd.h"
+
+#include <algorithm>
+
+#include "core/merging.h"
+#include "util/logging.h"
+
+namespace hetero::core {
+
+AdaptiveSgdTrainer::AdaptiveSgdTrainer(const data::XmlDataset& dataset,
+                                       const TrainerConfig& cfg,
+                                       std::vector<sim::DeviceSpec> devices)
+    : Trainer(dataset, cfg, std::move(devices)) {
+  sgd_.resize(runtime_.num_gpus());
+  for (auto& s : sgd_) {
+    // The initial batch size is b_max, chosen to maximize GPU utilization
+    // (Section V-A); lr is the optimal rate for b_max.
+    s.batch_size = cfg_.batch_max;
+    s.learning_rate = cfg_.learning_rate;
+  }
+}
+
+double AdaptiveSgdTrainer::warmup_factor() const {
+  if (cfg_.warmup_megabatches == 0 ||
+      megabatch_index_ >= cfg_.warmup_megabatches) {
+    return 1.0;
+  }
+  return static_cast<double>(megabatch_index_ + 1) /
+         static_cast<double>(cfg_.warmup_megabatches);
+}
+
+void AdaptiveSgdTrainer::run_megabatch(TrainResult& result) {
+  const std::size_t n = runtime_.num_gpus();
+  const std::size_t mega = cfg_.megabatch_samples();
+  const double warmup = warmup_factor() * lr_schedule_factor();
+
+  for (auto& s : sgd_) s.updates = 0;
+
+  // --- dynamic scheduling ---------------------------------------------------
+  std::size_t assigned = 0;
+  while (assigned < mega) {
+    const std::size_t g = cfg_.dynamic_scheduling
+                              ? runtime_.next_free_gpu()
+                              : (round_robin_cursor_++ % n);
+    const std::size_t b =
+        std::min<std::size_t>(sgd_[g].batch_size, mega - assigned);
+    auto batch = runtime_.next_batch(b);
+    runtime_.run_update_step(g, std::move(batch),
+                             sgd_[g].learning_rate * warmup,
+                             runtime_.gpu_free_at(g));
+    sgd_[g].updates += 1;
+    result.gpus[g].total_samples += b;
+    assigned += b;
+  }
+
+  // Synchronization point: merging starts when the last replica finishes.
+  double sync = 0.0;
+  for (std::size_t g = 0; g < n; ++g) {
+    sync = std::max(sync, runtime_.gpu(g).device_free_at());
+  }
+  runtime_.math_barrier();
+
+  // --- normalized model merging (Algorithm 2) ---------------------------------
+  MergeInputs inputs;
+  inputs.pert_threshold = cfg_.pert_threshold;
+  inputs.pert_delta = cfg_.pert_delta;
+  inputs.enable_perturbation = cfg_.enable_perturbation;
+  inputs.normalization = cfg_.merge_normalization;
+  for (std::size_t g = 0; g < n; ++g) {
+    inputs.updates.push_back(sgd_[g].updates);
+    inputs.batch_sizes.push_back(sgd_[g].batch_size);
+    inputs.l2_per_param.push_back(runtime_.replica(g).l2_norm_per_parameter());
+  }
+  const auto weights = compute_merge_weights(inputs);
+  const auto timing = runtime_.merge_and_update(weights.alpha, sync);
+
+  result.merges += 1;
+  if (weights.perturbed) result.perturbed_merges += 1;
+  result.comm_seconds +=
+      timing.allreduce_seconds + timing.host_roundtrip_seconds;
+
+  // --- batch size scaling (Algorithm 1) -----------------------------------------
+  // Record the batch size used DURING this mega-batch (Fig. 6a traces the
+  // evolution across mega-batches), then scale for the next one.
+  for (std::size_t g = 0; g < n; ++g) {
+    result.gpus[g].batch_size.push_back(sgd_[g].batch_size);
+    result.gpus[g].updates.push_back(sgd_[g].updates);
+  }
+  bool scale_now = cfg_.enable_batch_scaling;
+  if (scale_now && cfg_.adaptive_scaling_cadence) {
+    std::vector<std::size_t> current;
+    current.reserve(n);
+    for (const auto& s : sgd_) current.push_back(s.batch_size);
+    scale_now = scheduler_.observe(current);
+  }
+  if (scale_now) {
+    BatchScalingParams params;
+    params.batch_min = cfg_.derived_batch_min();
+    params.batch_max = cfg_.batch_max;
+    params.beta = cfg_.derived_beta();
+    const auto outcome = scale_batch_sizes(sgd_, params);
+    if (outcome.any_change) result.scaling_updates += 1;
+    HETERO_DEBUG << method_name() << ": mega-batch " << result.merges
+                 << " mean updates " << outcome.mean_updates
+                 << (weights.perturbed ? " [perturbed]" : "");
+  }
+  ++megabatch_index_;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,48 @@
+// Adaptive SGD (Section III) — the paper's contribution.
+//
+// Per mega-batch:
+//   1. Dynamic scheduling: batches are dispatched one-by-one to whichever
+//      GPU becomes available first, each GPU using its own batch size b_i
+//      and learning rate lr_i, until the mega-batch's sample quota is
+//      consumed.
+//   2. Normalized model merging (Algorithm 2): replica weights from update
+//      counts / batch sizes, perturbed when all replicas are
+//      well-regularized; weighted all-reduce; momentum global update at the
+//      scheduler.
+//   3. Batch size scaling (Algorithm 1): b_i and lr_i move toward the
+//      steady state where every GPU performs the same number of updates.
+#pragma once
+
+#include "core/batch_scaling.h"
+#include "core/trainer.h"
+
+namespace hetero::core {
+
+class AdaptiveSgdTrainer final : public Trainer {
+ public:
+  AdaptiveSgdTrainer(const data::XmlDataset& dataset, const TrainerConfig& cfg,
+                     std::vector<sim::DeviceSpec> devices);
+
+  std::string method_name() const override { return "adaptive-sgd"; }
+
+  /// Current per-GPU SGD state (exposed for tests / Fig. 6a traces).
+  const std::vector<GpuSgdState>& sgd_state() const { return sgd_; }
+
+  /// Scaling cadence state (only meaningful with
+  /// cfg.adaptive_scaling_cadence).
+  const ScalingScheduler& scaling_scheduler() const { return scheduler_; }
+
+ protected:
+  void run_megabatch(TrainResult& result) override;
+
+ private:
+  /// Warmup multiplier for the upcoming mega-batch (1.0 when disabled).
+  double warmup_factor() const;
+
+  std::vector<GpuSgdState> sgd_;
+  ScalingScheduler scheduler_;
+  std::size_t megabatch_index_ = 0;
+  std::size_t round_robin_cursor_ = 0;  // used when dynamic_scheduling=false
+};
+
+}  // namespace hetero::core

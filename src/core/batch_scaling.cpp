@@ -1,0 +1,106 @@
+#include "core/batch_scaling.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hetero::core {
+
+BatchScalingOutcome scale_batch_sizes(std::vector<GpuSgdState>& gpus,
+                                      const BatchScalingParams& params) {
+  BatchScalingOutcome outcome;
+  if (gpus.empty()) return outcome;
+  assert(params.batch_min > 0 && params.batch_min <= params.batch_max);
+  assert(params.beta >= 0.0);
+
+  double total = 0.0;
+  for (const auto& g : gpus) total += static_cast<double>(g.updates);
+  const double mean = total / static_cast<double>(gpus.size());
+  outcome.mean_updates = mean;
+
+  for (auto& g : gpus) {
+    const double u = static_cast<double>(g.updates);
+    const double b = static_cast<double>(g.batch_size);
+    if (u > mean) {
+      // Faster GPU: grow the batch, bounded by b_max (Algorithm 1 line 3).
+      const double grown = b + params.beta * (u - mean);
+      const auto new_b = static_cast<std::size_t>(std::llround(grown));
+      if (new_b <= params.batch_max && new_b != g.batch_size) {
+        g.learning_rate *= static_cast<double>(new_b) / b;  // linear scaling
+        g.batch_size = new_b;
+        outcome.any_change = true;
+      }
+    } else if (u < mean) {
+      // Slower GPU: shrink the batch, bounded by b_min (line 6).
+      const double shrunk = b - params.beta * (mean - u);
+      const auto new_b = static_cast<std::size_t>(std::llround(shrunk));
+      if (shrunk >= static_cast<double>(params.batch_min) &&
+          new_b != g.batch_size) {
+        g.learning_rate *= static_cast<double>(new_b) / b;
+        g.batch_size = new_b;
+        outcome.any_change = true;
+      }
+    }
+  }
+  return outcome;
+}
+
+ScalingScheduler::ScalingScheduler(std::size_t stability_window,
+                                   std::size_t max_interval)
+    : stability_window_(std::max<std::size_t>(1, stability_window)),
+      max_interval_(std::max<std::size_t>(1, max_interval)) {}
+
+bool ScalingScheduler::observe(const std::vector<std::size_t>& batch_sizes) {
+  if (previous_.size() != batch_sizes.size()) {
+    previous_ = batch_sizes;
+    last_direction_.assign(batch_sizes.size(), 0);
+    since_last_scale_ = 0;
+    return true;  // first observation: scale at the default cadence
+  }
+
+  bool any_change = false;
+  bool all_reversals = true;
+  for (std::size_t g = 0; g < batch_sizes.size(); ++g) {
+    int direction = 0;
+    if (batch_sizes[g] > previous_[g]) direction = 1;
+    if (batch_sizes[g] < previous_[g]) direction = -1;
+    if (direction != 0) {
+      any_change = true;
+      // A reversal means this GPU bounced back against its previous move.
+      if (last_direction_[g] == 0 || direction != -last_direction_[g]) {
+        all_reversals = false;
+      }
+      last_direction_[g] = direction;
+    }
+  }
+  previous_ = batch_sizes;
+
+  if (!any_change) {
+    ++steps_without_change_;
+    reversal_streak_ = 0;
+  } else if (all_reversals) {
+    ++reversal_streak_;
+    steps_without_change_ = 0;
+  } else {
+    steps_without_change_ = 0;
+    reversal_streak_ = 0;
+    // Genuine drift: fall back to scaling at every mega-batch.
+    interval_ = 1;
+    stable_ = oscillating_ = false;
+  }
+
+  stable_ = steps_without_change_ >= stability_window_;
+  oscillating_ = reversal_streak_ >= stability_window_;
+  if ((stable_ || oscillating_) && interval_ < max_interval_) {
+    interval_ *= 2;
+    steps_without_change_ = 0;
+    reversal_streak_ = 0;
+  }
+
+  if (++since_last_scale_ >= interval_) {
+    since_last_scale_ = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hetero::core

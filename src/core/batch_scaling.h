@@ -1,0 +1,78 @@
+// Algorithm 1: Batch Size Scaling.
+//
+// Executed at every mega-batch boundary. Moves each GPU's batch size toward
+// the state where all GPUs perform the same number of model-replica updates:
+// GPUs that updated more often than the average get a LARGER batch (they are
+// faster; more samples per update slows their update rate), GPUs below the
+// average get a SMALLER one. The move is linear in the deviation from the
+// mean with slope beta, clamped to [b_min, b_max]; the learning rate follows
+// the linear scaling rule (lr scales with the batch size).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetero::core {
+
+struct GpuSgdState {
+  std::size_t batch_size = 0;
+  double learning_rate = 0.0;
+  std::size_t updates = 0;  // model replica updates in the last mega-batch
+};
+
+struct BatchScalingParams {
+  std::size_t batch_min = 0;
+  std::size_t batch_max = 0;
+  double beta = 0.0;
+};
+
+struct BatchScalingOutcome {
+  bool any_change = false;
+  double mean_updates = 0.0;
+};
+
+/// Applies Algorithm 1 in place to `gpus`. Returns whether any batch size
+/// changed (used to count scaling activations, Fig. 6a).
+BatchScalingOutcome scale_batch_sizes(std::vector<GpuSgdState>& gpus,
+                                      const BatchScalingParams& params);
+
+/// Adaptive scaling cadence (Section III-A: "By default, the algorithm is
+/// executed after every mega-batch. However, if stability is achieved or
+/// the system enters an oscillatory state, the frequency at which scaling
+/// is performed can be increased" — i.e. the interval between scaling
+/// passes is widened once per-GPU batch sizes either stop moving or only
+/// bounce back and forth).
+///
+/// Detection: after each mega-batch, feed the current batch sizes.
+///   - stable:     no batch size changed for `stability_window` steps.
+///   - oscillating: every change over the window is a reversal of the
+///                  previous change's direction on the same GPU.
+/// Either condition doubles the interval (capped at `max_interval`); a
+/// genuine drift (non-reversal change) resets the interval to 1.
+class ScalingScheduler {
+ public:
+  explicit ScalingScheduler(std::size_t stability_window = 3,
+                            std::size_t max_interval = 8);
+
+  /// Records the batch sizes in effect for the finished mega-batch and
+  /// returns true when Algorithm 1 should run at this boundary.
+  bool observe(const std::vector<std::size_t>& batch_sizes);
+
+  std::size_t interval() const { return interval_; }
+  bool stable() const { return stable_; }
+  bool oscillating() const { return oscillating_; }
+
+ private:
+  std::size_t stability_window_;
+  std::size_t max_interval_;
+  std::size_t interval_ = 1;
+  std::size_t since_last_scale_ = 0;
+  bool stable_ = false;
+  bool oscillating_ = false;
+  std::vector<std::size_t> previous_;
+  std::vector<int> last_direction_;  // -1 / 0 / +1 per GPU
+  std::size_t steps_without_change_ = 0;
+  std::size_t reversal_streak_ = 0;
+};
+
+}  // namespace hetero::core

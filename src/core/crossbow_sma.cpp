@@ -1,0 +1,83 @@
+#include "core/crossbow_sma.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hetero::core {
+
+CrossbowTrainer::CrossbowTrainer(const data::XmlDataset& dataset,
+                                 const TrainerConfig& cfg,
+                                 std::vector<sim::DeviceSpec> devices)
+    : Trainer(dataset, cfg, std::move(devices)) {
+  central_ = runtime_.global_model().to_flat();
+}
+
+void CrossbowTrainer::run_megabatch(TrainResult& result) {
+  const std::size_t n = runtime_.num_gpus();
+  const std::size_t b = cfg_.batch_max;
+  const float lr =
+      static_cast<float>(cfg_.learning_rate * lr_schedule_factor());
+  const float eta = static_cast<float>(cfg_.crossbow_eta);
+  const std::size_t rounds =
+      std::max<std::size_t>(1, cfg_.batches_per_megabatch / n);
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    double round_start = 0.0;
+    for (std::size_t g = 0; g < n; ++g) {
+      round_start = std::max(round_start, runtime_.gpu_free_at(g));
+    }
+
+    // Local gradient computation on each learner's replica.
+    double grads_done = 0.0;
+    for (std::size_t g = 0; g < n; ++g) {
+      auto batch = runtime_.next_batch(b);
+      grads_done = std::max(
+          grads_done, runtime_.run_gradient_step(g, std::move(batch),
+                                                 round_start));
+      result.gpus[g].total_samples += b;
+    }
+
+    // Synchronous exchange of replica deviations (model-sized all-reduce).
+    const auto ar =
+        runtime_.reducer().cost(n, runtime_.virtual_model_bytes());
+    const double finish = grads_done + ar.seconds;
+    for (std::size_t g = 0; g < n; ++g) {
+      runtime_.gpu(g).wait_all_until(finish);
+    }
+    result.comm_seconds += ar.seconds;
+    runtime_.math_barrier();
+
+    // SMA update. Deviations are measured before the learners move.
+    const std::size_t len = central_.size();
+    std::vector<double> dev_sum(len, 0.0);
+    for (std::size_t g = 0; g < n; ++g) {
+      auto& replica = runtime_.replica(g);
+      auto flat = replica.to_flat();
+      for (std::size_t j = 0; j < len; ++j) {
+        dev_sum[j] += static_cast<double>(flat[j]) - central_[j];
+      }
+      // w_i <- w_i + eta * (z - w_i), then the local gradient.
+      for (std::size_t j = 0; j < len; ++j) {
+        flat[j] += eta * (central_[j] - flat[j]);
+      }
+      replica.from_flat(flat);
+      nn::apply_gradients(replica, runtime_.workspace(g),
+                          runtime_.last_batch(g).x, lr);
+    }
+    const double scale =
+        static_cast<double>(eta) / static_cast<double>(n);
+    for (std::size_t j = 0; j < len; ++j) {
+      central_[j] = static_cast<float>(central_[j] + scale * dev_sum[j]);
+    }
+  }
+
+  // The central average model is the model whose accuracy is reported.
+  runtime_.global_model().from_flat(central_);
+  result.merges += 1;
+  for (std::size_t g = 0; g < n; ++g) {
+    result.gpus[g].batch_size.push_back(b);
+    result.gpus[g].updates.push_back(rounds);
+  }
+}
+
+}  // namespace hetero::core

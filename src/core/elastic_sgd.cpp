@@ -1,0 +1,46 @@
+#include "core/elastic_sgd.h"
+
+#include <algorithm>
+
+#include "core/merging.h"
+
+namespace hetero::core {
+
+void ElasticSgdTrainer::run_megabatch(TrainResult& result) {
+  const std::size_t n = runtime_.num_gpus();
+  const std::size_t b = cfg_.batch_max;
+  const double lr = cfg_.learning_rate * lr_schedule_factor();
+
+  // Static assignment: batches_per_megabatch batches handed out round-robin
+  // up-front, each GPU processing its share back-to-back.
+  std::vector<std::size_t> updates(n, 0);
+  for (std::size_t i = 0; i < cfg_.batches_per_megabatch; ++i) {
+    const std::size_t g = i % n;
+    auto batch = runtime_.next_batch(b);
+    runtime_.run_update_step(g, std::move(batch), lr,
+                             runtime_.gpu_free_at(g));
+    updates[g] += 1;
+    result.gpus[g].total_samples += b;
+  }
+
+  double sync = 0.0;
+  for (std::size_t g = 0; g < n; ++g) {
+    sync = std::max(sync, runtime_.gpu(g).device_free_at());
+  }
+  runtime_.math_barrier();
+
+  // Plain elastic averaging: equal weights (all batch sizes identical),
+  // no perturbation; momentum follows the shared update rule.
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  const auto timing = runtime_.merge_and_update(weights, sync);
+
+  result.merges += 1;
+  result.comm_seconds +=
+      timing.allreduce_seconds + timing.host_roundtrip_seconds;
+  for (std::size_t g = 0; g < n; ++g) {
+    result.gpus[g].batch_size.push_back(b);
+    result.gpus[g].updates.push_back(updates[g]);
+  }
+}
+
+}  // namespace hetero::core

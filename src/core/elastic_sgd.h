@@ -1,0 +1,27 @@
+// Elastic SGD baseline: K-step elastic model averaging (Section II).
+//
+// Every GPU statically receives the same number of equally-sized batches per
+// mega-batch and performs the same number of local updates; replicas are
+// averaged (equal weights) at the mega-batch boundary with the same momentum
+// global-update rule as Adaptive SGD (the paper implements both in
+// HeteroGPU with a shared update rule — on one GPU they are identical).
+// Because assignment ignores relative GPU speed, the mega-batch completes
+// only when the slowest GPU finishes: the straggler problem Adaptive SGD
+// removes.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace hetero::core {
+
+class ElasticSgdTrainer final : public Trainer {
+ public:
+  using Trainer::Trainer;
+
+  std::string method_name() const override { return "elastic-sgd"; }
+
+ protected:
+  void run_megabatch(TrainResult& result) override;
+};
+
+}  // namespace hetero::core

@@ -1,0 +1,70 @@
+#include "core/executor.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace hetero::core {
+
+struct ThreadedExecutor::Manager {
+  util::EventQueue<std::function<void()>> queue;
+  std::thread thread;
+  std::mutex mutex;
+  std::condition_variable idle_cv;
+  std::size_t pending = 0;
+
+  Manager() {
+    thread = std::thread([this] {
+      while (auto work = queue.pop()) {
+        (*work)();
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          --pending;
+        }
+        idle_cv.notify_all();
+      }
+    });
+  }
+
+  ~Manager() {
+    queue.close();
+    thread.join();
+  }
+
+  void submit(std::function<void()> work) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++pending;
+    }
+    queue.push(std::move(work));
+  }
+
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex);
+    idle_cv.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+ThreadedExecutor::ThreadedExecutor(std::size_t num_gpus) {
+  managers_.reserve(num_gpus);
+  for (std::size_t i = 0; i < num_gpus; ++i) {
+    managers_.push_back(std::make_unique<Manager>());
+  }
+}
+
+ThreadedExecutor::~ThreadedExecutor() = default;
+
+void ThreadedExecutor::dispatch(std::size_t gpu, std::function<void()> work) {
+  managers_.at(gpu)->submit(std::move(work));
+}
+
+void ThreadedExecutor::barrier() {
+  for (auto& m : managers_) m->wait_idle();
+}
+
+std::unique_ptr<Executor> make_executor(bool threaded, std::size_t num_gpus) {
+  if (threaded) return std::make_unique<ThreadedExecutor>(num_gpus);
+  return std::make_unique<InlineExecutor>();
+}
+
+}  // namespace hetero::core

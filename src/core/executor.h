@@ -1,0 +1,61 @@
+// Math-execution backends for the MultiGpuRuntime.
+//
+// Scheduling decisions and virtual-time bookkeeping are always made by the
+// (single-threaded) dynamic scheduler; what the executor controls is where
+// the *real* replica math runs:
+//
+//   InlineExecutor   — runs work immediately on the calling thread
+//                      (deterministic discrete-event mode).
+//   ThreadedExecutor — one GPU-manager thread per device, fed through
+//                      per-device event queues (the Fig. 3 architecture).
+//                      Work for one device executes in FIFO order on its
+//                      manager, so replica state is never shared between
+//                      threads; barrier() joins all queues.
+//
+// Because scheduling depends only on virtual clocks (not on which real
+// thread finished first), both executors produce identical results.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/event_queue.h"
+
+namespace hetero::core {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Enqueues `work` for device `gpu`. Work items for the same device run
+  /// in submission order.
+  virtual void dispatch(std::size_t gpu, std::function<void()> work) = 0;
+
+  /// Blocks until every dispatched work item has completed.
+  virtual void barrier() = 0;
+};
+
+class InlineExecutor final : public Executor {
+ public:
+  void dispatch(std::size_t, std::function<void()> work) override { work(); }
+  void barrier() override {}
+};
+
+class ThreadedExecutor final : public Executor {
+ public:
+  explicit ThreadedExecutor(std::size_t num_gpus);
+  ~ThreadedExecutor() override;
+
+  void dispatch(std::size_t gpu, std::function<void()> work) override;
+  void barrier() override;
+
+ private:
+  struct Manager;
+  std::vector<std::unique_ptr<Manager>> managers_;
+};
+
+/// Factory from the config's ExecutionMode.
+std::unique_ptr<Executor> make_executor(bool threaded, std::size_t num_gpus);
+
+}  // namespace hetero::core

@@ -1,0 +1,78 @@
+#include "core/merging.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hetero::core {
+
+MergeWeights compute_merge_weights(const MergeInputs& inputs) {
+  const std::size_t n = inputs.updates.size();
+  assert(inputs.batch_sizes.size() == n);
+  assert(inputs.l2_per_param.size() == n);
+  MergeWeights out;
+  out.alpha.resize(n, 0.0);
+  if (n == 0) return out;
+
+  const bool equal_updates =
+      std::all_of(inputs.updates.begin(), inputs.updates.end(),
+                  [&](std::size_t u) { return u == inputs.updates[0]; });
+
+  // Pick the raw (unnormalized) score per replica.
+  const auto score = [&](std::size_t i) -> double {
+    switch (inputs.normalization) {
+      case MergeNormalization::kAuto:
+        // Algorithm 2 lines 2-3: batch size on equal updates, else updates.
+        return equal_updates
+                   ? static_cast<double>(inputs.batch_sizes[i])
+                   : static_cast<double>(inputs.updates[i]);
+      case MergeNormalization::kUpdates:
+        return static_cast<double>(inputs.updates[i]);
+      case MergeNormalization::kBatchSize:
+        return static_cast<double>(inputs.batch_sizes[i]);
+      case MergeNormalization::kUpdatesTimesBatch:
+        return static_cast<double>(inputs.updates[i]) *
+               static_cast<double>(inputs.batch_sizes[i]);
+    }
+    return 0.0;
+  };
+  out.by_updates = inputs.normalization == MergeNormalization::kUpdates ||
+                   (inputs.normalization == MergeNormalization::kAuto &&
+                    !equal_updates);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += score(i);
+  for (std::size_t i = 0; i < n; ++i) out.alpha[i] = score(i) / total;
+
+  // Perturbation (lines 4-7): only when every replica is well-regularized,
+  // so denormalized weights cannot amplify skewed parameters.
+  if (inputs.enable_perturbation && n > 1) {
+    const bool all_regularized =
+        std::all_of(inputs.l2_per_param.begin(), inputs.l2_per_param.end(),
+                    [&](double v) { return v < inputs.pert_threshold; });
+    if (all_regularized) {
+      std::size_t r = 0, s = 0;
+      for (std::size_t i = 1; i < n; ++i) {
+        if (inputs.updates[i] > inputs.updates[r]) r = i;
+        if (inputs.updates[i] < inputs.updates[s]) s = i;
+      }
+      out.alpha[r] *= 1.0 + inputs.pert_delta;
+      out.alpha[s] *= 1.0 - inputs.pert_delta;
+      out.perturbed = true;
+    }
+  }
+  return out;
+}
+
+void momentum_global_update(std::span<const float> merged,
+                            std::span<float> global,
+                            std::span<float> previous_global, double gamma) {
+  assert(merged.size() == global.size());
+  assert(global.size() == previous_global.size());
+  const auto g = static_cast<float>(gamma);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const float w = global[i];
+    global[i] = merged[i] + g * (w - previous_global[i]);
+    previous_global[i] = w;
+  }
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,65 @@
+// Algorithm 2: Normalized Model Merging.
+//
+// Computes per-replica merge weights at a mega-batch boundary:
+//   - if every GPU performed the same number of updates, weights are
+//     normalized by batch size (larger batches -> more accurate gradients),
+//   - otherwise by the number of updates (prioritize fresher replicas).
+// If all replicas are well-regularized (L2 norm per parameter below
+// pert_thr), the most-updated replica's weight is perturbed up by (1+delta)
+// and the least-updated down by (1-delta) — deliberately denormalizing the
+// weights to push the merged model toward the freshest replica.
+//
+// The merged model then follows the momentum update rule:
+//   w' = sum_i alpha_i w_i + gamma (w - w_prev);  w_prev <- w;  w <- w'.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hetero::core {
+
+/// How the replica weights are normalized (Algorithm 2 lines 1-3 and the
+/// Section III-B discussion).
+enum class MergeNormalization {
+  /// The paper's default: by batch size when update counts are equal,
+  /// otherwise by update count.
+  kAuto,
+  /// Always by update count.
+  kUpdates,
+  /// Always by batch size.
+  kBatchSize,
+  /// "An alternative for later stages is to normalize based on the product
+  /// between the number of updates and the batch size" — i.e. by the number
+  /// of samples each replica consumed.
+  kUpdatesTimesBatch,
+};
+
+struct MergeInputs {
+  std::vector<std::size_t> updates;      // u_i per GPU
+  std::vector<std::size_t> batch_sizes;  // b_i per GPU
+  std::vector<double> l2_per_param;      // ||w_i||_2 / |w| per GPU
+  double pert_threshold = 0.1;
+  double pert_delta = 0.1;
+  bool enable_perturbation = true;
+  MergeNormalization normalization = MergeNormalization::kAuto;
+};
+
+struct MergeWeights {
+  std::vector<double> alpha;
+  bool perturbed = false;
+  bool by_updates = false;  // true when normalized by update counts
+};
+
+/// Lines 1-7 of Algorithm 2: normalization + perturbation.
+MergeWeights compute_merge_weights(const MergeInputs& inputs);
+
+/// Lines 8-9: momentum update of the global model, given the already
+/// weighted-averaged replica combination `merged` (from the all-reduce).
+///   w' = merged + gamma * (w - w_prev)
+/// `global` and `previous_global` are updated in place.
+void momentum_global_update(std::span<const float> merged,
+                            std::span<float> global,
+                            std::span<float> previous_global, double gamma);
+
+}  // namespace hetero::core

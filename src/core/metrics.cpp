@@ -1,0 +1,65 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+namespace hetero::core {
+
+namespace {
+
+// Interpolated first crossing of `target` along (x(point), top1).
+template <typename XFn>
+std::optional<double> first_crossing(const std::vector<CurvePoint>& curve,
+                                     double target, XFn x_of) {
+  double prev_x = 0.0, prev_y = 0.0;
+  bool have_prev = false;
+  for (const auto& p : curve) {
+    const double x = x_of(p);
+    if (p.top1 >= target) {
+      if (!have_prev || prev_y >= target) return x;
+      const double frac = (target - prev_y) / (p.top1 - prev_y);
+      return prev_x + frac * (x - prev_x);
+    }
+    prev_x = x;
+    prev_y = p.top1;
+    have_prev = true;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> TrainResult::time_to_accuracy(double target) const {
+  return first_crossing(curve, target,
+                        [](const CurvePoint& p) { return p.vtime; });
+}
+
+std::optional<double> TrainResult::passes_to_accuracy(double target) const {
+  return first_crossing(curve, target,
+                        [](const CurvePoint& p) { return p.passes; });
+}
+
+double TrainResult::best_top1() const {
+  double best = 0.0;
+  for (const auto& p : curve) best = std::max(best, p.top1);
+  return best;
+}
+
+double TrainResult::final_top1() const {
+  return curve.empty() ? 0.0 : curve.back().top1;
+}
+
+double TrainResult::mean_utilization() const {
+  if (gpus.empty() || total_vtime <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const auto& g : gpus) sum += g.busy_seconds / total_vtime;
+  return sum / static_cast<double>(gpus.size());
+}
+
+double TrainResult::min_utilization() const {
+  if (gpus.empty() || total_vtime <= 0.0) return 0.0;
+  double lo = 1.0;
+  for (const auto& g : gpus) lo = std::min(lo, g.busy_seconds / total_vtime);
+  return lo;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,79 @@
+#include "core/result_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hetero::core {
+
+namespace {
+void write_rows(std::ostream& out, const TrainResult& r) {
+  for (const auto& p : r.curve) {
+    out << r.dataset << ',' << r.method << ',' << r.num_gpus << ','
+        << p.megabatch << ',' << p.vtime << ',' << p.samples << ','
+        << p.passes << ',' << p.top1 << ',' << p.top5 << ',' << p.test_loss
+        << ',' << p.train_loss << '\n';
+  }
+}
+
+constexpr const char* kCsvHeader =
+    "dataset,method,gpus,megabatch,vtime,samples,passes,top1,top5,"
+    "test_loss,train_loss\n";
+}  // namespace
+
+void write_curve_csv(std::ostream& out, const TrainResult& result) {
+  out << kCsvHeader;
+  write_rows(out, result);
+}
+
+void write_curve_csv(std::ostream& out,
+                     const std::vector<TrainResult>& results) {
+  out << kCsvHeader;
+  for (const auto& r : results) write_rows(out, r);
+}
+
+void write_result_json(std::ostream& out, const TrainResult& r) {
+  out << "{\"dataset\":\"" << r.dataset << "\",\"method\":\"" << r.method
+      << "\",\"gpus\":" << r.num_gpus << ",\"total_vtime\":" << r.total_vtime
+      << ",\"comm_seconds\":" << r.comm_seconds << ",\"merges\":" << r.merges
+      << ",\"perturbed_merges\":" << r.perturbed_merges
+      << ",\"scaling_updates\":" << r.scaling_updates
+      << ",\"avg_staleness\":" << r.avg_staleness
+      << ",\"best_top1\":" << r.best_top1()
+      << ",\"final_top1\":" << r.final_top1() << ",\"curve\":[";
+  for (std::size_t i = 0; i < r.curve.size(); ++i) {
+    const auto& p = r.curve[i];
+    if (i) out << ',';
+    out << "{\"vtime\":" << p.vtime << ",\"samples\":" << p.samples
+        << ",\"passes\":" << p.passes << ",\"top1\":" << p.top1
+        << ",\"top5\":" << p.top5 << ",\"test_loss\":" << p.test_loss << "}";
+  }
+  out << "],\"gpus_detail\":[";
+  for (std::size_t g = 0; g < r.gpus.size(); ++g) {
+    const auto& t = r.gpus[g];
+    if (g) out << ',';
+    out << "{\"busy_seconds\":" << t.busy_seconds
+        << ",\"total_updates\":" << t.total_updates
+        << ",\"total_samples\":" << t.total_samples << ",\"batch_size\":[";
+    for (std::size_t m = 0; m < t.batch_size.size(); ++m) {
+      if (m) out << ',';
+      out << t.batch_size[m];
+    }
+    out << "],\"updates\":[";
+    for (std::size_t m = 0; m < t.updates.size(); ++m) {
+      if (m) out << ',';
+      out << t.updates[m];
+    }
+    out << "]}";
+  }
+  out << "]}";
+}
+
+void write_result_json_file(const std::string& path,
+                            const TrainResult& result) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("result_io: cannot open " + path);
+  write_result_json(out, result);
+}
+
+}  // namespace hetero::core

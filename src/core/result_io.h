@@ -1,0 +1,27 @@
+// TrainResult export: CSV series (one row per curve point) and a JSON
+// summary document, so experiments can be archived and re-plotted without
+// rerunning.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace hetero::core {
+
+/// Writes curve points as CSV with a header row:
+/// dataset,method,gpus,megabatch,vtime,samples,passes,top1,top5,test_loss,
+/// train_loss
+void write_curve_csv(std::ostream& out, const TrainResult& result);
+void write_curve_csv(std::ostream& out,
+                     const std::vector<TrainResult>& results);
+
+/// Writes a JSON object with the summary metrics, per-GPU traces, and the
+/// full accuracy curve.
+void write_result_json(std::ostream& out, const TrainResult& result);
+void write_result_json_file(const std::string& path,
+                            const TrainResult& result);
+
+}  // namespace hetero::core

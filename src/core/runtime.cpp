@@ -1,0 +1,244 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/merging.h"
+
+#include "util/logging.h"
+
+namespace hetero::core {
+
+MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
+                                 const TrainerConfig& cfg,
+                                 std::vector<sim::DeviceSpec> devices)
+    : dataset_(dataset),
+      cfg_(cfg),
+      links_(sim::default_links(devices.size())),
+      stream_(dataset.train.num_samples(), cfg.seed ^ 0xa5a5a5a5ULL) {
+  assert(!devices.empty());
+  model_cfg_.num_features = dataset.train.features.cols();
+  model_cfg_.num_classes = dataset.train.labels.cols();
+  model_cfg_.hidden = cfg.hidden;
+
+  util::Rng init_rng(cfg.seed);
+  global_ = nn::MlpModel(model_cfg_);
+  global_.init(init_rng);
+  global_flat_ = global_.to_flat();
+  prev_global_flat_ = global_flat_;
+
+  const std::size_t n = devices.size();
+  const std::size_t streams =
+      cfg_.allreduce_streams != 0 ? cfg_.allreduce_streams : n;
+  reducer_ =
+      std::make_unique<comm::AllReducer>(cfg_.allreduce, links_, streams);
+  executor_ =
+      make_executor(cfg_.mode == ExecutionMode::kThreaded, n);
+
+  util::Rng seeder(cfg.seed ^ 0x5bd1e995ULL);
+  for (std::size_t g = 0; g < n; ++g) {
+    gpus_.push_back(std::make_unique<sim::VirtualGpu>(
+        static_cast<int>(g), devices[g], seeder.next_u64(), streams));
+    // Persistent allocations: model replica + dense gradients/optimizer
+    // state (2x the model) stay resident for the whole run.
+    gpus_.back()->allocate(2 * global_.num_bytes());
+    replicas_.emplace_back(model_cfg_);
+  }
+  workspaces_.resize(n);
+  last_batch_.resize(n);
+  loss_slots_.resize(n);
+  broadcast_global();
+}
+
+double MultiGpuRuntime::gpu_free_at(std::size_t g) const {
+  return gpus_[g]->stream_free_at(0);
+}
+
+std::size_t MultiGpuRuntime::next_free_gpu() const {
+  std::size_t best = 0;
+  for (std::size_t g = 1; g < gpus_.size(); ++g) {
+    if (gpu_free_at(g) < gpu_free_at(best)) best = g;
+  }
+  return best;
+}
+
+MultiGpuRuntime::Batch MultiGpuRuntime::next_batch(std::size_t n) {
+  const auto rows = stream_.next(n);
+  return {dataset_.train.features.gather_rows(rows),
+          dataset_.train.labels.gather_rows(rows)};
+}
+
+double MultiGpuRuntime::charge_step(std::size_t g, const sparse::CsrMatrix& x,
+                                    double earliest_start) {
+  // Host -> GPU batch transfer. With double buffering the transfer of this
+  // batch overlaps the device's previous compute: it starts when the batch
+  // is dispatched (earliest_start) and only delays the kernels if the
+  // device would otherwise start sooner.
+  const std::size_t batch_bytes =
+      x.nnz() * (sizeof(std::uint32_t) + sizeof(float)) +
+      (x.rows() + 1) * sizeof(std::size_t);
+  const double xfer =
+      links_.transfer_seconds(batch_bytes, sim::LinkModel::kHost,
+                              static_cast<int>(g));
+  const double data_ready = earliest_start + xfer;
+
+  auto kernels = nn::step_kernels(model_cfg_, x);
+  const double work_scale = cfg_.framework_overhead * cfg_.compute_scale;
+  if (work_scale != 1.0) {
+    for (auto& k : kernels) {
+      k.flops *= work_scale;
+      k.bytes *= work_scale;
+    }
+  }
+  // Transient training state (activations, deltas, batch CSR, sparse
+  // gradient rows) must fit next to the resident model; this is the
+  // constraint that caps b_max in Section V-A. The reservation is released
+  // when the step completes (sequentially ordered on the compute stream).
+  const double avg_nnz = x.rows() > 0 ? static_cast<double>(x.nnz()) /
+                                            static_cast<double>(x.rows())
+                                      : 0.0;
+  const std::size_t step_bytes =
+      nn::step_memory_bytes(model_cfg_, x.rows(), avg_nnz);
+  gpus_[g]->allocate(step_bytes);
+
+  const double start = std::max(data_ready, gpus_[g]->stream_free_at(0));
+  const double finish =
+      gpus_[g]->submit(/*stream=*/0, kernels, data_ready, cfg_.fused_kernels,
+                       /*active_managers=*/gpus_.size());
+  gpus_[g]->free(step_bytes);
+  if (tracer_ != nullptr) {
+    tracer_->add({"sgd_step b=" + std::to_string(x.rows()) +
+                      " nnz=" + std::to_string(x.nnz()),
+                  "compute", static_cast<int>(g), 0, start, finish - start});
+  }
+  return finish;
+}
+
+double MultiGpuRuntime::run_update_step(std::size_t g, Batch batch, double lr,
+                                        double earliest_start) {
+  const double finish = charge_step(g, batch.x, earliest_start);
+  auto stored = std::make_shared<Batch>(std::move(batch));
+  last_batch_[g] = stored;
+  executor_->dispatch(g, [this, g, stored, lr] {
+    const auto stats = nn::sgd_step(replicas_[g], stored->x, stored->y,
+                                    static_cast<float>(lr), workspaces_[g],
+                                    static_cast<float>(cfg_.weight_decay));
+    loss_slots_[g].sum += stats.loss;
+    loss_slots_[g].count += 1;
+  });
+  return finish;
+}
+
+double MultiGpuRuntime::run_gradient_step(std::size_t g, Batch batch,
+                                          double earliest_start) {
+  const double finish = charge_step(g, batch.x, earliest_start);
+  auto stored = std::make_shared<Batch>(std::move(batch));
+  last_batch_[g] = stored;
+  executor_->dispatch(g, [this, g, stored] {
+    const auto stats = nn::compute_gradients(replicas_[g], stored->x,
+                                             stored->y, workspaces_[g]);
+    loss_slots_[g].sum += stats.loss;
+    loss_slots_[g].count += 1;
+  });
+  return finish;
+}
+
+double MultiGpuRuntime::take_mean_loss() {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (auto& slot : loss_slots_) {
+    sum += slot.sum;
+    count += slot.count;
+    slot = LossSlot{};
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double MultiGpuRuntime::host_roundtrip_seconds() const {
+  const std::size_t bytes = virtual_model_bytes();
+  const double up =
+      links_.transfer_seconds(bytes, 0, sim::LinkModel::kHost, 1);
+  const double down = links_.transfer_seconds(bytes, sim::LinkModel::kHost, 0,
+                                              gpus_.size());
+  return up + down;
+}
+
+MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
+    std::span<const double> weights, double sync_time) {
+  assert(weights.size() == replicas_.size());
+  math_barrier();
+
+  MergeTiming timing;
+
+  // All-reduce the weighted average across replicas (numerics + cost).
+  std::vector<std::vector<float>> flats;
+  flats.reserve(replicas_.size());
+  for (auto& r : replicas_) flats.push_back(r.to_flat());
+  std::vector<std::span<float>> views;
+  views.reserve(flats.size());
+  for (auto& f : flats) views.emplace_back(f.data(), f.size());
+  reducer_->weighted_average(views, weights);
+  // Charge the collective at the simulated (paper-scale) model size, like
+  // every other kernel/transfer cost.
+  timing.allreduce_seconds =
+      reducer_->cost(replicas_.size(), virtual_model_bytes()).seconds;
+
+  // Scheduler-side momentum update of the global model (Section IV: model
+  // update executed by the scheduler — fewer CPU-GPU transfers), then
+  // broadcast to the replicas.
+  if (cfg_.enable_momentum) {
+    momentum_global_update(views[0], global_flat_, prev_global_flat_,
+                           cfg_.momentum_gamma);
+  } else {
+    prev_global_flat_ = global_flat_;
+    std::copy(views[0].begin(), views[0].end(), global_flat_.begin());
+  }
+  global_.from_flat(global_flat_);
+  broadcast_global();
+  timing.host_roundtrip_seconds = host_roundtrip_seconds();
+
+  timing.finish =
+      sync_time + timing.allreduce_seconds + timing.host_roundtrip_seconds;
+  for (auto& gpu : gpus_) gpu->wait_all_until(timing.finish);
+  if (tracer_ != nullptr) {
+    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+      tracer_->add({"allreduce_merge", "comm", static_cast<int>(g), 0,
+                    sync_time, timing.allreduce_seconds});
+    }
+    tracer_->add({"momentum_global_update", "merge", /*device=*/-1, 0,
+                  sync_time + timing.allreduce_seconds,
+                  timing.host_roundtrip_seconds});
+  }
+  return timing;
+}
+
+void MultiGpuRuntime::broadcast_global() {
+  for (auto& r : replicas_) r = global_;
+}
+
+void MultiGpuRuntime::record_curve_point(TrainResult& result, double vtime,
+                                         std::size_t megabatch,
+                                         double train_loss) const {
+  const auto eval =
+      nn::evaluate(global_, dataset_.test, cfg_.eval_samples);
+  CurvePoint p;
+  p.vtime = vtime;
+  p.samples = stream_.samples_served();
+  p.passes = static_cast<double>(p.samples) /
+             static_cast<double>(stream_.dataset_size());
+  p.megabatch = megabatch;
+  p.top1 = eval.top1;
+  p.top5 = eval.top5;
+  p.test_loss = eval.loss;
+  p.train_loss = train_loss;
+  result.curve.push_back(p);
+}
+
+std::size_t MultiGpuRuntime::max_feasible_batch(std::size_t g) const {
+  const double avg_nnz = dataset_.train.features.avg_row_nnz();
+  const std::size_t per_sample =
+      nn::step_memory_bytes(model_cfg_, 1, avg_nnz);
+  return gpus_[g]->max_batch_for(per_sample);
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,200 @@
+// Shared multi-GPU execution state for all HeteroGPU trainers.
+//
+// The runtime owns the simulated devices, the interconnect, the model
+// replicas with their workspaces, the shuffled sample stream, and the
+// all-reduce implementation. Trainers (Adaptive, Elastic, Sync, CROSSBOW)
+// compose its primitives; this mirrors the paper implementing three of its
+// four GPU baselines inside the same C++ framework so that performance
+// differences come from algorithmic structure only.
+//
+// Time model: every primitive takes an `earliest_start` virtual time and
+// returns a finish time, advancing the device's stream clocks. Real math is
+// executed through the Executor (inline in deterministic mode, GPU-manager
+// threads in threaded mode).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/allreduce.h"
+#include "core/config.h"
+#include "core/executor.h"
+#include "core/metrics.h"
+#include "data/sample_stream.h"
+#include "data/synthetic.h"
+#include "nn/evaluate.h"
+#include "nn/mlp.h"
+#include "nn/train_step.h"
+#include "sim/profiles.h"
+#include "sim/trace.h"
+#include "sim/virtual_gpu.h"
+
+namespace hetero::core {
+
+class MultiGpuRuntime {
+ public:
+  MultiGpuRuntime(const data::XmlDataset& dataset, const TrainerConfig& cfg,
+                  std::vector<sim::DeviceSpec> devices);
+
+  std::size_t num_gpus() const { return gpus_.size(); }
+  const TrainerConfig& config() const { return cfg_; }
+  const data::XmlDataset& dataset() const { return dataset_; }
+  const nn::MlpConfig& model_config() const { return model_cfg_; }
+
+  sim::VirtualGpu& gpu(std::size_t g) { return *gpus_[g]; }
+  const sim::VirtualGpu& gpu(std::size_t g) const { return *gpus_[g]; }
+  nn::MlpModel& replica(std::size_t g) { return replicas_[g]; }
+  nn::Workspace& workspace(std::size_t g) { return workspaces_[g]; }
+
+  /// Earliest time device g can accept new work (compute stream).
+  double gpu_free_at(std::size_t g) const;
+
+  /// Index of the device that becomes free first (dynamic scheduling).
+  std::size_t next_free_gpu() const;
+
+  // --- batches ---------------------------------------------------------------
+
+  struct Batch {
+    sparse::CsrMatrix x;
+    sparse::CsrMatrix y;
+  };
+
+  /// Draws the next `n` samples from the shuffled stream.
+  Batch next_batch(std::size_t n);
+
+  std::size_t samples_served() const { return stream_.samples_served(); }
+  double passes() const {
+    return static_cast<double>(stream_.samples_served()) /
+           static_cast<double>(stream_.dataset_size());
+  }
+
+  // --- execution primitives ---------------------------------------------------
+
+  /// One SGD step on replica g (forward+backward+update with lr). Charges
+  /// the batch host->GPU transfer (overlapped with previous compute) and
+  /// the kernel sequence; dispatches the real math to g's manager.
+  /// Returns the virtual finish time. The batch is retained as g's
+  /// `last_batch` until the next step on g.
+  double run_update_step(std::size_t g, Batch batch, double lr,
+                         double earliest_start);
+
+  /// Gradient-only step (no model update): used by gradient-aggregation and
+  /// CROSSBOW trainers. Gradients are left in workspace(g).
+  double run_gradient_step(std::size_t g, Batch batch, double earliest_start);
+
+  const Batch& last_batch(std::size_t g) const { return *last_batch_[g]; }
+
+  /// Bytes of the model as charged to the interconnect: the parameter
+  /// buffer times cfg.comm_scale. All communication costs (all-reduce,
+  /// host round trips) use this size.
+  std::size_t virtual_model_bytes() const {
+    return static_cast<std::size_t>(
+        static_cast<double>(global_.num_bytes()) * cfg_.comm_scale);
+  }
+
+  /// Cost-only step accounting: charges device g for the batch transfer and
+  /// the kernel sequence of one SGD step over `x`, without running any
+  /// math. Trainers that manage model math themselves (gradient
+  /// aggregation, CROSSBOW) use this together with nn:: functions.
+  double charge_step(std::size_t g, const sparse::CsrMatrix& x,
+                     double earliest_start);
+
+  /// Dispatches arbitrary math to device g's manager (FIFO per device).
+  void dispatch_math(std::size_t g, std::function<void()> work) {
+    executor_->dispatch(g, std::move(work));
+  }
+
+  /// Waits for all in-flight math (threaded mode) — must be called before
+  /// the scheduler reads replica state.
+  void math_barrier() { executor_->barrier(); }
+
+  /// Mean training loss accumulated since the last take_mean_loss() call.
+  /// (Slots are written by manager threads; read only after math_barrier().)
+  double take_mean_loss();
+
+  /// Records a step loss against device g's slot (for trainers that run
+  /// their math through dispatch_math). Call only from g's manager work.
+  void record_loss(std::size_t g, double loss) {
+    loss_slots_[g].sum += loss;
+    loss_slots_[g].count += 1;
+  }
+
+  // --- merging -----------------------------------------------------------------
+
+  struct MergeTiming {
+    double allreduce_seconds = 0.0;
+    double host_roundtrip_seconds = 0.0;
+    double finish = 0.0;  // virtual time when all GPUs hold the new model
+  };
+
+  /// Merges replicas with the given weights via the configured all-reduce,
+  /// applies the momentum global update on the host (the scheduler-side
+  /// choice of Section IV), and broadcasts the new global model to every
+  /// replica. All devices synchronize: their clocks advance to `finish`.
+  MergeTiming merge_and_update(std::span<const double> weights,
+                               double sync_time);
+
+  /// The current global model (host copy).
+  const nn::MlpModel& global_model() const { return global_; }
+  nn::MlpModel& global_model() { return global_; }
+
+  /// Copies the global model into every replica (used at initialization and
+  /// by trainers that keep identical replicas).
+  void broadcast_global();
+
+  /// Replica -> host model transfer cost (e.g. sync SGD publishing state).
+  double host_roundtrip_seconds() const;
+
+  // --- evaluation -----------------------------------------------------------------
+
+  /// Evaluates the global model on the test prefix and appends a curve
+  /// point to `result`.
+  void record_curve_point(TrainResult& result, double vtime,
+                          std::size_t megabatch, double train_loss) const;
+
+  /// Largest batch size that fits in device memory next to the model and
+  /// gradients (used to validate b_max).
+  std::size_t max_feasible_batch(std::size_t g) const;
+
+  const comm::AllReducer& reducer() const { return *reducer_; }
+  const sim::LinkModel& links() const { return links_; }
+
+  /// Attaches a tracer: subsequent steps and merges are recorded on the
+  /// virtual timeline (Chrome trace format via sim::Tracer). Pass nullptr
+  /// to detach. The tracer must outlive the runtime.
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  sim::Tracer* tracer() { return tracer_; }
+
+ private:
+  const data::XmlDataset& dataset_;
+  TrainerConfig cfg_;
+  nn::MlpConfig model_cfg_;
+
+  std::vector<std::unique_ptr<sim::VirtualGpu>> gpus_;
+  sim::LinkModel links_;
+  std::unique_ptr<comm::AllReducer> reducer_;
+  std::unique_ptr<Executor> executor_;
+
+  nn::MlpModel global_;
+  std::vector<float> global_flat_;
+  std::vector<float> prev_global_flat_;
+
+  std::vector<nn::MlpModel> replicas_;
+  std::vector<nn::Workspace> workspaces_;
+  // Shared ownership: in threaded mode the manager's work item must keep
+  // its batch alive even after the scheduler dispatches the next one.
+  std::vector<std::shared_ptr<Batch>> last_batch_;
+
+  data::SampleStream stream_;
+
+  // Loss accumulation (slot per GPU; written only by that GPU's manager).
+  struct LossSlot {
+    double sum = 0.0;
+    std::size_t count = 0;
+  };
+  std::vector<LossSlot> loss_slots_;
+
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace hetero::core

@@ -1,0 +1,80 @@
+#include "core/sync_sgd.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hetero::core {
+
+void SyncSgdTrainer::run_megabatch(TrainResult& result) {
+  const std::size_t n = runtime_.num_gpus();
+  const std::size_t b = cfg_.batch_max;
+  const double lr = cfg_.learning_rate * lr_schedule_factor();
+  // A mega-batch is only an evaluation boundary for this method; the model
+  // synchronizes every round. Rounds per mega-batch keep the processed
+  // sample count identical across all trainers.
+  const std::size_t rounds =
+      std::max<std::size_t>(1, cfg_.batches_per_megabatch / n);
+
+  auto& model = runtime_.global_model();
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Barrier semantics: a round starts when every GPU has the new model.
+    double round_start = 0.0;
+    for (std::size_t g = 0; g < n; ++g) {
+      round_start = std::max(round_start, runtime_.gpu_free_at(g));
+    }
+
+    // Each GPU computes a partial gradient on its own batch.
+    std::vector<MultiGpuRuntime::Batch> batches;
+    batches.reserve(n);
+    double grads_done = 0.0;
+    for (std::size_t g = 0; g < n; ++g) {
+      batches.push_back(runtime_.next_batch(b));
+      grads_done = std::max(
+          grads_done, runtime_.charge_step(g, batches.back().x, round_start));
+      result.gpus[g].total_samples += b;
+    }
+
+    // Gradient all-reduce (model-sized buffer), then every replica applies
+    // the aggregate — replicas stay identical, so the math runs once on the
+    // canonical model. Gradients must all be taken at the same model point:
+    // compute all first, then apply each scaled by 1/n (equivalent to
+    // applying the average).
+    const auto ar = runtime_.reducer().cost(n, runtime_.virtual_model_bytes());
+    const double finish = grads_done + ar.seconds;
+    for (std::size_t g = 0; g < n; ++g) {
+      runtime_.gpu(g).wait_all_until(finish);
+    }
+    result.comm_seconds += ar.seconds;
+
+    runtime_.dispatch_math(0, [this, batches = std::move(batches), &model, lr,
+                               n] {
+      auto& ws = runtime_.workspace(0);
+      std::vector<nn::Workspace> grads(n);
+      for (std::size_t g = 0; g < n; ++g) {
+        // Workspace 0 is reused for activations; gradients are swapped out
+        // so later batches do not overwrite earlier ones.
+        const auto stats =
+            nn::compute_gradients(model, batches[g].x, batches[g].y, ws);
+        runtime_.record_loss(0, stats.loss);
+        std::swap(grads[g].grad_w1, ws.grad_w1);
+        std::swap(grads[g].grad_w2, ws.grad_w2);
+        std::swap(grads[g].grad_b1, ws.grad_b1);
+        std::swap(grads[g].grad_b2, ws.grad_b2);
+      }
+      const float scaled_lr = static_cast<float>(lr / static_cast<double>(n));
+      for (std::size_t g = 0; g < n; ++g) {
+        nn::apply_gradients(model, grads[g], batches[g].x, scaled_lr);
+      }
+    });
+    runtime_.math_barrier();
+  }
+
+  for (std::size_t g = 0; g < n; ++g) {
+    result.gpus[g].batch_size.push_back(b);
+    result.gpus[g].updates.push_back(rounds);
+  }
+  result.merges += 1;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,27 @@
+// Synchronous gradient-aggregation baseline (the paper's TensorFlow
+// mirrored-strategy configuration).
+//
+// Every round, each GPU computes a partial gradient from an equally-sized
+// batch against the identical global model; gradients are all-reduced and
+// the aggregated gradient updates every replica before the next round
+// begins. The global model therefore updates after EVERY batch — one of the
+// two reasons the paper gives for TensorFlow's slower time-to-accuracy; the
+// other (slower epoch execution in the heavier framework) is modelled by
+// cfg.framework_overhead.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace hetero::core {
+
+class SyncSgdTrainer final : public Trainer {
+ public:
+  using Trainer::Trainer;
+
+  std::string method_name() const override { return "sync-sgd-tf"; }
+
+ protected:
+  void run_megabatch(TrainResult& result) override;
+};
+
+}  // namespace hetero::core

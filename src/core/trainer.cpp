@@ -1,0 +1,129 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/adaptive_sgd.h"
+#include "core/async_sgd.h"
+#include "core/crossbow_sma.h"
+#include "core/elastic_sgd.h"
+#include "core/sync_sgd.h"
+
+namespace hetero::core {
+
+Trainer::Trainer(const data::XmlDataset& dataset, const TrainerConfig& cfg,
+                 std::vector<sim::DeviceSpec> devices)
+    : runtime_(dataset, cfg, std::move(devices)), cfg_(cfg) {
+  if (cfg_.batch_max == 0) {
+    // Derive b_max from device memory (Section V-A): the largest power of
+    // two whose per-batch training state fits on the most constrained GPU.
+    std::size_t feasible = std::numeric_limits<std::size_t>::max();
+    for (std::size_t g = 0; g < runtime_.num_gpus(); ++g) {
+      feasible = std::min(feasible, runtime_.max_feasible_batch(g));
+    }
+    std::size_t b = 16;
+    while (b * 2 <= feasible && b < 1024) b *= 2;
+    cfg_.batch_max = b;
+  }
+}
+
+double Trainer::lr_schedule_factor() const {
+  if (cfg_.lr_decay_every == 0 || cfg_.lr_decay == 1.0) return 1.0;
+  const auto steps = current_megabatch_ / cfg_.lr_decay_every;
+  double factor = 1.0;
+  for (std::size_t i = 0; i < steps; ++i) factor *= cfg_.lr_decay;
+  return factor;
+}
+
+double Trainer::current_vtime() const {
+  double t = 0.0;
+  for (std::size_t g = 0; g < runtime_.num_gpus(); ++g) {
+    t = std::max(t, runtime_.gpu(g).device_free_at());
+  }
+  return t;
+}
+
+TrainResult Trainer::train() {
+  TrainResult result;
+  result.method = method_name();
+  result.dataset = runtime_.dataset().name;
+  result.num_gpus = runtime_.num_gpus();
+  result.gpus.resize(runtime_.num_gpus());
+
+  on_start(result);
+  runtime_.record_curve_point(result, 0.0, 0, 0.0);
+
+  double best_top1 = result.curve.empty() ? 0.0 : result.curve.back().top1;
+  std::size_t megabatches_without_improvement = 0;
+  for (std::size_t m = 1; m <= cfg_.num_megabatches; ++m) {
+    current_megabatch_ = m - 1;
+    run_megabatch(result);
+    const double t = current_vtime();
+    runtime_.record_curve_point(result, t, m, runtime_.take_mean_loss());
+    if (cfg_.virtual_time_budget > 0.0 && t >= cfg_.virtual_time_budget) {
+      break;
+    }
+    if (cfg_.early_stop_patience > 0) {
+      const double top1 = result.curve.back().top1;
+      if (top1 >= best_top1 + cfg_.early_stop_delta) {
+        best_top1 = top1;
+        megabatches_without_improvement = 0;
+      } else if (++megabatches_without_improvement >=
+                 cfg_.early_stop_patience) {
+        break;
+      }
+    }
+  }
+
+  result.total_vtime = current_vtime();
+  for (std::size_t g = 0; g < runtime_.num_gpus(); ++g) {
+    auto& trace = result.gpus[g];
+    trace.busy_seconds = runtime_.gpu(g).busy_seconds();
+    trace.total_updates = 0;
+    for (auto u : trace.updates) trace.total_updates += u;
+  }
+  return result;
+}
+
+std::string to_string(Method method) {
+  switch (method) {
+    case Method::kAdaptive:
+      return "adaptive-sgd";
+    case Method::kElastic:
+      return "elastic-sgd";
+    case Method::kSync:
+      return "sync-sgd-tf";
+    case Method::kCrossbow:
+      return "crossbow-sma";
+    case Method::kAsync:
+      return "async-sgd";
+  }
+  return "?";
+}
+
+std::unique_ptr<Trainer> make_trainer(Method method,
+                                      const data::XmlDataset& dataset,
+                                      TrainerConfig cfg,
+                                      std::vector<sim::DeviceSpec> devices) {
+  switch (method) {
+    case Method::kAdaptive:
+      return std::make_unique<AdaptiveSgdTrainer>(dataset, cfg,
+                                                  std::move(devices));
+    case Method::kElastic:
+      return std::make_unique<ElasticSgdTrainer>(dataset, cfg,
+                                                 std::move(devices));
+    case Method::kSync:
+      if (cfg.framework_overhead == 1.0) cfg.framework_overhead = 1.4;
+      return std::make_unique<SyncSgdTrainer>(dataset, cfg,
+                                              std::move(devices));
+    case Method::kCrossbow:
+      return std::make_unique<CrossbowTrainer>(dataset, cfg,
+                                               std::move(devices));
+    case Method::kAsync:
+      return std::make_unique<AsyncSgdTrainer>(dataset, cfg,
+                                               std::move(devices));
+  }
+  return nullptr;
+}
+
+}  // namespace hetero::core

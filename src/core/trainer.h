@@ -1,0 +1,72 @@
+// Trainer interface + factory.
+//
+// All four multi-GPU algorithms share the mega-batch experiment loop
+// (process a mega-batch worth of samples, then measure test accuracy — the
+// paper's methodology) and differ only in how batches are scheduled,
+// replicas updated, and models merged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/runtime.h"
+
+namespace hetero::core {
+
+class Trainer {
+ public:
+  Trainer(const data::XmlDataset& dataset, const TrainerConfig& cfg,
+          std::vector<sim::DeviceSpec> devices);
+  virtual ~Trainer() = default;
+
+  /// Runs cfg.num_megabatches mega-batches (or until the virtual-time
+  /// budget is exhausted), evaluating after each one.
+  TrainResult train();
+
+  virtual std::string method_name() const = 0;
+
+  MultiGpuRuntime& runtime() { return runtime_; }
+
+ protected:
+  /// Processes one mega-batch: schedule batches, update replicas, merge.
+  /// Must leave the merged model in runtime_.global_model() and update the
+  /// per-GPU traces in `result`.
+  virtual void run_megabatch(TrainResult& result) = 0;
+
+  /// Called once before the first mega-batch.
+  virtual void on_start(TrainResult&) {}
+
+  /// Current virtual time (all devices' latest clock).
+  double current_vtime() const;
+
+  /// Learning-rate schedule multiplier for the mega-batch being processed
+  /// (step decay; warmup is handled by the adaptive trainer itself).
+  double lr_schedule_factor() const;
+
+  /// 0-based index of the mega-batch currently being processed (maintained
+  /// by train()).
+  std::size_t current_megabatch() const { return current_megabatch_; }
+
+  MultiGpuRuntime runtime_;
+  TrainerConfig cfg_;
+
+ private:
+  std::size_t current_megabatch_ = 0;
+};
+
+enum class Method { kAdaptive, kElastic, kSync, kCrossbow, kAsync };
+
+std::string to_string(Method method);
+
+/// Builds a trainer. For Method::kSync the config's framework_overhead
+/// should model the heavier framework stack (the paper's TensorFlow
+/// baseline); the factory applies 1.4 if the caller left it at 1.0.
+std::unique_ptr<Trainer> make_trainer(Method method,
+                                      const data::XmlDataset& dataset,
+                                      TrainerConfig cfg,
+                                      std::vector<sim::DeviceSpec> devices);
+
+}  // namespace hetero::core

@@ -1,0 +1,126 @@
+#include "data/binary_cache.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hetero::data {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'G', 'D', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("dataset cache: truncated input");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  if (!in) throw std::runtime_error("dataset cache: truncated array");
+  return v;
+}
+
+void write_csr(std::ostream& out, const sparse::CsrMatrix& m) {
+  write_pod(out, static_cast<std::uint64_t>(m.rows()));
+  write_pod(out, static_cast<std::uint64_t>(m.cols()));
+  write_vec(out, m.row_ptr());
+  write_vec(out, m.col_idx());
+  write_vec(out, m.values());
+}
+
+sparse::CsrMatrix read_csr(std::istream& in) {
+  const auto rows = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  const auto cols = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  auto row_ptr = read_vec<std::size_t>(in);
+  auto col_idx = read_vec<std::uint32_t>(in);
+  auto values = read_vec<float>(in);
+  if (row_ptr.size() != rows + 1 || col_idx.size() != values.size() ||
+      (rows > 0 && row_ptr.back() != col_idx.size())) {
+    throw std::runtime_error("dataset cache: inconsistent CSR arrays");
+  }
+  sparse::CsrMatrix m(rows, cols, std::move(row_ptr), std::move(col_idx),
+                      std::move(values));
+  if (!m.validate()) {
+    throw std::runtime_error("dataset cache: CSR validation failed");
+  }
+  return m;
+}
+}  // namespace
+
+void save_dataset(std::ostream& out, const XmlDataset& dataset) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(dataset.name.size()));
+  out.write(dataset.name.data(),
+            static_cast<std::streamsize>(dataset.name.size()));
+  write_csr(out, dataset.train.features);
+  write_csr(out, dataset.train.labels);
+  write_csr(out, dataset.test.features);
+  write_csr(out, dataset.test.labels);
+  if (!out) throw std::runtime_error("dataset cache: write failed");
+}
+
+void save_dataset_file(const std::string& path, const XmlDataset& dataset) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("dataset cache: cannot open " + path);
+  save_dataset(out, dataset);
+}
+
+XmlDataset load_dataset(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("dataset cache: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("dataset cache: unsupported version");
+  }
+  const auto name_len = read_pod<std::uint64_t>(in);
+  std::string name(static_cast<std::size_t>(name_len), '\0');
+  in.read(name.data(), static_cast<std::streamsize>(name_len));
+  if (!in) throw std::runtime_error("dataset cache: truncated name");
+
+  XmlDataset dataset;
+  dataset.name = std::move(name);
+  dataset.train.features = read_csr(in);
+  dataset.train.labels = read_csr(in);
+  dataset.test.features = read_csr(in);
+  dataset.test.labels = read_csr(in);
+  if (dataset.train.features.rows() != dataset.train.labels.rows() ||
+      dataset.test.features.rows() != dataset.test.labels.rows()) {
+    throw std::runtime_error("dataset cache: split row mismatch");
+  }
+  return dataset;
+}
+
+XmlDataset load_dataset_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("dataset cache: cannot open " + path);
+  return load_dataset(in);
+}
+
+}  // namespace hetero::data

@@ -1,0 +1,24 @@
+// Compact binary caching of generated datasets.
+//
+// Generating the large synthetic profiles costs seconds (hash sets per
+// sample); experiments that sweep many configurations over one dataset can
+// save it once and reload in milliseconds. Format: magic "HGDS" | version |
+// name | 4 CSR matrices (train/test x features/labels) as raw arrays.
+// Host-endian local cache, not a wire format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/synthetic.h"
+
+namespace hetero::data {
+
+void save_dataset(std::ostream& out, const XmlDataset& dataset);
+void save_dataset_file(const std::string& path, const XmlDataset& dataset);
+
+/// Throws std::runtime_error on malformed input.
+XmlDataset load_dataset(std::istream& in);
+XmlDataset load_dataset_file(const std::string& path);
+
+}  // namespace hetero::data

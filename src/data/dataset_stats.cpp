@@ -1,0 +1,55 @@
+#include "data/dataset_stats.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/stats.h"
+
+namespace hetero::data {
+
+DatasetStats compute_stats(const XmlDataset& dataset, std::size_t batch_size) {
+  DatasetStats s;
+  s.name = dataset.name;
+  s.num_features = dataset.train.features.cols();
+  s.num_classes = dataset.train.labels.cols();
+  s.num_train = dataset.train.num_samples();
+  s.num_test = dataset.test.num_samples();
+  s.avg_features_per_sample = dataset.train.features.avg_row_nnz();
+  s.avg_labels_per_sample = dataset.train.labels.avg_row_nnz();
+
+  util::RunningStats per_sample;
+  for (std::size_t r = 0; r < s.num_train; ++r) {
+    per_sample.add(static_cast<double>(dataset.train.features.row_nnz(r)));
+  }
+  s.feature_nnz_cv =
+      per_sample.mean() > 0 ? per_sample.stddev() / per_sample.mean() : 0.0;
+
+  std::vector<double> batch_nnz;
+  for (std::size_t b = 0; b + batch_size <= s.num_train; b += batch_size) {
+    batch_nnz.push_back(static_cast<double>(
+        dataset.train.features.range_nnz(b, b + batch_size)));
+  }
+  if (!batch_nnz.empty()) {
+    const auto [mn, mx] =
+        std::minmax_element(batch_nnz.begin(), batch_nnz.end());
+    s.batch_nnz_spread = *mn > 0 ? *mx / *mn : 0.0;
+  }
+  return s;
+}
+
+void print_stats_header(std::ostream& os) {
+  os << "dataset              features   classes   train    test   "
+        "avg f/sample  avg c/sample  nnz CV  batch nnz max/min\n";
+}
+
+void print_stats_row(std::ostream& os, const DatasetStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-20s %8zu  %8zu  %6zu  %6zu     %8.1f      %8.1f  %6.3f  %10.3f\n",
+                s.name.c_str(), s.num_features, s.num_classes, s.num_train,
+                s.num_test, s.avg_features_per_sample, s.avg_labels_per_sample,
+                s.feature_nnz_cv, s.batch_nnz_spread);
+  os << buf;
+}
+
+}  // namespace hetero::data

@@ -1,0 +1,36 @@
+// Dataset shape statistics (the columns of Table I) plus nnz-variation
+// measures used to characterize the sparse-data heterogeneity source.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/synthetic.h"
+
+namespace hetero::data {
+
+struct DatasetStats {
+  std::string name;
+  std::size_t num_features = 0;
+  std::size_t num_classes = 0;
+  std::size_t num_train = 0;
+  std::size_t num_test = 0;
+  double avg_features_per_sample = 0.0;
+  double avg_labels_per_sample = 0.0;
+  /// Coefficient of variation of per-sample feature nnz (stddev / mean):
+  /// the paper's "number of non-zero features varies significantly".
+  double feature_nnz_cv = 0.0;
+  /// Maximum / minimum per-batch nnz ratio for the given batch size, over a
+  /// sequential batching of the training set.
+  double batch_nnz_spread = 0.0;
+};
+
+/// Computes stats; batch_size controls the batch-level spread measure.
+DatasetStats compute_stats(const XmlDataset& dataset,
+                           std::size_t batch_size = 128);
+
+/// Prints a Table-I style row.
+void print_stats_row(std::ostream& os, const DatasetStats& stats);
+void print_stats_header(std::ostream& os);
+
+}  // namespace hetero::data

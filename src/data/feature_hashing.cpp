@@ -1,0 +1,44 @@
+#include "data/feature_hashing.h"
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hetero::data {
+
+namespace {
+// Stateless splitmix-style hash of (feature, seed).
+std::uint64_t mix(std::uint64_t x, std::uint64_t seed) {
+  std::uint64_t state = x * 0x9e3779b97f4a7c15ULL + seed;
+  return util::splitmix64(state);
+}
+}  // namespace
+
+sparse::CsrMatrix hash_features(const sparse::CsrMatrix& features,
+                                const FeatureHashConfig& cfg) {
+  const std::size_t buckets = 1ull << cfg.bits;
+  sparse::CsrBuilder builder(buckets);
+  std::vector<sparse::Entry> entries;
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    entries.clear();
+    const auto cols = features.row_cols(r);
+    const auto vals = features.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const std::uint64_t h = mix(cols[i], cfg.seed);
+      const auto bucket = static_cast<std::uint32_t>(h & (buckets - 1));
+      // Bit 63 supplies the sign, independent of the bucket bits.
+      const float sign =
+          cfg.signed_hash && (h >> 63) ? -1.0f : 1.0f;
+      entries.push_back({bucket, sign * vals[i]});
+    }
+    builder.add_row(entries);  // builder sums colliding buckets
+  }
+  return builder.build();
+}
+
+void hash_dataset_features(sparse::LabeledDataset& dataset,
+                           const FeatureHashConfig& cfg) {
+  dataset.features = hash_features(dataset.features, cfg);
+}
+
+}  // namespace hetero::data

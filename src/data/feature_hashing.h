@@ -1,0 +1,29 @@
+// Feature hashing ("the hashing trick"): projects a sparse dataset's
+// feature space down to 2^bits buckets with a sign hash. Standard practice
+// for XML-scale feature spaces (Amazon-670k has 135,909 raw features) when
+// the first layer must fit device memory; lets the real Repository datasets
+// run through this framework at reduced width with bounded distortion.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/libsvm.h"
+
+namespace hetero::data {
+
+struct FeatureHashConfig {
+  std::size_t bits = 12;        // target dimensionality = 2^bits
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  bool signed_hash = true;      // multiply value by +/-1 (variance control)
+};
+
+/// Hashes the feature space of `features`; labels are untouched.
+/// Collisions sum (with signs when enabled).
+sparse::CsrMatrix hash_features(const sparse::CsrMatrix& features,
+                                const FeatureHashConfig& cfg);
+
+/// Convenience: hashes both splits of a dataset in place.
+void hash_dataset_features(sparse::LabeledDataset& dataset,
+                           const FeatureHashConfig& cfg);
+
+}  // namespace hetero::data

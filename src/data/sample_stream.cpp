@@ -1,0 +1,34 @@
+#include "data/sample_stream.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace hetero::data {
+
+SampleStream::SampleStream(std::size_t num_samples, std::uint64_t seed)
+    : rng_(seed), order_(num_samples) {
+  assert(num_samples > 0);
+  std::iota(order_.begin(), order_.end(), 0);
+  reshuffle();
+}
+
+void SampleStream::reshuffle() {
+  rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+std::vector<std::size_t> SampleStream::next(std::size_t n) {
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (cursor_ == order_.size()) {
+      ++passes_;
+      reshuffle();
+    }
+    out.push_back(order_[cursor_++]);
+  }
+  served_ += n;
+  return out;
+}
+
+}  // namespace hetero::data

@@ -1,0 +1,44 @@
+// Deterministic shuffled sample stream.
+//
+// The dynamic scheduler (Section IV) dispatches batches one-by-one from the
+// training set; a mega-batch is a fixed number of *samples*, not batches.
+// SampleStream provides the underlying ordered-but-shuffled cursor: repeated
+// calls hand out disjoint row-id runs; when the dataset is exhausted it
+// reshuffles (a new data pass) and continues.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hetero::data {
+
+class SampleStream {
+ public:
+  SampleStream(std::size_t num_samples, std::uint64_t seed);
+
+  /// Returns the next `n` row ids (possibly crossing a reshuffle boundary).
+  std::vector<std::size_t> next(std::size_t n);
+
+  /// Total samples handed out so far.
+  std::size_t samples_served() const { return served_; }
+
+  /// Completed passes over the dataset (an "epoch" in the dataset sense;
+  /// note the paper uses "epoch" for one batch step — see core/README note).
+  std::size_t passes() const { return passes_; }
+
+  std::size_t dataset_size() const { return order_.size(); }
+
+ private:
+  void reshuffle();
+
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t served_ = 0;
+  std::size_t passes_ = 0;
+};
+
+}  // namespace hetero::data

@@ -1,0 +1,167 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hetero::data {
+
+SyntheticXmlConfig amazon670k_small() {
+  SyntheticXmlConfig cfg;
+  cfg.name = "amazon670k-small";
+  cfg.num_features = 8'192;
+  cfg.num_classes = 2'048;
+  cfg.num_train = 16'000;
+  cfg.num_test = 3'200;
+  cfg.avg_features_per_sample = 76.0;
+  cfg.avg_labels_per_sample = 5.0;
+  cfg.feature_zipf = 1.05;
+  cfg.label_zipf = 1.10;
+  cfg.nnz_sigma = 0.45;
+  cfg.salient_features_per_class = 24;
+  cfg.signal_fraction = 0.8;
+  cfg.seed = 20220101;
+  return cfg;
+}
+
+SyntheticXmlConfig delicious200k_small() {
+  SyntheticXmlConfig cfg;
+  cfg.name = "delicious200k-small";
+  cfg.num_features = 12'288;
+  cfg.num_classes = 1'024;
+  cfg.num_train = 10'000;
+  cfg.num_test = 2'000;
+  cfg.avg_features_per_sample = 302.0;
+  cfg.avg_labels_per_sample = 75.0;
+  cfg.feature_zipf = 0.95;
+  cfg.label_zipf = 0.85;
+  cfg.nnz_sigma = 0.35;
+  cfg.salient_features_per_class = 16;
+  cfg.signal_fraction = 0.7;
+  cfg.seed = 20220202;
+  return cfg;
+}
+
+SyntheticXmlConfig tiny_profile() {
+  SyntheticXmlConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_features = 512;
+  cfg.num_classes = 64;
+  cfg.num_train = 1'500;
+  cfg.num_test = 400;
+  cfg.avg_features_per_sample = 20.0;
+  cfg.avg_labels_per_sample = 2.0;
+  cfg.feature_zipf = 1.0;
+  cfg.label_zipf = 1.0;
+  cfg.nnz_sigma = 0.4;
+  cfg.salient_features_per_class = 10;
+  cfg.signal_fraction = 0.85;
+  cfg.seed = 7;
+  return cfg;
+}
+
+namespace {
+
+// Salient feature sets: class c owns `salient` features drawn from the
+// feature popularity distribution (so popular features are shared across
+// classes, as in real bag-of-words data).
+std::vector<std::vector<std::uint32_t>> build_salient_sets(
+    const SyntheticXmlConfig& cfg, util::Rng& rng,
+    const util::ZipfSampler& feature_sampler) {
+  std::vector<std::vector<std::uint32_t>> sets(cfg.num_classes);
+  for (auto& set : sets) {
+    std::unordered_set<std::uint32_t> chosen;
+    while (chosen.size() < cfg.salient_features_per_class) {
+      chosen.insert(static_cast<std::uint32_t>(feature_sampler.sample(rng)));
+    }
+    set.assign(chosen.begin(), chosen.end());
+    std::sort(set.begin(), set.end());
+  }
+  return sets;
+}
+
+sparse::LabeledDataset generate_split(
+    const SyntheticXmlConfig& cfg, std::size_t num_samples, util::Rng& rng,
+    const util::ZipfSampler& feature_sampler,
+    const util::ZipfSampler& label_sampler,
+    const std::vector<std::vector<std::uint32_t>>& salient) {
+  sparse::CsrBuilder features(cfg.num_features);
+  sparse::CsrBuilder labels(cfg.num_classes);
+
+  // Lognormal multiplier with mean 1: shift mu by -sigma^2/2.
+  const double mu = -0.5 * cfg.nnz_sigma * cfg.nnz_sigma;
+
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    // --- labels ---
+    const double label_mult = rng.lognormal(mu, cfg.nnz_sigma * 0.5);
+    auto num_labels = static_cast<std::size_t>(
+        std::max(1.0, std::round(cfg.avg_labels_per_sample * label_mult)));
+    num_labels = std::min(num_labels, cfg.num_classes);
+    std::unordered_set<std::uint32_t> label_set;
+    while (label_set.size() < num_labels) {
+      label_set.insert(static_cast<std::uint32_t>(label_sampler.sample(rng)));
+    }
+    std::vector<std::uint32_t> label_vec(label_set.begin(), label_set.end());
+
+    // --- features ---
+    const double feat_mult = rng.lognormal(mu, cfg.nnz_sigma);
+    auto num_feats = static_cast<std::size_t>(
+        std::max(2.0, std::round(cfg.avg_features_per_sample * feat_mult)));
+    num_feats = std::min(num_feats, cfg.num_features);
+    const auto num_signal =
+        static_cast<std::size_t>(cfg.signal_fraction *
+                                 static_cast<double>(num_feats));
+
+    // Draw DISTINCT feature ids so the row's nnz hits num_feats exactly
+    // (duplicates would silently shrink rows below the Table I targets).
+    std::unordered_set<std::uint32_t> chosen;
+    std::vector<sparse::Entry> entries;
+    entries.reserve(num_feats);
+    const auto add_feature = [&](std::uint32_t feat) {
+      if (chosen.insert(feat).second) {
+        entries.push_back(
+            {feat, static_cast<float>(rng.lognormal(0.0, 0.25))});
+      }
+    };
+    // Signal features from the positive labels' salient sets. The pool may
+    // be smaller than num_signal, so bound the attempts and let background
+    // noise fill the remainder.
+    for (std::size_t attempts = 0;
+         entries.size() < num_signal && attempts < 4 * num_signal;
+         ++attempts) {
+      const auto label = label_vec[rng.next_below(label_vec.size())];
+      const auto& set = salient[label];
+      add_feature(set[rng.next_below(set.size())]);
+    }
+    for (std::size_t attempts = 0;
+         entries.size() < num_feats && attempts < 20 * num_feats;
+         ++attempts) {
+      add_feature(static_cast<std::uint32_t>(feature_sampler.sample(rng)));
+    }
+    features.add_row(std::move(entries));
+    labels.add_indicator_row(std::move(label_vec));
+  }
+  return {features.build(), labels.build()};
+}
+
+}  // namespace
+
+XmlDataset generate_xml_dataset(const SyntheticXmlConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  util::ZipfSampler feature_sampler(cfg.num_features, cfg.feature_zipf);
+  util::ZipfSampler label_sampler(cfg.num_classes, cfg.label_zipf);
+  const auto salient = build_salient_sets(cfg, rng, feature_sampler);
+
+  XmlDataset out;
+  out.name = cfg.name;
+  out.train = generate_split(cfg, cfg.num_train, rng, feature_sampler,
+                             label_sampler, salient);
+  out.test = generate_split(cfg, cfg.num_test, rng, feature_sampler,
+                            label_sampler, salient);
+  return out;
+}
+
+}  // namespace hetero::data

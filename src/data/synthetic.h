@@ -1,0 +1,78 @@
+// Synthetic extreme multi-label classification (XML) data generator.
+//
+// The paper evaluates on Amazon-670k and Delicious-200k from the Extreme
+// Classification Repository. Those datasets cannot be redistributed here, so
+// this generator produces sparse datasets with the same *shape* statistics
+// (Table I): very high feature/class dimensionality, few non-zero features
+// per sample, few positive labels per sample, and heavy-tailed popularity of
+// both features and labels.
+//
+// Construction is label-driven so that the task is learnable by the paper's
+// 3-layer MLP: every class owns a small set of salient features; a sample
+// first draws its labels from a Zipf popularity distribution, then draws
+// most of its features from the salient sets of its labels plus Zipf
+// background noise. Per-sample non-zero counts follow a lognormal multiplier
+// around the target mean — this produces the batch-to-batch nnz variance
+// that is one of the paper's two heterogeneity sources (Section I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/libsvm.h"
+
+namespace hetero::data {
+
+struct SyntheticXmlConfig {
+  std::string name = "synthetic";
+  std::size_t num_features = 10'000;
+  std::size_t num_classes = 1'000;
+  std::size_t num_train = 20'000;
+  std::size_t num_test = 4'000;
+
+  /// Target mean non-zero features / positive labels per sample.
+  double avg_features_per_sample = 76.0;
+  double avg_labels_per_sample = 5.0;
+
+  /// Zipf exponents for feature / label popularity (0 = uniform).
+  double feature_zipf = 1.05;
+  double label_zipf = 1.05;
+
+  /// Lognormal sigma of the per-sample nnz multiplier. Larger values mean
+  /// more per-batch work variance (more heterogeneity pressure).
+  double nnz_sigma = 0.45;
+
+  /// Number of salient features owned by each class.
+  std::size_t salient_features_per_class = 24;
+
+  /// Fraction of a sample's features drawn from its labels' salient sets
+  /// (the rest is background noise). Higher = easier task.
+  double signal_fraction = 0.8;
+
+  std::uint64_t seed = 42;
+};
+
+/// Profile approximating Amazon-670k scaled ~50x down (Table I row 1:
+/// 135,909 features / 670,091 classes / 490,449 train / avg 76 features,
+/// 5 labels per sample).
+SyntheticXmlConfig amazon670k_small();
+
+/// Profile approximating Delicious-200k scaled ~50x down (Table I row 2:
+/// 782,585 features / 205,443 classes / 196,606 train / avg 302 features,
+/// 75 labels per sample).
+SyntheticXmlConfig delicious200k_small();
+
+/// Tiny profile for unit tests (fast to generate and train).
+SyntheticXmlConfig tiny_profile();
+
+/// Train + test split with shared generator state.
+struct XmlDataset {
+  std::string name;
+  sparse::LabeledDataset train;
+  sparse::LabeledDataset test;
+};
+
+/// Generates the dataset deterministically from cfg.seed.
+XmlDataset generate_xml_dataset(const SyntheticXmlConfig& cfg);
+
+}  // namespace hetero::data

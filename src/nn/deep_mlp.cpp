@@ -1,0 +1,193 @@
+#include "nn/deep_mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sparse/ops.h"
+#include "tensor/ops.h"
+
+namespace hetero::nn {
+
+std::size_t DeepMlpConfig::num_parameters() const {
+  std::size_t total = 0;
+  std::size_t in = num_features;
+  for (std::size_t h : hidden) {
+    total += in * h + h;
+    in = h;
+  }
+  total += in * num_classes + num_classes;
+  return total;
+}
+
+DeepMlp::DeepMlp(const DeepMlpConfig& cfg) : cfg_(cfg) {
+  assert(!cfg.hidden.empty());
+  std::size_t in = cfg.num_features;
+  for (std::size_t h : cfg.hidden) {
+    weights_.emplace_back(in, h);
+    biases_.emplace_back(h, 0.0f);
+    in = h;
+  }
+  weights_.emplace_back(in, cfg.num_classes);
+  biases_.emplace_back(cfg.num_classes, 0.0f);
+  pre_.resize(weights_.size());
+  acts_.resize(weights_.size());
+  deltas_.resize(weights_.size());
+}
+
+void DeepMlp::init(util::Rng& rng) {
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    const double fan_in = static_cast<double>(
+        std::max<std::size_t>(1, weights_[l].rows()));
+    tensor::init_gaussian(weights_[l], 1.0 / std::sqrt(fan_in), rng);
+    std::fill(biases_[l].begin(), biases_[l].end(), 0.0f);
+  }
+}
+
+std::vector<float> DeepMlp::to_flat() const {
+  std::vector<float> flat;
+  flat.reserve(num_parameters());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    flat.insert(flat.end(), weights_[l].flat().begin(),
+                weights_[l].flat().end());
+    flat.insert(flat.end(), biases_[l].begin(), biases_[l].end());
+  }
+  return flat;
+}
+
+void DeepMlp::from_flat(std::span<const float> flat) {
+  assert(flat.size() == num_parameters());
+  const float* p = flat.data();
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    std::copy_n(p, weights_[l].size(), weights_[l].data());
+    p += weights_[l].size();
+    std::copy_n(p, biases_[l].size(), biases_[l].data());
+    p += biases_[l].size();
+  }
+}
+
+void DeepMlp::forward(const sparse::CsrMatrix& x) {
+  const std::size_t layers = weights_.size();
+  for (std::size_t l = 0; l < layers; ++l) {
+    if (l == 0) {
+      sparse::spmm(x, weights_[0], pre_[0]);
+    } else {
+      tensor::gemm(acts_[l - 1], weights_[l], pre_[l]);
+    }
+    tensor::add_row_bias(pre_[l], {biases_[l].data(), biases_[l].size()});
+    acts_[l] = pre_[l];
+    if (l + 1 < layers) {
+      tensor::relu(acts_[l]);
+    } else {
+      tensor::softmax_rows(acts_[l]);
+    }
+  }
+}
+
+double DeepMlp::loss_from_probs(const sparse::CsrMatrix& y) const {
+  const auto& probs = acts_.back();
+  double total = 0.0;
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    const auto labels = y.row_cols(r);
+    if (labels.empty()) continue;
+    const float* p = probs.data() + r * cfg_.num_classes;
+    double row = 0.0;
+    for (auto c : labels) row -= std::log(std::max(1e-12f, p[c]));
+    total += row / static_cast<double>(labels.size());
+  }
+  return total / static_cast<double>(std::max<std::size_t>(1, y.rows()));
+}
+
+double DeepMlp::loss(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y) {
+  forward(x);
+  return loss_from_probs(y);
+}
+
+double DeepMlp::sgd_step(const sparse::CsrMatrix& x,
+                         const sparse::CsrMatrix& y, float lr) {
+  const std::size_t layers = weights_.size();
+  forward(x);
+  const double step_loss = loss_from_probs(y);
+  const float inv_batch = 1.0f / static_cast<float>(x.rows());
+
+  // Output delta.
+  deltas_.back() = acts_.back();
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto labels = y.row_cols(r);
+    if (labels.empty()) continue;
+    const float share = 1.0f / static_cast<float>(labels.size());
+    float* d = deltas_.back().data() + r * cfg_.num_classes;
+    for (auto c : labels) d[c] -= share;
+  }
+  tensor::scale(deltas_.back().flat(), inv_batch);
+
+  // Backward through the dense stack, updating as we go (gradients for
+  // layer l depend only on delta_l and act_{l-1}, both already final).
+  for (std::size_t l = layers; l-- > 0;) {
+    // Propagate delta to the previous layer BEFORE updating weights_[l].
+    if (l > 0) {
+      tensor::gemm_a_bt(deltas_[l], weights_[l], deltas_[l - 1]);
+      tensor::relu_backward(pre_[l - 1], deltas_[l - 1]);
+    }
+
+    grad_b_.assign(weights_[l].cols(), 0.0f);
+    tensor::column_sums(deltas_[l], {grad_b_.data(), grad_b_.size()});
+    tensor::axpy(-lr, {grad_b_.data(), grad_b_.size()},
+                 {biases_[l].data(), biases_[l].size()});
+
+    if (l == 0) {
+      // Sparse layer: accumulate and apply only the touched rows.
+      grad_w_.resize(weights_[0].rows(), weights_[0].cols(), 0.0f);
+      sparse::spmm_t_accumulate(x, deltas_[0], grad_w_);
+      std::vector<std::uint32_t> touched(x.col_idx());
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      const std::size_t h = weights_[0].cols();
+      for (auto row : touched) {
+        float* w = weights_[0].data() + static_cast<std::size_t>(row) * h;
+        const float* g = grad_w_.data() + static_cast<std::size_t>(row) * h;
+        for (std::size_t j = 0; j < h; ++j) w[j] -= lr * g[j];
+      }
+    } else {
+      tensor::gemm_at_b(acts_[l - 1], deltas_[l], grad_w_);
+      tensor::axpy(-lr, grad_w_.flat(), weights_[l].flat());
+    }
+  }
+  return step_loss;
+}
+
+double DeepMlp::evaluate_top1(const sparse::LabeledDataset& test,
+                              std::size_t max_samples,
+                              std::size_t eval_batch) {
+  const std::size_t n = max_samples == 0
+                            ? test.num_samples()
+                            : std::min(max_samples, test.num_samples());
+  if (n == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t begin = 0; begin < n; begin += eval_batch) {
+    const std::size_t end = std::min(begin + eval_batch, n);
+    const auto x = test.features.slice_rows(begin, end);
+    forward(x);
+    const auto& probs = acts_.back();
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const auto best = tensor::argmax(probs.row(r));
+      if (test.labels.row_contains(begin + r,
+                                   static_cast<std::uint32_t>(best))) {
+        ++hits;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double DeepMlp::l2_norm_per_parameter() const {
+  double ss = 0.0;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    ss += tensor::sum_of_squares(weights_[l].flat());
+    ss += tensor::sum_of_squares({biases_[l].data(), biases_[l].size()});
+  }
+  return std::sqrt(ss) / static_cast<double>(num_parameters());
+}
+
+}  // namespace hetero::nn

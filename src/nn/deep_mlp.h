@@ -1,0 +1,80 @@
+// Arbitrary-depth sparse-input MLP — the framework-generality extension.
+//
+// The paper evaluates on the SLIDE testbed's 3-layer MLP (one hidden
+// layer), which MlpModel implements; HeteroGPU itself is positioned as a
+// framework "for sparse deep learning" in general. DeepMlp provides the
+// deeper architectures (sparse input -> H1 -> ... -> Hk -> softmax) with
+// the same interface contract: sparse first layer, dense hidden stack,
+// multi-label cross-entropy, flat parameter serialization for all-reduce
+// merging.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/libsvm.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace hetero::nn {
+
+struct DeepMlpConfig {
+  std::size_t num_features = 0;
+  std::vector<std::size_t> hidden = {64};  // at least one hidden layer
+  std::size_t num_classes = 0;
+
+  std::size_t num_layers() const { return hidden.size() + 1; }
+  std::size_t num_parameters() const;
+};
+
+class DeepMlp {
+ public:
+  DeepMlp() = default;
+  explicit DeepMlp(const DeepMlpConfig& cfg);
+
+  /// Weights ~ N(0, 1/sqrt(fan_in)), biases zero.
+  void init(util::Rng& rng);
+
+  const DeepMlpConfig& config() const { return cfg_; }
+  std::size_t num_parameters() const { return cfg_.num_parameters(); }
+
+  std::vector<float> to_flat() const;
+  void from_flat(std::span<const float> flat);
+
+  /// One SGD step (forward + backward + update). Returns mean loss.
+  double sgd_step(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y,
+                  float lr);
+
+  /// Mean multi-label cross-entropy without updating.
+  double loss(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y);
+
+  /// Top-1 accuracy over a test prefix.
+  double evaluate_top1(const sparse::LabeledDataset& test,
+                       std::size_t max_samples = 0,
+                       std::size_t eval_batch = 256);
+
+  double l2_norm_per_parameter() const;
+
+  /// Layer weight matrices (layer 0 is the sparse input layer).
+  const tensor::Matrix& weights(std::size_t layer) const {
+    return weights_[layer];
+  }
+
+ private:
+  /// Forward into the activation stack; probs end in acts_.back().
+  void forward(const sparse::CsrMatrix& x);
+  double loss_from_probs(const sparse::CsrMatrix& y) const;
+
+  DeepMlpConfig cfg_;
+  std::vector<tensor::Matrix> weights_;          // per layer
+  std::vector<std::vector<float>> biases_;       // per layer
+  // Scratch: pre-activations and post-activations per layer.
+  std::vector<tensor::Matrix> pre_;
+  std::vector<tensor::Matrix> acts_;
+  std::vector<tensor::Matrix> deltas_;
+  tensor::Matrix grad_w_;
+  std::vector<float> grad_b_;
+};
+
+}  // namespace hetero::nn

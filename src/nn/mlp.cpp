@@ -1,0 +1,71 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace hetero::nn {
+
+MlpModel::MlpModel(const MlpConfig& cfg)
+    : cfg_(cfg),
+      w1_(cfg.num_features, cfg.hidden),
+      b1_(cfg.hidden, 0.0f),
+      w2_(cfg.hidden, cfg.num_classes),
+      b2_(cfg.num_classes, 0.0f) {}
+
+void MlpModel::init(util::Rng& rng) {
+  tensor::init_gaussian(w1_, 1.0 / std::sqrt(static_cast<double>(
+                                 std::max<std::size_t>(1, cfg_.num_features))),
+                        rng);
+  tensor::init_gaussian(w2_, 1.0 / std::sqrt(static_cast<double>(
+                                 std::max<std::size_t>(1, cfg_.hidden))),
+                        rng);
+  std::fill(b1_.begin(), b1_.end(), 0.0f);
+  std::fill(b2_.begin(), b2_.end(), 0.0f);
+}
+
+std::vector<float> MlpModel::to_flat() const {
+  std::vector<float> flat;
+  flat.reserve(num_parameters());
+  flat.insert(flat.end(), w1_.flat().begin(), w1_.flat().end());
+  flat.insert(flat.end(), b1_.begin(), b1_.end());
+  flat.insert(flat.end(), w2_.flat().begin(), w2_.flat().end());
+  flat.insert(flat.end(), b2_.begin(), b2_.end());
+  return flat;
+}
+
+void MlpModel::from_flat(std::span<const float> flat) {
+  assert(flat.size() == num_parameters());
+  const float* p = flat.data();
+  std::copy_n(p, w1_.size(), w1_.data());
+  p += w1_.size();
+  std::copy_n(p, b1_.size(), b1_.data());
+  p += b1_.size();
+  std::copy_n(p, w2_.size(), w2_.data());
+  p += w2_.size();
+  std::copy_n(p, b2_.size(), b2_.data());
+}
+
+double MlpModel::l2_norm_per_parameter() const {
+  double ss = tensor::sum_of_squares(w1_.flat());
+  ss += tensor::sum_of_squares({b1_.data(), b1_.size()});
+  ss += tensor::sum_of_squares(w2_.flat());
+  ss += tensor::sum_of_squares({b2_.data(), b2_.size()});
+  return std::sqrt(ss) / static_cast<double>(num_parameters());
+}
+
+double MlpModel::squared_distance(const MlpModel& other) const {
+  assert(num_parameters() == other.num_parameters());
+  const auto a = to_flat();
+  const auto b = other.to_flat();
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    ss += d * d;
+  }
+  return ss;
+}
+
+}  // namespace hetero::nn

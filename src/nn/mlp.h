@@ -1,0 +1,73 @@
+// The paper's evaluation model: a 3-layer Multi-Layer Perceptron with ReLU
+// hidden activation, softmax multi-class output, and cross-entropy loss,
+// over sparse high-dimensional input (the SLIDE testbed configuration,
+// Section V-A).
+//
+//   layer 1: sparse input (F)  -> hidden (H), ReLU
+//   layer 2: hidden (H)        -> classes (C), softmax
+//
+// Parameters: W1 (F x H), b1 (H), W2 (H x C), b2 (C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace hetero::nn {
+
+struct MlpConfig {
+  std::size_t num_features = 0;
+  std::size_t hidden = 64;
+  std::size_t num_classes = 0;
+
+  std::size_t num_parameters() const {
+    return num_features * hidden + hidden + hidden * num_classes + num_classes;
+  }
+};
+
+class MlpModel {
+ public:
+  MlpModel() = default;
+  explicit MlpModel(const MlpConfig& cfg);
+
+  /// Random initialization: weights ~ N(0, 1/sqrt(fan_in)), biases zero.
+  /// All replicas and all algorithms start from the same model in the
+  /// paper's methodology, so initialize once and copy.
+  void init(util::Rng& rng);
+
+  const MlpConfig& config() const { return cfg_; }
+  std::size_t num_parameters() const { return cfg_.num_parameters(); }
+  std::size_t num_bytes() const { return num_parameters() * sizeof(float); }
+
+  tensor::Matrix& w1() { return w1_; }
+  const tensor::Matrix& w1() const { return w1_; }
+  std::vector<float>& b1() { return b1_; }
+  const std::vector<float>& b1() const { return b1_; }
+  tensor::Matrix& w2() { return w2_; }
+  const tensor::Matrix& w2() const { return w2_; }
+  std::vector<float>& b2() { return b2_; }
+  const std::vector<float>& b2() const { return b2_; }
+
+  /// Serializes all parameters into one flat buffer (order: W1,b1,W2,b2).
+  std::vector<float> to_flat() const;
+  void from_flat(std::span<const float> flat);
+
+  /// L2 norm over all parameters divided by the parameter count — the
+  /// regularization measure gating weight perturbation in Algorithm 2.
+  double l2_norm_per_parameter() const;
+
+  /// Squared L2 distance to another model (test/diagnostic helper).
+  double squared_distance(const MlpModel& other) const;
+
+ private:
+  MlpConfig cfg_;
+  tensor::Matrix w1_;
+  std::vector<float> b1_;
+  tensor::Matrix w2_;
+  std::vector<float> b2_;
+};
+
+}  // namespace hetero::nn

@@ -1,0 +1,80 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace hetero::nn {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'G', 'P', 'U'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("model checkpoint: truncated input");
+  return value;
+}
+}  // namespace
+
+void save_model(std::ostream& out, const MlpModel& model) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(model.config().num_features));
+  write_pod(out, static_cast<std::uint64_t>(model.config().hidden));
+  write_pod(out, static_cast<std::uint64_t>(model.config().num_classes));
+  const auto flat = model.to_flat();
+  out.write(reinterpret_cast<const char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("model checkpoint: write failed");
+}
+
+void save_model_file(const std::string& path, const MlpModel& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("model checkpoint: cannot open " + path);
+  save_model(out, model);
+}
+
+MlpModel load_model(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("model checkpoint: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("model checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  MlpConfig cfg;
+  cfg.num_features = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  cfg.hidden = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  cfg.num_classes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+
+  MlpModel model(cfg);
+  std::vector<float> flat(cfg.num_parameters());
+  in.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("model checkpoint: truncated parameters");
+  model.from_flat(flat);
+  return model;
+}
+
+MlpModel load_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("model checkpoint: cannot open " + path);
+  return load_model(in);
+}
+
+}  // namespace hetero::nn

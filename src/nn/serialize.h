@@ -1,0 +1,24 @@
+// Model checkpointing: a small self-describing binary format.
+//
+// Layout: magic "HGPU" | version u32 | num_features u64 | hidden u64 |
+// num_classes u64 | float32 parameters in to_flat() order (W1, b1, W2, b2).
+// Little-endian host order (the format is a local checkpoint, not a wire
+// protocol).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.h"
+
+namespace hetero::nn {
+
+/// Writes the model; throws std::runtime_error on I/O failure.
+void save_model(std::ostream& out, const MlpModel& model);
+void save_model_file(const std::string& path, const MlpModel& model);
+
+/// Reads a model; throws std::runtime_error on malformed input.
+MlpModel load_model(std::istream& in);
+MlpModel load_model_file(const std::string& path);
+
+}  // namespace hetero::nn

@@ -1,0 +1,81 @@
+// One SGD training step ("epoch" in the paper's terminology: the paper calls
+// processing one batch an epoch — see Figure 2) on one model replica:
+// forward pass, backward pass, parameter update.
+//
+// Besides doing the real math on the CPU, `sgd_step` reports the list of
+// sim::KernelDesc the equivalent GPU execution would launch, so the virtual
+// GPU can be charged an accurate, input-dependent cost: the sparse kernels'
+// flops/bytes depend on the batch nnz, which is how sparse-data variance
+// turns into GPU-time variance.
+#pragma once
+
+#include <vector>
+
+#include "nn/mlp.h"
+#include "sim/cost_model.h"
+#include "sparse/csr.h"
+#include "sparse/ops.h"
+
+namespace hetero::nn {
+
+/// Scratch buffers reused across steps (avoids per-batch allocation).
+struct Workspace {
+  tensor::Matrix h_pre;     // batch x H, pre-activation
+  tensor::Matrix h;         // batch x H, post-ReLU
+  tensor::Matrix probs;     // batch x C, softmax output
+  tensor::Matrix delta2;    // batch x C, output delta
+  tensor::Matrix delta1;    // batch x H, hidden delta
+  tensor::Matrix grad_w1;   // F x H
+  tensor::Matrix grad_w2;   // H x C
+  std::vector<float> grad_b1;
+  std::vector<float> grad_b2;
+
+  void ensure(const MlpConfig& cfg);
+};
+
+struct StepStats {
+  double loss = 0.0;           // mean cross-entropy over the batch
+  std::size_t batch_size = 0;
+  std::size_t batch_nnz = 0;
+};
+
+/// Runs forward+backward+update on `model` with learning rate `lr`.
+/// `x` is the sparse feature batch, `y` the sparse indicator labels
+/// (targets are uniform over each sample's positive labels).
+/// `weight_decay` applies L2 regularization with the same sparsity pattern
+/// as the gradient (only parameters touched by the batch decay).
+StepStats sgd_step(MlpModel& model, const sparse::CsrMatrix& x,
+                   const sparse::CsrMatrix& y, float lr, Workspace& ws,
+                   float weight_decay = 0.0f);
+
+/// Forward + backward only: leaves the batch-mean gradients in
+/// ws.grad_w1/grad_b1/grad_w2/grad_b2 without touching the model.
+/// Baselines that aggregate gradients (synchronous SGD) or mix gradient and
+/// elastic terms (CROSSBOW) use this + apply_gradients.
+StepStats compute_gradients(const MlpModel& model, const sparse::CsrMatrix& x,
+                            const sparse::CsrMatrix& y, Workspace& ws);
+
+/// Applies the gradients in `ws` to `model` with learning rate `lr`.
+/// `x` must be the batch the gradients were computed from (its non-zero
+/// columns identify the W1 rows carrying gradient).
+void apply_gradients(MlpModel& model, const Workspace& ws,
+                     const sparse::CsrMatrix& x, float lr,
+                     float weight_decay = 0.0f);
+
+/// Forward + loss only (no update); probs are left in ws.probs.
+double forward_loss(const MlpModel& model, const sparse::CsrMatrix& x,
+                    const sparse::CsrMatrix& y, Workspace& ws);
+
+/// Kernel sequence a GPU would launch for one sgd_step on this batch.
+/// The simulator charges sequence time (fused or not) for it.
+std::vector<sim::KernelDesc> step_kernels(const MlpConfig& cfg,
+                                          const sparse::CsrMatrix& x);
+
+/// Estimated device memory footprint of training state for a batch of
+/// `batch_size` samples with `avg_nnz` non-zeros per sample: activations,
+/// deltas, gradients, and the CSR batch itself. Model parameters are charged
+/// separately. Used to derive b_max from GPU memory.
+std::size_t step_memory_bytes(const MlpConfig& cfg, std::size_t batch_size,
+                              double avg_nnz);
+
+}  // namespace hetero::nn

@@ -1,0 +1,40 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hetero::sim {
+
+double CostModel::kernel_seconds(const KernelDesc& kernel,
+                                 const DeviceSpec& spec) {
+  const double gflops = kernel.sparse ? spec.sparse_gflops : spec.dense_gflops;
+  const double compute = kernel.flops / (gflops * 1e9);
+  const double memory = kernel.bytes / (spec.mem_bandwidth_gbs * 1e9);
+  return std::max(compute, memory) / spec.speed_factor;
+}
+
+double CostModel::launch_seconds(std::size_t num_launches,
+                                 std::size_t active_managers,
+                                 const DeviceSpec& spec) {
+  assert(active_managers >= 1);
+  const double per_launch =
+      spec.launch_overhead_us * 1e-6 *
+      (1.0 + spec.launch_contention *
+                 static_cast<double>(active_managers - 1));
+  return per_launch * static_cast<double>(num_launches);
+}
+
+double CostModel::sequence_seconds(const std::vector<KernelDesc>& kernels,
+                                   const DeviceSpec& spec, bool fused,
+                                   std::size_t active_managers,
+                                   util::Rng& rng) {
+  double compute = 0.0;
+  for (const auto& k : kernels) compute += kernel_seconds(k, spec);
+  const double jitter =
+      spec.jitter_sigma > 0.0 ? rng.lognormal(0.0, spec.jitter_sigma) : 1.0;
+  const std::size_t launches = fused ? (kernels.empty() ? 0 : 1)
+                                     : kernels.size();
+  return compute * jitter + launch_seconds(launches, active_managers, spec);
+}
+
+}  // namespace hetero::sim

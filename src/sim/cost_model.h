@@ -1,0 +1,52 @@
+// Roofline-style kernel cost model.
+//
+// A kernel is described by its flop count, bytes moved, and whether it is a
+// sparse (irregular) kernel. Virtual execution time on a device is
+//
+//   t = max(flops / throughput, bytes / bandwidth) / speed_factor * jitter
+//
+// where throughput is the dense or sparse effective rate. Launch overhead is
+// charged separately (per kernel, or once per fused group) and grows with
+// the number of concurrently active GPU managers, reproducing the CUDA
+// environment interference that motivates kernel fusion in Section IV.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+#include "util/rng.h"
+
+namespace hetero::sim {
+
+struct KernelDesc {
+  double flops = 0.0;
+  double bytes = 0.0;
+  bool sparse = false;
+  std::string name;
+};
+
+class CostModel {
+ public:
+  /// Pure compute time of one kernel (no launch overhead, no jitter).
+  static double kernel_seconds(const KernelDesc& kernel,
+                               const DeviceSpec& spec);
+
+  /// Launch overhead for `num_launches` kernel launches with
+  /// `active_managers` GPU-manager threads currently submitting work.
+  static double launch_seconds(std::size_t num_launches,
+                               std::size_t active_managers,
+                               const DeviceSpec& spec);
+
+  /// Total time for a kernel sequence on one stream. If `fused`, primitive
+  /// kernels are grouped into a single launch (Section IV kernel fusion);
+  /// otherwise each kernel pays its own launch overhead. Jitter is one
+  /// lognormal draw applied to the compute portion (launch overhead is
+  /// deterministic).
+  static double sequence_seconds(const std::vector<KernelDesc>& kernels,
+                                 const DeviceSpec& spec, bool fused,
+                                 std::size_t active_managers, util::Rng& rng);
+};
+
+}  // namespace hetero::sim

@@ -1,0 +1,19 @@
+#include "sim/device.h"
+
+#include <cstdio>
+
+namespace hetero::sim {
+
+std::string describe(const DeviceSpec& spec) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s speed=%.3f dense=%.0fGF sparse=%.0fGF bw=%.0fGB/s "
+                "launch=%.1fus jitter=%.3f mem=%.1fGB",
+                spec.name.c_str(), spec.speed_factor, spec.dense_gflops,
+                spec.sparse_gflops, spec.mem_bandwidth_gbs,
+                spec.launch_overhead_us, spec.jitter_sigma,
+                static_cast<double>(spec.memory_bytes) / (1024.0 * 1024 * 1024));
+  return buf;
+}
+
+}  // namespace hetero::sim

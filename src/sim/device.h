@@ -1,0 +1,63 @@
+// Device specifications for the simulated multi-GPU server.
+//
+// The paper's testbed is a single server with 4 NVIDIA V100-16GB GPUs
+// (Section V-A) whose observed epoch times on an *identical* batch differ by
+// up to 32% (Figure 1). We model each GPU with published V100 peak numbers
+// scaled by a per-device `speed_factor` (static heterogeneity: clock/memory
+// latency differences between "identical" parts) plus per-kernel lognormal
+// jitter (dynamic heterogeneity: thermal/scheduling oscillation).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hetero::sim {
+
+struct DeviceSpec {
+  std::string name = "V100-16GB";
+
+  /// Relative throughput multiplier (1.0 = nominal). Epoch time scales with
+  /// 1 / speed_factor, so a 0.76 device is ~32% slower than a 1.0 device.
+  double speed_factor = 1.0;
+
+  /// Peak dense fp32 throughput, GFLOP/s (V100: ~14,000).
+  double dense_gflops = 14'000.0;
+
+  /// Effective sparse (irregular gather/scatter) throughput, GFLOP/s.
+  /// Sparse kernels are memory-latency bound; cuSPARSE SpMM on XML-shaped
+  /// inputs reaches only a few percent of peak.
+  double sparse_gflops = 420.0;
+
+  /// HBM2 bandwidth, GB/s (V100: 900).
+  double mem_bandwidth_gbs = 900.0;
+
+  /// Per-kernel launch overhead in microseconds. The paper observes this
+  /// overhead grows when several GPU managers share the CUDA environment;
+  /// see CostModel::launch_seconds for the contention term.
+  double launch_overhead_us = 8.0;
+
+  /// Extra launch overhead per additional concurrently-active GPU manager
+  /// (fraction of launch_overhead_us). Models the Section IV interference.
+  double launch_contention = 0.6;
+
+  /// Lognormal sigma of the multiplicative per-invocation jitter.
+  double jitter_sigma = 0.03;
+
+  /// Transient slowdown injection — dynamic heterogeneity beyond jitter
+  /// (thermal throttling, a co-located job stealing SM time). With
+  /// probability `transient_probability` per kernel-sequence submission the
+  /// device enters a degraded state where throughput is multiplied by
+  /// `transient_factor` for `transient_duration` virtual seconds.
+  double transient_probability = 0.0;
+  double transient_factor = 1.0;
+  double transient_duration = 0.0;
+
+  /// Device memory capacity in bytes (V100-16GB).
+  std::size_t memory_bytes = 16ull * 1024 * 1024 * 1024;
+};
+
+/// Returns a human-readable one-line description.
+std::string describe(const DeviceSpec& spec);
+
+}  // namespace hetero::sim

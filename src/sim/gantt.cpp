@@ -1,0 +1,87 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace hetero::sim {
+
+std::string render_gantt(const Tracer& tracer, const GanttOptions& options) {
+  if (tracer.events().empty()) return "(no events)\n";
+
+  double end = options.end;
+  if (end <= options.start) {
+    for (const auto& e : tracer.events()) {
+      end = std::max(end, e.start + e.duration);
+    }
+  }
+  const double span = end - options.start;
+  if (span <= 0.0) return "(empty window)\n";
+  const std::size_t width = std::max<std::size_t>(2, options.width);
+
+  // Collect lane ids (devices, optionally host = -1).
+  std::vector<int> lanes;
+  for (const auto& e : tracer.events()) {
+    if (e.device < 0 && !options.include_host_row) continue;
+    if (std::find(lanes.begin(), lanes.end(), e.device) == lanes.end()) {
+      lanes.push_back(e.device);
+    }
+  }
+  std::sort(lanes.begin(), lanes.end());
+
+  std::map<int, std::string> rows;
+  for (int lane : lanes) rows[lane] = std::string(width, '.');
+
+  const auto priority = [](const std::string& category) {
+    if (category == "compute") return 2;
+    if (category == "comm") return 1;
+    return 1;  // merge/host work renders like comm
+  };
+  const auto glyph = [](const std::string& category) {
+    return category == "compute" ? '#' : '=';
+  };
+  std::map<int, std::vector<int>> cell_priority;
+  for (int lane : lanes) cell_priority[lane].assign(width, 0);
+
+  for (const auto& e : tracer.events()) {
+    auto row = rows.find(e.device);
+    if (row == rows.end()) continue;
+    const double s = std::max(e.start, options.start);
+    const double t = std::min(e.start + e.duration, end);
+    if (t <= s) continue;
+    auto from = static_cast<std::size_t>((s - options.start) / span *
+                                         static_cast<double>(width));
+    auto to = static_cast<std::size_t>((t - options.start) / span *
+                                       static_cast<double>(width));
+    from = std::min(from, width - 1);
+    to = std::min(std::max(to, from + 1), width);
+    const int p = priority(e.category);
+    for (std::size_t i = from; i < to; ++i) {
+      if (p >= cell_priority[e.device][i]) {
+        row->second[i] = glyph(e.category);
+        cell_priority[e.device][i] = p;
+      }
+    }
+  }
+
+  std::string out;
+  char label[64];
+  std::snprintf(label, sizeof(label), "virtual time %.6f .. %.6f s\n",
+                options.start, end);
+  out += label;
+  for (int lane : lanes) {
+    if (lane < 0) {
+      std::snprintf(label, sizeof(label), "%-6s|", "host");
+    } else {
+      std::snprintf(label, sizeof(label), "gpu%-3d|", lane);
+    }
+    out += label;
+    out += rows[lane];
+    out += "|\n";
+  }
+  out += "        '#' compute   '=' merge/comm   '.' idle (barrier wait)\n";
+  return out;
+}
+
+}  // namespace hetero::sim

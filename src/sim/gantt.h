@@ -1,0 +1,24 @@
+// ASCII Gantt rendering of a traced schedule — a terminal version of the
+// paper's Figure 2: one row per GPU, '#' for compute, '=' for communication
+// (merging), '.' for idle/barrier wait. Makes the straggler gaps that
+// Adaptive SGD removes directly visible in a terminal.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.h"
+
+namespace hetero::sim {
+
+struct GanttOptions {
+  double start = 0.0;           // window start (virtual seconds)
+  double end = 0.0;             // window end; 0 = last event end
+  std::size_t width = 100;      // characters per row
+  bool include_host_row = true; // show the scheduler/host lane
+};
+
+/// Renders tracer events into a fixed-width ASCII chart. Devices are sorted
+/// by id; overlapping categories resolve as compute > comm > idle.
+std::string render_gantt(const Tracer& tracer, const GanttOptions& options);
+
+}  // namespace hetero::sim

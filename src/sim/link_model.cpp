@@ -1,0 +1,22 @@
+#include "sim/link_model.h"
+
+#include <cassert>
+
+namespace hetero::sim {
+
+LinkModel::LinkModel(std::size_t num_devices, LinkSpec peer, LinkSpec host)
+    : num_devices_(num_devices), peer_(peer), host_(host) {}
+
+double LinkModel::transfer_seconds(std::size_t bytes, int src, int dst,
+                                   std::size_t concurrent) const {
+  assert(src == kHost || static_cast<std::size_t>(src) < num_devices_);
+  assert(dst == kHost || static_cast<std::size_t>(dst) < num_devices_);
+  assert(concurrent >= 1);
+  const bool host_side = (src == kHost) || (dst == kHost);
+  const LinkSpec& link = host_side ? host_ : peer_;
+  const double bandwidth =
+      link.bandwidth_gbs * 1e9 / static_cast<double>(concurrent);
+  return link.latency_us * 1e-6 + static_cast<double>(bytes) / bandwidth;
+}
+
+}  // namespace hetero::sim

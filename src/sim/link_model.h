@@ -1,0 +1,43 @@
+// Interconnect model for the single-server multi-GPU topology.
+//
+// Transfers are charged latency + bytes/bandwidth. GPU<->GPU (peer-to-peer)
+// and CPU<->GPU (host) links have separate specs; the default profile is
+// PCIe 3.0 x16-class for host and NVLink-class for peers, matching a V100
+// server. Stream-level concurrency is handled by the callers (all-reduce
+// partitions ride separate streams); the link model optionally divides
+// bandwidth among concurrent transfers on the same link.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetero::sim {
+
+struct LinkSpec {
+  double bandwidth_gbs = 24.0;  // NVLink 2.0 single direction per link
+  double latency_us = 10.0;
+};
+
+class LinkModel {
+ public:
+  LinkModel(std::size_t num_devices, LinkSpec peer, LinkSpec host);
+
+  /// Seconds to move `bytes` from device `src` to device `dst`
+  /// (device index, or kHost for the CPU side). `concurrent` transfers
+  /// share the link bandwidth equally.
+  double transfer_seconds(std::size_t bytes, int src, int dst,
+                          std::size_t concurrent = 1) const;
+
+  std::size_t num_devices() const { return num_devices_; }
+  const LinkSpec& peer() const { return peer_; }
+  const LinkSpec& host() const { return host_; }
+
+  static constexpr int kHost = -1;
+
+ private:
+  std::size_t num_devices_;
+  LinkSpec peer_;
+  LinkSpec host_;
+};
+
+}  // namespace hetero::sim

@@ -1,0 +1,59 @@
+#include "sim/profiles.h"
+
+#include <cassert>
+#include <string>
+
+namespace hetero::sim {
+
+std::vector<DeviceSpec> v100_heterogeneous(std::size_t n, double max_gap,
+                                           double jitter_sigma) {
+  assert(n >= 1);
+  std::vector<DeviceSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceSpec& s = specs[i];
+    s.name = "V100-16GB#" + std::to_string(i);
+    // Uniform spacing of epoch time (1/speed) in [1, 1+max_gap].
+    const double slowdown =
+        n == 1 ? 1.0
+               : 1.0 + max_gap * static_cast<double>(i) /
+                           static_cast<double>(n - 1);
+    s.speed_factor = 1.0 / slowdown;
+    s.jitter_sigma = jitter_sigma;
+  }
+  return specs;
+}
+
+std::vector<DeviceSpec> v100_homogeneous(std::size_t n, double jitter_sigma) {
+  assert(n >= 1);
+  std::vector<DeviceSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].name = "V100-16GB#" + std::to_string(i);
+    specs[i].jitter_sigma = jitter_sigma;
+  }
+  return specs;
+}
+
+std::vector<DeviceSpec> v100_custom(const std::vector<double>& speed_factors,
+                                    double jitter_sigma) {
+  assert(!speed_factors.empty());
+  std::vector<DeviceSpec> specs(speed_factors.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    assert(speed_factors[i] > 0.0);
+    specs[i].name = "V100-16GB#" + std::to_string(i);
+    specs[i].speed_factor = speed_factors[i];
+    specs[i].jitter_sigma = jitter_sigma;
+  }
+  return specs;
+}
+
+LinkModel default_links(std::size_t num_devices) {
+  LinkSpec peer;   // NVLink-class
+  peer.bandwidth_gbs = 24.0;
+  peer.latency_us = 10.0;
+  LinkSpec host;   // PCIe 3.0 x16-class
+  host.bandwidth_gbs = 12.0;
+  host.latency_us = 15.0;
+  return LinkModel(num_devices, peer, host);
+}
+
+}  // namespace hetero::sim

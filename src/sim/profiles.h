@@ -1,0 +1,36 @@
+// Server heterogeneity profiles.
+//
+// The default profile reproduces Figure 1: four same-model V100s whose
+// epoch times on an identical batch spread by up to ~32% fastest-to-slowest.
+// Epoch time scales with 1/speed_factor, so factors are spaced uniformly in
+// 1/speed between 1.0 and 1.0 + max_gap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/link_model.h"
+
+namespace hetero::sim {
+
+/// `n` V100-class devices with a fastest-to-slowest epoch-time gap of
+/// `max_gap` (default 0.32 per Figure 1) and the given per-kernel jitter.
+std::vector<DeviceSpec> v100_heterogeneous(std::size_t n,
+                                           double max_gap = 0.32,
+                                           double jitter_sigma = 0.03);
+
+/// `n` identical devices (for ablating away static heterogeneity).
+std::vector<DeviceSpec> v100_homogeneous(std::size_t n,
+                                         double jitter_sigma = 0.03);
+
+/// Custom server: one V100-class device per entry of `speed_factors`
+/// (1.0 = nominal throughput). Lets experiments model arbitrary mixes,
+/// e.g. {1.0, 1.0, 0.5} = two healthy cards plus one badly-throttled one.
+std::vector<DeviceSpec> v100_custom(const std::vector<double>& speed_factors,
+                                    double jitter_sigma = 0.03);
+
+/// Default single-server link model: NVLink-class peer links, PCIe host.
+LinkModel default_links(std::size_t num_devices);
+
+}  // namespace hetero::sim

@@ -1,0 +1,62 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hetero::sim {
+
+namespace {
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) out << ',';
+    first = false;
+    // pid = device (host events go to pid 1000), tid = stream.
+    const int pid = e.device < 0 ? 1000 : e.device;
+    out << "{\"name\":\"" << escape_json(e.name) << "\",\"cat\":\""
+        << escape_json(e.category) << "\",\"ph\":\"X\",\"pid\":" << pid
+        << ",\"tid\":" << e.stream << ",\"ts\":" << e.start * 1e6
+        << ",\"dur\":" << e.duration * 1e6 << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+void Tracer::write_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("tracer: cannot open " + path);
+  write_chrome_json(out);
+}
+
+double Tracer::device_busy_seconds(int device) const {
+  double total = 0.0;
+  for (const auto& e : events_) {
+    if (e.device == device) total += e.duration;
+  }
+  return total;
+}
+
+}  // namespace hetero::sim

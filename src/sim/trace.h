@@ -1,0 +1,45 @@
+// Execution tracing for the simulated multi-GPU server.
+//
+// Records kernel/step/collective intervals on the virtual timeline and
+// exports them in the Chrome trace-event JSON format, so a training run can
+// be inspected in chrome://tracing or Perfetto: one row per (GPU, stream),
+// straggler gaps and merge barriers visible at a glance.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hetero::sim {
+
+struct TraceEvent {
+  std::string name;       // e.g. "sgd_step b=128 nnz=9312"
+  std::string category;   // "compute", "comm", "merge"
+  int device = 0;         // GPU id; -1 for host/scheduler
+  std::size_t stream = 0;
+  double start = 0.0;     // virtual seconds
+  double duration = 0.0;  // virtual seconds
+};
+
+class Tracer {
+ public:
+  void add(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Writes the Chrome trace-event JSON ("traceEvents" array of complete
+  /// 'X' events; microsecond timestamps).
+  void write_chrome_json(std::ostream& out) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+  /// Total traced busy time for one device (diagnostics/tests).
+  double device_busy_seconds(int device) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hetero::sim

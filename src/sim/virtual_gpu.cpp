@@ -1,0 +1,79 @@
+#include "sim/virtual_gpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace hetero::sim {
+
+OutOfDeviceMemory::OutOfDeviceMemory(int device, std::size_t requested,
+                                     std::size_t available)
+    : std::runtime_error("device " + std::to_string(device) +
+                         ": requested " + std::to_string(requested) +
+                         " bytes, " + std::to_string(available) + " free"),
+      device_(device) {}
+
+VirtualGpu::VirtualGpu(int id, DeviceSpec spec, std::uint64_t seed,
+                       std::size_t num_streams)
+    : id_(id), spec_(std::move(spec)), rng_(seed),
+      stream_free_at_(std::max<std::size_t>(1, num_streams), 0.0) {}
+
+double VirtualGpu::submit(std::size_t stream,
+                          const std::vector<KernelDesc>& kernels,
+                          double earliest_start, bool fused,
+                          std::size_t active_managers) {
+  assert(stream < stream_free_at_.size());
+  const double start = std::max(earliest_start, stream_free_at_[stream]);
+
+  // Transient degradation (thermal throttling / interference).
+  if (spec_.transient_probability > 0.0 && start >= degraded_until_ &&
+      rng_.bernoulli(spec_.transient_probability)) {
+    degraded_until_ = start + spec_.transient_duration;
+    ++transient_episodes_;
+  }
+  double duration;
+  if (start < degraded_until_ && spec_.transient_factor != 1.0) {
+    DeviceSpec degraded = spec_;
+    degraded.speed_factor *= spec_.transient_factor;
+    duration = CostModel::sequence_seconds(kernels, degraded, fused,
+                                           active_managers, rng_);
+  } else {
+    duration = CostModel::sequence_seconds(kernels, spec_, fused,
+                                           active_managers, rng_);
+  }
+  stream_free_at_[stream] = start + duration;
+  busy_seconds_ += duration;
+  return stream_free_at_[stream];
+}
+
+double VirtualGpu::stream_free_at(std::size_t stream) const {
+  assert(stream < stream_free_at_.size());
+  return stream_free_at_[stream];
+}
+
+double VirtualGpu::device_free_at() const {
+  return *std::max_element(stream_free_at_.begin(), stream_free_at_.end());
+}
+
+void VirtualGpu::wait_all_until(double time) {
+  for (auto& t : stream_free_at_) t = std::max(t, time);
+}
+
+void VirtualGpu::allocate(std::size_t bytes) {
+  if (bytes > memory_free()) {
+    throw OutOfDeviceMemory(id_, bytes, memory_free());
+  }
+  memory_used_ += bytes;
+}
+
+void VirtualGpu::free(std::size_t bytes) {
+  assert(bytes <= memory_used_);
+  memory_used_ -= bytes;
+}
+
+std::size_t VirtualGpu::max_batch_for(std::size_t bytes_per_sample) const {
+  if (bytes_per_sample == 0) return 0;
+  return memory_free() / bytes_per_sample;
+}
+
+}  // namespace hetero::sim

@@ -1,0 +1,92 @@
+// A virtual GPU: per-device virtual timeline, execution streams, memory
+// accounting, and a private jitter RNG.
+//
+// The simulator is *passive*: callers (the MultiGpuRuntime, the all-reduce
+// implementations) decide when work starts; VirtualGpu computes when it
+// finishes and tracks per-stream availability. All times are virtual seconds
+// since experiment start.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/device.h"
+#include "util/rng.h"
+
+namespace hetero::sim {
+
+/// Thrown when a simulated allocation exceeds device memory — the same
+/// failure mode that forces the paper to cap b_max by "the maximum size of
+/// a batch that fits in the GPU memory".
+class OutOfDeviceMemory : public std::runtime_error {
+ public:
+  OutOfDeviceMemory(int device, std::size_t requested, std::size_t available);
+  int device() const { return device_; }
+
+ private:
+  int device_;
+};
+
+class VirtualGpu {
+ public:
+  /// `num_streams` independent execution lanes (CUDA streams).
+  VirtualGpu(int id, DeviceSpec spec, std::uint64_t seed,
+             std::size_t num_streams = 4);
+
+  int id() const { return id_; }
+  const DeviceSpec& spec() const { return spec_; }
+  std::size_t num_streams() const { return stream_free_at_.size(); }
+
+  // --- execution -----------------------------------------------------------
+
+  /// Runs a kernel sequence on `stream`, starting no earlier than
+  /// `earliest_start` and no earlier than the stream's previous work.
+  /// Returns the completion time and advances the stream clock.
+  double submit(std::size_t stream, const std::vector<KernelDesc>& kernels,
+                double earliest_start, bool fused = true,
+                std::size_t active_managers = 1);
+
+  /// Blocks stream semantics: time at which `stream` is free.
+  double stream_free_at(std::size_t stream) const;
+
+  /// Time at which every stream is free (device idle).
+  double device_free_at() const;
+
+  /// Synchronizes all streams to at least `time` (event wait).
+  void wait_all_until(double time);
+
+  /// Total virtual seconds this device spent executing submitted work
+  /// (excludes idle/wait time). Utilization = busy / device_free_at().
+  double busy_seconds() const { return busy_seconds_; }
+
+  /// Number of transient-slowdown episodes entered so far.
+  std::size_t transient_episodes() const { return transient_episodes_; }
+
+  // --- memory --------------------------------------------------------------
+
+  /// Reserves bytes; throws OutOfDeviceMemory when exceeding capacity.
+  void allocate(std::size_t bytes);
+  void free(std::size_t bytes);
+  std::size_t memory_used() const { return memory_used_; }
+  std::size_t memory_free() const { return spec_.memory_bytes - memory_used_; }
+
+  /// Largest batch (in samples) fitting in free memory given a per-sample
+  /// footprint estimate. Used to derive b_max.
+  std::size_t max_batch_for(std::size_t bytes_per_sample) const;
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  int id_;
+  DeviceSpec spec_;
+  util::Rng rng_;
+  std::vector<double> stream_free_at_;
+  std::size_t memory_used_ = 0;
+  double busy_seconds_ = 0.0;
+  double degraded_until_ = 0.0;
+  std::size_t transient_episodes_ = 0;
+};
+
+}  // namespace hetero::sim

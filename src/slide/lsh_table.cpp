@@ -1,0 +1,26 @@
+#include "slide/lsh_table.h"
+
+#include <algorithm>
+
+namespace hetero::slide {
+
+LshIndex::LshIndex(SimHash hasher, std::size_t num_items)
+    : hasher_(std::move(hasher)), num_items_(num_items) {
+  tables_.resize(hasher_.tables());
+  for (auto& table : tables_) table.resize(hasher_.buckets_per_table());
+}
+
+void LshIndex::query(std::span<const float> query_vec, std::size_t max_items,
+                     std::vector<std::uint32_t>& out) const {
+  for (std::size_t t = 0; t < tables_.size() && out.size() < max_items; ++t) {
+    const auto sig = hasher_.signature(t, query_vec);
+    for (auto item : tables_[t][sig]) {
+      if (out.size() >= max_items) break;
+      if (std::find(out.begin(), out.end(), item) == out.end()) {
+        out.push_back(item);
+      }
+    }
+  }
+}
+
+}  // namespace hetero::slide

@@ -1,0 +1,49 @@
+// Bucketed LSH index over output-layer neurons.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "slide/simhash.h"
+
+namespace hetero::slide {
+
+class LshIndex {
+ public:
+  LshIndex(SimHash hasher, std::size_t num_items);
+
+  /// Rehashes every item from its current vector (O(items * L * K * dim)).
+  /// `vector_of` returns item i's vector.
+  template <typename VecFn>
+  void rebuild(VecFn vector_of) {
+    for (auto& table : tables_) {
+      for (auto& bucket : table) bucket.clear();
+    }
+    for (std::size_t i = 0; i < num_items_; ++i) {
+      const auto v = vector_of(i);
+      for (std::size_t t = 0; t < hasher_.tables(); ++t) {
+        tables_[t][hasher_.signature(t, v)].push_back(
+            static_cast<std::uint32_t>(i));
+      }
+    }
+    ++rebuilds_;
+  }
+
+  /// Items colliding with `query` in any table, deduplicated, appended to
+  /// `out` (which may already contain mandatory items; duplicates vs those
+  /// are also removed). Stops adding once `out` reaches `max_items`.
+  void query(std::span<const float> query_vec, std::size_t max_items,
+             std::vector<std::uint32_t>& out) const;
+
+  std::size_t rebuilds() const { return rebuilds_; }
+  const SimHash& hasher() const { return hasher_; }
+
+ private:
+  SimHash hasher_;
+  std::size_t num_items_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> tables_;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace hetero::slide

@@ -1,0 +1,29 @@
+#include "slide/simhash.h"
+
+#include <cassert>
+
+namespace hetero::slide {
+
+SimHash::SimHash(std::size_t dim, std::size_t k, std::size_t l,
+                 util::Rng& rng)
+    : dim_(dim), k_(k), l_(l), planes_(dim * k * l) {
+  assert(k_ >= 1 && k_ <= 20);
+  for (auto& p : planes_) p = static_cast<float>(rng.next_gaussian());
+}
+
+std::uint64_t SimHash::signature(std::size_t table,
+                                 std::span<const float> v) const {
+  assert(table < l_);
+  assert(v.size() == dim_);
+  std::uint64_t sig = 0;
+  const float* base = planes_.data() + table * k_ * dim_;
+  for (std::size_t bit = 0; bit < k_; ++bit) {
+    const float* plane = base + bit * dim_;
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < dim_; ++d) acc += plane[d] * v[d];
+    sig |= static_cast<std::uint64_t>(acc > 0.0f) << bit;
+  }
+  return sig;
+}
+
+}  // namespace hetero::slide

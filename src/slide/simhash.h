@@ -1,0 +1,39 @@
+// SimHash (random hyperplane) LSH for SLIDE-style adaptive neuron sampling.
+//
+// Each of the L tables hashes a vector to a K-bit signature: bit k is the
+// sign of the dot product with a random Gaussian hyperplane. Vectors with
+// high cosine similarity collide with high probability, so hashing a hidden
+// activation retrieves output neurons whose weight vectors have large inner
+// product with it — the neurons that matter for softmax.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hetero::slide {
+
+class SimHash {
+ public:
+  /// `dim`-dimensional inputs, `k` bits per signature, `l` tables.
+  SimHash(std::size_t dim, std::size_t k, std::size_t l, util::Rng& rng);
+
+  /// Signature of `v` under table `table` (k bits packed in a u64).
+  std::uint64_t signature(std::size_t table, std::span<const float> v) const;
+
+  std::size_t dim() const { return dim_; }
+  std::size_t bits() const { return k_; }
+  std::size_t tables() const { return l_; }
+  std::size_t buckets_per_table() const { return 1ull << k_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t k_;
+  std::size_t l_;
+  // Hyperplanes laid out [table][bit][dim].
+  std::vector<float> planes_;
+};
+
+}  // namespace hetero::slide

@@ -1,0 +1,158 @@
+#include "slide/slide_net.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hetero::slide {
+
+SlideNetwork::SlideNetwork(const SlideNetConfig& cfg, util::Rng& rng)
+    : cfg_(cfg),
+      w1_(cfg.num_features * cfg.hidden),
+      b1_(cfg.hidden, 0.0f),
+      wn_(cfg.num_classes * cfg.hidden),
+      bn_(cfg.num_classes, 0.0f),
+      lsh_(SimHash(cfg.hidden, cfg.k_bits, cfg.l_tables, rng),
+           cfg.num_classes) {
+  const float s1 =
+      1.0f / std::sqrt(static_cast<float>(std::max<std::size_t>(1,
+                                              cfg.num_features)));
+  for (auto& w : w1_) w = static_cast<float>(rng.next_gaussian()) * s1;
+  const float s2 = 1.0f / std::sqrt(static_cast<float>(cfg.hidden));
+  for (auto& w : wn_) w = static_cast<float>(rng.next_gaussian()) * s2;
+  rebuild_lsh();
+}
+
+void SlideNetwork::rebuild_lsh() {
+  const std::size_t h = cfg_.hidden;
+  lsh_.rebuild([&](std::size_t neuron) {
+    return std::span<const float>(wn_.data() + neuron * h, h);
+  });
+}
+
+void SlideNetwork::hidden_forward(std::span<const std::uint32_t> x_cols,
+                                  std::span<const float> x_vals,
+                                  std::vector<float>& h) const {
+  const std::size_t hd = cfg_.hidden;
+  h.assign(b1_.begin(), b1_.end());
+  for (std::size_t i = 0; i < x_cols.size(); ++i) {
+    const float v = x_vals[i];
+    const float* row = w1_.data() + static_cast<std::size_t>(x_cols[i]) * hd;
+    for (std::size_t j = 0; j < hd; ++j) h[j] += v * row[j];
+  }
+  for (auto& x : h) x = std::max(x, 0.0f);
+}
+
+SampleStats SlideNetwork::train_sample(std::span<const std::uint32_t> x_cols,
+                                       std::span<const float> x_vals,
+                                       std::span<const std::uint32_t> labels,
+                                       float lr, util::Rng& rng) {
+  SampleStats stats;
+  const std::size_t hd = cfg_.hidden;
+
+  hidden_forward(x_cols, x_vals, h_);
+
+  // Active set: true labels first (they must receive gradient), then LSH
+  // candidates, then random negatives up to min_active.
+  active_.assign(labels.begin(), labels.end());
+  lsh_.query({h_.data(), h_.size()}, cfg_.max_active, active_);
+  while (active_.size() < cfg_.min_active) {
+    const auto c = static_cast<std::uint32_t>(rng.next_below(cfg_.num_classes));
+    if (std::find(active_.begin(), active_.end(), c) == active_.end()) {
+      active_.push_back(c);
+    }
+  }
+  stats.active = active_.size();
+
+  // Sampled softmax over the active set.
+  logits_.resize(active_.size());
+  float max_logit = -1e30f;
+  for (std::size_t a = 0; a < active_.size(); ++a) {
+    const float* w = wn_.data() + static_cast<std::size_t>(active_[a]) * hd;
+    float acc = bn_[active_[a]];
+    for (std::size_t j = 0; j < hd; ++j) acc += w[j] * h_[j];
+    logits_[a] = acc;
+    max_logit = std::max(max_logit, acc);
+  }
+  float z = 0.0f;
+  for (auto& l : logits_) {
+    l = std::exp(l - max_logit);
+    z += l;
+  }
+  const float inv_z = 1.0f / z;
+  for (auto& l : logits_) l *= inv_z;
+
+  const float share =
+      labels.empty() ? 0.0f : 1.0f / static_cast<float>(labels.size());
+  for (std::size_t a = 0; a < active_.size(); ++a) {
+    const bool is_label =
+        std::find(labels.begin(), labels.end(), active_[a]) != labels.end();
+    if (is_label) stats.loss -= std::log(std::max(1e-12f, logits_[a]));
+    logits_[a] -= is_label ? share : 0.0f;  // delta_a = p_a - y_a
+  }
+  if (!labels.empty()) stats.loss *= share;
+
+  // Hidden delta from PRE-update neuron weights, then update active rows.
+  dh_.assign(hd, 0.0f);
+  for (std::size_t a = 0; a < active_.size(); ++a) {
+    const float delta = logits_[a];
+    float* w = wn_.data() + static_cast<std::size_t>(active_[a]) * hd;
+    for (std::size_t j = 0; j < hd; ++j) dh_[j] += delta * w[j];
+    for (std::size_t j = 0; j < hd; ++j) w[j] -= lr * delta * h_[j];
+    bn_[active_[a]] -= lr * delta;
+  }
+  for (std::size_t j = 0; j < hd; ++j) {
+    if (h_[j] <= 0.0f) dh_[j] = 0.0f;  // ReLU mask
+  }
+
+  // Input layer: only rows for the sample's non-zero features.
+  for (std::size_t i = 0; i < x_cols.size(); ++i) {
+    const float v = x_vals[i];
+    float* row = w1_.data() + static_cast<std::size_t>(x_cols[i]) * hd;
+    for (std::size_t j = 0; j < hd; ++j) row[j] -= lr * v * dh_[j];
+  }
+  for (std::size_t j = 0; j < hd; ++j) b1_[j] -= lr * dh_[j];
+
+  // Work estimate: hidden forward + active forward/backward + W1 update +
+  // LSH hashing of the hidden vector.
+  const double a = static_cast<double>(stats.active);
+  const double nnz = static_cast<double>(x_cols.size());
+  const double hdd = static_cast<double>(hd);
+  stats.flops = 2.0 * nnz * hdd            // hidden forward
+                + 4.0 * a * hdd            // active logits + updates
+                + 2.0 * a * hdd            // hidden delta
+                + 2.0 * nnz * hdd          // W1 update
+                + static_cast<double>(cfg_.l_tables * cfg_.k_bits) * hdd;
+  return stats;
+}
+
+double SlideNetwork::evaluate_top1(const sparse::LabeledDataset& test,
+                                   std::size_t max_samples) const {
+  const std::size_t n = max_samples == 0
+                            ? test.num_samples()
+                            : std::min(max_samples, test.num_samples());
+  if (n == 0) return 0.0;
+  const std::size_t hd = cfg_.hidden;
+  std::vector<float> h;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    hidden_forward(test.features.row_cols(r), test.features.row_values(r), h);
+    float best = -1e30f;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
+      const float* w = wn_.data() + c * hd;
+      float acc = bn_[c];
+      for (std::size_t j = 0; j < hd; ++j) acc += w[j] * h[j];
+      if (acc > best) {
+        best = acc;
+        best_c = c;
+      }
+    }
+    if (test.labels.row_contains(r, static_cast<std::uint32_t>(best_c))) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace hetero::slide

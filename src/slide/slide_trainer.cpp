@@ -1,0 +1,108 @@
+#include "slide/slide_trainer.h"
+
+#include <algorithm>
+
+#include "data/sample_stream.h"
+
+namespace hetero::slide {
+
+namespace {
+SlideNetConfig net_config(const data::XmlDataset& dataset,
+                          const SlideConfig& cfg) {
+  SlideNetConfig nc;
+  nc.num_features = dataset.train.features.cols();
+  nc.num_classes = dataset.train.labels.cols();
+  nc.hidden = cfg.hidden;
+  nc.k_bits = cfg.k_bits;
+  nc.l_tables = cfg.l_tables;
+  nc.min_active = cfg.min_active;
+  nc.max_active = std::min(cfg.max_active, nc.num_classes);
+  return nc;
+}
+}  // namespace
+
+SlideTrainer::SlideTrainer(const data::XmlDataset& dataset,
+                           const SlideConfig& cfg)
+    : dataset_(dataset), cfg_(cfg), rng_(cfg.seed),
+      net_(net_config(dataset, cfg), rng_) {}
+
+core::TrainResult SlideTrainer::train() {
+  core::TrainResult result;
+  result.method = "slide-cpu";
+  result.dataset = dataset_.name;
+  result.num_gpus = 0;
+  result.gpus.resize(1);  // one trace for the CPU
+
+  const double rate = static_cast<double>(cfg_.threads) *
+                      cfg_.per_thread_gflops * 1e9 *
+                      cfg_.parallel_efficiency;
+  // LSH rebuild work: rehash every neuron under every table/bit.
+  const double rebuild_flops =
+      cfg_.compute_scale * 2.0 *
+      static_cast<double>(net_.config().num_classes) *
+      static_cast<double>(cfg_.l_tables * cfg_.k_bits) *
+      static_cast<double>(cfg_.hidden);
+
+  data::SampleStream stream(dataset_.train.num_samples(),
+                            cfg_.seed ^ 0xa5a5a5a5ULL);
+  double vtime = 0.0;
+  double loss_sum = 0.0;
+  std::size_t loss_count = 0;
+  std::size_t updates_since_rebuild = 0;
+  std::size_t samples_since_eval = 0;
+  std::size_t megabatch = 0;
+
+  const auto record = [&]() {
+    core::CurvePoint p;
+    p.vtime = vtime;
+    p.samples = stream.samples_served();
+    p.passes = static_cast<double>(p.samples) /
+               static_cast<double>(stream.dataset_size());
+    p.megabatch = megabatch;
+    p.top1 = net_.evaluate_top1(dataset_.test, cfg_.eval_samples);
+    p.train_loss = loss_count
+                       ? loss_sum / static_cast<double>(loss_count)
+                       : 0.0;
+    result.curve.push_back(p);
+    loss_sum = 0.0;
+    loss_count = 0;
+  };
+
+  record();  // initial point
+
+  const float lr = static_cast<float>(cfg_.learning_rate);
+  while (stream.samples_served() < cfg_.total_samples) {
+    const auto rows = stream.next(1);
+    const std::size_t r = rows[0];
+    const auto stats = net_.train_sample(
+        dataset_.train.features.row_cols(r),
+        dataset_.train.features.row_values(r),
+        dataset_.train.labels.row_cols(r), lr, rng_);
+    vtime += cfg_.compute_scale * stats.flops / rate;
+    loss_sum += stats.loss;
+    ++loss_count;
+    result.gpus[0].total_updates += 1;
+    result.gpus[0].total_samples += 1;
+
+    if (++updates_since_rebuild >= cfg_.rebuild_every) {
+      net_.rebuild_lsh();
+      // Rebuild parallelizes across threads but stalls updates.
+      vtime += rebuild_flops / rate;
+      updates_since_rebuild = 0;
+    }
+    if (++samples_since_eval >= cfg_.eval_every_samples) {
+      ++megabatch;
+      samples_since_eval = 0;
+      record();
+    }
+  }
+  if (samples_since_eval != 0) {
+    ++megabatch;
+    record();
+  }
+  result.total_vtime = vtime;
+  result.gpus[0].busy_seconds = vtime;
+  return result;
+}
+
+}  // namespace hetero::slide

@@ -1,0 +1,60 @@
+// SLIDE trainer: asynchronous per-sample SGD across many CPU threads.
+//
+// Real math runs sequentially (single-writer, which is the race-free limit
+// of Hogwild-style updates); the CPU *cost model* accounts for the
+// multi-threaded wall-clock the paper's testbed would observe:
+//
+//   virtual_seconds = serial_flops / (threads * per_thread_gflops * eff)
+//
+// plus serialized LSH rebuild time. SLIDE performs one model update per
+// SAMPLE, which is why its statistical efficiency beats the GPU methods in
+// Fig. 5b while its hardware efficiency loses in Fig. 5a.
+#pragma once
+
+#include "core/metrics.h"
+#include "data/synthetic.h"
+#include "slide/slide_net.h"
+
+namespace hetero::slide {
+
+struct SlideConfig {
+  std::size_t hidden = 64;
+  double learning_rate = 0.01;  // per-sample updates want a smaller rate
+  std::size_t k_bits = 6;
+  std::size_t l_tables = 8;
+  std::size_t min_active = 32;
+  std::size_t max_active = 128;
+  std::size_t rebuild_every = 4096;  // updates between LSH rebuilds
+
+  /// Samples between accuracy measurements; set this to the GPU trainers'
+  /// mega-batch size so Fig. 5 curves share their x-axis cadence.
+  std::size_t eval_every_samples = 12'800;
+  std::size_t total_samples = 128'000;
+  std::size_t eval_samples = 1000;
+
+  // --- CPU cost model (Intel 6226R-class: 16 cores / 32 threads) ----------
+  std::size_t threads = 32;
+  double per_thread_gflops = 1.2;
+  double parallel_efficiency = 0.85;
+  /// Must match the GPU trainers' compute_scale so virtual times compare.
+  double compute_scale = 1.0;
+
+  std::uint64_t seed = 12345;
+};
+
+class SlideTrainer {
+ public:
+  SlideTrainer(const data::XmlDataset& dataset, const SlideConfig& cfg);
+
+  core::TrainResult train();
+
+  const SlideNetwork& network() const { return net_; }
+
+ private:
+  const data::XmlDataset& dataset_;
+  SlideConfig cfg_;
+  util::Rng rng_;
+  SlideNetwork net_;
+};
+
+}  // namespace hetero::slide

@@ -1,0 +1,121 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hetero::sparse {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::uint32_t> col_idx,
+                     std::vector<float> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  assert(row_ptr_.size() == rows_ + 1);
+  assert(col_idx_.size() == values_.size());
+  assert(row_ptr_.back() == col_idx_.size());
+}
+
+CsrMatrix CsrMatrix::slice_rows(std::size_t begin, std::size_t end) const {
+  assert(begin <= end && end <= rows_);
+  const std::size_t lo = row_ptr_[begin];
+  const std::size_t hi = row_ptr_[end];
+  std::vector<std::size_t> rp(end - begin + 1);
+  for (std::size_t r = begin; r <= end; ++r) rp[r - begin] = row_ptr_[r] - lo;
+  std::vector<std::uint32_t> ci(col_idx_.begin() + static_cast<std::ptrdiff_t>(lo),
+                                col_idx_.begin() + static_cast<std::ptrdiff_t>(hi));
+  std::vector<float> vals(values_.begin() + static_cast<std::ptrdiff_t>(lo),
+                          values_.begin() + static_cast<std::ptrdiff_t>(hi));
+  return CsrMatrix(end - begin, cols_, std::move(rp), std::move(ci),
+                   std::move(vals));
+}
+
+CsrMatrix CsrMatrix::gather_rows(std::span<const std::size_t> row_ids) const {
+  std::vector<std::size_t> rp(row_ids.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    assert(row_ids[i] < rows_);
+    total += row_nnz(row_ids[i]);
+    rp[i + 1] = total;
+  }
+  std::vector<std::uint32_t> ci(total);
+  std::vector<float> vals(total);
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    const std::size_t r = row_ids[i];
+    const std::size_t src = row_ptr_[r];
+    const std::size_t n = row_nnz(r);
+    std::copy_n(col_idx_.data() + src, n, ci.data() + rp[i]);
+    std::copy_n(values_.data() + src, n, vals.data() + rp[i]);
+  }
+  return CsrMatrix(row_ids.size(), cols_, std::move(rp), std::move(ci),
+                   std::move(vals));
+}
+
+bool CsrMatrix::row_contains(std::size_t r, std::uint32_t c) const {
+  const auto cols = row_cols(r);
+  return std::binary_search(cols.begin(), cols.end(), c);
+}
+
+double CsrMatrix::avg_row_nnz() const {
+  if (rows_ == 0) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(rows_);
+}
+
+bool CsrMatrix::validate() const {
+  if (row_ptr_.size() != rows_ + 1) return false;
+  if (row_ptr_.front() != 0) return false;
+  if (row_ptr_.back() != col_idx_.size()) return false;
+  if (col_idx_.size() != values_.size()) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (row_ptr_[r] > row_ptr_[r + 1]) return false;
+    const auto cols = row_cols(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] >= cols_) return false;
+      if (i > 0 && cols[i - 1] >= cols[i]) return false;
+    }
+  }
+  return true;
+}
+
+void CsrBuilder::add_row(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.col < b.col; });
+  // Merge duplicates.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (out > 0 && entries[out - 1].col == entries[i].col) {
+      entries[out - 1].value += entries[i].value;
+    } else {
+      entries[out++] = entries[i];
+    }
+  }
+  entries.resize(out);
+  for (const auto& e : entries) {
+    assert(e.col < cols_);
+    col_idx_.push_back(e.col);
+    values_.push_back(e.value);
+  }
+  row_ptr_.push_back(col_idx_.size());
+}
+
+void CsrBuilder::add_indicator_row(std::vector<std::uint32_t> cols) {
+  std::vector<Entry> entries;
+  entries.reserve(cols.size());
+  for (auto c : cols) entries.push_back({c, 1.0f});
+  add_row(std::move(entries));
+}
+
+CsrMatrix CsrBuilder::build() {
+  const std::size_t rows = row_ptr_.size() - 1;
+  CsrMatrix m(rows, cols_, std::move(row_ptr_), std::move(col_idx_),
+              std::move(values_));
+  row_ptr_ = {0};
+  col_idx_.clear();
+  values_.clear();
+  return m;
+}
+
+}  // namespace hetero::sparse

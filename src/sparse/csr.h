@@ -1,0 +1,102 @@
+// Compressed sparse row (CSR) matrix, the storage format for XML training
+// data: both the feature matrix (samples x features) and the label matrix
+// (samples x classes) are CSR. Values are float; labels typically store 1.0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hetero::sparse {
+
+/// One (column, value) entry of a sparse row.
+struct Entry {
+  std::uint32_t col;
+  float value;
+};
+
+/// Immutable-shape CSR matrix. Build with CsrBuilder or from raw arrays.
+class CsrMatrix {
+ public:
+  CsrMatrix() : row_ptr_{0} {}
+
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::uint32_t> col_idx,
+            std::vector<float> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return col_idx_.size(); }
+
+  /// Number of non-zeros in row r.
+  std::size_t row_nnz(std::size_t r) const {
+    return row_ptr_[r + 1] - row_ptr_[r];
+  }
+
+  /// Number of non-zeros in the half-open row range [begin, end).
+  std::size_t range_nnz(std::size_t begin, std::size_t end) const {
+    return row_ptr_[end] - row_ptr_[begin];
+  }
+
+  std::span<const std::uint32_t> row_cols(std::size_t r) const {
+    return {col_idx_.data() + row_ptr_[r], row_nnz(r)};
+  }
+  std::span<const float> row_values(std::size_t r) const {
+    return {values_.data() + row_ptr_[r], row_nnz(r)};
+  }
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Extracts rows [begin, end) as a new CSR matrix (column space unchanged).
+  CsrMatrix slice_rows(std::size_t begin, std::size_t end) const;
+
+  /// Gathers an arbitrary row subset (e.g. a shuffled batch).
+  CsrMatrix gather_rows(std::span<const std::size_t> row_ids) const;
+
+  /// True when row r contains column c (rows must be column-sorted).
+  bool row_contains(std::size_t r, std::uint32_t c) const;
+
+  /// Average non-zeros per row.
+  double avg_row_nnz() const;
+
+  /// Checks structural invariants (monotone row_ptr, in-range columns,
+  /// sorted columns within each row). Used by tests and the libSVM reader.
+  bool validate() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;      // length rows+1
+  std::vector<std::uint32_t> col_idx_;    // length nnz
+  std::vector<float> values_;             // length nnz
+};
+
+/// Row-by-row builder; duplicate columns within a row are summed.
+class CsrBuilder {
+ public:
+  explicit CsrBuilder(std::size_t cols) : cols_(cols) {}
+
+  /// Appends a row from (col, value) entries; entries are sorted and
+  /// deduplicated (values summed). Zero-valued entries are kept (they still
+  /// occupy a slot, matching typical libSVM data).
+  void add_row(std::vector<Entry> entries);
+
+  /// Appends a row with all values = 1 (label rows).
+  void add_indicator_row(std::vector<std::uint32_t> cols);
+
+  std::size_t rows() const { return row_ptr_.size() - 1; }
+
+  /// Finalizes into a CsrMatrix; the builder is left empty.
+  CsrMatrix build();
+
+ private:
+  std::size_t cols_;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace hetero::sparse

@@ -1,0 +1,151 @@
+#include "sparse/libsvm.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hetero::sparse {
+
+namespace {
+
+struct ParsedRow {
+  std::vector<std::uint32_t> labels;
+  std::vector<Entry> features;
+};
+
+// Parses "l1,l2 i1:v1 i2:v2". Lines without a ':' in the second token and
+// exactly 2-3 integer tokens are treated as headers by the caller.
+ParsedRow parse_row(const std::string& line, bool one_based) {
+  ParsedRow row;
+  std::istringstream ss(line);
+  std::string token;
+  bool first = true;
+  while (ss >> token) {
+    const auto colon = token.find(':');
+    if (first && colon == std::string::npos) {
+      // Comma-separated label list.
+      std::size_t pos = 0;
+      while (pos < token.size()) {
+        auto comma = token.find(',', pos);
+        if (comma == std::string::npos) comma = token.size();
+        if (comma > pos) {
+          row.labels.push_back(static_cast<std::uint32_t>(
+              std::strtoul(token.substr(pos, comma - pos).c_str(), nullptr, 10)));
+        }
+        pos = comma + 1;
+      }
+      first = false;
+      continue;
+    }
+    first = false;
+    if (colon == std::string::npos) {
+      throw std::runtime_error("libsvm: malformed token '" + token + "'");
+    }
+    auto idx = static_cast<std::uint32_t>(
+        std::strtoul(token.substr(0, colon).c_str(), nullptr, 10));
+    if (one_based) {
+      if (idx == 0) throw std::runtime_error("libsvm: 0 index in 1-based file");
+      idx -= 1;
+    }
+    const float value =
+        std::strtof(token.substr(colon + 1).c_str(), nullptr);
+    row.features.push_back({idx, value});
+  }
+  return row;
+}
+
+bool looks_like_header(const std::string& line) {
+  std::istringstream ss(line);
+  std::string tok;
+  int count = 0;
+  while (ss >> tok) {
+    if (tok.find(':') != std::string::npos || tok.find(',') != std::string::npos)
+      return false;
+    for (char c : tok)
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    ++count;
+  }
+  return count == 3;
+}
+
+}  // namespace
+
+LabeledDataset read_libsvm(std::istream& in, std::size_t num_features,
+                           std::size_t num_classes, bool one_based_indices) {
+  std::string line;
+  std::vector<ParsedRow> rows;
+  bool first_line = true;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (first_line && looks_like_header(line)) {
+      std::istringstream ss(line);
+      std::size_t ns = 0, nf = 0, nc = 0;
+      ss >> ns >> nf >> nc;
+      if (num_features == 0) num_features = nf;
+      if (num_classes == 0) num_classes = nc;
+      first_line = false;
+      continue;
+    }
+    first_line = false;
+    rows.push_back(parse_row(line, one_based_indices));
+  }
+
+  std::size_t max_feature = 0, max_label = 0;
+  for (const auto& r : rows) {
+    for (const auto& e : r.features)
+      max_feature = std::max<std::size_t>(max_feature, e.col + 1);
+    for (auto l : r.labels) max_label = std::max<std::size_t>(max_label, l + 1);
+  }
+  if (num_features == 0) num_features = max_feature;
+  if (num_classes == 0) num_classes = max_label;
+  if (max_feature > num_features || max_label > num_classes) {
+    throw std::runtime_error("libsvm: index exceeds declared dimensions");
+  }
+
+  CsrBuilder features(num_features);
+  CsrBuilder labels(num_classes);
+  for (auto& r : rows) {
+    features.add_row(std::move(r.features));
+    labels.add_indicator_row(std::move(r.labels));
+  }
+  return {features.build(), labels.build()};
+}
+
+LabeledDataset read_libsvm_file(const std::string& path,
+                                std::size_t num_features,
+                                std::size_t num_classes,
+                                bool one_based_indices) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("libsvm: cannot open " + path);
+  return read_libsvm(in, num_features, num_classes, one_based_indices);
+}
+
+void write_libsvm(std::ostream& out, const LabeledDataset& dataset) {
+  out << dataset.num_samples() << ' ' << dataset.features.cols() << ' '
+      << dataset.labels.cols() << '\n';
+  for (std::size_t r = 0; r < dataset.num_samples(); ++r) {
+    const auto labels = dataset.labels.row_cols(r);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i) out << ',';
+      out << labels[i];
+    }
+    const auto cols = dataset.features.row_cols(r);
+    const auto vals = dataset.features.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      out << ' ' << cols[i] << ':' << vals[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_libsvm_file(const std::string& path, const LabeledDataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("libsvm: cannot open " + path);
+  write_libsvm(out, dataset);
+}
+
+}  // namespace hetero::sparse

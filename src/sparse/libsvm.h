@@ -1,0 +1,44 @@
+// Reader/writer for the multi-label libSVM format used by the Extreme
+// Classification Repository (the paper stores training data in sparse
+// libSVM format, Section V-A):
+//
+//   label1,label2,... idx1:val1 idx2:val2 ...
+//
+// The first line may optionally be a header "num_samples num_features
+// num_labels" (XML Repository convention); it is auto-detected.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.h"
+
+namespace hetero::sparse {
+
+/// A multi-label sparse dataset: features and labels share row order.
+struct LabeledDataset {
+  CsrMatrix features;  // samples x num_features
+  CsrMatrix labels;    // samples x num_classes (indicator values)
+
+  std::size_t num_samples() const { return features.rows(); }
+};
+
+/// Parses a libSVM stream. `num_features` / `num_classes` of 0 means
+/// "infer from data (max index + 1)", unless a header line provides them.
+/// Feature indices in the file may be 0- or 1-based; `one_based_indices`
+/// selects the convention (XML Repository files are 0-based).
+LabeledDataset read_libsvm(std::istream& in, std::size_t num_features = 0,
+                           std::size_t num_classes = 0,
+                           bool one_based_indices = false);
+
+/// Convenience file-path overload. Throws std::runtime_error on I/O failure.
+LabeledDataset read_libsvm_file(const std::string& path,
+                                std::size_t num_features = 0,
+                                std::size_t num_classes = 0,
+                                bool one_based_indices = false);
+
+/// Writes a dataset in libSVM format with a header line.
+void write_libsvm(std::ostream& out, const LabeledDataset& dataset);
+void write_libsvm_file(const std::string& path, const LabeledDataset& dataset);
+
+}  // namespace hetero::sparse

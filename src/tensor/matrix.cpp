@@ -1,0 +1,17 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+
+namespace hetero::tensor {
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols, float fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+}  // namespace hetero::tensor

@@ -1,0 +1,148 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hetero::tensor {
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  c.resize(m, n, 0.0f);
+  // i-k-j loop order: streams B rows, accumulates into C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c.data() + i * n;
+    const float* ai = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.rows() == b.rows());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  c.resize(m, n, 0.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* ap = a.data() + p * m;
+    const float* bp = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = ap[i];
+      if (av == 0.0f) continue;
+      float* ci = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  c.resize(m, n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a.data() + i * k;
+    float* ci = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void axpby(float alpha, std::span<const float> x, float beta,
+           std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+void add_row_bias(Matrix& m, std::span<const float> bias) {
+  assert(bias.size() == m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] += bias[j];
+  }
+}
+
+void relu(Matrix& m) {
+  for (auto& v : m.flat()) v = std::max(v, 0.0f);
+}
+
+void relu_backward(const Matrix& activation, Matrix& grad) {
+  assert(activation.same_shape(grad));
+  const float* a = activation.data();
+  float* g = grad.data();
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (a[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.data() + i * m.cols();
+    float mx = row[0];
+    for (std::size_t j = 1; j < m.cols(); ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] *= inv;
+  }
+}
+
+void column_sums(const Matrix& m, std::span<float> out) {
+  assert(out.size() == m.cols());
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += row[j];
+  }
+}
+
+double sum_of_squares(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+double l2_norm(std::span<const float> x) { return std::sqrt(sum_of_squares(x)); }
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+std::size_t argmax(std::span<const float> x) {
+  assert(!x.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+void init_gaussian(Matrix& m, double stddev, util::Rng& rng) {
+  for (auto& v : m.flat())
+    v = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+}  // namespace hetero::tensor

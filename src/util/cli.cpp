@@ -1,0 +1,72 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hetero::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "ignoring positional argument '%s'\n", arg.c_str());
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // boolean flag form
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::take(const std::string& name) {
+  consumed_.push_back(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& def) {
+  return take(name).value_or(def);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name, std::int64_t def) {
+  auto v = take(name);
+  if (!v) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name, double def) {
+  auto v = take(name);
+  if (!v) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name, bool def) {
+  auto v = take(name);
+  if (!v) return def;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+bool ArgParser::report_unknown() const {
+  bool any = false;
+  for (const auto& [name, value] : values_) {
+    if (std::find(consumed_.begin(), consumed_.end(), name) ==
+        consumed_.end()) {
+      std::fprintf(stderr, "unknown flag --%s=%s\n", name.c_str(),
+                   value.c_str());
+      any = true;
+    }
+  }
+  return any;
+}
+
+}  // namespace hetero::util

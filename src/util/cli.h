@@ -1,0 +1,39 @@
+// Minimal command-line flag parser for examples and bench binaries.
+//
+// Supports --name=value and --name value forms plus boolean --flag.
+// Unknown flags are an error so typos do not silently change experiments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hetero::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Declares a flag with a default, returning the parsed value.
+  std::string get_string(const std::string& name, const std::string& def);
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  bool get_bool(const std::string& name, bool def);
+
+  /// True if any unknown/undeclared flags remain; prints them to stderr.
+  /// Call after all get_* declarations.
+  bool report_unknown() const;
+
+  const std::string& program_name() const { return program_; }
+
+ private:
+  std::optional<std::string> take(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> consumed_;
+};
+
+}  // namespace hetero::util

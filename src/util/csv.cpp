@@ -1,0 +1,45 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace hetero::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), width_(header.size()) {
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  assert(cells.size() == width_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  char buf[64];
+  for (double c : cells) {
+    std::snprintf(buf, sizeof(buf), "%.6g", c);
+    formatted.emplace_back(buf);
+  }
+  row(formatted);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace hetero::util

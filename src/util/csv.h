@@ -1,0 +1,34 @@
+// Tiny CSV writer used by benches to dump figure series next to the
+// human-readable tables (so plots can be regenerated offline).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hetero::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; the number of cells must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with %.6g.
+  void row_numeric(const std::vector<double>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+  const std::string& path() const { return path_; }
+
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace hetero::util

@@ -1,0 +1,33 @@
+// Fixed-bin histogram used for nnz-per-sample and timing distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hetero::util {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are clamped to the edge bins.
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double value);
+
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t num_bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart (used by bench binaries for quick viewing).
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hetero::util

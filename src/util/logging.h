@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The framework logs scheduling decisions, merge weights, and batch-size
+// updates at Debug level; benches and examples run at Info by default.
+// Logging is globally synchronized so interleaved GPU-manager threads
+// produce readable output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hetero::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default Info).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line (thread-safe). Prefer the HETERO_LOG macro.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace hetero::util
+
+#define HETERO_LOG(level)                                      \
+  if (static_cast<int>(level) <                                \
+      static_cast<int>(::hetero::util::log_level())) {         \
+  } else                                                       \
+    ::hetero::util::detail::LogMessage(level)
+
+#define HETERO_DEBUG HETERO_LOG(::hetero::util::LogLevel::kDebug)
+#define HETERO_INFO HETERO_LOG(::hetero::util::LogLevel::kInfo)
+#define HETERO_WARN HETERO_LOG(::hetero::util::LogLevel::kWarn)
+#define HETERO_ERROR HETERO_LOG(::hetero::util::LogLevel::kError)

@@ -1,0 +1,96 @@
+// Deterministic random number generation for the HeteroGPU framework.
+//
+// Everything in this repository that consumes randomness goes through Rng so
+// that experiments and tests are reproducible bit-for-bit from a single seed.
+// The generator is xoshiro256** (public domain, Blackman & Vigna), seeded via
+// splitmix64 so that nearby integer seeds produce uncorrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hetero::util {
+
+/// splitmix64 step: used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo-random generator with helper distributions.
+///
+/// Not thread-safe; give each thread / simulated device its own instance
+/// (see `Rng::split`).
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed (expanded via splitmix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double next_gaussian();
+
+  /// Normal with the given mean / stddev.
+  double gaussian(double mean, double stddev);
+
+  /// Lognormal: exp(N(mu, sigma)). Used for per-batch GPU jitter.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n), exponent s (s >= 0; s == 0 is
+  /// uniform). Uses an inverse-CDF table amortized by ZipfSampler; this
+  /// convenience method is O(n) per call, prefer ZipfSampler in loops.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Derives an independent child generator (for per-device streams).
+  Rng split();
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Precomputed inverse-CDF sampler for the Zipf distribution over [0, n).
+///
+/// Sampling is O(log n) per draw; building the table is O(n). Used by the
+/// synthetic XML data generator where feature and label popularity follow
+/// power laws.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double exponent);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t size() const { return n_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  std::uint64_t n_;
+  double exponent_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace hetero::util

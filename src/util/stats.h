@@ -1,0 +1,48 @@
+// Streaming statistics helpers used by the metrics recorder and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetero::util {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) with linear interpolation.
+/// The input vector is copied and sorted; prefer batching queries.
+double quantile(std::vector<double> values, double q);
+
+/// Mean of a vector (0 for empty input).
+double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation of a vector (0 when size < 2).
+double stddev_of(const std::vector<double>& values);
+
+/// Relative spread: (max - min) / min. Used to report the Fig. 1 style
+/// fastest-to-slowest GPU gap. Returns 0 for empty input or min == 0.
+double relative_spread(const std::vector<double>& values);
+
+}  // namespace hetero::util

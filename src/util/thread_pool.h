@@ -1,0 +1,56 @@
+// Simple fixed-size thread pool.
+//
+// Used by the threaded MultiGpuRuntime mode (one worker per GPU manager plus
+// the scheduler) and by data-parallel helpers (dataset generation, batched
+// evaluation). The deterministic discrete-event runtime does not use threads.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetero::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion/result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs f(i) for i in [0, n) across the pool and waits for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hetero::util

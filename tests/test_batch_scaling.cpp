@@ -1,0 +1,222 @@
+// Algorithm 1 (Batch Size Scaling) unit and property tests.
+#include "core/batch_scaling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetero::core {
+namespace {
+
+BatchScalingParams default_params() {
+  BatchScalingParams p;
+  p.batch_min = 16;
+  p.batch_max = 128;
+  p.beta = 8.0;  // b_min / 2 per the paper's methodology
+  return p;
+}
+
+std::vector<GpuSgdState> make_gpus(std::vector<std::size_t> batches,
+                                   std::vector<std::size_t> updates,
+                                   double lr = 0.1) {
+  std::vector<GpuSgdState> gpus(batches.size());
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    gpus[i].batch_size = batches[i];
+    gpus[i].updates = updates[i];
+    gpus[i].learning_rate = lr;
+  }
+  return gpus;
+}
+
+TEST(BatchScaling, EqualUpdatesNoChange) {
+  auto gpus = make_gpus({64, 64, 64, 64}, {25, 25, 25, 25});
+  const auto outcome = scale_batch_sizes(gpus, default_params());
+  EXPECT_FALSE(outcome.any_change);
+  EXPECT_DOUBLE_EQ(outcome.mean_updates, 25.0);
+  for (const auto& g : gpus) EXPECT_EQ(g.batch_size, 64u);
+}
+
+TEST(BatchScaling, FasterGpuGetsLargerBatch) {
+  auto gpus = make_gpus({64, 64}, {30, 20});
+  const auto outcome = scale_batch_sizes(gpus, default_params());
+  EXPECT_TRUE(outcome.any_change);
+  // u0 = 30 > mean 25: b0 += beta * 5 = 104... wait beta=8: 64+8*5 = 104.
+  EXPECT_EQ(gpus[0].batch_size, 104u);
+  EXPECT_EQ(gpus[1].batch_size, 24u);
+}
+
+TEST(BatchScaling, LearningRateFollowsLinearScaling) {
+  auto gpus = make_gpus({64, 64}, {30, 20}, 0.1);
+  scale_batch_sizes(gpus, default_params());
+  EXPECT_NEAR(gpus[0].learning_rate, 0.1 * 104.0 / 64.0, 1e-12);
+  EXPECT_NEAR(gpus[1].learning_rate, 0.1 * 24.0 / 64.0, 1e-12);
+}
+
+TEST(BatchScaling, RespectsUpperBound) {
+  auto gpus = make_gpus({120, 64}, {40, 10});
+  scale_batch_sizes(gpus, default_params());
+  // 120 + 8*15 = 240 > 128: no change for GPU 0 (Algorithm 1 guard).
+  EXPECT_EQ(gpus[0].batch_size, 120u);
+  EXPECT_DOUBLE_EQ(gpus[0].learning_rate, 0.1);
+}
+
+TEST(BatchScaling, RespectsLowerBound) {
+  auto gpus = make_gpus({64, 20}, {40, 10});
+  scale_batch_sizes(gpus, default_params());
+  // 20 - 8*15 = -100 < 16: no change for GPU 1.
+  EXPECT_EQ(gpus[1].batch_size, 20u);
+}
+
+TEST(BatchScaling, ExactBoundaryAllowed) {
+  BatchScalingParams p = default_params();
+  p.beta = 1.0;
+  auto gpus = make_gpus({127, 17}, {26, 24});
+  scale_batch_sizes(gpus, p);
+  EXPECT_EQ(gpus[0].batch_size, 128u);  // == b_max allowed
+  EXPECT_EQ(gpus[1].batch_size, 16u);   // == b_min allowed
+}
+
+TEST(BatchScaling, SingleGpuNeverChanges) {
+  auto gpus = make_gpus({64}, {25});
+  const auto outcome = scale_batch_sizes(gpus, default_params());
+  EXPECT_FALSE(outcome.any_change);
+}
+
+TEST(BatchScaling, EmptyInputSafe) {
+  std::vector<GpuSgdState> gpus;
+  const auto outcome = scale_batch_sizes(gpus, default_params());
+  EXPECT_FALSE(outcome.any_change);
+}
+
+TEST(BatchScaling, MeanIsFractional) {
+  auto gpus = make_gpus({64, 64, 64}, {10, 10, 11});
+  const auto outcome = scale_batch_sizes(gpus, default_params());
+  EXPECT_NEAR(outcome.mean_updates, 31.0 / 3.0, 1e-12);
+}
+
+TEST(BatchScaling, AtMeanUnchanged) {
+  auto gpus = make_gpus({64, 64, 64}, {20, 25, 30});
+  scale_batch_sizes(gpus, default_params());
+  EXPECT_EQ(gpus[1].batch_size, 64u);  // exactly the mean
+  EXPECT_GT(gpus[2].batch_size, 64u);
+  EXPECT_LT(gpus[0].batch_size, 64u);
+}
+
+// Property: iterating Algorithm 1 against a fixed speed model converges to a
+// steady state where update counts equalize (the algorithm's stated goal).
+TEST(BatchScaling, ConvergesToEqualUpdates) {
+  BatchScalingParams p;
+  p.batch_min = 16;
+  p.batch_max = 256;
+  p.beta = 8.0;
+
+  // GPU speeds in samples/second; mega-batch fixed at 6400 samples.
+  const std::vector<double> speed{1000, 930, 860, 760};
+  auto gpus = make_gpus({256, 256, 256, 256}, {0, 0, 0, 0});
+
+  double spread = 1e9;
+  for (int iter = 0; iter < 60; ++iter) {
+    // Simulate: every GPU processes batches until 6400 samples consumed,
+    // proportioning work by speed (dynamic scheduling steady state).
+    double total_rate = 0.0;
+    for (std::size_t g = 0; g < 4; ++g) total_rate += speed[g];
+    for (std::size_t g = 0; g < 4; ++g) {
+      const double samples = 6400.0 * speed[g] / total_rate;
+      gpus[g].updates = static_cast<std::size_t>(
+          std::round(samples / static_cast<double>(gpus[g].batch_size)));
+    }
+    std::size_t mn = gpus[0].updates, mx = gpus[0].updates;
+    for (const auto& g : gpus) {
+      mn = std::min(mn, g.updates);
+      mx = std::max(mx, g.updates);
+    }
+    spread = static_cast<double>(mx - mn);
+    scale_batch_sizes(gpus, p);
+  }
+  // After convergence the fastest GPU holds a larger batch than the slowest
+  // and the update-count spread is tiny.
+  EXPECT_LE(spread, 1.0);
+  EXPECT_GT(gpus[0].batch_size, gpus[3].batch_size);
+  for (const auto& g : gpus) {
+    EXPECT_GE(g.batch_size, p.batch_min);
+    EXPECT_LE(g.batch_size, p.batch_max);
+  }
+}
+
+TEST(ScalingScheduler, FirstObservationScales) {
+  ScalingScheduler sched;
+  EXPECT_TRUE(sched.observe({64, 64}));
+  EXPECT_EQ(sched.interval(), 1u);
+}
+
+TEST(ScalingScheduler, StabilityWidensInterval) {
+  ScalingScheduler sched(/*stability_window=*/2, /*max_interval=*/8);
+  sched.observe({64, 64});
+  // No movement for several mega-batches: declared stable, interval 2.
+  sched.observe({64, 64});
+  sched.observe({64, 64});
+  EXPECT_TRUE(sched.stable());
+  EXPECT_EQ(sched.interval(), 2u);
+}
+
+TEST(ScalingScheduler, OscillationWidensInterval) {
+  ScalingScheduler sched(2, 8);
+  sched.observe({64, 64});
+  sched.observe({72, 56});  // first move (establishes direction)
+  sched.observe({64, 64});  // reversal 1
+  sched.observe({72, 56});  // reversal 2 -> oscillating
+  EXPECT_TRUE(sched.oscillating());
+  EXPECT_GE(sched.interval(), 2u);
+}
+
+TEST(ScalingScheduler, DriftResetsToEveryMegabatch) {
+  ScalingScheduler sched(2, 8);
+  sched.observe({64, 64});
+  sched.observe({64, 64});
+  sched.observe({64, 64});  // stable -> interval 2
+  ASSERT_EQ(sched.interval(), 2u);
+  sched.observe({80, 48});  // genuine drift
+  EXPECT_EQ(sched.interval(), 1u);
+  EXPECT_FALSE(sched.stable());
+}
+
+TEST(ScalingScheduler, IntervalSkipsScaling) {
+  // Cap the interval at 2 so continued stability cannot widen it further;
+  // observations then alternate skip/scale.
+  ScalingScheduler sched(1, 2);
+  sched.observe({64, 64});
+  sched.observe({64, 64});  // stable after window 1 -> interval 2
+  ASSERT_EQ(sched.interval(), 2u);
+  const bool first = sched.observe({64, 64});
+  const bool second = sched.observe({64, 64});
+  EXPECT_NE(first, second);
+}
+
+TEST(ScalingScheduler, IntervalCapped) {
+  ScalingScheduler sched(1, 4);
+  sched.observe({64});
+  for (int i = 0; i < 20; ++i) sched.observe({64});
+  EXPECT_LE(sched.interval(), 4u);
+}
+
+class BetaParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(BetaParam, BoundsAlwaysRespected) {
+  BatchScalingParams p = default_params();
+  p.beta = GetParam();
+  auto gpus = make_gpus({128, 96, 48, 16}, {50, 30, 12, 4});
+  for (int i = 0; i < 10; ++i) {
+    scale_batch_sizes(gpus, p);
+    for (const auto& g : gpus) {
+      EXPECT_GE(g.batch_size, p.batch_min);
+      EXPECT_LE(g.batch_size, p.batch_max);
+      EXPECT_GT(g.learning_rate, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, BetaParam,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0, 16.0));
+
+}  // namespace
+}  // namespace hetero::core

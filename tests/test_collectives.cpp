@@ -1,0 +1,93 @@
+#include "comm/collectives.h"
+
+#include <gtest/gtest.h>
+
+#include "comm/allreduce.h"
+#include "sim/profiles.h"
+
+namespace hetero::comm {
+namespace {
+
+CollectiveParams params(std::size_t n, std::size_t bytes,
+                        std::size_t streams = 1) {
+  CollectiveParams p;
+  p.num_devices = n;
+  p.bytes = bytes;
+  p.num_streams = streams;
+  return p;
+}
+
+const sim::LinkModel& links4() {
+  static const sim::LinkModel links = sim::default_links(4);
+  return links;
+}
+
+TEST(Collectives, SingleDeviceIsFree) {
+  EXPECT_EQ(broadcast_seconds(links4(), params(1, 1 << 20)), 0.0);
+  EXPECT_EQ(reduce_scatter_seconds(links4(), params(1, 1 << 20)), 0.0);
+  EXPECT_EQ(all_gather_seconds(links4(), params(1, 1 << 20)), 0.0);
+}
+
+TEST(Collectives, MonotoneInBytes) {
+  for (auto* fn : {&broadcast_seconds, &reduce_scatter_seconds,
+                   &all_gather_seconds, &host_gather_seconds,
+                   &host_broadcast_seconds}) {
+    EXPECT_LT(fn(links4(), params(4, 1 << 16)),
+              fn(links4(), params(4, 1 << 24)));
+  }
+}
+
+TEST(Collectives, MultiStreamSpeedsUpReduceScatter) {
+  const auto p1 = params(4, 64 << 20, 1);
+  const auto p4 = params(4, 64 << 20, 4);
+  EXPECT_GT(reduce_scatter_seconds(links4(), p1),
+            reduce_scatter_seconds(links4(), p4));
+}
+
+TEST(Collectives, ReduceScatterCostsMoreThanAllGather) {
+  // Same transfer volume, but reduce-scatter adds the reduction compute and
+  // kernel launches.
+  const auto p = params(4, 64 << 20, 1);
+  EXPECT_GT(reduce_scatter_seconds(links4(), p),
+            all_gather_seconds(links4(), p));
+}
+
+TEST(Collectives, RingAllReduceMatchesPhaseSum) {
+  // The single-stream ring all-reduce cost equals reduce-scatter +
+  // all-gather (that is its definition).
+  const std::size_t bytes = 32 << 20;
+  AllReducer ring(AllReduceAlgo::kRingMultiStream, links4(), 1);
+  const double whole = ring.cost(4, bytes).seconds;
+  const auto p = params(4, bytes, 1);
+  const double phases = reduce_scatter_seconds(links4(), p) +
+                        all_gather_seconds(links4(), p);
+  EXPECT_NEAR(whole, phases, 1e-9);
+}
+
+TEST(Collectives, HostLinkSharedAcrossDevices) {
+  const auto p2 = params(2, 16 << 20);
+  const auto p8 = params(8, 16 << 20);
+  EXPECT_LT(host_gather_seconds(links4(), p2),
+            host_gather_seconds(links4(), p8));
+}
+
+TEST(Collectives, BroadcastLatencyGrowsWithDeviceCount) {
+  const sim::LinkModel links8 = sim::default_links(8);
+  EXPECT_LT(broadcast_seconds(links8, params(2, 1 << 20)),
+            broadcast_seconds(links8, params(8, 1 << 20)));
+}
+
+class StreamParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StreamParam, ReduceScatterNeverSlowerWithMoreStreams) {
+  const std::size_t s = GetParam();
+  const double t1 = reduce_scatter_seconds(links4(), params(4, 128 << 20, s));
+  const double t2 =
+      reduce_scatter_seconds(links4(), params(4, 128 << 20, s * 2));
+  EXPECT_LE(t2, t1 * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, StreamParam, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace hetero::comm

@@ -1,0 +1,258 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "data/dataset_stats.h"
+#include "data/binary_cache.h"
+#include "data/feature_hashing.h"
+#include "data/sample_stream.h"
+
+namespace hetero::data {
+namespace {
+
+TEST(Synthetic, ShapesMatchConfig) {
+  auto cfg = tiny_profile();
+  const auto ds = generate_xml_dataset(cfg);
+  EXPECT_EQ(ds.train.num_samples(), cfg.num_train);
+  EXPECT_EQ(ds.test.num_samples(), cfg.num_test);
+  EXPECT_EQ(ds.train.features.cols(), cfg.num_features);
+  EXPECT_EQ(ds.train.labels.cols(), cfg.num_classes);
+  EXPECT_TRUE(ds.train.features.validate());
+  EXPECT_TRUE(ds.train.labels.validate());
+  EXPECT_TRUE(ds.test.features.validate());
+}
+
+TEST(Synthetic, Deterministic) {
+  const auto a = generate_xml_dataset(tiny_profile());
+  const auto b = generate_xml_dataset(tiny_profile());
+  ASSERT_EQ(a.train.features.nnz(), b.train.features.nnz());
+  EXPECT_EQ(a.train.features.col_idx(), b.train.features.col_idx());
+  EXPECT_EQ(a.train.labels.col_idx(), b.train.labels.col_idx());
+}
+
+TEST(Synthetic, SeedChangesData) {
+  auto cfg = tiny_profile();
+  cfg.seed = 999;
+  const auto a = generate_xml_dataset(tiny_profile());
+  const auto b = generate_xml_dataset(cfg);
+  EXPECT_NE(a.train.features.col_idx(), b.train.features.col_idx());
+}
+
+TEST(Synthetic, EveryRowHasLabelsAndFeatures) {
+  const auto ds = generate_xml_dataset(tiny_profile());
+  for (std::size_t r = 0; r < ds.train.num_samples(); ++r) {
+    EXPECT_GE(ds.train.labels.row_nnz(r), 1u);
+    EXPECT_GE(ds.train.features.row_nnz(r), 2u);
+  }
+}
+
+TEST(Synthetic, AverageNnzNearTarget) {
+  auto cfg = tiny_profile();
+  cfg.num_train = 5000;
+  const auto ds = generate_xml_dataset(cfg);
+  EXPECT_NEAR(ds.train.features.avg_row_nnz(), cfg.avg_features_per_sample,
+              cfg.avg_features_per_sample * 0.15);
+  EXPECT_NEAR(ds.train.labels.avg_row_nnz(), cfg.avg_labels_per_sample,
+              cfg.avg_labels_per_sample * 0.25);
+}
+
+TEST(Synthetic, NnzVariesAcrossSamples) {
+  // The per-sample nnz lognormal multiplier is the paper's sparse-data
+  // heterogeneity source; a degenerate generator would break Fig. 1/4.
+  const auto ds = generate_xml_dataset(tiny_profile());
+  std::set<std::size_t> distinct;
+  for (std::size_t r = 0; r < ds.train.num_samples(); ++r) {
+    distinct.insert(ds.train.features.row_nnz(r));
+  }
+  EXPECT_GT(distinct.size(), 5u);
+}
+
+TEST(Synthetic, ProfilesMatchTableOneShape) {
+  const auto amazon = amazon670k_small();
+  EXPECT_NEAR(amazon.avg_features_per_sample, 76.0, 1e-9);
+  EXPECT_NEAR(amazon.avg_labels_per_sample, 5.0, 1e-9);
+  const auto delicious = delicious200k_small();
+  EXPECT_NEAR(delicious.avg_features_per_sample, 302.0, 1e-9);
+  EXPECT_NEAR(delicious.avg_labels_per_sample, 75.0, 1e-9);
+  // Delicious has more features but fewer classes than its scale partner —
+  // same ordering as Table I.
+  EXPECT_GT(delicious.num_features, amazon.num_features);
+  EXPECT_LT(delicious.num_classes, amazon.num_classes);
+}
+
+TEST(DatasetStats, ComputesTableOneColumns) {
+  auto cfg = tiny_profile();
+  const auto ds = generate_xml_dataset(cfg);
+  const auto stats = compute_stats(ds, 64);
+  EXPECT_EQ(stats.num_train, cfg.num_train);
+  EXPECT_EQ(stats.num_test, cfg.num_test);
+  EXPECT_GT(stats.avg_features_per_sample, 0.0);
+  EXPECT_GT(stats.feature_nnz_cv, 0.05);
+  EXPECT_GT(stats.batch_nnz_spread, 1.0);
+}
+
+TEST(SampleStream, ServesRequestedCounts) {
+  SampleStream s(100, 1);
+  const auto batch = s.next(30);
+  EXPECT_EQ(batch.size(), 30u);
+  EXPECT_EQ(s.samples_served(), 30u);
+}
+
+TEST(SampleStream, FirstPassIsPermutationPrefix) {
+  SampleStream s(50, 2);
+  const auto batch = s.next(50);
+  std::set<std::size_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (auto id : batch) EXPECT_LT(id, 50u);
+}
+
+TEST(SampleStream, ReshufflesAcrossPasses) {
+  SampleStream s(40, 3);
+  const auto first = s.next(40);
+  EXPECT_EQ(s.passes(), 0u);
+  const auto second = s.next(40);
+  EXPECT_EQ(s.passes(), 1u);
+  EXPECT_NE(first, second);  // reshuffled order
+  std::set<std::size_t> unique(second.begin(), second.end());
+  EXPECT_EQ(unique.size(), 40u);  // still a permutation
+}
+
+TEST(SampleStream, CrossesBoundaryCorrectly) {
+  SampleStream s(10, 4);
+  const auto batch = s.next(25);
+  EXPECT_EQ(batch.size(), 25u);
+  EXPECT_EQ(s.passes(), 2u);
+  EXPECT_EQ(s.samples_served(), 25u);
+}
+
+TEST(SampleStream, Deterministic) {
+  SampleStream a(30, 5), b(30, 5);
+  EXPECT_EQ(a.next(45), b.next(45));
+}
+
+TEST(FeatureHashing, TargetDimensionality) {
+  const auto ds = generate_xml_dataset(tiny_profile());
+  FeatureHashConfig cfg;
+  cfg.bits = 8;
+  const auto hashed = hash_features(ds.train.features, cfg);
+  EXPECT_EQ(hashed.cols(), 256u);
+  EXPECT_EQ(hashed.rows(), ds.train.features.rows());
+  EXPECT_TRUE(hashed.validate());
+}
+
+TEST(FeatureHashing, Deterministic) {
+  const auto ds = generate_xml_dataset(tiny_profile());
+  FeatureHashConfig cfg;
+  cfg.bits = 8;
+  const auto a = hash_features(ds.train.features, cfg);
+  const auto b = hash_features(ds.train.features, cfg);
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(FeatureHashing, SeedChangesProjection) {
+  const auto ds = generate_xml_dataset(tiny_profile());
+  FeatureHashConfig a_cfg, b_cfg;
+  a_cfg.bits = b_cfg.bits = 8;
+  b_cfg.seed = 999;
+  const auto a = hash_features(ds.train.features, a_cfg);
+  const auto b = hash_features(ds.train.features, b_cfg);
+  EXPECT_NE(a.col_idx(), b.col_idx());
+}
+
+TEST(FeatureHashing, PreservesRowMassUnsigned) {
+  // Without signs, collisions sum: total value mass per row is conserved.
+  const auto ds = generate_xml_dataset(tiny_profile());
+  FeatureHashConfig cfg;
+  cfg.bits = 6;
+  cfg.signed_hash = false;
+  const auto hashed = hash_features(ds.train.features, cfg);
+  for (std::size_t r = 0; r < 20; ++r) {
+    double before = 0.0, after = 0.0;
+    for (float v : ds.train.features.row_values(r)) before += v;
+    for (float v : hashed.row_values(r)) after += v;
+    EXPECT_NEAR(before, after, 1e-3);
+  }
+}
+
+TEST(FeatureHashing, HashedDatasetKeepsLabels) {
+  auto ds = generate_xml_dataset(tiny_profile());
+  const auto labels_before = ds.train.labels.nnz();
+  FeatureHashConfig cfg;
+  cfg.bits = 8;
+  hash_dataset_features(ds.train, cfg);
+  EXPECT_EQ(ds.train.features.cols(), 256u);
+  EXPECT_EQ(ds.train.labels.nnz(), labels_before);
+  EXPECT_TRUE(ds.train.features.validate());
+}
+
+TEST(BinaryCache, RoundTripPreservesEverything) {
+  const auto ds = generate_xml_dataset(tiny_profile());
+  std::stringstream buffer;
+  save_dataset(buffer, ds);
+  const auto back = load_dataset(buffer);
+  EXPECT_EQ(back.name, ds.name);
+  EXPECT_EQ(back.train.features.col_idx(), ds.train.features.col_idx());
+  EXPECT_EQ(back.train.features.values(), ds.train.features.values());
+  EXPECT_EQ(back.train.labels.row_ptr(), ds.train.labels.row_ptr());
+  EXPECT_EQ(back.test.features.nnz(), ds.test.features.nnz());
+  EXPECT_EQ(back.test.labels.col_idx(), ds.test.labels.col_idx());
+}
+
+TEST(BinaryCache, FileRoundTrip) {
+  const auto ds = generate_xml_dataset(tiny_profile());
+  const std::string path = ::testing::TempDir() + "/ds.hgds";
+  save_dataset_file(path, ds);
+  const auto back = load_dataset_file(path);
+  EXPECT_EQ(back.train.features.nnz(), ds.train.features.nnz());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCache, RejectsGarbage) {
+  std::stringstream garbage("not a dataset at all");
+  EXPECT_THROW(load_dataset(garbage), std::runtime_error);
+}
+
+TEST(BinaryCache, RejectsTruncation) {
+  const auto ds = generate_xml_dataset(tiny_profile());
+  std::stringstream buffer;
+  save_dataset(buffer, ds);
+  std::string data = buffer.str();
+  data.resize(data.size() / 3);
+  std::stringstream truncated(data);
+  EXPECT_THROW(load_dataset(truncated), std::runtime_error);
+}
+
+TEST(BinaryCache, MissingFileThrows) {
+  EXPECT_THROW(load_dataset_file("/nonexistent/x.hgds"), std::runtime_error);
+}
+
+class ProfileParam : public ::testing::TestWithParam<SyntheticXmlConfig> {};
+
+TEST_P(ProfileParam, GeneratesValidDatasets) {
+  auto cfg = GetParam();
+  cfg.num_train = 400;  // shrink for test speed
+  cfg.num_test = 100;
+  const auto ds = generate_xml_dataset(cfg);
+  EXPECT_TRUE(ds.train.features.validate());
+  EXPECT_TRUE(ds.train.labels.validate());
+  EXPECT_GT(ds.train.features.nnz(), 0u);
+  EXPECT_EQ(ds.name, cfg.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileParam,
+                         ::testing::Values(tiny_profile(), amazon670k_small(),
+                                           delicious200k_small()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (auto& c : n)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace hetero::data

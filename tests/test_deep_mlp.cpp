@@ -1,0 +1,182 @@
+#include "nn/deep_mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/mlp.h"
+#include "nn/train_step.h"
+#include "util/rng.h"
+
+namespace hetero::nn {
+namespace {
+
+DeepMlpConfig deep_config(std::vector<std::size_t> hidden) {
+  DeepMlpConfig cfg;
+  cfg.num_features = 24;
+  cfg.hidden = std::move(hidden);
+  cfg.num_classes = 6;
+  return cfg;
+}
+
+sparse::CsrMatrix batch_x(std::size_t rows, std::size_t cols,
+                          util::Rng& rng) {
+  sparse::CsrBuilder b(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<sparse::Entry> entries;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(0.3)) {
+        entries.push_back({static_cast<std::uint32_t>(c),
+                           static_cast<float>(rng.uniform(0.1, 1.0))});
+      }
+    }
+    if (entries.empty()) entries.push_back({0, 1.0f});
+    b.add_row(std::move(entries));
+  }
+  return b.build();
+}
+
+sparse::CsrMatrix batch_y(std::size_t rows, std::size_t classes,
+                          util::Rng& rng) {
+  sparse::CsrBuilder b(classes);
+  for (std::size_t r = 0; r < rows; ++r) {
+    b.add_indicator_row({static_cast<std::uint32_t>(rng.next_below(classes))});
+  }
+  return b.build();
+}
+
+TEST(DeepMlp, ParameterCount) {
+  const auto cfg = deep_config({8, 4});
+  // 24*8+8 + 8*4+4 + 4*6+6 = 200 + 36 + 30 = 266.
+  EXPECT_EQ(cfg.num_parameters(), 266u);
+  DeepMlp net(cfg);
+  EXPECT_EQ(net.num_parameters(), 266u);
+  EXPECT_EQ(cfg.num_layers(), 3u);
+}
+
+TEST(DeepMlp, FlatRoundTrip) {
+  util::Rng rng(1);
+  DeepMlp a(deep_config({8, 4}));
+  a.init(rng);
+  const auto flat = a.to_flat();
+  ASSERT_EQ(flat.size(), a.num_parameters());
+  DeepMlp b(deep_config({8, 4}));
+  b.from_flat(flat);
+  EXPECT_EQ(b.to_flat(), flat);
+}
+
+TEST(DeepMlp, LossDecreasesAtEveryDepth) {
+  for (const auto& hidden : std::vector<std::vector<std::size_t>>{
+           {8}, {8, 8}, {12, 8, 6}}) {
+    util::Rng rng(7);
+    DeepMlp net(deep_config(hidden));
+    net.init(rng);
+    const auto x = batch_x(8, 24, rng);
+    const auto y = batch_y(8, 6, rng);
+    const double initial = net.loss(x, y);
+    for (int i = 0; i < 80; ++i) net.sgd_step(x, y, 0.3f);
+    EXPECT_LT(net.loss(x, y), initial * 0.6)
+        << "depth " << hidden.size();
+  }
+}
+
+TEST(DeepMlp, OneHiddenLayerMatchesMlpModel) {
+  // With a single hidden layer DeepMlp and MlpModel implement the same
+  // network; starting from identical parameters, one step must produce
+  // identical parameters.
+  util::Rng rng(3);
+  MlpConfig mcfg;
+  mcfg.num_features = 24;
+  mcfg.hidden = 8;
+  mcfg.num_classes = 6;
+  MlpModel shallow(mcfg);
+  shallow.init(rng);
+
+  DeepMlp deep(deep_config({8}));
+  deep.from_flat(shallow.to_flat());  // same flat layout for 1 hidden layer
+
+  util::Rng data_rng(4);
+  const auto x = batch_x(5, 24, data_rng);
+  const auto y = batch_y(5, 6, data_rng);
+  Workspace ws;
+  sgd_step(shallow, x, y, 0.2f, ws);
+  deep.sgd_step(x, y, 0.2f);
+
+  const auto a = shallow.to_flat();
+  const auto b = deep.to_flat();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-6f) << i;
+  }
+}
+
+TEST(DeepMlp, GradientCheckTwoHiddenLayers) {
+  util::Rng rng(5);
+  DeepMlp net(deep_config({5, 4}));
+  net.init(rng);
+  const auto x = batch_x(3, 24, rng);
+  const auto y = batch_y(3, 6, rng);
+
+  // Numeric check via loss differences under the update: take one step
+  // with tiny lr; loss must not increase (first-order descent property),
+  // repeated across several random restarts.
+  for (int restart = 0; restart < 5; ++restart) {
+    DeepMlp fresh(deep_config({5, 4}));
+    util::Rng r2(100 + restart);
+    fresh.init(r2);
+    const double before = fresh.loss(x, y);
+    fresh.sgd_step(x, y, 1e-3f);
+    EXPECT_LE(fresh.loss(x, y), before + 1e-6) << restart;
+  }
+}
+
+TEST(DeepMlp, UntouchedSparseRowsUnchanged) {
+  util::Rng rng(6);
+  DeepMlp net(deep_config({8}));
+  net.init(rng);
+  sparse::CsrBuilder bx(24);
+  bx.add_row({{3, 1.0f}});
+  const auto x = bx.build();
+  const auto y = batch_y(1, 6, rng);
+  const auto before = net.weights(0);
+  net.sgd_step(x, y, 0.5f);
+  for (std::size_t f = 0; f < 24; ++f) {
+    if (f == 3) continue;
+    for (std::size_t h = 0; h < 8; ++h) {
+      EXPECT_EQ(net.weights(0)(f, h), before(f, h));
+    }
+  }
+}
+
+TEST(DeepMlp, TrainsOnSyntheticDataset) {
+  auto dcfg = data::tiny_profile();
+  dcfg.num_train = 1200;
+  dcfg.num_test = 300;
+  const auto ds = data::generate_xml_dataset(dcfg);
+  DeepMlpConfig cfg;
+  cfg.num_features = ds.train.features.cols();
+  cfg.hidden = {32, 16};
+  cfg.num_classes = ds.train.labels.cols();
+  util::Rng rng(11);
+  DeepMlp net(cfg);
+  net.init(rng);
+
+  const double before = net.evaluate_top1(ds.test, 200);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (std::size_t b = 0; b + 64 <= ds.train.num_samples(); b += 64) {
+      const auto x = ds.train.features.slice_rows(b, b + 64);
+      const auto y = ds.train.labels.slice_rows(b, b + 64);
+      net.sgd_step(x, y, 0.3f);
+    }
+  }
+  EXPECT_GT(net.evaluate_top1(ds.test, 200), before + 0.3);
+}
+
+TEST(DeepMlp, L2NormPerParameterPositive) {
+  util::Rng rng(12);
+  DeepMlp net(deep_config({8, 4}));
+  net.init(rng);
+  EXPECT_GT(net.l2_norm_per_parameter(), 0.0);
+}
+
+}  // namespace
+}  // namespace hetero::nn

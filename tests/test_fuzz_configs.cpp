@@ -1,0 +1,112 @@
+// Randomized configuration fuzzing: train every method under randomly drawn
+// (but valid) hyperparameter/config combinations and assert the structural
+// invariants hold regardless. Catches interaction bugs that the targeted
+// unit tests miss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "sim/profiles.h"
+
+namespace hetero::core {
+namespace {
+
+const data::XmlDataset& dataset() {
+  static const data::XmlDataset d = [] {
+    auto cfg = data::tiny_profile();
+    cfg.num_train = 1200;
+    return data::generate_xml_dataset(cfg);
+  }();
+  return d;
+}
+
+TrainerConfig random_config(util::Rng& rng) {
+  TrainerConfig cfg;
+  cfg.hidden = static_cast<std::size_t>(rng.uniform_int(4, 32));
+  cfg.batch_max = static_cast<std::size_t>(8u << rng.next_below(4));  // 8..64
+  cfg.batch_min = rng.bernoulli(0.5) ? 0 : cfg.batch_max / 4;
+  cfg.beta = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.5, 16.0);
+  cfg.batches_per_megabatch = static_cast<std::size_t>(rng.uniform_int(4, 24));
+  cfg.num_megabatches = 2;
+  cfg.learning_rate = rng.uniform(0.05, 0.6);
+  cfg.momentum_gamma = rng.uniform(0.0, 0.95);
+  cfg.pert_threshold = rng.uniform(0.0, 0.3);
+  cfg.pert_delta = rng.uniform(0.0, 0.4);
+  cfg.enable_batch_scaling = rng.bernoulli(0.8);
+  cfg.enable_perturbation = rng.bernoulli(0.8);
+  cfg.enable_momentum = rng.bernoulli(0.8);
+  cfg.dynamic_scheduling = rng.bernoulli(0.8);
+  cfg.fused_kernels = rng.bernoulli(0.8);
+  cfg.weight_decay = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.05) : 0.0;
+  cfg.warmup_megabatches = rng.next_below(3);
+  cfg.lr_decay = rng.bernoulli(0.3) ? 0.7 : 1.0;
+  cfg.lr_decay_every = 1;
+  cfg.adaptive_scaling_cadence = rng.bernoulli(0.3);
+  cfg.eval_samples = 100;
+  cfg.compute_scale = rng.uniform(100.0, 3000.0);
+  cfg.seed = rng.next_u64();
+  const MergeNormalization norms[] = {
+      MergeNormalization::kAuto, MergeNormalization::kUpdates,
+      MergeNormalization::kBatchSize, MergeNormalization::kUpdatesTimesBatch};
+  cfg.merge_normalization = norms[rng.next_below(4)];
+  return cfg;
+}
+
+void check_invariants(const TrainResult& r, const TrainerConfig& cfg,
+                      Trainer& trainer, std::uint64_t seed) {
+  SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+  ASSERT_GE(r.curve.size(), 2u);
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GT(r.curve[i].vtime, r.curve[i - 1].vtime);
+    EXPECT_GE(r.curve[i].samples, r.curve[i - 1].samples);
+    EXPECT_GE(r.curve[i].top1, 0.0);
+    EXPECT_LE(r.curve[i].top1, 1.0);
+  }
+  for (const auto& g : r.gpus) {
+    for (auto b : g.batch_size) {
+      EXPECT_GE(b, cfg.derived_batch_min());
+      EXPECT_LE(b, cfg.batch_max);
+    }
+  }
+  for (float v : trainer.runtime().global_model().to_flat()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GE(r.perturbation_frequency(), 0.0);
+  EXPECT_LE(r.perturbation_frequency(), 1.0);
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, AdaptiveSurvivesRandomConfig) {
+  util::Rng rng(GetParam());
+  const auto cfg = random_config(rng);
+  const auto gpus = 1 + rng.next_below(4);
+  auto trainer = make_trainer(Method::kAdaptive, dataset(), cfg,
+                              sim::v100_heterogeneous(gpus, 0.4));
+  const auto r = trainer->train();
+  check_invariants(r, cfg, *trainer, GetParam());
+}
+
+TEST_P(FuzzSeeds, RandomMethodSurvivesRandomConfig) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  const auto cfg = random_config(rng);
+  const Method methods[] = {Method::kElastic, Method::kSync,
+                            Method::kCrossbow, Method::kAsync};
+  const auto method = methods[rng.next_below(4)];
+  const auto gpus = 1 + rng.next_below(4);
+  auto trainer = make_trainer(method, dataset(), cfg,
+                              sim::v100_heterogeneous(gpus, 0.4));
+  const auto r = trainer->train();
+  ASSERT_GE(r.curve.size(), 2u);
+  for (float v : trainer->runtime().global_model().to_flat()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzSeeds,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace hetero::core

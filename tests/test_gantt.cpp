@@ -1,0 +1,111 @@
+#include "sim/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "sim/profiles.h"
+
+namespace hetero::sim {
+namespace {
+
+TEST(Gantt, EmptyTracer) {
+  Tracer tracer;
+  EXPECT_EQ(render_gantt(tracer, {}), "(no events)\n");
+}
+
+TEST(Gantt, SingleComputeEventFillsCells) {
+  Tracer tracer;
+  tracer.add({"step", "compute", 0, 0, 0.0, 1.0});
+  GanttOptions opts;
+  opts.width = 20;
+  const auto chart = render_gantt(tracer, opts);
+  EXPECT_NE(chart.find("gpu0  |####################|"), std::string::npos);
+}
+
+TEST(Gantt, IdleRenderedAsDots) {
+  Tracer tracer;
+  tracer.add({"step", "compute", 0, 0, 0.0, 0.5});
+  tracer.add({"step", "compute", 1, 0, 0.5, 0.5});
+  GanttOptions opts;
+  opts.width = 10;
+  const auto chart = render_gantt(tracer, opts);
+  // GPU0 busy first half, idle second; GPU1 the mirror image.
+  EXPECT_NE(chart.find("gpu0  |#####.....|"), std::string::npos);
+  EXPECT_NE(chart.find("gpu1  |.....#####|"), std::string::npos);
+}
+
+TEST(Gantt, CommRenderedAsEquals) {
+  Tracer tracer;
+  tracer.add({"merge", "comm", 0, 0, 0.0, 1.0});
+  GanttOptions opts;
+  opts.width = 8;
+  const auto chart = render_gantt(tracer, opts);
+  EXPECT_NE(chart.find("gpu0  |========|"), std::string::npos);
+}
+
+TEST(Gantt, ComputeWinsOverlapsWithComm) {
+  Tracer tracer;
+  tracer.add({"merge", "comm", 0, 0, 0.0, 1.0});
+  tracer.add({"step", "compute", 0, 0, 0.0, 1.0});
+  GanttOptions opts;
+  opts.width = 4;
+  const auto chart = render_gantt(tracer, opts);
+  EXPECT_NE(chart.find("|####|"), std::string::npos);
+}
+
+TEST(Gantt, HostRowOptional) {
+  Tracer tracer;
+  tracer.add({"update", "merge", -1, 0, 0.0, 1.0});
+  tracer.add({"step", "compute", 0, 0, 0.0, 1.0});
+  GanttOptions with_host;
+  EXPECT_NE(render_gantt(tracer, with_host).find("host"), std::string::npos);
+  GanttOptions no_host;
+  no_host.include_host_row = false;
+  EXPECT_EQ(render_gantt(tracer, no_host).find("host"), std::string::npos);
+}
+
+TEST(Gantt, WindowClipsEvents) {
+  Tracer tracer;
+  tracer.add({"early", "compute", 0, 0, 0.0, 1.0});
+  tracer.add({"late", "compute", 0, 0, 9.0, 1.0});
+  GanttOptions opts;
+  opts.start = 8.0;
+  opts.end = 10.0;
+  opts.width = 10;
+  const auto chart = render_gantt(tracer, opts);
+  // Only the late event falls in the window: second half filled.
+  EXPECT_NE(chart.find("gpu0  |.....#####|"), std::string::npos);
+}
+
+TEST(Gantt, FullTrainingRunRendersStragglerGaps) {
+  auto data_cfg = data::tiny_profile();
+  data_cfg.num_train = 1000;
+  const auto dataset = data::generate_xml_dataset(data_cfg);
+  core::TrainerConfig cfg;
+  cfg.hidden = 16;
+  cfg.batch_max = 32;
+  cfg.batches_per_megabatch = 8;
+  cfg.num_megabatches = 1;
+  cfg.eval_samples = 50;
+  cfg.compute_scale = 2000.0;
+
+  Tracer tracer;
+  auto trainer = core::make_trainer(core::Method::kElastic, dataset, cfg,
+                                    v100_heterogeneous(2, 0.5));
+  trainer->runtime().set_tracer(&tracer);
+  trainer->train();
+
+  GanttOptions opts;
+  opts.width = 60;
+  const auto chart = render_gantt(tracer, opts);
+  EXPECT_NE(chart.find("gpu0"), std::string::npos);
+  EXPECT_NE(chart.find("gpu1"), std::string::npos);
+  // The fast GPU (0) must show idle time (barrier wait) while the slow one
+  // computes: its row contains dots somewhere before the merge.
+  const auto row0 = chart.substr(chart.find("gpu0"));
+  EXPECT_NE(row0.substr(0, 68).find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetero::sim

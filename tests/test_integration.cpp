@@ -1,0 +1,254 @@
+// End-to-end integration tests: the full experimental pipeline on a scaled
+// down Amazon-670k-shaped dataset, checking the relationships the paper's
+// figures rely on.
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/dataset_stats.h"
+#include "data/synthetic.h"
+#include "sim/gantt.h"
+#include "sim/profiles.h"
+#include "sim/trace.h"
+#include "slide/slide_trainer.h"
+
+namespace hetero {
+namespace {
+
+// One shared mini Amazon-shaped dataset for the whole file (generation is
+// the expensive part).
+const data::XmlDataset& amazon_mini() {
+  static const data::XmlDataset dataset = [] {
+    auto cfg = data::amazon670k_small();
+    cfg.num_features = 2048;
+    cfg.num_classes = 256;
+    cfg.num_train = 4000;
+    cfg.num_test = 800;
+    cfg.salient_features_per_class = 16;
+    return data::generate_xml_dataset(cfg);
+  }();
+  return dataset;
+}
+
+core::TrainerConfig experiment_config() {
+  core::TrainerConfig cfg;
+  cfg.hidden = 32;
+  cfg.batch_max = 64;
+  cfg.batches_per_megabatch = 25;
+  cfg.num_megabatches = 5;
+  cfg.learning_rate = 0.5;
+  cfg.eval_samples = 400;
+  cfg.compute_scale = 400.0;
+  return cfg;
+}
+
+TEST(Integration, DatasetShapeMatchesProfileIntent) {
+  const auto stats = data::compute_stats(amazon_mini());
+  EXPECT_NEAR(stats.avg_features_per_sample, 76.0, 15.0);
+  EXPECT_NEAR(stats.avg_labels_per_sample, 5.0, 1.5);
+  EXPECT_GT(stats.feature_nnz_cv, 0.2);  // real nnz variance present
+}
+
+TEST(Integration, AdaptiveBeatsElasticAndSyncInTimeToAccuracy) {
+  const auto devices = sim::v100_heterogeneous(4);
+  std::map<std::string, core::TrainResult> results;
+  for (auto method : {core::Method::kAdaptive, core::Method::kElastic,
+                      core::Method::kSync}) {
+    auto trainer =
+        core::make_trainer(method, amazon_mini(), experiment_config(), devices);
+    results[core::to_string(method)] = trainer->train();
+  }
+
+  // Same samples processed => compare wall-clock of the full run.
+  const double t_adaptive = results["adaptive-sgd"].total_vtime;
+  const double t_elastic = results["elastic-sgd"].total_vtime;
+  const double t_sync = results["sync-sgd-tf"].total_vtime;
+  EXPECT_LT(t_adaptive, t_elastic);
+  EXPECT_LT(t_elastic, t_sync);
+
+  // Pick a target all methods eventually reach; adaptive reaches it first.
+  const double target =
+      0.8 * std::min({results["adaptive-sgd"].best_top1(),
+                      results["elastic-sgd"].best_top1(),
+                      results["sync-sgd-tf"].best_top1()});
+  const auto tta_a = results["adaptive-sgd"].time_to_accuracy(target);
+  const auto tta_s = results["sync-sgd-tf"].time_to_accuracy(target);
+  ASSERT_TRUE(tta_a.has_value());
+  ASSERT_TRUE(tta_s.has_value());
+  EXPECT_LT(*tta_a, *tta_s);
+}
+
+TEST(Integration, MoreGpusFasterWallClock) {
+  // Fig. 5a: more GPUs, shorter time for the same sample budget.
+  std::vector<double> times;
+  for (std::size_t gpus : {1u, 2u, 4u}) {
+    auto trainer = core::make_trainer(core::Method::kAdaptive, amazon_mini(),
+                                      experiment_config(),
+                                      sim::v100_heterogeneous(gpus));
+    times.push_back(trainer->train().total_vtime);
+  }
+  EXPECT_GT(times[0], times[1]);
+  EXPECT_GT(times[1], times[2]);
+}
+
+TEST(Integration, SlideSlowerThanGpuButStatisticallyEfficient) {
+  // Fig. 5: SLIDE needs fewer samples for the same accuracy (more updates)
+  // but takes longer wall-clock than any GPU configuration.
+  auto gpu_trainer = core::make_trainer(core::Method::kAdaptive, amazon_mini(),
+                                        experiment_config(),
+                                        sim::v100_heterogeneous(1));
+  const auto gpu = gpu_trainer->train();
+
+  slide::SlideConfig scfg;
+  scfg.hidden = 32;
+  scfg.learning_rate = 0.05;
+  // The class space is only 256 wide here, so the active set must be a
+  // larger fraction than SLIDE's ~1% at 670k classes for the sampled
+  // softmax to be stable.
+  scfg.min_active = 48;
+  scfg.max_active = 96;
+  scfg.rebuild_every = 2048;
+  scfg.eval_every_samples = experiment_config().megabatch_samples();
+  scfg.total_samples =
+      experiment_config().megabatch_samples() * experiment_config().num_megabatches;
+  scfg.eval_samples = 400;
+  scfg.compute_scale = experiment_config().compute_scale;
+  const auto cpu = slide::SlideTrainer(amazon_mini(), scfg).train();
+
+  EXPECT_GT(cpu.total_vtime, gpu.total_vtime);
+
+  // Statistical efficiency: at the first evaluation point (same sample
+  // count), SLIDE's accuracy should be at least comparable — it performed
+  // megabatch_samples updates vs ~megabatch_samples/batch for the GPU.
+  ASSERT_GE(cpu.curve.size(), 2u);
+  ASSERT_GE(gpu.curve.size(), 2u);
+  EXPECT_GT(cpu.curve[1].top1, gpu.curve[1].top1 * 0.8);
+}
+
+TEST(Integration, PerturbationFrequentlyActive) {
+  // Fig. 6b: replicas regularize quickly, so perturbation fires at high
+  // frequency.
+  auto trainer = core::make_trainer(core::Method::kAdaptive, amazon_mini(),
+                                    experiment_config(),
+                                    sim::v100_heterogeneous(4));
+  const auto result = trainer->train();
+  EXPECT_GT(result.perturbation_frequency(), 0.5);
+}
+
+TEST(Integration, BatchSizesSpreadUnderHeterogeneity) {
+  // Fig. 6a: after several mega-batches the fast GPU's batch stays above
+  // the slow GPU's.
+  auto cfg = experiment_config();
+  cfg.num_megabatches = 6;
+  cfg.batches_per_megabatch = 40;
+  auto trainer = core::make_trainer(core::Method::kAdaptive, amazon_mini(),
+                                    cfg, sim::v100_heterogeneous(4, 0.5));
+  const auto result = trainer->train();
+  const auto& first = result.gpus.front().batch_size;
+  const auto& last = result.gpus.back().batch_size;
+  ASSERT_FALSE(first.empty());
+  EXPECT_GT(first.back(), last.back());
+}
+
+TEST(Integration, RingMultiStreamIsDefaultAndFastest) {
+  // The merge implementation the trainers use must be the paper's winner.
+  core::TrainerConfig cfg = experiment_config();
+  EXPECT_EQ(cfg.allreduce, comm::AllReduceAlgo::kRingMultiStream);
+
+  auto ring = comm::AllReducer(comm::AllReduceAlgo::kRingMultiStream,
+                               sim::default_links(4), 4);
+  auto tree = comm::AllReducer(comm::AllReduceAlgo::kTreeSingleStream,
+                               sim::default_links(4), 1);
+  // At the paper's model scale (an XML MLP is hundreds of MB) the
+  // multi-stream ring wins. For tiny raw buffers the per-step overhead
+  // favors the tree; the allreduce bench maps out that crossover.
+  const std::size_t model_bytes = 100ull * 1024 * 1024;
+  EXPECT_LT(ring.cost(4, model_bytes).seconds,
+            tree.cost(4, model_bytes).seconds);
+}
+
+TEST(Integration, DeliciousShapedPipeline) {
+  // Second dataset shape: many labels per sample (avg ~75 in Table I),
+  // heavy feature rows. Verifies the whole pipeline handles dense-ish
+  // multi-label rows, not just the Amazon shape.
+  auto dcfg = data::delicious200k_small();
+  dcfg.num_features = 1536;
+  dcfg.num_classes = 128;
+  dcfg.num_train = 2000;
+  dcfg.num_test = 400;
+  dcfg.avg_labels_per_sample = 20.0;
+  dcfg.avg_features_per_sample = 120.0;
+  const auto ds = data::generate_xml_dataset(dcfg);
+  EXPECT_GT(ds.train.labels.avg_row_nnz(), 10.0);
+
+  auto cfg = experiment_config();
+  cfg.learning_rate = 0.25;
+  cfg.num_megabatches = 3;
+  auto trainer = core::make_trainer(core::Method::kAdaptive, ds, cfg,
+                                    sim::v100_heterogeneous(4));
+  const auto r = trainer->train();
+  EXPECT_GT(r.final_top1(), r.curve.front().top1);
+  EXPECT_GT(r.final_top1(), 0.15);
+}
+
+TEST(Integration, UtilizationGapExplainsSpeedup) {
+  // The wall-clock advantage of Adaptive over Elastic must be consistent
+  // with the utilization gap the Gantt charts show: elastic wastes exactly
+  // the idle time adaptive recovers.
+  auto cfg = experiment_config();
+  cfg.num_megabatches = 3;
+  const auto devices = sim::v100_heterogeneous(4, 0.5);
+  const auto a =
+      core::make_trainer(core::Method::kAdaptive, amazon_mini(), cfg, devices)
+          ->train();
+  const auto e =
+      core::make_trainer(core::Method::kElastic, amazon_mini(), cfg, devices)
+          ->train();
+  EXPECT_GT(a.mean_utilization(), e.mean_utilization());
+  // Busy time is ~equal (same samples, same kernels up to batch-size
+  // effects); the time ratio tracks the utilization ratio.
+  const double predicted_ratio = a.mean_utilization() / e.mean_utilization();
+  const double actual_ratio = e.total_vtime / a.total_vtime;
+  EXPECT_NEAR(predicted_ratio, actual_ratio, 0.15);
+}
+
+TEST(Integration, TraceAndGanttCoverFullExperiment) {
+  auto cfg = experiment_config();
+  cfg.num_megabatches = 2;
+  sim::Tracer tracer;
+  auto trainer = core::make_trainer(core::Method::kAdaptive, amazon_mini(),
+                                    cfg, sim::v100_heterogeneous(4));
+  trainer->runtime().set_tracer(&tracer);
+  const auto r = trainer->train();
+
+  // One compute event per scheduled batch, comm + merge events per merge.
+  std::size_t total_updates = 0;
+  for (const auto& g : r.gpus) total_updates += g.total_updates;
+  std::size_t compute = 0;
+  for (const auto& e : tracer.events()) compute += e.category == "compute";
+  EXPECT_EQ(compute, total_updates);
+
+  sim::GanttOptions opts;
+  opts.width = 50;
+  const auto chart = sim::render_gantt(tracer, opts);
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_NE(chart.find("gpu" + std::to_string(g)), std::string::npos);
+  }
+}
+
+TEST(Integration, HigherAccuracyWithMoreGpusOrEqual) {
+  // Fig. 4/5: 4 GPUs reach comparable accuracy to 1 GPU for the same sample
+  // budget (the paper reports higher on long runs; short multi-GPU runs can
+  // trail sequential SGD slightly — see the Delicious-200k ramp-up remark
+  // in Section V-B — so we accept a small tolerance here).
+  auto cfg = experiment_config();
+  auto one = core::make_trainer(core::Method::kAdaptive, amazon_mini(), cfg,
+                                sim::v100_heterogeneous(1))
+                 ->train();
+  auto four = core::make_trainer(core::Method::kAdaptive, amazon_mini(), cfg,
+                                 sim::v100_heterogeneous(4))
+                  ->train();
+  EXPECT_GE(four.best_top1(), one.best_top1() - 0.10);
+}
+
+}  // namespace
+}  // namespace hetero

@@ -1,0 +1,122 @@
+#include "sparse/libsvm.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.h"
+
+namespace hetero::sparse {
+namespace {
+
+TEST(Libsvm, ParsesBasicRows) {
+  std::istringstream in(
+      "1,3 0:0.5 4:1.5\n"
+      "2 1:2.0\n");
+  const auto ds = read_libsvm(in);
+  ASSERT_EQ(ds.num_samples(), 2u);
+  EXPECT_EQ(ds.features.cols(), 5u);  // max index + 1
+  EXPECT_EQ(ds.labels.cols(), 4u);
+  EXPECT_EQ(ds.labels.row_cols(0)[0], 1u);
+  EXPECT_EQ(ds.labels.row_cols(0)[1], 3u);
+  EXPECT_FLOAT_EQ(ds.features.row_values(0)[1], 1.5f);
+}
+
+TEST(Libsvm, HeaderLineSetsDimensions) {
+  std::istringstream in(
+      "2 100 50\n"
+      "0 1:1.0\n"
+      "1 2:1.0\n");
+  const auto ds = read_libsvm(in);
+  EXPECT_EQ(ds.features.cols(), 100u);
+  EXPECT_EQ(ds.labels.cols(), 50u);
+}
+
+TEST(Libsvm, ExplicitDimensionsOverride) {
+  std::istringstream in("0 1:1.0\n");
+  const auto ds = read_libsvm(in, 64, 16);
+  EXPECT_EQ(ds.features.cols(), 64u);
+  EXPECT_EQ(ds.labels.cols(), 16u);
+}
+
+TEST(Libsvm, OneBasedIndices) {
+  std::istringstream in("0 1:7.0\n");
+  const auto ds = read_libsvm(in, 0, 0, /*one_based_indices=*/true);
+  EXPECT_EQ(ds.features.row_cols(0)[0], 0u);
+  EXPECT_FLOAT_EQ(ds.features.row_values(0)[0], 7.0f);
+}
+
+TEST(Libsvm, ZeroIndexInOneBasedFileThrows) {
+  std::istringstream in("0 0:7.0\n");
+  EXPECT_THROW(read_libsvm(in, 0, 0, true), std::runtime_error);
+}
+
+TEST(Libsvm, IndexExceedingDeclaredThrows) {
+  std::istringstream in("0 99:1.0\n");
+  EXPECT_THROW(read_libsvm(in, 10, 10), std::runtime_error);
+}
+
+TEST(Libsvm, SkipsCommentsAndBlanks) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "0 1:1.0\n");
+  const auto ds = read_libsvm(in);
+  EXPECT_EQ(ds.num_samples(), 1u);
+}
+
+TEST(Libsvm, MalformedTokenThrows) {
+  std::istringstream in("0 1:1.0 garbage\n");
+  EXPECT_THROW(read_libsvm(in), std::runtime_error);
+}
+
+TEST(Libsvm, RoundTripPreservesData) {
+  // Generate a synthetic dataset, write it, read it back, compare.
+  auto cfg = data::tiny_profile();
+  cfg.num_train = 50;
+  cfg.num_test = 10;
+  const auto ds = data::generate_xml_dataset(cfg);
+
+  std::stringstream buffer;
+  write_libsvm(buffer, ds.train);
+  const auto back = read_libsvm(buffer);
+
+  ASSERT_EQ(back.num_samples(), ds.train.num_samples());
+  EXPECT_EQ(back.features.cols(), ds.train.features.cols());
+  EXPECT_EQ(back.labels.cols(), ds.train.labels.cols());
+  EXPECT_EQ(back.features.nnz(), ds.train.features.nnz());
+  for (std::size_t r = 0; r < back.num_samples(); ++r) {
+    const auto a = back.features.row_cols(r);
+    const auto b = ds.train.features.row_cols(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+      EXPECT_NEAR(back.features.row_values(r)[i],
+                  ds.train.features.row_values(r)[i], 1e-4f);
+    }
+    const auto la = back.labels.row_cols(r);
+    const auto lb = ds.train.labels.row_cols(r);
+    ASSERT_EQ(la.size(), lb.size());
+    for (std::size_t i = 0; i < la.size(); ++i) EXPECT_EQ(la[i], lb[i]);
+  }
+}
+
+TEST(Libsvm, FileRoundTrip) {
+  auto cfg = data::tiny_profile();
+  cfg.num_train = 20;
+  cfg.num_test = 5;
+  const auto ds = data::generate_xml_dataset(cfg);
+  const std::string path = ::testing::TempDir() + "/ds.svm";
+  write_libsvm_file(path, ds.train);
+  const auto back = read_libsvm_file(path);
+  EXPECT_EQ(back.num_samples(), ds.train.num_samples());
+  EXPECT_EQ(back.features.nnz(), ds.train.features.nnz());
+  std::remove(path.c_str());
+}
+
+TEST(Libsvm, MissingFileThrows) {
+  EXPECT_THROW(read_libsvm_file("/nonexistent/path.svm"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hetero::sparse

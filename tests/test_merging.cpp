@@ -1,0 +1,294 @@
+// Algorithm 2 (Normalized Model Merging) unit tests.
+#include "core/merging.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace hetero::core {
+namespace {
+
+MergeInputs base_inputs() {
+  MergeInputs in;
+  in.updates = {25, 25, 25, 25};
+  in.batch_sizes = {64, 64, 64, 64};
+  in.l2_per_param = {0.5, 0.5, 0.5, 0.5};  // NOT regularized by default
+  in.pert_threshold = 0.1;
+  in.pert_delta = 0.1;
+  return in;
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Merging, EqualUpdatesNormalizeByBatchSize) {
+  auto in = base_inputs();
+  in.batch_sizes = {100, 50, 25, 25};
+  const auto w = compute_merge_weights(in);
+  EXPECT_FALSE(w.by_updates);
+  EXPECT_NEAR(w.alpha[0], 0.5, 1e-12);
+  EXPECT_NEAR(w.alpha[1], 0.25, 1e-12);
+  EXPECT_NEAR(sum(w.alpha), 1.0, 1e-12);
+}
+
+TEST(Merging, UnequalUpdatesNormalizeByUpdates) {
+  auto in = base_inputs();
+  in.updates = {30, 20, 25, 25};
+  const auto w = compute_merge_weights(in);
+  EXPECT_TRUE(w.by_updates);
+  EXPECT_NEAR(w.alpha[0], 0.30, 1e-12);
+  EXPECT_NEAR(w.alpha[1], 0.20, 1e-12);
+  EXPECT_NEAR(sum(w.alpha), 1.0, 1e-12);
+}
+
+TEST(Merging, NoPerturbationWhenUnregularized) {
+  auto in = base_inputs();
+  in.updates = {30, 20, 25, 25};
+  in.l2_per_param = {0.05, 0.05, 0.5, 0.05};  // one replica skewed
+  const auto w = compute_merge_weights(in);
+  EXPECT_FALSE(w.perturbed);
+  EXPECT_NEAR(sum(w.alpha), 1.0, 1e-12);
+}
+
+TEST(Merging, PerturbationWhenAllRegularized) {
+  auto in = base_inputs();
+  in.updates = {30, 20, 25, 25};
+  in.l2_per_param = {0.05, 0.04, 0.06, 0.05};
+  const auto w = compute_merge_weights(in);
+  EXPECT_TRUE(w.perturbed);
+  // Most updated (index 0) boosted, least updated (index 1) reduced.
+  EXPECT_NEAR(w.alpha[0], 0.30 * 1.1, 1e-12);
+  EXPECT_NEAR(w.alpha[1], 0.20 * 0.9, 1e-12);
+  EXPECT_NEAR(w.alpha[2], 0.25, 1e-12);
+  // Deliberate denormalization: the sum may differ from 1.
+  EXPECT_NE(sum(w.alpha), 1.0);
+}
+
+TEST(Merging, PerturbationDisabledByFlag) {
+  auto in = base_inputs();
+  in.updates = {30, 20, 25, 25};
+  in.l2_per_param = {0.05, 0.04, 0.06, 0.05};
+  in.enable_perturbation = false;
+  const auto w = compute_merge_weights(in);
+  EXPECT_FALSE(w.perturbed);
+  EXPECT_NEAR(sum(w.alpha), 1.0, 1e-12);
+}
+
+TEST(Merging, ThresholdBoundaryIsExclusive) {
+  auto in = base_inputs();
+  in.updates = {30, 20};
+  in.batch_sizes = {64, 64};
+  in.l2_per_param = {0.1, 0.05};  // exactly at threshold -> not "below"
+  const auto w = compute_merge_weights(in);
+  EXPECT_FALSE(w.perturbed);
+}
+
+TEST(Merging, CustomDelta) {
+  auto in = base_inputs();
+  in.updates = {30, 20};
+  in.batch_sizes = {64, 64};
+  in.l2_per_param = {0.01, 0.01};
+  in.pert_delta = 0.25;
+  const auto w = compute_merge_weights(in);
+  EXPECT_NEAR(w.alpha[0], 0.6 * 1.25, 1e-12);
+  EXPECT_NEAR(w.alpha[1], 0.4 * 0.75, 1e-12);
+}
+
+TEST(Merging, SingleGpuWeightIsOne) {
+  MergeInputs in;
+  in.updates = {25};
+  in.batch_sizes = {64};
+  in.l2_per_param = {0.01};
+  const auto w = compute_merge_weights(in);
+  ASSERT_EQ(w.alpha.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.alpha[0], 1.0);
+  EXPECT_FALSE(w.perturbed);  // perturbation needs n > 1
+}
+
+TEST(Merging, TieBreaksFirstIndex) {
+  auto in = base_inputs();
+  in.updates = {30, 30, 20, 20};
+  in.l2_per_param = {0.01, 0.01, 0.01, 0.01};
+  const auto w = compute_merge_weights(in);
+  EXPECT_TRUE(w.perturbed);
+  EXPECT_NEAR(w.alpha[0], 0.3 * 1.1, 1e-12);  // argmax = first max
+  EXPECT_NEAR(w.alpha[1], 0.3, 1e-12);
+  EXPECT_NEAR(w.alpha[2], 0.2 * 0.9, 1e-12);  // argmin = first min
+  EXPECT_NEAR(w.alpha[3], 0.2, 1e-12);
+}
+
+TEST(Merging, MomentumUpdateFormula) {
+  // w' = merged + gamma*(w - w_prev); w_prev <- w; w <- w'.
+  std::vector<float> merged{1.0f, 2.0f};
+  std::vector<float> global{3.0f, 5.0f};
+  std::vector<float> prev{2.0f, 5.0f};
+  momentum_global_update({merged.data(), 2}, {global.data(), 2},
+                         {prev.data(), 2}, 0.9);
+  EXPECT_FLOAT_EQ(global[0], 1.0f + 0.9f * (3.0f - 2.0f));
+  EXPECT_FLOAT_EQ(global[1], 2.0f + 0.9f * (5.0f - 5.0f));
+  EXPECT_FLOAT_EQ(prev[0], 3.0f);  // previous global moved forward
+  EXPECT_FLOAT_EQ(prev[1], 5.0f);
+}
+
+TEST(Merging, MomentumZeroReducesToAssignment) {
+  std::vector<float> merged{7.0f};
+  std::vector<float> global{1.0f};
+  std::vector<float> prev{0.0f};
+  momentum_global_update({merged.data(), 1}, {global.data(), 1},
+                         {prev.data(), 1}, 0.0);
+  EXPECT_FLOAT_EQ(global[0], 7.0f);
+}
+
+TEST(Merging, MomentumAccumulatesDirection) {
+  // Repeated merges toward larger values build velocity with gamma > 0.
+  std::vector<float> global{0.0f}, prev{0.0f};
+  for (int i = 1; i <= 3; ++i) {
+    std::vector<float> merged{static_cast<float>(i)};
+    momentum_global_update({merged.data(), 1}, {global.data(), 1},
+                           {prev.data(), 1}, 0.9);
+  }
+  // Without momentum the result would be 3.0; with momentum it overshoots.
+  EXPECT_GT(global[0], 3.0f);
+}
+
+TEST(Merging, AllEqualUpdatesPerturbSameIndex) {
+  // Literal Algorithm 2: with all update counts equal, argmax == argmin, so
+  // the same weight receives both (1+delta) and (1-delta) — a near-no-op
+  // factor of (1 - delta^2). The merge still counts as perturbed.
+  auto in = base_inputs();
+  in.l2_per_param = {0.01, 0.01, 0.01, 0.01};
+  const auto w = compute_merge_weights(in);
+  EXPECT_TRUE(w.perturbed);
+  EXPECT_NEAR(w.alpha[0], 0.25 * (1.0 - 0.01), 1e-12);
+  EXPECT_NEAR(w.alpha[1], 0.25, 1e-12);
+}
+
+TEST(Merging, ExplicitUpdatesNormalization) {
+  auto in = base_inputs();  // equal updates
+  in.batch_sizes = {100, 50, 25, 25};
+  in.normalization = MergeNormalization::kUpdates;
+  const auto w = compute_merge_weights(in);
+  EXPECT_TRUE(w.by_updates);
+  for (double a : w.alpha) EXPECT_NEAR(a, 0.25, 1e-12);  // ignores batches
+}
+
+TEST(Merging, ExplicitBatchSizeNormalization) {
+  auto in = base_inputs();
+  in.updates = {30, 20, 25, 25};  // unequal
+  in.batch_sizes = {100, 50, 25, 25};
+  in.normalization = MergeNormalization::kBatchSize;
+  const auto w = compute_merge_weights(in);
+  EXPECT_FALSE(w.by_updates);
+  EXPECT_NEAR(w.alpha[0], 0.5, 1e-12);  // ignores updates
+}
+
+TEST(Merging, ProductNormalization) {
+  // Section III-B alternative: weight by samples consumed (u_i * b_i).
+  auto in = base_inputs();
+  in.updates = {30, 20};
+  in.batch_sizes = {64, 96};
+  in.l2_per_param = {0.5, 0.5};
+  in.updates.resize(2);
+  in.batch_sizes.resize(2);
+  in.l2_per_param.resize(2);
+  in.normalization = MergeNormalization::kUpdatesTimesBatch;
+  const auto w = compute_merge_weights(in);
+  const double s0 = 30.0 * 64.0, s1 = 20.0 * 96.0;
+  EXPECT_NEAR(w.alpha[0], s0 / (s0 + s1), 1e-12);
+  EXPECT_NEAR(w.alpha[1], s1 / (s0 + s1), 1e-12);
+}
+
+class DeltaParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeltaParam, PerturbationMagnitude) {
+  auto in = base_inputs();
+  in.updates = {40, 10};
+  in.batch_sizes = {64, 64};
+  in.l2_per_param = {0.01, 0.01};
+  in.pert_delta = GetParam();
+  const auto w = compute_merge_weights(in);
+  EXPECT_NEAR(w.alpha[0], 0.8 * (1.0 + GetParam()), 1e-12);
+  EXPECT_NEAR(w.alpha[1], 0.2 * (1.0 - GetParam()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaParam,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.5));
+
+// Randomized invariants of Algorithm 2 over arbitrary valid inputs.
+class RandomMergeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMergeSweep, WeightsWellFormed) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 1 + rng.next_below(8);
+  MergeInputs in;
+  for (std::size_t i = 0; i < n; ++i) {
+    in.updates.push_back(1 + rng.next_below(50));
+    in.batch_sizes.push_back(16 + rng.next_below(112));
+    in.l2_per_param.push_back(rng.uniform(0.0, 0.3));
+  }
+  in.pert_threshold = rng.uniform(0.0, 0.2);
+  in.pert_delta = rng.uniform(0.0, 0.5);
+  in.enable_perturbation = rng.bernoulli(0.7);
+  const MergeNormalization norms[] = {
+      MergeNormalization::kAuto, MergeNormalization::kUpdates,
+      MergeNormalization::kBatchSize, MergeNormalization::kUpdatesTimesBatch};
+  in.normalization = norms[rng.next_below(4)];
+
+  const auto w = compute_merge_weights(in);
+  ASSERT_EQ(w.alpha.size(), n);
+  double total = 0.0;
+  for (double a : w.alpha) {
+    EXPECT_GE(a, 0.0);   // weights never negative (delta <= 0.5 here)
+    EXPECT_LE(a, 1.6);   // and bounded by (1+delta)
+    total += a;
+  }
+  if (!w.perturbed) {
+    EXPECT_NEAR(total, 1.0, 1e-9);  // normalized unless perturbed
+  } else {
+    // Perturbation moves the sum by at most delta * (alpha_r - alpha_s).
+    EXPECT_NEAR(total, 1.0, in.pert_delta + 1e-9);
+  }
+}
+
+TEST_P(RandomMergeSweep, MomentumUpdateIsLinear) {
+  // w'(a*m1 + b*m2) == a*w'(m1) + b*w'(m2) for the merged-input argument
+  // (fixed global/previous): momentum_global_update is affine in `merged`.
+  util::Rng rng(GetParam() ^ 0x1234);
+  const std::size_t len = 16;
+  std::vector<float> m1(len), m2(len), g0(len), p0(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    m1[i] = static_cast<float>(rng.uniform(-1, 1));
+    m2[i] = static_cast<float>(rng.uniform(-1, 1));
+    g0[i] = static_cast<float>(rng.uniform(-1, 1));
+    p0[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  const double gamma = rng.uniform(0.0, 0.95);
+
+  auto apply = [&](const std::vector<float>& merged) {
+    auto g = g0;
+    auto p = p0;
+    momentum_global_update({merged.data(), len}, {g.data(), len},
+                           {p.data(), len}, gamma);
+    return g;
+  };
+  std::vector<float> mix(len);
+  for (std::size_t i = 0; i < len; ++i) mix[i] = 0.25f * m1[i] + 0.75f * m2[i];
+  const auto g_mix = apply(mix);
+  const auto g1 = apply(m1);
+  const auto g2 = apply(m2);
+  for (std::size_t i = 0; i < len; ++i) {
+    // Affine part cancels: g_mix - base == 0.25*(g1-base) + 0.75*(g2-base)
+    const float base = g0[i] + static_cast<float>(gamma) * (g0[i] - p0[i]);
+    EXPECT_NEAR(g_mix[i] - base,
+                0.25f * (g1[i] - base) + 0.75f * (g2[i] - base), 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMergeSweep,
+                         ::testing::Range<std::uint64_t>(50, 62));
+
+}  // namespace
+}  // namespace hetero::core

@@ -1,0 +1,112 @@
+// SSP parameter-server trainer tests (staleness bounds per Ho et al.,
+// the convergence framework the paper cites for Algorithm 1's b_min/b_max
+// bounds).
+#include "core/param_server.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "sim/profiles.h"
+
+namespace hetero::core {
+namespace {
+
+const data::XmlDataset& dataset() {
+  static const data::XmlDataset d = [] {
+    auto cfg = data::tiny_profile();
+    cfg.num_train = 2000;
+    return data::generate_xml_dataset(cfg);
+  }();
+  return d;
+}
+
+TrainerConfig config() {
+  TrainerConfig cfg;
+  cfg.hidden = 16;
+  cfg.batch_max = 32;
+  cfg.batches_per_megabatch = 16;
+  cfg.num_megabatches = 3;
+  cfg.learning_rate = 0.3;
+  cfg.eval_samples = 200;
+  cfg.compute_scale = 2000.0;
+  return cfg;
+}
+
+TrainResult run(std::size_t gpus, std::size_t bound,
+                double gap = 0.32, TrainerConfig cfg = config()) {
+  ParamServerTrainer trainer(dataset(), cfg,
+                             sim::v100_heterogeneous(gpus, gap), bound);
+  return trainer.train();
+}
+
+TEST(ParamServer, ImprovesAccuracy) {
+  const auto r = run(2, 2);
+  EXPECT_GT(r.final_top1(), r.curve.front().top1 + 0.15);
+  EXPECT_EQ(r.method, "ssp-ps");
+}
+
+TEST(ParamServer, StalenessRespectsBound) {
+  // With SSP bound s, a gradient can be stale by at most (n-1)*(s+1)
+  // applied updates (every other GPU fits at most s+1 updates in the
+  // window). The average must be well below that.
+  const std::size_t n = 4, s = 1;
+  const auto r = run(n, s, 0.5);
+  EXPECT_LE(r.avg_staleness,
+            static_cast<double>((n - 1) * (s + 1)));
+}
+
+TEST(ParamServer, ZeroBoundIsNearSynchronous) {
+  const auto tight = run(4, 0, 0.5);
+  const auto loose = run(4, 8, 0.5);
+  EXPECT_LT(tight.avg_staleness, loose.avg_staleness);
+}
+
+TEST(ParamServer, StallsHappenUnderHeterogeneityWithTightBound) {
+  TrainerConfig cfg = config();
+  ParamServerTrainer trainer(dataset(), cfg, sim::v100_heterogeneous(4, 0.5),
+                             /*staleness_bound=*/0);
+  trainer.train();
+  EXPECT_GT(trainer.ssp_stalls(), 0u);
+}
+
+TEST(ParamServer, LooseBoundFasterThanTightUnderHeterogeneity) {
+  // The SSP trade-off: a tighter window means more waiting on stragglers.
+  const auto tight = run(4, 0, 0.5);
+  const auto loose = run(4, 6, 0.5);
+  EXPECT_GE(tight.total_vtime, loose.total_vtime * 0.999);
+}
+
+TEST(ParamServer, CommChargedForPullPush) {
+  const auto r = run(2, 2);
+  EXPECT_GT(r.comm_seconds, 0.0);
+}
+
+TEST(ParamServer, Deterministic) {
+  const auto a = run(3, 2);
+  const auto b = run(3, 2);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.curve[i].top1, b.curve[i].top1);
+    EXPECT_DOUBLE_EQ(a.curve[i].vtime, b.curve[i].vtime);
+  }
+}
+
+TEST(ParamServer, SingleGpuZeroStaleness) {
+  const auto r = run(1, 4);
+  EXPECT_DOUBLE_EQ(r.avg_staleness, 0.0);
+}
+
+class BoundSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BoundSweep, RunsAndAccounts) {
+  const auto r = run(3, GetParam());
+  std::size_t total = 0;
+  for (const auto& g : r.gpus) total += g.total_samples;
+  EXPECT_GE(total, config().megabatch_samples() * config().num_megabatches);
+  EXPECT_GT(r.final_top1(), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, BoundSweep, ::testing::Values(0, 1, 2, 4, 16));
+
+}  // namespace
+}  // namespace hetero::core

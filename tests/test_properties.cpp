@@ -1,0 +1,167 @@
+// Cross-cutting invariants, swept over every training method and GPU count
+// (parameterized property tests). These pin down the contracts the figures
+// rely on: monotone virtual time, exact sample accounting, post-merge
+// replica consistency, finite parameters, and cost-model scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "sim/profiles.h"
+
+namespace hetero::core {
+namespace {
+
+const data::XmlDataset& dataset() {
+  static const data::XmlDataset d = [] {
+    auto cfg = data::tiny_profile();
+    cfg.num_train = 2000;
+    return data::generate_xml_dataset(cfg);
+  }();
+  return d;
+}
+
+TrainerConfig base_config() {
+  TrainerConfig cfg;
+  cfg.hidden = 16;
+  cfg.batch_max = 32;
+  cfg.batches_per_megabatch = 12;
+  cfg.num_megabatches = 3;
+  cfg.learning_rate = 0.3;
+  cfg.eval_samples = 150;
+  cfg.compute_scale = 1000.0;
+  return cfg;
+}
+
+using Case = std::tuple<Method, std::size_t>;
+
+class TrainerProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  static std::unique_ptr<Trainer> make(TrainerConfig cfg) {
+    const auto [method, gpus] = GetParam();
+    return make_trainer(method, dataset(), cfg,
+                        sim::v100_heterogeneous(gpus));
+  }
+};
+
+TEST_P(TrainerProperty, CurveVirtualTimeStrictlyIncreases) {
+  const auto r = make(base_config())->train();
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GT(r.curve[i].vtime, r.curve[i - 1].vtime) << i;
+  }
+}
+
+TEST_P(TrainerProperty, SamplesMonotoneAndMeetBudget) {
+  const auto cfg = base_config();
+  const auto r = make(cfg)->train();
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GE(r.curve[i].samples, r.curve[i - 1].samples);
+  }
+  // Every method must process at least the mega-batch quota per merge
+  // (sync/crossbow round the batch count down to a multiple of n, so allow
+  // one round of slack per mega-batch).
+  const auto [method, gpus] = GetParam();
+  const std::size_t slack = gpus * cfg.batch_max * cfg.num_megabatches;
+  EXPECT_GE(r.curve.back().samples + slack,
+            cfg.megabatch_samples() * cfg.num_megabatches);
+}
+
+TEST_P(TrainerProperty, PerGpuAccountingConsistent) {
+  const auto cfg = base_config();
+  const auto [method, gpus] = GetParam();
+  const auto r = make(cfg)->train();
+  std::size_t total_samples = 0;
+  for (const auto& g : r.gpus) {
+    total_samples += g.total_samples;
+    EXPECT_GE(g.busy_seconds, 0.0);
+    EXPECT_LE(g.busy_seconds, r.total_vtime + 1e-9);
+    EXPECT_EQ(g.batch_size.size(), g.updates.size());
+  }
+  // The curve counts samples drawn from the stream; the asynchronous
+  // trainer may have up to one batch per GPU in flight (drawn, not yet
+  // applied) at the measurement point.
+  EXPECT_LE(total_samples, r.curve.back().samples);
+  EXPECT_GE(total_samples + gpus * cfg.batch_max, r.curve.back().samples);
+}
+
+TEST_P(TrainerProperty, GlobalModelStaysFinite) {
+  auto trainer = make(base_config());
+  trainer->train();
+  for (float v : trainer->runtime().global_model().to_flat()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(TrainerProperty, VirtualTimeScalesWithComputeScale) {
+  auto cfg = base_config();
+  const double t1 = make(cfg)->train().total_vtime;
+  cfg.compute_scale *= 4.0;
+  const double t4 = make(cfg)->train().total_vtime;
+  // Compute dominates at these scales: 4x work -> roughly 3-4x time (some
+  // constant comm/launch overhead dilutes it).
+  EXPECT_GT(t4, 2.0 * t1);
+  EXPECT_LT(t4, 5.0 * t1);
+}
+
+TEST_P(TrainerProperty, CurvePassesMatchSamples) {
+  const auto r = make(base_config())->train();
+  for (const auto& p : r.curve) {
+    EXPECT_NEAR(p.passes,
+                static_cast<double>(p.samples) /
+                    static_cast<double>(dataset().train.num_samples()),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, TrainerProperty,
+    ::testing::Combine(::testing::Values(Method::kAdaptive, Method::kElastic,
+                                         Method::kSync, Method::kCrossbow,
+                                         Method::kAsync),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_x" +
+                         std::to_string(std::get<1>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Merge-based methods only: replica consistency and communication charges.
+class MergeProperty : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MergeProperty, ReplicasHoldGlobalModelAfterTraining) {
+  auto trainer = make_trainer(GetParam(), dataset(), base_config(),
+                              sim::v100_heterogeneous(3));
+  trainer->train();
+  auto& rt = trainer->runtime();
+  for (std::size_t g = 0; g < rt.num_gpus(); ++g) {
+    EXPECT_DOUBLE_EQ(rt.replica(g).squared_distance(rt.global_model()), 0.0)
+        << "replica " << g;
+  }
+}
+
+TEST_P(MergeProperty, CommunicationTimeCharged) {
+  auto trainer = make_trainer(GetParam(), dataset(), base_config(),
+                              sim::v100_heterogeneous(3));
+  const auto r = trainer->train();
+  EXPECT_GT(r.comm_seconds, 0.0);
+  EXPECT_LT(r.comm_seconds, r.total_vtime);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, MergeProperty,
+                         ::testing::Values(Method::kAdaptive,
+                                           Method::kElastic),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hetero::core

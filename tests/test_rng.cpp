@@ -1,0 +1,200 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace hetero::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 4.5);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 4.5);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(13);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(n), n);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(29);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, LognormalMean) {
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); with mu = -sigma^2/2 the
+  // mean is 1 — the convention the data generator relies on.
+  Rng rng(37);
+  const double sigma = 0.4;
+  const double mu = -0.5 * sigma * sigma;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(43);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng parent(47);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  Rng rng(59);
+  ZipfSampler sampler(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+}
+
+TEST(ZipfSampler, HeavyHeadWhenSkewed) {
+  Rng rng(61);
+  ZipfSampler sampler(1000, 1.2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[sampler.sample(rng)];
+  // Rank 0 must dominate rank 100 by roughly (101)^1.2.
+  EXPECT_GT(counts[0], counts[100] * 20);
+}
+
+TEST(ZipfSampler, FrequenciesMonotoneOnAverage) {
+  Rng rng(67);
+  ZipfSampler sampler(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[sampler.sample(rng)];
+  // Compare decade buckets rather than adjacent ranks (noise).
+  int head = 0, tail = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  for (int i = 40; i < 50; ++i) tail += counts[i];
+  EXPECT_GT(head, tail * 3);
+}
+
+TEST(ZipfSampler, AllValuesReachable) {
+  Rng rng(71);
+  ZipfSampler sampler(5, 1.0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(sampler.sample(rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+class RngBoundedParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundedParam, NextBelowNeverExceeds) {
+  Rng rng(GetParam());
+  const std::uint64_t n = GetParam() % 97 + 1;
+  for (int i = 0; i < 500; ++i) EXPECT_LT(rng.next_below(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBoundedParam,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace hetero::util

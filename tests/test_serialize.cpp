@@ -1,0 +1,135 @@
+// Model checkpointing and TrainResult export tests.
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/result_io.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+nn::MlpModel make_model() {
+  nn::MlpConfig cfg;
+  cfg.num_features = 20;
+  cfg.hidden = 6;
+  cfg.num_classes = 9;
+  nn::MlpModel model(cfg);
+  util::Rng rng(5);
+  model.init(rng);
+  return model;
+}
+
+TEST(Serialize, RoundTripPreservesModel) {
+  const auto model = make_model();
+  std::stringstream buffer;
+  nn::save_model(buffer, model);
+  const auto loaded = nn::load_model(buffer);
+  EXPECT_EQ(loaded.config().num_features, 20u);
+  EXPECT_EQ(loaded.config().hidden, 6u);
+  EXPECT_EQ(loaded.config().num_classes, 9u);
+  EXPECT_DOUBLE_EQ(loaded.squared_distance(model), 0.0);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto model = make_model();
+  const std::string path = ::testing::TempDir() + "/model.hgpu";
+  nn::save_model_file(path, model);
+  const auto loaded = nn::load_model_file(path);
+  EXPECT_DOUBLE_EQ(loaded.squared_distance(model), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream buffer("NOPE rest of garbage");
+  EXPECT_THROW(nn::load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedParametersRejected) {
+  const auto model = make_model();
+  std::stringstream buffer;
+  nn::save_model(buffer, model);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(nn::load_model(truncated), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(nn::load_model_file("/nonexistent/m.hgpu"),
+               std::runtime_error);
+  EXPECT_THROW(nn::save_model_file("/nonexistent/dir/m.hgpu", make_model()),
+               std::runtime_error);
+}
+
+core::TrainResult sample_result() {
+  core::TrainResult r;
+  r.method = "adaptive-sgd";
+  r.dataset = "tiny";
+  r.num_gpus = 2;
+  r.merges = 2;
+  r.perturbed_merges = 1;
+  r.total_vtime = 1.5;
+  r.curve.push_back({0.0, 0, 0.0, 0, 0.01, 0.05, 4.0, 0.0});
+  r.curve.push_back({1.5, 640, 0.32, 1, 0.5, 0.7, 2.0, 3.0});
+  r.gpus.resize(2);
+  r.gpus[0].batch_size = {64, 72};
+  r.gpus[0].updates = {5, 6};
+  r.gpus[0].total_updates = 11;
+  r.gpus[0].busy_seconds = 1.2;
+  r.gpus[1].batch_size = {64, 56};
+  r.gpus[1].updates = {5, 4};
+  return r;
+}
+
+TEST(ResultIo, CsvHasHeaderAndRows) {
+  std::ostringstream out;
+  core::write_curve_csv(out, sample_result());
+  const auto text = out.str();
+  EXPECT_NE(text.find("dataset,method,gpus,megabatch"), std::string::npos);
+  EXPECT_NE(text.find("tiny,adaptive-sgd,2,1,1.5,640"), std::string::npos);
+  // header + 2 rows = 3 lines.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(ResultIo, CsvMultipleResultsShareHeader) {
+  std::ostringstream out;
+  core::write_curve_csv(out, std::vector<core::TrainResult>{
+                                 sample_result(), sample_result()});
+  const auto text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+TEST(ResultIo, JsonContainsSummaryAndTraces) {
+  std::ostringstream out;
+  core::write_result_json(out, sample_result());
+  const auto json = out.str();
+  EXPECT_NE(json.find("\"method\":\"adaptive-sgd\""), std::string::npos);
+  EXPECT_NE(json.find("\"merges\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_size\":[64,72]"), std::string::npos);
+  EXPECT_NE(json.find("\"best_top1\":0.5"), std::string::npos);
+  // Balanced braces / brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ResultIo, JsonFileWrite) {
+  const std::string path = ::testing::TempDir() + "/result.json";
+  core::write_result_json_file(path, sample_result());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_FALSE(json.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hetero

@@ -1,0 +1,291 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/link_model.h"
+#include "sim/profiles.h"
+#include "sim/virtual_gpu.h"
+#include "util/stats.h"
+
+namespace hetero::sim {
+namespace {
+
+KernelDesc dense_kernel(double gflop) {
+  return {gflop * 1e9, 0.0, false, "dense"};
+}
+
+TEST(CostModel, ComputeBoundKernel) {
+  DeviceSpec spec;
+  spec.dense_gflops = 1000.0;
+  spec.jitter_sigma = 0.0;
+  // 1 GFLOP on a 1000 GFLOP/s device = 1 ms.
+  EXPECT_NEAR(CostModel::kernel_seconds(dense_kernel(1.0), spec), 1e-3,
+              1e-9);
+}
+
+TEST(CostModel, MemoryBoundKernelUsesBandwidth) {
+  DeviceSpec spec;
+  spec.mem_bandwidth_gbs = 100.0;
+  KernelDesc k{1.0, 1e9, false, "memcpy-ish"};  // 1 GB, negligible flops
+  EXPECT_NEAR(CostModel::kernel_seconds(k, spec), 0.01, 1e-9);
+}
+
+TEST(CostModel, RooflineTakesMax) {
+  DeviceSpec spec;
+  spec.dense_gflops = 1.0;
+  spec.mem_bandwidth_gbs = 1000.0;
+  KernelDesc k{2e9, 1e3, false, "compute-bound"};
+  EXPECT_NEAR(CostModel::kernel_seconds(k, spec), 2.0, 1e-9);
+}
+
+TEST(CostModel, SparseKernelsUseSparseRate) {
+  DeviceSpec spec;
+  spec.dense_gflops = 10000.0;
+  spec.sparse_gflops = 100.0;
+  KernelDesc sparse{1e9, 0.0, true, "spmm"};
+  KernelDesc dense{1e9, 0.0, false, "gemm"};
+  EXPECT_GT(CostModel::kernel_seconds(sparse, spec),
+            50 * CostModel::kernel_seconds(dense, spec));
+}
+
+TEST(CostModel, SlowerDeviceTakesLonger) {
+  DeviceSpec fast, slow;
+  fast.speed_factor = 1.0;
+  slow.speed_factor = 0.76;
+  const auto k = dense_kernel(1.0);
+  const double tf = CostModel::kernel_seconds(k, fast);
+  const double ts = CostModel::kernel_seconds(k, slow);
+  EXPECT_NEAR(ts / tf, 1.0 / 0.76, 1e-9);
+}
+
+TEST(CostModel, LaunchOverheadScalesWithLaunches) {
+  DeviceSpec spec;
+  EXPECT_NEAR(CostModel::launch_seconds(10, 1, spec),
+              10 * CostModel::launch_seconds(1, 1, spec), 1e-12);
+}
+
+TEST(CostModel, LaunchContentionGrowsWithManagers) {
+  // Section IV: kernel startup overhead increases with the number of GPUs
+  // sharing the CUDA environment.
+  DeviceSpec spec;
+  const double one = CostModel::launch_seconds(1, 1, spec);
+  const double four = CostModel::launch_seconds(1, 4, spec);
+  EXPECT_GT(four, one);
+  EXPECT_NEAR(four / one, 1.0 + spec.launch_contention * 3, 1e-9);
+}
+
+TEST(CostModel, FusionReducesLaunches) {
+  DeviceSpec spec;
+  spec.jitter_sigma = 0.0;
+  util::Rng rng(1);
+  std::vector<KernelDesc> kernels(12, dense_kernel(0.001));
+  const double fused = CostModel::sequence_seconds(kernels, spec, true, 4, rng);
+  const double unfused =
+      CostModel::sequence_seconds(kernels, spec, false, 4, rng);
+  EXPECT_GT(unfused, fused);
+  EXPECT_NEAR(unfused - fused, CostModel::launch_seconds(11, 4, spec), 1e-9);
+}
+
+TEST(CostModel, JitterIsMultiplicativeAndSeeded) {
+  DeviceSpec spec;
+  spec.jitter_sigma = 0.2;
+  util::Rng a(7), b(7);
+  std::vector<KernelDesc> kernels{dense_kernel(1.0)};
+  const double ta = CostModel::sequence_seconds(kernels, spec, true, 1, a);
+  const double tb = CostModel::sequence_seconds(kernels, spec, true, 1, b);
+  EXPECT_DOUBLE_EQ(ta, tb);  // same seed, same draw
+  util::Rng c(8);
+  const double tc = CostModel::sequence_seconds(kernels, spec, true, 1, c);
+  EXPECT_NE(ta, tc);
+}
+
+TEST(VirtualGpu, StreamClockAdvances) {
+  VirtualGpu gpu(0, DeviceSpec{}, 1);
+  const double t1 = gpu.submit(0, {dense_kernel(0.1)}, 0.0);
+  EXPECT_GT(t1, 0.0);
+  const double t2 = gpu.submit(0, {dense_kernel(0.1)}, 0.0);
+  EXPECT_GT(t2, t1);  // same stream serializes
+}
+
+TEST(VirtualGpu, EarliestStartRespected) {
+  VirtualGpu gpu(0, DeviceSpec{}, 2);
+  const double t = gpu.submit(0, {dense_kernel(0.01)}, 5.0);
+  EXPECT_GT(t, 5.0);
+}
+
+TEST(VirtualGpu, StreamsAreIndependent) {
+  DeviceSpec spec;
+  spec.jitter_sigma = 0.0;
+  VirtualGpu gpu(0, spec, 1, 2);
+  gpu.submit(0, {dense_kernel(10.0)}, 0.0);
+  const double t1 = gpu.submit(1, {dense_kernel(0.001)}, 0.0);
+  EXPECT_LT(t1, gpu.stream_free_at(0));  // stream 1 unaffected by stream 0
+}
+
+TEST(VirtualGpu, DeviceFreeAtIsMaxOverStreams) {
+  VirtualGpu gpu(0, DeviceSpec{}, 1, 3);
+  gpu.submit(2, {dense_kernel(1.0)}, 0.0);
+  EXPECT_DOUBLE_EQ(gpu.device_free_at(), gpu.stream_free_at(2));
+}
+
+TEST(VirtualGpu, WaitAllUntilSynchronizes) {
+  VirtualGpu gpu(0, DeviceSpec{}, 1, 2);
+  gpu.wait_all_until(42.0);
+  EXPECT_DOUBLE_EQ(gpu.stream_free_at(0), 42.0);
+  EXPECT_DOUBLE_EQ(gpu.stream_free_at(1), 42.0);
+  gpu.wait_all_until(1.0);  // never goes backwards
+  EXPECT_DOUBLE_EQ(gpu.stream_free_at(0), 42.0);
+}
+
+TEST(VirtualGpu, BusySecondsAccumulate) {
+  DeviceSpec spec;
+  spec.jitter_sigma = 0.0;
+  VirtualGpu gpu(0, spec, 1);
+  EXPECT_DOUBLE_EQ(gpu.busy_seconds(), 0.0);
+  gpu.submit(0, {dense_kernel(1.0)}, 0.0);
+  EXPECT_GT(gpu.busy_seconds(), 0.0);
+}
+
+TEST(VirtualGpu, MemoryAccounting) {
+  DeviceSpec spec;
+  spec.memory_bytes = 1000;
+  VirtualGpu gpu(0, spec, 1);
+  gpu.allocate(600);
+  EXPECT_EQ(gpu.memory_used(), 600u);
+  EXPECT_EQ(gpu.memory_free(), 400u);
+  gpu.free(100);
+  EXPECT_EQ(gpu.memory_used(), 500u);
+}
+
+TEST(VirtualGpu, OutOfMemoryThrows) {
+  DeviceSpec spec;
+  spec.memory_bytes = 1000;
+  VirtualGpu gpu(3, spec, 1);
+  gpu.allocate(900);
+  EXPECT_THROW(gpu.allocate(200), OutOfDeviceMemory);
+  try {
+    gpu.allocate(200);
+  } catch (const OutOfDeviceMemory& e) {
+    EXPECT_EQ(e.device(), 3);
+  }
+}
+
+TEST(VirtualGpu, MaxBatchForFootprint) {
+  DeviceSpec spec;
+  spec.memory_bytes = 1000;
+  VirtualGpu gpu(0, spec, 1);
+  gpu.allocate(200);
+  EXPECT_EQ(gpu.max_batch_for(100), 8u);
+  EXPECT_EQ(gpu.max_batch_for(0), 0u);
+}
+
+TEST(Profiles, HeterogeneousGapMatchesFigureOne) {
+  const auto specs = v100_heterogeneous(4, 0.32, 0.0);
+  ASSERT_EQ(specs.size(), 4u);
+  // Epoch time ratio slowest/fastest = speed(fastest)/speed(slowest) = 1.32.
+  std::vector<double> epoch_times;
+  for (const auto& s : specs) epoch_times.push_back(1.0 / s.speed_factor);
+  EXPECT_NEAR(util::relative_spread(epoch_times), 0.32, 1e-9);
+}
+
+TEST(Profiles, SingleDeviceIsNominal) {
+  const auto specs = v100_heterogeneous(1);
+  EXPECT_DOUBLE_EQ(specs[0].speed_factor, 1.0);
+}
+
+TEST(Profiles, HomogeneousAllEqual) {
+  const auto specs = v100_homogeneous(4);
+  for (const auto& s : specs) EXPECT_DOUBLE_EQ(s.speed_factor, 1.0);
+}
+
+TEST(Profiles, SpeedFactorsMonotone) {
+  const auto specs = v100_heterogeneous(8, 0.32);
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_LT(specs[i].speed_factor, specs[i - 1].speed_factor);
+  }
+}
+
+TEST(LinkModel, BandwidthAndLatency) {
+  LinkSpec peer{10.0, 100.0};  // 10 GB/s, 100 us
+  LinkModel links(4, peer, peer);
+  // 1 GB at 10 GB/s = 0.1 s, plus 100 us latency.
+  EXPECT_NEAR(links.transfer_seconds(1'000'000'000, 0, 1), 0.1001, 1e-6);
+}
+
+TEST(LinkModel, ConcurrencySharesBandwidth) {
+  LinkSpec spec{10.0, 0.0};
+  LinkModel links(4, spec, spec);
+  const double alone = links.transfer_seconds(1'000'000, 0, 1, 1);
+  const double shared = links.transfer_seconds(1'000'000, 0, 1, 4);
+  EXPECT_NEAR(shared, 4 * alone, 1e-12);
+}
+
+TEST(LinkModel, HostLinkDistinctFromPeer) {
+  LinkSpec peer{24.0, 10.0};
+  LinkSpec host{12.0, 15.0};
+  LinkModel links(4, peer, host);
+  EXPECT_GT(links.transfer_seconds(1 << 20, LinkModel::kHost, 0),
+            links.transfer_seconds(1 << 20, 0, 1));
+}
+
+TEST(VirtualGpu, TransientSlowdownStretchesWork) {
+  DeviceSpec spec;
+  spec.jitter_sigma = 0.0;
+  spec.transient_probability = 1.0;  // always degraded
+  spec.transient_factor = 0.5;
+  spec.transient_duration = 1e9;
+  VirtualGpu degraded(0, spec, 1);
+  DeviceSpec healthy = spec;
+  healthy.transient_probability = 0.0;
+  VirtualGpu normal(1, healthy, 1);
+
+  // Large kernel so constant launch overhead is negligible in the ratio.
+  const auto k = dense_kernel(1000.0);
+  const double t_degraded = degraded.submit(0, {k}, 0.0);
+  const double t_normal = normal.submit(0, {k}, 0.0);
+  EXPECT_NEAR(t_degraded / t_normal, 2.0, 0.01);
+  EXPECT_EQ(degraded.transient_episodes(), 1u);
+}
+
+TEST(VirtualGpu, TransientEpisodeExpires) {
+  DeviceSpec spec;
+  spec.jitter_sigma = 0.0;
+  spec.transient_probability = 1.0;
+  spec.transient_factor = 0.5;
+  spec.transient_duration = 1e-6;  // expires before the next submission
+  VirtualGpu gpu(0, spec, 1);
+  const double t1 = gpu.submit(0, {dense_kernel(1.0)}, 0.0);
+  // Second submission starts after expiry; it re-enters a NEW episode
+  // (probability 1), so episodes count twice.
+  gpu.submit(0, {dense_kernel(1.0)}, t1 + 1.0);
+  EXPECT_EQ(gpu.transient_episodes(), 2u);
+}
+
+TEST(VirtualGpu, NoTransientByDefault) {
+  VirtualGpu gpu(0, DeviceSpec{}, 1);
+  for (int i = 0; i < 20; ++i) gpu.submit(0, {dense_kernel(0.1)}, 0.0);
+  EXPECT_EQ(gpu.transient_episodes(), 0u);
+}
+
+TEST(Profiles, CustomSpeeds) {
+  const auto specs = v100_custom({1.0, 0.9, 0.4});
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_DOUBLE_EQ(specs[0].speed_factor, 1.0);
+  EXPECT_DOUBLE_EQ(specs[2].speed_factor, 0.4);
+}
+
+class GapParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(GapParam, ProfileReproducesRequestedGap) {
+  const double gap = GetParam();
+  const auto specs = v100_heterogeneous(4, gap, 0.0);
+  std::vector<double> times;
+  for (const auto& s : specs) times.push_back(1.0 / s.speed_factor);
+  EXPECT_NEAR(util::relative_spread(times), gap, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, GapParam,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.32, 0.5));
+
+}  // namespace
+}  // namespace hetero::sim

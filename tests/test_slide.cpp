@@ -1,0 +1,270 @@
+#include "slide/slide_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "slide/lsh_table.h"
+#include "slide/simhash.h"
+
+namespace hetero::slide {
+namespace {
+
+TEST(SimHash, Deterministic) {
+  util::Rng r1(1), r2(1);
+  SimHash a(8, 4, 2, r1), b(8, 4, 2, r2);
+  std::vector<float> v{1, -2, 3, 0.5, -1, 2, 0, 4};
+  EXPECT_EQ(a.signature(0, v), b.signature(0, v));
+  EXPECT_EQ(a.signature(1, v), b.signature(1, v));
+}
+
+TEST(SimHash, SignatureWithinBits) {
+  util::Rng rng(2);
+  SimHash h(4, 5, 3, rng);
+  std::vector<float> v{1, 2, 3, 4};
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_LT(h.signature(t, v), 1u << 5);
+  }
+}
+
+TEST(SimHash, ScaleInvariant) {
+  // sign(r . (c*v)) == sign(r . v) for c > 0.
+  util::Rng rng(3);
+  SimHash h(6, 8, 2, rng);
+  std::vector<float> v{1, -1, 2, 0.5, -3, 1};
+  std::vector<float> scaled(v);
+  for (auto& x : scaled) x *= 7.5f;
+  EXPECT_EQ(h.signature(0, v), h.signature(0, scaled));
+}
+
+TEST(SimHash, SimilarVectorsCollideMoreOften) {
+  util::Rng rng(4);
+  const std::size_t dim = 32;
+  SimHash h(dim, 8, 10, rng);
+
+  std::vector<float> base(dim);
+  for (auto& x : base) x = static_cast<float>(rng.next_gaussian());
+  auto near = base;
+  for (auto& x : near) x += 0.1f * static_cast<float>(rng.next_gaussian());
+  std::vector<float> far(dim);
+  for (auto& x : far) x = static_cast<float>(rng.next_gaussian());
+
+  int near_hits = 0, far_hits = 0;
+  for (std::size_t t = 0; t < 10; ++t) {
+    near_hits += (h.signature(t, base) == h.signature(t, near));
+    far_hits += (h.signature(t, base) == h.signature(t, far));
+  }
+  EXPECT_GT(near_hits, far_hits);
+}
+
+TEST(LshIndex, FindsExactDuplicate) {
+  util::Rng rng(5);
+  const std::size_t dim = 16;
+  std::vector<std::vector<float>> items(20, std::vector<float>(dim));
+  for (auto& item : items) {
+    for (auto& x : item) x = static_cast<float>(rng.next_gaussian());
+  }
+  LshIndex index(SimHash(dim, 6, 8, rng), items.size());
+  index.rebuild([&](std::size_t i) {
+    return std::span<const float>(items[i].data(), dim);
+  });
+  // Querying with item 7's own vector must retrieve item 7.
+  std::vector<std::uint32_t> out;
+  index.query({items[7].data(), dim}, 50, out);
+  EXPECT_NE(std::find(out.begin(), out.end(), 7u), out.end());
+}
+
+TEST(LshIndex, RespectsMaxItems) {
+  util::Rng rng(6);
+  const std::size_t dim = 8;
+  std::vector<float> shared(dim, 1.0f);
+  LshIndex index(SimHash(dim, 2, 4, rng), 100);
+  index.rebuild([&](std::size_t) {
+    return std::span<const float>(shared.data(), dim);  // all collide
+  });
+  std::vector<std::uint32_t> out;
+  index.query({shared.data(), dim}, 10, out);
+  EXPECT_LE(out.size(), 10u);
+}
+
+TEST(LshIndex, QueryDeduplicatesAgainstExisting) {
+  util::Rng rng(7);
+  const std::size_t dim = 8;
+  std::vector<float> shared(dim, 1.0f);
+  LshIndex index(SimHash(dim, 2, 4, rng), 5);
+  index.rebuild([&](std::size_t) {
+    return std::span<const float>(shared.data(), dim);
+  });
+  std::vector<std::uint32_t> out{3};  // mandatory item already present
+  index.query({shared.data(), dim}, 100, out);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 3u), 1);
+}
+
+TEST(LshIndex, RebuildCountIncrements) {
+  util::Rng rng(8);
+  std::vector<float> v(4, 1.0f);
+  LshIndex index(SimHash(4, 2, 2, rng), 1);
+  const auto before = index.rebuilds();
+  index.rebuild([&](std::size_t) {
+    return std::span<const float>(v.data(), 4);
+  });
+  EXPECT_EQ(index.rebuilds(), before + 1);
+}
+
+class SlideTest : public ::testing::Test {
+ protected:
+  SlideTest() {
+    auto cfg = data::tiny_profile();
+    cfg.num_train = 2000;
+    dataset_ = data::generate_xml_dataset(cfg);
+  }
+
+  SlideConfig config() const {
+    SlideConfig cfg;
+    cfg.hidden = 16;
+    cfg.learning_rate = 0.05;
+    cfg.min_active = 8;
+    cfg.max_active = 24;
+    cfg.rebuild_every = 512;
+    cfg.eval_every_samples = 2000;
+    cfg.total_samples = 6000;
+    cfg.eval_samples = 200;
+    return cfg;
+  }
+
+  data::XmlDataset dataset_;
+};
+
+TEST_F(SlideTest, TrainingImprovesAccuracy) {
+  SlideTrainer trainer(dataset_, config());
+  const auto result = trainer.train();
+  ASSERT_GE(result.curve.size(), 2u);
+  EXPECT_GT(result.final_top1(), result.curve.front().top1 + 0.2);
+}
+
+TEST_F(SlideTest, OneUpdatePerSample) {
+  SlideTrainer trainer(dataset_, config());
+  const auto result = trainer.train();
+  EXPECT_EQ(result.gpus[0].total_updates, 6000u);
+  EXPECT_EQ(result.gpus[0].total_samples, 6000u);
+}
+
+TEST_F(SlideTest, CurveCadenceFollowsEvalEvery) {
+  SlideTrainer trainer(dataset_, config());
+  const auto result = trainer.train();
+  // initial + 3 eval points (6000 / 2000).
+  EXPECT_EQ(result.curve.size(), 4u);
+  EXPECT_EQ(result.curve[1].samples, 2000u);
+}
+
+TEST_F(SlideTest, VirtualTimeScalesWithThreads) {
+  auto cfg = config();
+  cfg.threads = 1;
+  const auto slow = SlideTrainer(dataset_, cfg).train();
+  cfg.threads = 32;
+  const auto fast = SlideTrainer(dataset_, cfg).train();
+  EXPECT_GT(slow.total_vtime, 10 * fast.total_vtime);
+}
+
+TEST_F(SlideTest, ComputeScaleScalesTime) {
+  auto cfg = config();
+  cfg.compute_scale = 1.0;
+  const auto base = SlideTrainer(dataset_, cfg).train();
+  cfg.compute_scale = 50.0;
+  const auto scaled = SlideTrainer(dataset_, cfg).train();
+  EXPECT_NEAR(scaled.total_vtime / base.total_vtime, 50.0, 1.0);
+}
+
+TEST_F(SlideTest, Deterministic) {
+  const auto a = SlideTrainer(dataset_, config()).train();
+  const auto b = SlideTrainer(dataset_, config()).train();
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.curve[i].top1, b.curve[i].top1);
+  }
+}
+
+TEST_F(SlideTest, ActiveSetBounded) {
+  util::Rng rng(11);
+  SlideNetConfig nc;
+  nc.num_features = dataset_.train.features.cols();
+  nc.num_classes = dataset_.train.labels.cols();
+  nc.hidden = 16;
+  nc.min_active = 8;
+  nc.max_active = 24;
+  SlideNetwork net(nc, rng);
+  for (std::size_t r = 0; r < 50; ++r) {
+    const auto stats = net.train_sample(
+        dataset_.train.features.row_cols(r),
+        dataset_.train.features.row_values(r),
+        dataset_.train.labels.row_cols(r), 0.05f, rng);
+    EXPECT_GE(stats.active, std::min<std::size_t>(
+                                nc.min_active,
+                                dataset_.train.labels.row_nnz(r)));
+    // Labels beyond max_active are always kept, so allow that slack.
+    EXPECT_LE(stats.active,
+              nc.max_active + dataset_.train.labels.row_nnz(r));
+    EXPECT_GT(stats.flops, 0.0);
+    EXPECT_GE(stats.loss, 0.0);
+  }
+}
+
+TEST(LshRetrieval, RebuildTracksDriftedVectors) {
+  // After neuron vectors move, a rebuild must restore retrieval quality:
+  // querying with (a noisy copy of) an item's NEW vector should find it,
+  // while the stale index built from the OLD vectors may not.
+  util::Rng rng(42);
+  const std::size_t dim = 24, items = 64;
+  std::vector<std::vector<float>> vecs(items, std::vector<float>(dim));
+  for (auto& v : vecs) {
+    for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+  }
+  LshIndex index(SimHash(dim, 6, 12, rng), items);
+  const auto view = [&](std::size_t i) {
+    return std::span<const float>(vecs[i].data(), dim);
+  };
+  index.rebuild(view);
+
+  // Drift every vector to a completely new direction.
+  for (auto& v : vecs) {
+    for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+  }
+  int stale_hits = 0, fresh_hits = 0;
+  for (std::size_t probe = 0; probe < 16; ++probe) {
+    std::vector<std::uint32_t> out;
+    index.query(view(probe), items, out);
+    stale_hits += std::find(out.begin(), out.end(),
+                            static_cast<std::uint32_t>(probe)) != out.end();
+  }
+  index.rebuild(view);
+  for (std::size_t probe = 0; probe < 16; ++probe) {
+    std::vector<std::uint32_t> out;
+    index.query(view(probe), items, out);
+    fresh_hits += std::find(out.begin(), out.end(),
+                            static_cast<std::uint32_t>(probe)) != out.end();
+  }
+  EXPECT_EQ(fresh_hits, 16);        // own vector always collides with itself
+  EXPECT_GT(fresh_hits, stale_hits);  // stale index misses drifted items
+}
+
+TEST_F(SlideTest, HigherRebuildFrequencyNotWorse) {
+  // More frequent LSH rebuilds keep the active sets sharper; accuracy at
+  // the end must not collapse relative to rare rebuilds.
+  auto frequent = config();
+  frequent.rebuild_every = 256;
+  auto rare = config();
+  rare.rebuild_every = 100000;  // effectively never
+  const auto f = SlideTrainer(dataset_, frequent).train();
+  const auto r = SlideTrainer(dataset_, rare).train();
+  EXPECT_GE(f.final_top1() + 0.15, r.final_top1());
+}
+
+TEST_F(SlideTest, MethodNameAndDataset) {
+  SlideTrainer trainer(dataset_, config());
+  const auto result = trainer.train();
+  EXPECT_EQ(result.method, "slide-cpu");
+  EXPECT_EQ(result.dataset, dataset_.name);
+}
+
+}  // namespace
+}  // namespace hetero::slide

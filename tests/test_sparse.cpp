@@ -1,0 +1,362 @@
+#include "sparse/csr.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/ops.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace hetero::sparse {
+namespace {
+
+CsrMatrix random_csr(std::size_t rows, std::size_t cols, double density,
+                     util::Rng& rng) {
+  CsrBuilder builder(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<Entry> entries;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) {
+        entries.push_back({static_cast<std::uint32_t>(c),
+                           static_cast<float>(rng.uniform(-1, 1))});
+      }
+    }
+    builder.add_row(std::move(entries));
+  }
+  return builder.build();
+}
+
+tensor::Matrix to_dense(const CsrMatrix& m) {
+  tensor::Matrix d(m.rows(), m.cols(), 0.0f);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto cols = m.row_cols(r);
+    const auto vals = m.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) d(r, cols[i]) = vals[i];
+  }
+  return d;
+}
+
+TEST(CsrBuilder, SortsColumnsWithinRow) {
+  CsrBuilder b(10);
+  b.add_row({{5, 1.0f}, {2, 2.0f}, {8, 3.0f}});
+  const auto m = b.build();
+  const auto cols = m.row_cols(0);
+  EXPECT_EQ(cols[0], 2u);
+  EXPECT_EQ(cols[1], 5u);
+  EXPECT_EQ(cols[2], 8u);
+  EXPECT_TRUE(m.validate());
+}
+
+TEST(CsrBuilder, SumsDuplicateColumns) {
+  CsrBuilder b(4);
+  b.add_row({{1, 1.0f}, {1, 2.5f}, {3, 1.0f}});
+  const auto m = b.build();
+  EXPECT_EQ(m.row_nnz(0), 2u);
+  EXPECT_FLOAT_EQ(m.row_values(0)[0], 3.5f);
+}
+
+TEST(CsrBuilder, EmptyRowsAllowed) {
+  CsrBuilder b(4);
+  b.add_row({});
+  b.add_row({{0, 1.0f}});
+  b.add_row({});
+  const auto m = b.build();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.row_nnz(0), 0u);
+  EXPECT_EQ(m.row_nnz(1), 1u);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_TRUE(m.validate());
+}
+
+TEST(CsrBuilder, IndicatorRow) {
+  CsrBuilder b(8);
+  b.add_indicator_row({7, 1, 4});
+  const auto m = b.build();
+  EXPECT_EQ(m.row_nnz(0), 3u);
+  for (float v : m.row_values(0)) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(CsrBuilder, BuildResetsBuilder) {
+  CsrBuilder b(4);
+  b.add_row({{0, 1.0f}});
+  auto m1 = b.build();
+  b.add_row({{1, 2.0f}});
+  auto m2 = b.build();
+  EXPECT_EQ(m1.rows(), 1u);
+  EXPECT_EQ(m2.rows(), 1u);
+  EXPECT_EQ(m2.row_cols(0)[0], 1u);
+}
+
+TEST(CsrMatrix, RangeNnz) {
+  CsrBuilder b(4);
+  b.add_row({{0, 1.0f}});
+  b.add_row({{0, 1.0f}, {1, 1.0f}});
+  b.add_row({{2, 1.0f}});
+  const auto m = b.build();
+  EXPECT_EQ(m.range_nnz(0, 3), 4u);
+  EXPECT_EQ(m.range_nnz(1, 2), 2u);
+  EXPECT_EQ(m.range_nnz(1, 1), 0u);
+}
+
+TEST(CsrMatrix, SliceRows) {
+  util::Rng rng(1);
+  const auto m = random_csr(10, 6, 0.4, rng);
+  const auto slice = m.slice_rows(3, 7);
+  EXPECT_EQ(slice.rows(), 4u);
+  EXPECT_EQ(slice.cols(), 6u);
+  EXPECT_TRUE(slice.validate());
+  const auto dense_full = to_dense(m);
+  const auto dense_slice = to_dense(slice);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      EXPECT_FLOAT_EQ(dense_slice(r, c), dense_full(r + 3, c));
+}
+
+TEST(CsrMatrix, SliceEmptyRange) {
+  util::Rng rng(2);
+  const auto m = random_csr(5, 4, 0.5, rng);
+  const auto slice = m.slice_rows(2, 2);
+  EXPECT_EQ(slice.rows(), 0u);
+  EXPECT_EQ(slice.nnz(), 0u);
+}
+
+TEST(CsrMatrix, GatherRows) {
+  util::Rng rng(3);
+  const auto m = random_csr(8, 5, 0.5, rng);
+  std::vector<std::size_t> ids{7, 0, 3, 3};
+  const auto g = m.gather_rows(ids);
+  EXPECT_EQ(g.rows(), 4u);
+  EXPECT_TRUE(g.validate());
+  const auto dense_full = to_dense(m);
+  const auto dense_g = to_dense(g);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_FLOAT_EQ(dense_g(i, c), dense_full(ids[i], c));
+}
+
+TEST(CsrMatrix, RowContains) {
+  CsrBuilder b(10);
+  b.add_row({{2, 1.0f}, {5, 1.0f}, {9, 1.0f}});
+  const auto m = b.build();
+  EXPECT_TRUE(m.row_contains(0, 5));
+  EXPECT_FALSE(m.row_contains(0, 4));
+}
+
+TEST(CsrMatrix, AvgRowNnz) {
+  CsrBuilder b(4);
+  b.add_row({{0, 1.0f}});
+  b.add_row({{0, 1.0f}, {1, 1.0f}, {2, 1.0f}});
+  const auto m = b.build();
+  EXPECT_DOUBLE_EQ(m.avg_row_nnz(), 2.0);
+}
+
+TEST(CsrMatrix, ValidateCatchesUnsortedColumns) {
+  CsrMatrix bad(1, 4, {0, 2}, {3, 1}, {1.0f, 1.0f});
+  EXPECT_FALSE(bad.validate());
+}
+
+TEST(CsrMatrix, ValidateCatchesOutOfRangeColumn) {
+  CsrMatrix bad(1, 2, {0, 1}, {5}, {1.0f});
+  EXPECT_FALSE(bad.validate());
+}
+
+TEST(CsrMatrix, EmptyMatrix) {
+  CsrMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.avg_row_nnz(), 0.0);
+}
+
+class SpmmShapes : public ::testing::TestWithParam<std::tuple<int, int, int, double>> {};
+
+TEST_P(SpmmShapes, SpmmMatchesDenseGemm) {
+  const auto [rows, cols, h, density] = GetParam();
+  util::Rng rng(rows * 31 + cols);
+  const auto x = random_csr(rows, cols, density, rng);
+  tensor::Matrix w(cols, h);
+  for (auto& v : w.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+  tensor::Matrix y_sparse, y_dense;
+  spmm(x, w, y_sparse);
+  tensor::gemm(to_dense(x), w, y_dense);
+  ASSERT_TRUE(y_sparse.same_shape(y_dense));
+  for (std::size_t i = 0; i < y_sparse.size(); ++i) {
+    EXPECT_NEAR(y_sparse.flat()[i], y_dense.flat()[i], 1e-4f);
+  }
+}
+
+TEST_P(SpmmShapes, SpmmTMatchesDenseGemm) {
+  const auto [rows, cols, h, density] = GetParam();
+  util::Rng rng(rows * 17 + cols);
+  const auto x = random_csr(rows, cols, density, rng);
+  tensor::Matrix d(rows, h);
+  for (auto& v : d.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+  tensor::Matrix g(cols, h, 0.0f), g_ref;
+  spmm_t_accumulate(x, d, g);
+  tensor::gemm_at_b(to_dense(x), d, g_ref);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_NEAR(g.flat()[i], g_ref.flat()[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpmmShapes,
+    ::testing::Values(std::make_tuple(1, 5, 3, 0.5),
+                      std::make_tuple(4, 8, 2, 0.25),
+                      std::make_tuple(16, 32, 8, 0.1),
+                      std::make_tuple(7, 13, 5, 0.9),
+                      std::make_tuple(3, 40, 6, 0.02)));
+
+TEST(SparseOps, SpmmTAccumulatesOnExisting) {
+  util::Rng rng(5);
+  const auto x = random_csr(3, 4, 0.5, rng);
+  tensor::Matrix d(3, 2, 1.0f);
+  tensor::Matrix g(4, 2, 10.0f), delta(4, 2, 0.0f);
+  spmm_t_accumulate(x, d, delta);
+  spmm_t_accumulate(x, d, g);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_NEAR(g.flat()[i], 10.0f + delta.flat()[i], 1e-5f);
+  }
+}
+
+TEST(SparseOps, FlopAndByteCounts) {
+  CsrBuilder b(10);
+  b.add_row({{1, 1.0f}, {2, 1.0f}});
+  b.add_row({{3, 1.0f}});
+  const auto x = b.build();
+  EXPECT_EQ(spmm_flops(x, 16), 2u * 3u * 16u);
+  EXPECT_GT(spmm_bytes(x, 16), 3u * 16u * sizeof(float));
+}
+
+TEST(SparseOps, TransposeMatchesDense) {
+  util::Rng rng(11);
+  const auto x = random_csr(7, 5, 0.4, rng);
+  const auto xt = transpose(x);
+  EXPECT_EQ(xt.rows(), x.cols());
+  EXPECT_EQ(xt.cols(), x.rows());
+  EXPECT_EQ(xt.nnz(), x.nnz());
+  EXPECT_TRUE(xt.validate());
+  const auto d = to_dense(x);
+  const auto dt = to_dense(xt);
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      EXPECT_FLOAT_EQ(dt(c, r), d(r, c));
+}
+
+TEST(SparseOps, TransposeIsInvolution) {
+  util::Rng rng(12);
+  const auto x = random_csr(9, 6, 0.3, rng);
+  const auto xtt = transpose(transpose(x));
+  EXPECT_EQ(xtt.row_ptr(), x.row_ptr());
+  EXPECT_EQ(xtt.col_idx(), x.col_idx());
+  EXPECT_EQ(xtt.values(), x.values());
+}
+
+TEST(SparseOps, TransposeEmptyAndEmptyRows) {
+  CsrBuilder b(4);
+  b.add_row({});
+  b.add_row({{1, 2.0f}});
+  const auto xt = transpose(b.build());
+  EXPECT_EQ(xt.rows(), 4u);
+  EXPECT_EQ(xt.nnz(), 1u);
+  EXPECT_EQ(xt.row_nnz(1), 1u);
+  EXPECT_FLOAT_EQ(xt.row_values(1)[0], 2.0f);
+}
+
+TEST(SparseOps, ColumnNnzCounts) {
+  CsrBuilder b(4);
+  b.add_row({{0, 1.0f}, {2, 1.0f}});
+  b.add_row({{2, 1.0f}});
+  const auto counts = column_nnz(b.build());
+  EXPECT_EQ(counts, (std::vector<std::size_t>{1, 0, 2, 0}));
+}
+
+TEST(SparseOps, FrobeniusNorm) {
+  CsrBuilder b(4);
+  b.add_row({{0, 3.0f}, {1, 4.0f}});
+  EXPECT_DOUBLE_EQ(frobenius_norm(b.build()), 5.0);
+}
+
+TEST(SparseOps, DistinctColumns) {
+  CsrBuilder b(10);
+  b.add_row({{1, 1.0f}, {2, 1.0f}});
+  b.add_row({{2, 1.0f}, {7, 1.0f}});
+  const auto x = b.build();
+  EXPECT_EQ(distinct_columns(x), 3u);
+}
+
+// Randomized differential sweep: slicing, gathering, and transposing random
+// matrices must always agree with the dense reference.
+class RandomCsrSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCsrSweep, SliceGatherTransposeAgreeWithDense) {
+  util::Rng rng(GetParam());
+  const auto rows = 2 + rng.next_below(20);
+  const auto cols = 2 + rng.next_below(30);
+  const double density = rng.uniform(0.02, 0.6);
+  const auto m = random_csr(rows, cols, density, rng);
+  ASSERT_TRUE(m.validate());
+  const auto dense = to_dense(m);
+
+  // Random row-range slice.
+  const auto begin = rng.next_below(rows);
+  const auto end = begin + rng.next_below(rows - begin + 1);
+  const auto slice = m.slice_rows(begin, end);
+  ASSERT_TRUE(slice.validate());
+  const auto dslice = to_dense(slice);
+  for (std::size_t r = 0; r < slice.rows(); ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      ASSERT_FLOAT_EQ(dslice(r, c), dense(begin + r, c));
+    }
+  }
+
+  // Random gather (with repeats).
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(rng.next_below(rows));
+  const auto gathered = m.gather_rows(ids);
+  ASSERT_TRUE(gathered.validate());
+  const auto dgather = to_dense(gathered);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      ASSERT_FLOAT_EQ(dgather(i, c), dense(ids[i], c));
+    }
+  }
+
+  // Transpose involution + nnz conservation.
+  const auto t = transpose(m);
+  ASSERT_TRUE(t.validate());
+  EXPECT_EQ(t.nnz(), m.nnz());
+  const auto tt = transpose(t);
+  EXPECT_EQ(tt.col_idx(), m.col_idx());
+  EXPECT_EQ(tt.values(), m.values());
+
+  // Column counts from transpose rows match column_nnz.
+  const auto counts = column_nnz(m);
+  for (std::size_t c = 0; c < cols; ++c) {
+    ASSERT_EQ(t.row_nnz(c), counts[c]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCsrSweep,
+                         ::testing::Range<std::uint64_t>(1000, 1012));
+
+TEST(SparseOps, SpmmLinearInValues) {
+  // spmm(2*X, W) == 2 * spmm(X, W).
+  util::Rng rng(31);
+  const auto x = random_csr(6, 9, 0.4, rng);
+  CsrMatrix x2(x.rows(), x.cols(), std::vector<std::size_t>(x.row_ptr()),
+               std::vector<std::uint32_t>(x.col_idx()), [&] {
+                 auto v = x.values();
+                 for (auto& f : v) f *= 2.0f;
+                 return v;
+               }());
+  tensor::Matrix w(9, 4);
+  for (auto& v : w.flat()) v = static_cast<float>(rng.uniform(-1, 1));
+  tensor::Matrix y1, y2;
+  spmm(x, w, y1);
+  spmm(x2, w, y2);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_NEAR(y2.flat()[i], 2.0f * y1.flat()[i], 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace hetero::sparse

@@ -1,0 +1,174 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace hetero::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  Rng rng(1);
+  std::vector<double> values;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.gaussian(10.0, 2.0);
+    values.push_back(v);
+    s.add(v);
+  }
+  EXPECT_NEAR(s.mean(), mean_of(values), 1e-9);
+  EXPECT_NEAR(s.stddev(), stddev_of(values), 1e-9);
+}
+
+TEST(RunningStats, MinMaxTracked) {
+  RunningStats s;
+  for (double v : {5.0, -2.0, 7.0, 0.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(2);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0, 100);
+    if (i % 2) {
+      a.add(v);
+    } else {
+      b.add(v);
+    }
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Quantile, MedianOfOdd) {
+  EXPECT_DOUBLE_EQ(quantile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetween) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  std::vector<double> v{5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, EmptyReturnsZero) { EXPECT_EQ(quantile({}, 0.5), 0.0); }
+
+TEST(VectorStats, MeanAndStddev) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean_of(v), 5.0);
+  EXPECT_NEAR(stddev_of(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(VectorStats, EmptyAndSingle) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(stddev_of({}), 0.0);
+  EXPECT_EQ(stddev_of({42.0}), 0.0);
+}
+
+TEST(RelativeSpread, Basic) {
+  // Fig. 1 gap measure: (max - min) / min.
+  EXPECT_NEAR(relative_spread({1.0, 1.32}), 0.32, 1e-12);
+}
+
+TEST(RelativeSpread, UniformIsZero) {
+  EXPECT_EQ(relative_spread({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(RelativeSpread, GuardsZeroMin) {
+  EXPECT_EQ(relative_spread({0.0, 5.0}), 0.0);
+  EXPECT_EQ(relative_spread({}), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.5);    // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.25);
+  h.add(0.75);
+  const auto text = h.render();
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+class QuantileOrderParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileOrderParam, MonotoneInQ) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.uniform(-50, 50));
+  const double q = GetParam();
+  EXPECT_LE(quantile(v, q), quantile(v, std::min(1.0, q + 0.1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileOrderParam,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace hetero::util

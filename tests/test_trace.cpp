@@ -1,0 +1,133 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "sim/profiles.h"
+
+namespace hetero {
+namespace {
+
+TEST(Tracer, RecordsEvents) {
+  sim::Tracer tracer;
+  tracer.add({"k1", "compute", 0, 0, 0.0, 1.0});
+  tracer.add({"k2", "comm", 1, 2, 1.0, 0.5});
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.events()[1].name, "k2");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, DeviceBusySeconds) {
+  sim::Tracer tracer;
+  tracer.add({"a", "compute", 0, 0, 0.0, 1.0});
+  tracer.add({"b", "compute", 0, 0, 2.0, 0.25});
+  tracer.add({"c", "compute", 1, 0, 0.0, 5.0});
+  EXPECT_DOUBLE_EQ(tracer.device_busy_seconds(0), 1.25);
+  EXPECT_DOUBLE_EQ(tracer.device_busy_seconds(1), 5.0);
+  EXPECT_DOUBLE_EQ(tracer.device_busy_seconds(9), 0.0);
+}
+
+TEST(Tracer, ChromeJsonWellFormed) {
+  sim::Tracer tracer;
+  tracer.add({"step \"x\"\nnl", "compute", 0, 0, 0.001, 0.002});
+  tracer.add({"host", "merge", -1, 0, 0.01, 0.001});
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\\\"x\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\\n"), std::string::npos);        // escaped newline
+  EXPECT_NE(json.find("\"pid\":1000"), std::string::npos);  // host event
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // raw newline never leaks
+}
+
+TEST(Tracer, EmptyTraceStillValid) {
+  sim::Tracer tracer;
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  EXPECT_EQ(out.str(), "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(Tracer, FileWriteFailsOnBadPath) {
+  sim::Tracer tracer;
+  EXPECT_THROW(tracer.write_chrome_json_file("/nonexistent/dir/x.json"),
+               std::runtime_error);
+}
+
+class RuntimeTraceTest : public ::testing::Test {
+ protected:
+  RuntimeTraceTest()
+      : dataset_(data::generate_xml_dataset(data::tiny_profile())) {}
+  data::XmlDataset dataset_;
+};
+
+TEST_F(RuntimeTraceTest, TrainingProducesComputeAndMergeEvents) {
+  core::TrainerConfig cfg;
+  cfg.hidden = 16;
+  cfg.batch_max = 32;
+  cfg.batches_per_megabatch = 8;
+  cfg.num_megabatches = 2;
+  cfg.eval_samples = 100;
+  cfg.compute_scale = 500.0;
+
+  sim::Tracer tracer;
+  auto trainer = core::make_trainer(core::Method::kAdaptive, dataset_, cfg,
+                                    sim::v100_heterogeneous(2));
+  trainer->runtime().set_tracer(&tracer);
+  const auto result = trainer->train();
+
+  std::size_t compute = 0, comm = 0, merge = 0;
+  for (const auto& e : tracer.events()) {
+    if (e.category == "compute") ++compute;
+    if (e.category == "comm") ++comm;
+    if (e.category == "merge") ++merge;
+    EXPECT_GE(e.duration, 0.0);
+    EXPECT_GE(e.start, 0.0);
+  }
+  // 16 steps + 2 merges x (2 comm + 1 host) events.
+  EXPECT_EQ(compute, 16u);
+  EXPECT_EQ(comm, 4u);
+  EXPECT_EQ(merge, 2u);
+
+  // Traced COMPUTE time matches the device's own busy accounting (comm
+  // events are barrier time, which VirtualGpu does not count as busy).
+  double traced_compute = 0.0;
+  for (const auto& e : tracer.events()) {
+    if (e.category == "compute" && e.device == 0) traced_compute += e.duration;
+  }
+  EXPECT_NEAR(traced_compute, trainer->runtime().gpu(0).busy_seconds(),
+              trainer->runtime().gpu(0).busy_seconds() * 1e-9);
+  EXPECT_GT(result.final_top1(), 0.0);
+}
+
+TEST_F(RuntimeTraceTest, EventsAreTimeOrderedPerDeviceStream) {
+  core::TrainerConfig cfg;
+  cfg.hidden = 16;
+  cfg.batch_max = 32;
+  cfg.batches_per_megabatch = 10;
+  cfg.num_megabatches = 1;
+  cfg.eval_samples = 50;
+  cfg.compute_scale = 500.0;
+
+  sim::Tracer tracer;
+  auto trainer = core::make_trainer(core::Method::kAdaptive, dataset_, cfg,
+                                    sim::v100_heterogeneous(3));
+  trainer->runtime().set_tracer(&tracer);
+  trainer->train();
+
+  std::map<int, double> last_end;
+  for (const auto& e : tracer.events()) {
+    if (e.category != "compute") continue;
+    EXPECT_GE(e.start + 1e-12, last_end[e.device])
+        << "overlap on device " << e.device;
+    last_end[e.device] = e.start + e.duration;
+  }
+}
+
+}  // namespace
+}  // namespace hetero

@@ -1,0 +1,230 @@
+// Thread pool, event queue, CSV writer, CLI parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/event_queue.h"
+#include "util/thread_pool.h"
+
+namespace hetero::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&] { counter++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(EventQueue, FifoOrder) {
+  EventQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(EventQueue, TryPopEmpty) {
+  EventQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(EventQueue, CloseDrainsThenNullopt) {
+  EventQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, PushAfterCloseIgnored) {
+  EventQueue<int> q;
+  q.close();
+  q.push(1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, CrossThreadDelivery) {
+  EventQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) q.push(i);
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  EXPECT_EQ(expected, 100);
+  producer.join();
+}
+
+TEST(EventQueue, SizeReflectsContent) {
+  EventQueue<int> q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    ASSERT_TRUE(w.ok());
+    w.row({"1", "2"});
+    w.row_numeric({3.5, 4.25});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3.5,4.25");
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--alpha=3", "--name=abc"};
+  ArgParser args(3, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_string("name", ""), "abc");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--count", "7"};
+  ArgParser args(3, argv);
+  EXPECT_EQ(args.get_int("count", 0), 7);
+}
+
+TEST(Cli, BooleanFlag) {
+  const char* argv[] = {"prog", "--verbose"};
+  ArgParser args(2, argv);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, argv);
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.5), 0.5);
+  EXPECT_EQ(args.get_string("s", "dft"), "dft");
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--lr=0.125"};
+  ArgParser args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.125);
+}
+
+TEST(Cli, ReportUnknownFindsTypos) {
+  const char* argv[] = {"prog", "--knwon=1"};
+  ArgParser args(2, argv);
+  args.get_int("known", 0);
+  EXPECT_TRUE(args.report_unknown());
+}
+
+TEST(Cli, ReportUnknownCleanWhenAllConsumed) {
+  const char* argv[] = {"prog", "--a=1"};
+  ArgParser args(2, argv);
+  args.get_int("a", 0);
+  EXPECT_FALSE(args.report_unknown());
+}
+
+TEST(ThreadPool, NestedSubmitFromWorker) {
+  // A worker may enqueue follow-up work without deadlocking.
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 7; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 8);
+}
+
+TEST(EventQueue, MoveOnlyFriendlyTypes) {
+  EventQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(5));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+TEST(EventQueue, ManyProducersOneConsumer) {
+  EventQueue<int> q;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&q, t] {
+      for (int i = 0; i < 50; ++i) q.push(t * 100 + i);
+    });
+  }
+  for (auto& p : producers) p.join();
+  q.close();
+  int count = 0;
+  while (q.pop()) ++count;
+  EXPECT_EQ(count, 200);
+}
+
+TEST(Cli, LastValueWinsOnDuplicateFlags) {
+  const char* argv[] = {"prog", "--n=1", "--n=2"};
+  ArgParser args(3, argv);
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+TEST(Cli, NegativeNumbersViaEquals) {
+  const char* argv[] = {"prog", "--delta=-0.5"};
+  ArgParser args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("delta", 0.0), -0.5);
+}
+
+}  // namespace
+}  // namespace hetero::util
