@@ -2,15 +2,31 @@
 // framework: sparse products, dense GEMM, softmax, SimHash, and the numeric
 // all-reduce path. These measure actual wall-clock (not virtual time) and
 // exist to keep the reference kernels honest as the code evolves.
+//
+// The parallel-backend benchmarks sweep worker threads x batch sparsity for
+// the sparsity-aware hot path (spmm, touched-row gradient, full sgd_step at
+// XML-like shape) against BM_SgdStepXmlSeedReference, a faithful re-creation
+// of the seed implementation's serial dense-gradient step (per-step
+// O(F x H) zero-fill + sort/unique in the update). Unless the caller passes
+// --benchmark_out, results are written to BENCH_kernels.json so the speedup
+// trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "comm/allreduce.h"
 #include "nn/train_step.h"
 #include "sim/profiles.h"
 #include "slide/simhash.h"
 #include "sparse/ops.h"
+#include "sparse/sparse_gradient.h"
 #include "tensor/ops.h"
+#include "util/kernel_context.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace hetero;
 
@@ -32,6 +48,17 @@ sparse::CsrMatrix make_sparse_batch(std::size_t rows, std::size_t cols,
   return b.build();
 }
 
+sparse::CsrMatrix make_labels(std::size_t rows, std::size_t classes,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  sparse::CsrBuilder yb(classes);
+  for (std::size_t r = 0; r < rows; ++r) {
+    yb.add_indicator_row(
+        {static_cast<std::uint32_t>(rng.next_below(classes))});
+  }
+  return yb.build();
+}
+
 void BM_Spmm(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   const auto x = make_sparse_batch(batch, 8192, 76, 1);
@@ -48,6 +75,31 @@ void BM_Spmm(benchmark::State& state) {
 }
 BENCHMARK(BM_Spmm)->Arg(32)->Arg(128)->Arg(512);
 
+// Threads x sparsity sweep of the parallel spmm. Args: {threads, nnz/row}.
+void BM_SpmmParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto nnz_per_row = static_cast<std::size_t>(state.range(1));
+  const std::size_t features = 1 << 17;
+  const auto x = make_sparse_batch(128, features, nnz_per_row, 1);
+  util::Rng rng(2);
+  tensor::Matrix w(features, 64);
+  tensor::init_gaussian(w, 0.05, rng);
+  tensor::Matrix y;
+  util::ThreadPool pool(threads);
+  const kernels::Context ctx{&pool, threads};
+  for (auto _ : state) {
+    sparse::spmm(x, w, y, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.nnz()) * 64);
+}
+BENCHMARK(BM_SpmmParallel)
+    ->Args({1, 16})->Args({1, 100})->Args({1, 400})
+    ->Args({2, 100})
+    ->Args({4, 16})->Args({4, 100})->Args({4, 400})
+    ->Args({8, 16})->Args({8, 100})->Args({8, 400});
+
 void BM_SpmmTranspose(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   const auto x = make_sparse_batch(batch, 8192, 76, 3);
@@ -63,6 +115,33 @@ void BM_SpmmTranspose(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmmTranspose)->Arg(32)->Arg(128);
 
+// Touched-row gradient backward scatter (key + accumulate), threads x
+// sparsity. This is the kernel that replaces the seed's dense zero-fill +
+// scatter. Args: {threads, nnz/row}.
+void BM_SparseGradientAccumulate(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto nnz_per_row = static_cast<std::size_t>(state.range(1));
+  const std::size_t features = 1 << 17;
+  const auto x = make_sparse_batch(128, features, nnz_per_row, 3);
+  util::Rng rng(4);
+  tensor::Matrix d(128, 64);
+  tensor::init_gaussian(d, 0.05, rng);
+  util::ThreadPool pool(threads);
+  const kernels::Context ctx{&pool, threads};
+  sparse::SparseGradient g;
+  for (auto _ : state) {
+    g.reset(x, 64);
+    g.accumulate_spmm_t(x, d, ctx);
+    benchmark::DoNotOptimize(g.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.nnz()) * 64);
+}
+BENCHMARK(BM_SparseGradientAccumulate)
+    ->Args({1, 16})->Args({1, 100})->Args({1, 400})
+    ->Args({4, 100})
+    ->Args({8, 16})->Args({8, 100})->Args({8, 400});
+
 void BM_DenseGemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(5);
@@ -77,6 +156,26 @@ void BM_DenseGemm(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_DenseGemm)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Blocked parallel GEMM. Args: {threads, n}.
+void BM_DenseGemmParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(5);
+  tensor::Matrix a(128, 64), b(64, n), c;
+  tensor::init_gaussian(a, 0.05, rng);
+  tensor::init_gaussian(b, 0.05, rng);
+  util::ThreadPool pool(threads);
+  const kernels::Context ctx{&pool, threads};
+  for (auto _ : state) {
+    tensor::gemm(a, b, c, ctx);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 128 * 64 *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DenseGemmParallel)
+    ->Args({2, 1024})->Args({4, 1024})->Args({8, 1024})->Args({8, 4096});
 
 void BM_SoftmaxRows(benchmark::State& state) {
   util::Rng rng(6);
@@ -100,12 +199,7 @@ void BM_FullSgdStep(benchmark::State& state) {
   nn::MlpModel model(cfg);
   model.init(rng);
   const auto x = make_sparse_batch(128, cfg.num_features, 76, 8);
-  sparse::CsrBuilder yb(cfg.num_classes);
-  for (std::size_t r = 0; r < 128; ++r) {
-    yb.add_indicator_row({static_cast<std::uint32_t>(
-        rng.next_below(cfg.num_classes))});
-  }
-  const auto y = yb.build();
+  const auto y = make_labels(128, cfg.num_classes, 7);
   nn::Workspace ws;
   for (auto _ : state) {
     nn::sgd_step(model, x, y, 0.01f, ws);
@@ -113,6 +207,129 @@ void BM_FullSgdStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 128);
 }
 BENCHMARK(BM_FullSgdStep)->Arg(1024)->Arg(2048);
+
+// XML-like shape (Table 1 regime): >= 100k features at <= 0.1% density.
+constexpr std::size_t kXmlFeatures = 1 << 21;  // 2097152 (Wiki-500K scale)
+constexpr std::size_t kXmlNnzPerRow = 100;     // 0.0048% density
+constexpr std::size_t kXmlClasses = 512;
+constexpr std::size_t kXmlBatch = 128;
+
+// End-to-end sgd_step on the sparsity-aware backend. Args: {threads}.
+void BM_SgdStepXml(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  nn::MlpConfig cfg;
+  cfg.num_features = kXmlFeatures;
+  cfg.hidden = 64;
+  cfg.num_classes = kXmlClasses;
+  util::Rng rng(7);
+  nn::MlpModel model(cfg);
+  model.init(rng);
+  const auto x = make_sparse_batch(kXmlBatch, cfg.num_features,
+                                   kXmlNnzPerRow, 8);
+  const auto y = make_labels(kXmlBatch, cfg.num_classes, 9);
+  nn::Workspace ws;
+  util::ThreadPool pool(threads);
+  if (threads > 1) ws.ctx = kernels::Context{&pool, threads};
+  for (auto _ : state) {
+    nn::sgd_step(model, x, y, 0.01f, ws);
+  }
+  state.SetItemsProcessed(state.iterations() * kXmlBatch);
+}
+BENCHMARK(BM_SgdStepXml)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The seed implementation's hot path, kept here as the speedup baseline: a
+// dense F x H layer-1 gradient that is zero-filled every step, serial
+// kernels throughout, and a per-update sort/unique of the batch columns.
+void BM_SgdStepXmlSeedReference(benchmark::State& state) {
+  nn::MlpConfig cfg;
+  cfg.num_features = kXmlFeatures;
+  cfg.hidden = 64;
+  cfg.num_classes = kXmlClasses;
+  util::Rng rng(7);
+  nn::MlpModel model(cfg);
+  model.init(rng);
+  const auto x = make_sparse_batch(kXmlBatch, cfg.num_features,
+                                   kXmlNnzPerRow, 8);
+  const auto y = make_labels(kXmlBatch, cfg.num_classes, 9);
+
+  const std::size_t h = cfg.hidden;
+  tensor::Matrix h_pre, hact, probs, delta2, delta1;
+  tensor::Matrix grad_w1(cfg.num_features, h, 0.0f);
+  tensor::Matrix grad_w2;
+  std::vector<float> grad_b1, grad_b2;
+  const float lr = 0.01f;
+
+  for (auto _ : state) {
+    // Forward.
+    sparse::spmm(x, model.w1(), h_pre);
+    tensor::add_row_bias(h_pre, {model.b1().data(), model.b1().size()});
+    hact = h_pre;
+    tensor::relu(hact);
+    tensor::gemm(hact, model.w2(), probs);
+    tensor::add_row_bias(probs, {model.b2().data(), model.b2().size()});
+    tensor::softmax_rows(probs);
+    // Backward.
+    delta2 = probs;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const auto labels = y.row_cols(r);
+      const float share = 1.0f / static_cast<float>(labels.size());
+      float* dd = delta2.data() + r * cfg.num_classes;
+      for (auto c : labels) dd[c] -= share;
+    }
+    tensor::scale(delta2.flat(), 1.0f / static_cast<float>(x.rows()));
+    tensor::gemm_at_b(hact, delta2, grad_w2);
+    grad_b2.assign(cfg.num_classes, 0.0f);
+    tensor::column_sums(delta2, {grad_b2.data(), grad_b2.size()});
+    tensor::gemm_a_bt(delta2, model.w2(), delta1);
+    tensor::relu_backward(h_pre, delta1);
+    grad_w1.fill(0.0f);  // the O(F x H) per-step cost the backend removes
+    sparse::spmm_t_accumulate(x, delta1, grad_w1);
+    grad_b1.assign(h, 0.0f);
+    tensor::column_sums(delta1, {grad_b1.data(), grad_b1.size()});
+    // Update (seed apply_gradients: re-sorts the batch columns).
+    std::vector<std::uint32_t> touched(x.col_idx());
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (auto row : touched) {
+      float* w = model.w1().data() + static_cast<std::size_t>(row) * h;
+      const float* g = grad_w1.data() + static_cast<std::size_t>(row) * h;
+      for (std::size_t j = 0; j < h; ++j) w[j] -= lr * g[j];
+    }
+    tensor::axpy(-lr, {grad_b1.data(), grad_b1.size()},
+                 {model.b1().data(), model.b1().size()});
+    tensor::axpy(-lr, grad_w2.flat(), model.w2().flat());
+    tensor::axpy(-lr, {grad_b2.data(), grad_b2.size()},
+                 {model.b2().data(), model.b2().size()});
+    benchmark::DoNotOptimize(model.w1().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kXmlBatch);
+}
+BENCHMARK(BM_SgdStepXmlSeedReference)->Unit(benchmark::kMillisecond);
+
+// Tiny-shape smoke benchmark: the `bench-smoke` ctest label runs only this,
+// so the perf plumbing (threaded kernels included) is exercised on every
+// tier-1 run without paying for the full sweep.
+void BM_SmokeSgdStep(benchmark::State& state) {
+  nn::MlpConfig cfg;
+  cfg.num_features = 256;
+  cfg.hidden = 16;
+  cfg.num_classes = 32;
+  util::Rng rng(7);
+  nn::MlpModel model(cfg);
+  model.init(rng);
+  const auto x = make_sparse_batch(16, cfg.num_features, 8, 8);
+  const auto y = make_labels(16, cfg.num_classes, 9);
+  nn::Workspace ws;
+  util::ThreadPool pool(2);
+  ws.ctx = kernels::Context{&pool, 2};
+  ws.ctx.serial_grain = 0;  // force the threaded path even at this size
+  for (auto _ : state) {
+    nn::sgd_step(model, x, y, 0.01f, ws);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_SmokeSgdStep);
 
 void BM_SimHashSignature(benchmark::State& state) {
   util::Rng rng(9);
@@ -150,4 +367,24 @@ BENCHMARK(BM_WeightedAllReduceNumerics)->Arg(1 << 16)->Arg(1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: unless the caller chose an output file, record the run to
+// BENCH_kernels.json (the perf-trajectory artifact tracked across PRs).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_kernels.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -49,6 +49,10 @@ int main(int argc, char** argv) {
   const auto lr_decay_every =
       static_cast<std::size_t>(args.get_int("lr-decay-every", 0));
   const auto patience = static_cast<std::size_t>(args.get_int("patience", 0));
+  // Real-math worker threads per kernel (0 = all hardware threads). Results
+  // are bit-identical across any setting; this only changes wall-clock.
+  const auto kernel_threads =
+      static_cast<std::size_t>(args.get_int("kernel-threads", 1));
   if (args.report_unknown()) return 1;
 
   auto data_cfg = dataset_name == "delicious" ? data::delicious200k_small()
@@ -77,6 +81,7 @@ int main(int argc, char** argv) {
   cfg.lr_decay_every = lr_decay_every;
   cfg.early_stop_patience = patience;
   cfg.early_stop_delta = 0.002;
+  cfg.kernel_threads = kernel_threads;
   if (threaded) cfg.mode = core::ExecutionMode::kThreaded;
 
   // Optional custom server topology: --speeds 1.0,0.9,0.76 overrides

@@ -36,14 +36,16 @@ AllReduceCost AllReducer::weighted_average(
 
   // Numeric merge: out = sum_i w_i * x_i, in fixed index order so that all
   // algorithms (and stream counts) produce bit-identical results.
-  std::vector<double> acc(len, 0.0);
+  merge_acc_.assign(len, 0.0);
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     const double w = weights[i];
     const float* x = replicas[i].data();
-    for (std::size_t j = 0; j < len; ++j) acc[j] += w * x[j];
+    for (std::size_t j = 0; j < len; ++j) merge_acc_[j] += w * x[j];
   }
   for (auto& r : replicas) {
-    for (std::size_t j = 0; j < len; ++j) r[j] = static_cast<float>(acc[j]);
+    for (std::size_t j = 0; j < len; ++j) {
+      r[j] = static_cast<float>(merge_acc_[j]);
+    }
   }
 
   return cost(replicas.size(), len * sizeof(float));

@@ -73,6 +73,11 @@ class AllReducer {
   AllReduceAlgo algo_;
   sim::LinkModel links_;
   std::size_t num_streams_;
+  // Scratch accumulator reused across weighted_average calls (merges run
+  // every mega-batch on model-sized buffers; reallocating it each time
+  // showed up in the allreduce bench). Guarded by the single-scheduler
+  // calling convention: merges are never concurrent.
+  mutable std::vector<double> merge_acc_;
 };
 
 }  // namespace hetero::comm

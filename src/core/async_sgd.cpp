@@ -53,7 +53,7 @@ void AsyncSgdTrainer::run_megabatch(TrainResult& result) {
     auto& slot = in_flight_[g];
     // Apply the (possibly stale) gradient to the shared model.
     nn::apply_gradients(
-        runtime_.global_model(), gradients_[g], slot.batch.x,
+        runtime_.global_model(), gradients_[g],
         static_cast<float>(cfg_.learning_rate * lr_schedule_factor()),
         static_cast<float>(cfg_.weight_decay));
     staleness_sum_ += global_version_ - slot.snapshot_version;

@@ -101,6 +101,15 @@ struct TrainerConfig {
   ExecutionMode mode = ExecutionMode::kDeterministic;
   std::uint64_t seed = 12345;
 
+  /// Worker threads for the CPU compute kernels (spmm/gemm/sparse update)
+  /// of each replica's training step. 1 = serial (default, and what the
+  /// deterministic tests use); 0 = hardware concurrency. The runtime shares
+  /// one pool across all virtual GPUs and hands each workspace a
+  /// kernels::Context; per-GPU counts can be adjusted afterwards with
+  /// MultiGpuRuntime::set_kernel_threads. Results are bit-identical across
+  /// thread counts (kernels partition output rows).
+  std::size_t kernel_threads = 1;
+
   /// Multiplier on epoch compute time modelling a heavier framework stack.
   /// 1.0 for the HeteroGPU implementations; the TensorFlow baseline uses
   /// ~1.4 (the paper attributes part of TF's gap to slower epoch execution

@@ -61,8 +61,7 @@ void CrossbowTrainer::run_megabatch(TrainResult& result) {
         flat[j] += eta * (central_[j] - flat[j]);
       }
       replica.from_flat(flat);
-      nn::apply_gradients(replica, runtime_.workspace(g),
-                          runtime_.last_batch(g).x, lr);
+      nn::apply_gradients(replica, runtime_.workspace(g), lr);
     }
     const double scale =
         static_cast<double>(eta) / static_cast<double>(n);

@@ -76,8 +76,8 @@ void ParamServerTrainer::run_megabatch(TrainResult& result) {
     }
 
     auto& slot = in_flight_[g];
-    nn::apply_gradients(runtime_.global_model(), gradients_[g], slot.batch.x,
-                        lr, static_cast<float>(cfg_.weight_decay));
+    nn::apply_gradients(runtime_.global_model(), gradients_[g], lr,
+                        static_cast<float>(cfg_.weight_decay));
     staleness_sum_ += global_version_ - slot.snapshot_version;
     ++staleness_count_;
     ++global_version_;

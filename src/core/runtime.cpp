@@ -45,9 +45,33 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
     replicas_.emplace_back(model_cfg_);
   }
   workspaces_.resize(n);
+  // Cap absurd requests (e.g. a negative CLI value cast through size_t)
+  // before sizing the pool; oversubscription past this helps nobody.
+  constexpr std::size_t kMaxKernelThreads = 256;
+  const std::size_t kernel_threads = std::min(
+      cfg_.kernel_threads != 0
+          ? cfg_.kernel_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency()),
+      kMaxKernelThreads);
+  if (kernel_threads > 1) {
+    kernel_pool_ = std::make_unique<util::ThreadPool>(kernel_threads);
+    for (auto& ws : workspaces_) {
+      ws.ctx = kernels::Context{kernel_pool_.get(), kernel_threads};
+    }
+  }
   last_batch_.resize(n);
   loss_slots_.resize(n);
   broadcast_global();
+}
+
+void MultiGpuRuntime::set_kernel_threads(std::size_t g, std::size_t n) {
+  auto& ctx = workspaces_[g].ctx;
+  if (kernel_pool_ == nullptr || n <= 1) {
+    ctx = kernels::Context{};
+    return;
+  }
+  ctx.pool = kernel_pool_.get();
+  ctx.num_threads = std::min(n, kernel_pool_->size());
 }
 
 double MultiGpuRuntime::gpu_free_at(std::size_t g) const {

@@ -46,6 +46,11 @@ class MultiGpuRuntime {
   nn::MlpModel& replica(std::size_t g) { return replicas_[g]; }
   nn::Workspace& workspace(std::size_t g) { return workspaces_[g]; }
 
+  /// Sets the kernel worker count for virtual GPU g's training-step math
+  /// (bounded by cfg.kernel_threads, which sizes the shared pool). Lets
+  /// heterogeneous simulations give fast devices more CPU workers.
+  void set_kernel_threads(std::size_t g, std::size_t n);
+
   /// Earliest time device g can accept new work (compute stream).
   double gpu_free_at(std::size_t g) const;
 
@@ -174,6 +179,9 @@ class MultiGpuRuntime {
   sim::LinkModel links_;
   std::unique_ptr<comm::AllReducer> reducer_;
   std::unique_ptr<Executor> executor_;
+  // Shared kernel pool for the replicas' compute kernels (null when
+  // cfg.kernel_threads resolves to 1); workspaces hold Contexts into it.
+  std::unique_ptr<util::ThreadPool> kernel_pool_;
 
   nn::MlpModel global_;
   std::vector<float> global_flat_;

@@ -64,7 +64,7 @@ void SyncSgdTrainer::run_megabatch(TrainResult& result) {
       }
       const float scaled_lr = static_cast<float>(lr / static_cast<double>(n));
       for (std::size_t g = 0; g < n; ++g) {
-        nn::apply_gradients(model, grads[g], batches[g].x, scaled_lr);
+        nn::apply_gradients(model, grads[g], scaled_lr);
       }
     });
     runtime_.math_barrier();

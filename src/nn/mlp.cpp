@@ -56,16 +56,31 @@ double MlpModel::l2_norm_per_parameter() const {
   return std::sqrt(ss) / static_cast<double>(num_parameters());
 }
 
-double MlpModel::squared_distance(const MlpModel& other) const {
-  assert(num_parameters() == other.num_parameters());
-  const auto a = to_flat();
-  const auto b = other.to_flat();
+namespace {
+
+double segment_squared_distance(std::span<const float> a,
+                                std::span<const float> b) {
+  assert(a.size() == b.size());
   double ss = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = static_cast<double>(a[i]) - b[i];
     ss += d * d;
   }
   return ss;
+}
+
+}  // namespace
+
+double MlpModel::squared_distance(const MlpModel& other) const {
+  assert(num_parameters() == other.num_parameters());
+  // Segment-by-segment over the parameter tensors in place: no O(params)
+  // to_flat() copies just to diff two models.
+  return segment_squared_distance(w1_.flat(), other.w1_.flat()) +
+         segment_squared_distance({b1_.data(), b1_.size()},
+                                  {other.b1_.data(), other.b1_.size()}) +
+         segment_squared_distance(w2_.flat(), other.w2_.flat()) +
+         segment_squared_distance({b2_.data(), b2_.size()},
+                                  {other.b2_.data(), other.b2_.size()});
 }
 
 }  // namespace hetero::nn

@@ -9,9 +9,8 @@
 namespace hetero::nn {
 
 void Workspace::ensure(const MlpConfig& cfg) {
-  if (grad_w1.rows() != cfg.num_features || grad_w1.cols() != cfg.hidden) {
-    grad_w1.resize(cfg.num_features, cfg.hidden);
-  }
+  // grad_w1 is keyed per batch by compute_gradients; nothing to pre-size
+  // here (and nothing O(num_features) to zero).
   if (grad_w2.rows() != cfg.hidden || grad_w2.cols() != cfg.num_classes) {
     grad_w2.resize(cfg.hidden, cfg.num_classes);
   }
@@ -29,12 +28,12 @@ double forward_impl(const MlpModel& model, const sparse::CsrMatrix& x,
   assert(y.cols() == cfg.num_classes);
   assert(x.rows() == y.rows());
 
-  sparse::spmm(x, model.w1(), ws.h_pre);
+  sparse::spmm(x, model.w1(), ws.h_pre, ws.ctx);
   tensor::add_row_bias(ws.h_pre, {model.b1().data(), model.b1().size()});
   ws.h = ws.h_pre;
   tensor::relu(ws.h);
 
-  tensor::gemm(ws.h, model.w2(), ws.probs);
+  tensor::gemm(ws.h, model.w2(), ws.probs, ws.ctx);
   tensor::add_row_bias(ws.probs, {model.b2().data(), model.b2().size()});
   tensor::softmax_rows(ws.probs);
 
@@ -86,39 +85,31 @@ StepStats compute_gradients(const MlpModel& model, const sparse::CsrMatrix& x,
   tensor::scale(ws.delta2.flat(), inv_batch);
 
   // Gradients of layer 2.
-  tensor::gemm_at_b(ws.h, ws.delta2, ws.grad_w2);
+  tensor::gemm_at_b(ws.h, ws.delta2, ws.grad_w2, ws.ctx);
   tensor::column_sums(ws.delta2, {ws.grad_b2.data(), ws.grad_b2.size()});
 
   // Hidden delta: delta1 = delta2 * W2^T, masked by ReLU.
-  tensor::gemm_a_bt(ws.delta2, model.w2(), ws.delta1);
+  tensor::gemm_a_bt(ws.delta2, model.w2(), ws.delta1, ws.ctx);
   tensor::relu_backward(ws.h_pre, ws.delta1);
 
-  // Gradients of layer 1: sparse scatter — only feature rows present in the
-  // batch are touched, so we accumulate into a zeroed dense gradient and
-  // apply a sparse update below.
-  ws.grad_w1.fill(0.0f);
-  sparse::spmm_t_accumulate(x, ws.delta1, ws.grad_w1);
+  // Gradients of layer 1: touched-row sparse gradient. Keying records the
+  // batch's distinct feature columns once (apply_gradients reuses the key);
+  // only the packed touched x H block is zeroed and scattered into — the
+  // full F x H buffer is never materialized.
+  ws.grad_w1.reset(x, cfg.hidden);
+  ws.grad_w1.accumulate_spmm_t(x, ws.delta1, ws.ctx);
   tensor::column_sums(ws.delta1, {ws.grad_b1.data(), ws.grad_b1.size()});
   return stats;
 }
 
-void apply_gradients(MlpModel& model, const Workspace& ws,
-                     const sparse::CsrMatrix& x, float lr,
+void apply_gradients(MlpModel& model, const Workspace& ws, float lr,
                      float weight_decay) {
-  const auto& cfg = model.config();
   // Decoupled L2 decay factor; 1.0 when decay is off.
   const float keep = 1.0f - lr * weight_decay;
-  // W1 is updated sparsely: only the feature rows present in the batch
-  // carry gradient (and, for consistency, decay).
-  std::vector<std::uint32_t> touched(x.col_idx());
-  std::sort(touched.begin(), touched.end());
-  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  const std::size_t h = cfg.hidden;
-  for (auto row : touched) {
-    float* w = model.w1().data() + static_cast<std::size_t>(row) * h;
-    const float* g = ws.grad_w1.data() + static_cast<std::size_t>(row) * h;
-    for (std::size_t j = 0; j < h; ++j) w[j] = keep * w[j] - lr * g[j];
-  }
+  // W1 is updated sparsely over the touched-row key computed with the
+  // gradient: only the feature rows present in that batch carry gradient
+  // (and, for consistency, decay).
+  ws.grad_w1.apply_to(model.w1(), lr, keep, ws.ctx);
   if (weight_decay != 0.0f) {
     tensor::scale({model.b1().data(), model.b1().size()}, keep);
     tensor::scale(model.w2().flat(), keep);
@@ -135,7 +126,7 @@ StepStats sgd_step(MlpModel& model, const sparse::CsrMatrix& x,
                    const sparse::CsrMatrix& y, float lr, Workspace& ws,
                    float weight_decay) {
   const StepStats stats = compute_gradients(model, x, y, ws);
-  apply_gradients(model, ws, x, lr, weight_decay);
+  apply_gradients(model, ws, lr, weight_decay);
   return stats;
 }
 

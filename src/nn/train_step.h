@@ -15,20 +15,34 @@
 #include "sim/cost_model.h"
 #include "sparse/csr.h"
 #include "sparse/ops.h"
+#include "sparse/sparse_gradient.h"
+#include "util/kernel_context.h"
 
 namespace hetero::nn {
 
 /// Scratch buffers reused across steps (avoids per-batch allocation).
+///
+/// The layer-1 gradient is a touched-row sparse::SparseGradient keyed per
+/// batch: compute_gradients records the batch's distinct feature columns
+/// once, and apply_gradients reuses that key — no per-step O(F x H) dense
+/// zero/fill and no second sort of the column ids.
+///
+/// `ctx` selects the kernel backend: serial by default; point it at a
+/// ThreadPool (kernels::Context{&pool, n}) to run the spmm/gemm kernels and
+/// the sparse update n-way parallel. Threaded results are bit-identical to
+/// serial (kernels partition output rows).
 struct Workspace {
   tensor::Matrix h_pre;     // batch x H, pre-activation
   tensor::Matrix h;         // batch x H, post-ReLU
   tensor::Matrix probs;     // batch x C, softmax output
   tensor::Matrix delta2;    // batch x C, output delta
   tensor::Matrix delta1;    // batch x H, hidden delta
-  tensor::Matrix grad_w1;   // F x H
+  sparse::SparseGradient grad_w1;  // touched rows of F x H
   tensor::Matrix grad_w2;   // H x C
   std::vector<float> grad_b1;
   std::vector<float> grad_b2;
+
+  kernels::Context ctx;     // kernel execution backend (serial by default)
 
   void ensure(const MlpConfig& cfg);
 };
@@ -56,10 +70,10 @@ StepStats compute_gradients(const MlpModel& model, const sparse::CsrMatrix& x,
                             const sparse::CsrMatrix& y, Workspace& ws);
 
 /// Applies the gradients in `ws` to `model` with learning rate `lr`.
-/// `x` must be the batch the gradients were computed from (its non-zero
-/// columns identify the W1 rows carrying gradient).
-void apply_gradients(MlpModel& model, const Workspace& ws,
-                     const sparse::CsrMatrix& x, float lr,
+/// The W1 rows carrying gradient (and, for consistency, decay) are the
+/// touched-row key stored in ws.grad_w1 by compute_gradients, so the
+/// workspace is self-contained — no batch needed here.
+void apply_gradients(MlpModel& model, const Workspace& ws, float lr,
                      float weight_decay = 0.0f);
 
 /// Forward + loss only (no update); probs are left in ws.probs.

@@ -8,37 +8,102 @@
 namespace hetero::sparse {
 
 void spmm(const CsrMatrix& x, const tensor::Matrix& w, tensor::Matrix& y) {
+  spmm(x, w, y, kernels::Context::serial());
+}
+
+void spmm(const CsrMatrix& x, const tensor::Matrix& w, tensor::Matrix& y,
+          const kernels::Context& ctx) {
   assert(x.cols() == w.rows());
   const std::size_t h = w.cols();
   y.resize(x.rows(), h, 0.0f);
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    float* yr = y.data() + r * h;
-    const auto cols = x.row_cols(r);
-    const auto vals = x.row_values(r);
-    for (std::size_t i = 0; i < cols.size(); ++i) {
-      const float v = vals[i];
-      const float* wrow = w.data() + static_cast<std::size_t>(cols[i]) * h;
-      for (std::size_t j = 0; j < h; ++j) yr[j] += v * wrow[j];
+  const std::size_t work = x.nnz() * h;
+
+  const auto run_rows = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* yr = y.data() + r * h;
+      const auto cols = x.row_cols(r);
+      const auto vals = x.row_values(r);
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        const float v = vals[i];
+        const float* wrow = w.data() + static_cast<std::size_t>(cols[i]) * h;
+        for (std::size_t j = 0; j < h; ++j) yr[j] += v * wrow[j];
+      }
     }
+  };
+
+  const std::size_t workers =
+      ctx.should_parallelize(work) ? ctx.workers_for(x.rows()) : 1;
+  if (workers <= 1) {
+    run_rows(0, x.rows());
+    return;
   }
+  // nnz-balanced row ranges: split the row_ptr prefix sums evenly so skewed
+  // batches (a few heavy rows) do not serialize on one worker.
+  const auto& row_ptr = x.row_ptr();
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  std::size_t r0 = 0;
+  for (std::size_t c = 0; c < workers; ++c) {
+    const std::size_t target = x.nnz() * (c + 1) / workers;
+    std::size_t r1 =
+        c + 1 == workers
+            ? x.rows()
+            : static_cast<std::size_t>(
+                  std::upper_bound(row_ptr.begin(), row_ptr.end(), target) -
+                  row_ptr.begin() - 1);
+    if (r1 < r0) r1 = r0;
+    if (r1 > x.rows()) r1 = x.rows();
+    if (r1 > r0) {
+      futures.push_back(ctx.pool->submit([&run_rows, r0, r1] {
+        run_rows(r0, r1);
+      }));
+    }
+    r0 = r1;
+  }
+  for (auto& f : futures) f.get();
 }
 
 void spmm_t_accumulate(const CsrMatrix& x, const tensor::Matrix& d,
                        tensor::Matrix& g) {
+  spmm_t_accumulate(x, d, g, kernels::Context::serial());
+}
+
+void spmm_t_accumulate(const CsrMatrix& x, const tensor::Matrix& d,
+                       tensor::Matrix& g, const kernels::Context& ctx) {
   assert(x.rows() == d.rows());
   assert(g.rows() == x.cols());
   assert(g.cols() == d.cols());
   const std::size_t h = d.cols();
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const float* dr = d.data() + r * h;
-    const auto cols = x.row_cols(r);
-    const auto vals = x.row_values(r);
-    for (std::size_t i = 0; i < cols.size(); ++i) {
-      const float v = vals[i];
-      float* grow = g.data() + static_cast<std::size_t>(cols[i]) * h;
-      for (std::size_t j = 0; j < h; ++j) grow[j] += v * dr[j];
-    }
-  }
+  // Partition by output (feature) row: worker ranges [f0, f1) over g's rows.
+  // Every worker scans the full batch but touches only its own g rows, so
+  // the scatter needs no atomics and accumulates in batch order per row.
+  parallel_for_ranges(
+      ctx, g.rows(), x.nnz() * h, [&](std::size_t f0, std::size_t f1) {
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+          const float* dr = d.data() + r * h;
+          const auto cols = x.row_cols(r);
+          const auto vals = x.row_values(r);
+          for (std::size_t i = 0; i < cols.size(); ++i) {
+            const auto f = static_cast<std::size_t>(cols[i]);
+            if (f < f0 || f >= f1) continue;
+            const float v = vals[i];
+            float* grow = g.data() + f * h;
+            for (std::size_t j = 0; j < h; ++j) grow[j] += v * dr[j];
+          }
+        }
+      });
+}
+
+std::vector<std::uint32_t> touched_columns(const CsrMatrix& x) {
+  std::vector<std::uint32_t> cols;
+  touched_columns(x, cols);
+  return cols;
+}
+
+void touched_columns(const CsrMatrix& x, std::vector<std::uint32_t>& out) {
+  out.assign(x.col_idx().begin(), x.col_idx().end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 std::size_t spmm_flops(const CsrMatrix& x, std::size_t w_cols) {
@@ -54,10 +119,7 @@ std::size_t spmm_bytes(const CsrMatrix& x, std::size_t w_cols) {
 }
 
 std::size_t distinct_columns(const CsrMatrix& x) {
-  std::vector<std::uint32_t> cols(x.col_idx());
-  std::sort(cols.begin(), cols.end());
-  return static_cast<std::size_t>(
-      std::unique(cols.begin(), cols.end()) - cols.begin());
+  return touched_columns(x).size();
 }
 
 CsrMatrix transpose(const CsrMatrix& x) {

@@ -8,19 +8,40 @@
 // sparse-data source of GPU heterogeneity the paper exploits (Section I).
 #pragma once
 
+#include <vector>
+
 #include "sparse/csr.h"
 #include "tensor/matrix.h"
+#include "util/kernel_context.h"
 
 namespace hetero::sparse {
 
 /// Y = X * W. Y is resized to (X.rows, W.cols).
+/// The context variant partitions the rows of X into nnz-balanced ranges
+/// across the pool (each output row is written by exactly one worker, so the
+/// result is bit-identical to serial) with a serial fallback below the
+/// context's work grain.
 void spmm(const CsrMatrix& x, const tensor::Matrix& w, tensor::Matrix& y);
+void spmm(const CsrMatrix& x, const tensor::Matrix& w, tensor::Matrix& y,
+          const kernels::Context& ctx);
 
 /// G += Xᵀ * D, where G has shape (X.cols, D.cols). G must be pre-sized;
 /// it is NOT zeroed (gradient accumulation). Only rows of G touched by
 /// non-zeros of X are updated — the sparse-gradient property.
+/// The context variant partitions the OUTPUT (feature) rows: each worker
+/// scans the whole batch but only accumulates the non-zeros whose column
+/// falls in its range, keeping the scatter race-free and the per-row
+/// accumulation order identical to serial.
 void spmm_t_accumulate(const CsrMatrix& x, const tensor::Matrix& d,
                        tensor::Matrix& g);
+void spmm_t_accumulate(const CsrMatrix& x, const tensor::Matrix& d,
+                       tensor::Matrix& g, const kernels::Context& ctx);
+
+/// Sorted, deduplicated column ids with at least one non-zero in `x` — the
+/// set of W1 rows a batch touches. The out-parameter overload reuses the
+/// caller's buffer (no per-batch allocation on the hot path).
+std::vector<std::uint32_t> touched_columns(const CsrMatrix& x);
+void touched_columns(const CsrMatrix& x, std::vector<std::uint32_t>& out);
 
 /// Flop count of spmm (2 * nnz * w_cols). Used by the simulator cost model.
 std::size_t spmm_flops(const CsrMatrix& x, std::size_t w_cols);

@@ -1,0 +1,96 @@
+#include "sparse/sparse_gradient.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sparse/ops.h"
+
+namespace hetero::sparse {
+
+void SparseGradient::reset(const CsrMatrix& x, std::size_t cols) {
+  touched_columns(x, scratch_);
+  reset(x.cols(), cols, scratch_);
+}
+
+void SparseGradient::reset(std::size_t logical_rows, std::size_t cols,
+                           std::span<const std::uint32_t> touched_sorted) {
+  // Un-key the previous touched set before the map is resized or re-filled;
+  // this keeps the reset cost O(touched), never O(logical_rows) beyond the
+  // one-time map allocation.
+  for (auto r : rows_) {
+    if (r < slot_map_.size()) slot_map_[r] = kNoSlot;
+  }
+  if (slot_map_.size() != logical_rows) {
+    slot_map_.assign(logical_rows, kNoSlot);
+  }
+  logical_rows_ = logical_rows;
+  cols_ = cols;
+  rows_.assign(touched_sorted.begin(), touched_sorted.end());
+  for (std::size_t s = 0; s < rows_.size(); ++s) {
+    assert(rows_[s] < logical_rows_);
+    assert(s == 0 || rows_[s - 1] < rows_[s]);
+    slot_map_[rows_[s]] = static_cast<std::uint32_t>(s);
+  }
+  values_.assign(rows_.size() * cols_, 0.0f);
+}
+
+void SparseGradient::accumulate_spmm_t(const CsrMatrix& x,
+                                       const tensor::Matrix& d,
+                                       const kernels::Context& ctx) {
+  assert(x.rows() == d.rows());
+  assert(x.cols() == logical_rows_);
+  assert(d.cols() == cols_);
+  const std::size_t h = cols_;
+  kernels::parallel_for_ranges(
+      ctx, rows_.size(), x.nnz() * h, [&](std::size_t s0, std::size_t s1) {
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+          const float* dr = d.data() + r * h;
+          const auto cols = x.row_cols(r);
+          const auto vals = x.row_values(r);
+          for (std::size_t i = 0; i < cols.size(); ++i) {
+            const std::uint32_t s = slot_map_[cols[i]];
+            assert(s != kNoSlot);
+            if (s < s0 || s >= s1) continue;
+            const float v = vals[i];
+            float* grow = values_.data() + static_cast<std::size_t>(s) * h;
+            for (std::size_t j = 0; j < h; ++j) grow[j] += v * dr[j];
+          }
+        }
+      });
+}
+
+void SparseGradient::apply_to(tensor::Matrix& w, float lr, float keep,
+                              const kernels::Context& ctx) const {
+  assert(w.rows() == logical_rows_);
+  assert(w.cols() == cols_);
+  const std::size_t h = cols_;
+  kernels::parallel_for_ranges(
+      ctx, rows_.size(), rows_.size() * h, [&](std::size_t s0, std::size_t s1) {
+        for (std::size_t s = s0; s < s1; ++s) {
+          float* wr = w.data() + static_cast<std::size_t>(rows_[s]) * h;
+          const float* g = values_.data() + s * h;
+          for (std::size_t j = 0; j < h; ++j) wr[j] = keep * wr[j] - lr * g[j];
+        }
+      });
+}
+
+void SparseGradient::add_scaled(const SparseGradient& other, float alpha) {
+  assert(cols_ == other.cols_);
+  assert(rows_.size() == other.rows_.size());
+  assert(std::equal(rows_.begin(), rows_.end(), other.rows_.begin()));
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += alpha * other.values_[i];
+  }
+}
+
+void SparseGradient::to_dense(tensor::Matrix& out) const {
+  out.resize(logical_rows_, cols_);
+  out.fill(0.0f);
+  for (std::size_t s = 0; s < rows_.size(); ++s) {
+    float* dst = out.data() + static_cast<std::size_t>(rows_[s]) * cols_;
+    const float* src = values_.data() + s * cols_;
+    std::copy_n(src, cols_, dst);
+  }
+}
+
+}  // namespace hetero::sparse

@@ -7,52 +7,77 @@
 namespace hetero::tensor {
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm(a, b, c, kernels::Context::serial());
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          const kernels::Context& ctx) {
   assert(a.cols() == b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   c.resize(m, n, 0.0f);
-  // i-k-j loop order: streams B rows, accumulates into C rows.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* ci = c.data() + i * n;
-    const float* ai = a.data() + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;
-      const float* bp = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+  // Row blocks of C are independent; within a block the i-k-j loop order
+  // streams B rows and accumulates into C rows.
+  parallel_for_ranges(ctx, m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* ci = c.data() + i * n;
+      const float* ai = a.data() + i * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ai[p];
+        if (av == 0.0f) continue;
+        const float* bp = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
     }
-  }
+  });
 }
 
 void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_at_b(a, b, c, kernels::Context::serial());
+}
+
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c,
+               const kernels::Context& ctx) {
   assert(a.rows() == b.rows());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   c.resize(m, n, 0.0f);
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* ap = a.data() + p * m;
-    const float* bp = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = ap[i];
-      if (av == 0.0f) continue;
-      float* ci = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+  // Partition the output rows (columns of A): each worker owns C rows
+  // [i0, i1) and scans all k input rows, so no write races and per-row
+  // accumulation order (p ascending) matches the serial loop exactly.
+  parallel_for_ranges(ctx, m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* ap = a.data() + p * m;
+      const float* bp = b.data() + p * n;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float av = ap[i];
+        if (av == 0.0f) continue;
+        float* ci = c.data() + i * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+      }
     }
-  }
+  });
 }
 
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_a_bt(a, b, c, kernels::Context::serial());
+}
+
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c,
+               const kernels::Context& ctx) {
   assert(a.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   c.resize(m, n, 0.0f);
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* ai = a.data() + i * k;
-    float* ci = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* bj = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-      ci[j] = acc;
+  parallel_for_ranges(ctx, m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* ai = a.data() + i * k;
+      float* ci = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* bj = b.data() + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] = acc;
+      }
     }
-  }
+  });
 }
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {

@@ -10,18 +10,29 @@
 #include <span>
 
 #include "tensor/matrix.h"
+#include "util/kernel_context.h"
 #include "util/rng.h"
 
 namespace hetero::tensor {
 
 /// C = A * B  (A: m x k, B: k x n, C: m x n). C is overwritten.
+/// The context variant partitions the rows of C across the pool (race-free;
+/// bit-identical to serial) and falls back to serial below the work grain.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          const kernels::Context& ctx);
 
 /// C = A^T * B (A: k x m, B: k x n, C: m x n). C is overwritten.
+/// Parallel variant partitions the output rows (columns of A).
 void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c,
+               const kernels::Context& ctx);
 
 /// C = A * B^T (A: m x k, B: n x k, C: m x n). C is overwritten.
+/// Parallel variant partitions the rows of C.
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c,
+               const kernels::Context& ctx);
 
 /// y += alpha * x (flat spans of equal length).
 void axpy(float alpha, std::span<const float> x, std::span<float> y);

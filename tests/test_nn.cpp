@@ -113,10 +113,14 @@ TEST(TrainStep, GradientsMatchFiniteDifferences) {
   Workspace ws;
   compute_gradients(model, x, y, ws);
 
-  // Gather analytic gradients in flat order (W1, b1, W2, b2).
+  // Gather analytic gradients in flat order (W1, b1, W2, b2). The layer-1
+  // gradient is stored over touched rows only; scatter it dense for the
+  // element-wise comparison.
+  tensor::Matrix grad_w1_dense;
+  ws.grad_w1.to_dense(grad_w1_dense);
   std::vector<float> analytic;
-  analytic.insert(analytic.end(), ws.grad_w1.flat().begin(),
-                  ws.grad_w1.flat().end());
+  analytic.insert(analytic.end(), grad_w1_dense.flat().begin(),
+                  grad_w1_dense.flat().end());
   analytic.insert(analytic.end(), ws.grad_b1.begin(), ws.grad_b1.end());
   analytic.insert(analytic.end(), ws.grad_w2.flat().begin(),
                   ws.grad_w2.flat().end());
@@ -169,7 +173,7 @@ TEST(TrainStep, SgdStepEqualsComputePlusApply) {
   Workspace wa, wb;
   sgd_step(a, x, y, 0.1f, wa);
   compute_gradients(b, x, y, wb);
-  apply_gradients(b, wb, x, 0.1f);
+  apply_gradients(b, wb, 0.1f);
   EXPECT_NEAR(a.squared_distance(b), 0.0, 1e-12);
 }
 
