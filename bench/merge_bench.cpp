@@ -1,0 +1,310 @@
+// google-benchmark sweep of the mega-batch merge path (Section IV
+// "All-reduce Model Merging"): model size x replicas x threads x touched-row
+// fraction, measuring real wall-clock of merge_and_update's numeric work.
+//
+// Three implementations are compared:
+//   BM_MergePr1Path    — faithful re-creation of the PR-1 merge: per-merge
+//                        to_flat() staging copies into freshly allocated
+//                        flats, a model-sized double accumulator
+//                        (zero-filled then accumulated), write-back into
+//                        every flat, a separate momentum pass, from_flat(),
+//                        and the dense broadcast.
+//   BM_MergeFusedDense — the sharded zero-copy path: fused reduce+momentum
+//                        over the in-place model segments, then broadcast.
+//   BM_MergeFusedDelta — the sparse_merge path: only the cross-replica
+//                        union of touched W1 rows is reduced; untouched
+//                        rows get the closed-form scaling. Includes the
+//                        per-merge union + sort, as the runtime pays it.
+//
+// The headline shape is the ISSUE acceptance point: 2M features (0.005%
+// density => ~100 nnz/sample => ~23% of rows touched per replica per
+// mega-batch), hidden 64, 4 replicas, 8 threads. Unless the caller passes
+// --benchmark_out, results are written to BENCH_merge.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/merging.h"
+#include "nn/mlp.h"
+#include "sparse/sparse_gradient.h"
+#include "util/kernel_context.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+using namespace hetero;
+
+namespace {
+
+constexpr std::size_t kHidden = 64;
+constexpr std::size_t kClasses = 512;
+constexpr double kGamma = 0.9;
+constexpr std::size_t kStreams = 4;  // paper optimum: one per GPU
+
+// Cheap deterministic fill (init_gaussian over 2^21 x 64 would dominate
+// setup); values are ordinary normalized floats so the kernels run at
+// real-data speed.
+void fill_pattern(std::span<float> v, std::uint32_t seed) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::uint32_t h = (static_cast<std::uint32_t>(i) + seed) *
+                            2654435761u;
+    v[i] = 0.001f * static_cast<float>(h & 1023u) - 0.5f;
+  }
+}
+
+struct MergeSetup {
+  nn::MlpConfig cfg;
+  std::vector<nn::MlpModel> replicas;
+  nn::MlpModel global;
+  nn::MlpModel prev;
+  std::vector<double> weights;
+  // Per-replica touched W1 rows (delta path only).
+  std::vector<sparse::RowSet> touched;
+
+  MergeSetup(std::size_t features, std::size_t hidden, std::size_t classes,
+             std::size_t num_replicas, std::size_t touched_permille) {
+    cfg.num_features = features;
+    cfg.hidden = hidden;
+    cfg.num_classes = classes;
+    global = nn::MlpModel(cfg);
+    for (auto seg : global.segment_views()) fill_pattern(seg, 1);
+    prev = global;
+    for (std::size_t i = 0; i < num_replicas; ++i) {
+      replicas.push_back(global);
+      // Perturb a slice so the first merge does real mixing work.
+      auto w1 = replicas.back().segment_views()[0];
+      fill_pattern(w1.subspan(0, std::min<std::size_t>(w1.size(), 4096)),
+                   static_cast<std::uint32_t>(17 * (i + 1)));
+    }
+    const double base = 1.0 / static_cast<double>(num_replicas);
+    for (std::size_t i = 0; i < num_replicas; ++i) {
+      weights.push_back(base * (i % 2 == 0 ? 1.1 : 0.9));
+    }
+    if (touched_permille > 0) {
+      util::Rng rng(99);
+      const std::size_t target = features * touched_permille / 1000;
+      touched.resize(num_replicas);
+      for (auto& set : touched) {
+        set.reset(features);
+        std::uint32_t row[1];
+        while (set.size() < target) {
+          row[0] = static_cast<std::uint32_t>(rng.next_below(features));
+          set.add(row);
+        }
+      }
+    }
+  }
+
+  void broadcast() {
+    for (auto& r : replicas) r = global;
+  }
+};
+
+// The PR-1 serial reduction: zero-filled double accumulator + write-back
+// into every staged flat (kept verbatim so the bench tracks the true
+// before/after of this PR, independent of the current AllReducer).
+void pr1_weighted_average(std::vector<std::span<float>>& views,
+                          std::span<const double> weights,
+                          std::vector<double>& acc) {
+  const std::size_t len = views[0].size();
+  acc.assign(len, 0.0);
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const double w = weights[i];
+    const float* x = views[i].data();
+    for (std::size_t j = 0; j < len; ++j) acc[j] += w * x[j];
+  }
+  for (auto& r : views) {
+    for (std::size_t j = 0; j < len; ++j) {
+      r[j] = static_cast<float>(acc[j]);
+    }
+  }
+}
+
+void run_pr1_merge(MergeSetup& s, std::vector<float>& global_flat,
+                   std::vector<float>& prev_flat, std::vector<double>& acc) {
+  std::vector<std::vector<float>> flats;
+  flats.reserve(s.replicas.size());
+  for (auto& r : s.replicas) flats.push_back(r.to_flat());
+  std::vector<std::span<float>> views;
+  views.reserve(flats.size());
+  for (auto& f : flats) views.emplace_back(f.data(), f.size());
+  pr1_weighted_average(views, s.weights, acc);
+  core::momentum_global_update(views[0], global_flat, prev_flat, kGamma);
+  s.global.from_flat(global_flat);
+  s.broadcast();
+}
+
+void run_fused_dense_merge(MergeSetup& s, const kernels::Context& ctx) {
+  const core::MergeUpdate u{s.weights, kGamma, true};
+  auto global_segs = s.global.segment_views();
+  auto prev_segs = s.prev.segment_views();
+  std::vector<const float*> bases(s.replicas.size());
+  for (std::size_t seg = 0; seg < global_segs.size(); ++seg) {
+    for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+      bases[i] = s.replicas[i].segment_views()[seg].data();
+    }
+    core::merge_segment(bases, global_segs[seg].size(), u, global_segs[seg],
+                        prev_segs[seg], kStreams, ctx);
+  }
+  s.broadcast();
+}
+
+void run_fused_delta_merge(MergeSetup& s, sparse::RowSet& merge_union,
+                           std::vector<std::uint32_t>& sorted,
+                           const kernels::Context& ctx) {
+  const core::MergeUpdate u{s.weights, kGamma, true};
+  merge_union.clear();
+  for (const auto& t : s.touched) merge_union.add(t);
+  merge_union.sorted_rows(sorted);
+  auto global_segs = s.global.segment_views();
+  auto prev_segs = s.prev.segment_views();
+  std::vector<const float*> bases(s.replicas.size());
+  for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+    bases[i] = s.replicas[i].w1().data();
+  }
+  core::merge_touched_rows(bases, sorted, s.cfg.hidden, u,
+                           s.global.w1().data(), s.prev.w1().data(), ctx);
+  core::merge_untouched_rows(merge_union, s.cfg.num_features, s.cfg.hidden,
+                             u, global_segs[0], prev_segs[0], ctx);
+  for (std::size_t seg = 1; seg < global_segs.size(); ++seg) {
+    for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+      bases[i] = s.replicas[i].segment_views()[seg].data();
+    }
+    core::merge_segment(bases, global_segs[seg].size(), u, global_segs[seg],
+                        prev_segs[seg], kStreams, ctx);
+  }
+  s.broadcast();
+}
+
+// args: {log2(features), replicas}
+void BM_MergePr1Path(benchmark::State& state) {
+  MergeSetup s(std::size_t{1} << state.range(0), kHidden, kClasses,
+               static_cast<std::size_t>(state.range(1)), 0);
+  std::vector<float> global_flat = s.global.to_flat();
+  std::vector<float> prev_flat = global_flat;
+  std::vector<double> acc;
+  for (auto _ : state) {
+    run_pr1_merge(s, global_flat, prev_flat, acc);
+    benchmark::DoNotOptimize(s.global.w1().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.cfg.num_parameters()));
+}
+
+// args: {log2(features), replicas, threads}
+void BM_MergeFusedDense(benchmark::State& state) {
+  MergeSetup s(std::size_t{1} << state.range(0), kHidden, kClasses,
+               static_cast<std::size_t>(state.range(1)), 0);
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  util::ThreadPool pool(threads);
+  const kernels::Context ctx{threads > 1 ? &pool : nullptr, threads};
+  for (auto _ : state) {
+    run_fused_dense_merge(s, ctx);
+    benchmark::DoNotOptimize(s.global.w1().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.cfg.num_parameters()));
+}
+
+// args: {log2(features), replicas, threads, per-replica touched permille}
+void BM_MergeFusedDelta(benchmark::State& state) {
+  MergeSetup s(std::size_t{1} << state.range(0), kHidden, kClasses,
+               static_cast<std::size_t>(state.range(1)),
+               static_cast<std::size_t>(state.range(3)));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  util::ThreadPool pool(threads);
+  const kernels::Context ctx{threads > 1 ? &pool : nullptr, threads};
+  sparse::RowSet merge_union;
+  merge_union.reset(s.cfg.num_features);
+  std::vector<std::uint32_t> sorted;
+  for (auto _ : state) {
+    run_fused_delta_merge(s, merge_union, sorted, ctx);
+    benchmark::DoNotOptimize(s.global.w1().data());
+  }
+  state.counters["union_rows"] =
+      static_cast<double>(merge_union.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.cfg.num_parameters()));
+}
+
+// Headline acceptance shape: 2M features, 0.005% density => ~23% of W1 rows
+// touched per replica per mega-batch (1 - exp(-40 batches * 128 rows * 100
+// nnz / 2M)), 4 replicas, 8 threads — vs the PR-1 path at the same shape.
+BENCHMARK(BM_MergePr1Path)->Args({21, 4})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MergeFusedDense)
+    ->Args({21, 4, 8})
+    ->Args({21, 4, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MergeFusedDelta)
+    ->Args({21, 4, 8, 226})
+    ->Args({21, 4, 1, 226})
+    ->Args({21, 4, 8, 50})
+    ->Args({21, 4, 8, 500})
+    ->Unit(benchmark::kMillisecond);
+
+// Smaller sweep: model size x replicas x threads x touched fraction.
+BENCHMARK(BM_MergePr1Path)
+    ->Args({17, 4})
+    ->Args({17, 2})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MergeFusedDense)
+    ->Args({17, 4, 1})
+    ->Args({17, 4, 2})
+    ->Args({17, 4, 4})
+    ->Args({17, 4, 8})
+    ->Args({17, 2, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MergeFusedDelta)
+    ->Args({17, 4, 8, 50})
+    ->Args({17, 4, 8, 226})
+    ->Args({17, 4, 8, 500})
+    ->Args({17, 4, 2, 226})
+    ->Args({17, 2, 8, 226})
+    ->Unit(benchmark::kMillisecond);
+
+// Tiny smoke shape for the bench-smoke ctest label (exercises all three
+// paths + JSON emission without paying for the sweep).
+void BM_SmokeMergePaths(benchmark::State& state) {
+  MergeSetup s(4096, 16, 64, 2, 100);
+  util::ThreadPool pool(2);
+  kernels::Context ctx{&pool, 2};
+  ctx.serial_grain = 1;
+  std::vector<float> global_flat = s.global.to_flat();
+  std::vector<float> prev_flat = global_flat;
+  std::vector<double> acc;
+  sparse::RowSet merge_union;
+  merge_union.reset(s.cfg.num_features);
+  std::vector<std::uint32_t> sorted;
+  for (auto _ : state) {
+    run_pr1_merge(s, global_flat, prev_flat, acc);
+    run_fused_dense_merge(s, ctx);
+    run_fused_delta_merge(s, merge_union, sorted, ctx);
+    benchmark::DoNotOptimize(s.global.w1().data());
+  }
+}
+BENCHMARK(BM_SmokeMergePaths)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+// Custom main: unless the caller chose an output file, record the run to
+// BENCH_merge.json (the perf-trajectory artifact tracked across PRs).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_merge.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -53,6 +53,12 @@ int main(int argc, char** argv) {
   // are bit-identical across any setting; this only changes wall-clock.
   const auto kernel_threads =
       static_cast<std::size_t>(args.get_int("kernel-threads", 1));
+  // Delta-aware merge: reduce/rebroadcast only the touched W1 rows at each
+  // mega-batch merge. Bit-identical to the dense merge; only comm cost and
+  // merge wall-clock change.
+  const bool sparse_merge = args.get_bool("sparse-merge", false);
+  const auto allreduce_streams =
+      static_cast<std::size_t>(args.get_int("allreduce-streams", 0));
   if (args.report_unknown()) return 1;
 
   auto data_cfg = dataset_name == "delicious" ? data::delicious200k_small()
@@ -82,6 +88,8 @@ int main(int argc, char** argv) {
   cfg.early_stop_patience = patience;
   cfg.early_stop_delta = 0.002;
   cfg.kernel_threads = kernel_threads;
+  cfg.sparse_merge = sparse_merge;
+  cfg.allreduce_streams = allreduce_streams;
   if (threaded) cfg.mode = core::ExecutionMode::kThreaded;
 
   // Optional custom server topology: --speeds 1.0,0.9,0.76 overrides

@@ -23,38 +23,104 @@ AllReducer::AllReducer(AllReduceAlgo algo, sim::LinkModel links,
     : algo_(algo), links_(std::move(links)),
       num_streams_(std::max<std::size_t>(1, num_streams)) {}
 
+namespace {
+
+// Accumulator block kept on the stack so the reduction streams each replica
+// once and never materializes a model-sized double buffer.
+constexpr std::size_t kReduceBlock = 512;
+
+// Reduces flat range [begin, end) of the concatenated segment space across
+// replicas: x_i[j] <- float(sum_i w_i x_i[j]). Replica 0 initializes the
+// accumulator and the remaining replicas are added in index order — the
+// fixed per-element order the determinism contract relies on.
+void reduce_flat_range(std::span<const SegmentedView> replicas,
+                       std::span<const double> weights, std::size_t begin,
+                       std::size_t end) {
+  const std::size_t n = replicas.size();
+  const std::size_t num_segments = replicas[0].size();
+  std::size_t seg_start = 0;
+  for (std::size_t s = 0; s < num_segments && seg_start < end; ++s) {
+    const std::size_t seg_len = replicas[0][s].size();
+    const std::size_t seg_end = seg_start + seg_len;
+    const std::size_t lo = std::max(begin, seg_start);
+    const std::size_t hi = std::min(end, seg_end);
+    for (std::size_t o = lo; o < hi; o += kReduceBlock) {
+      const std::size_t len = std::min(kReduceBlock, hi - o);
+      const std::size_t off = o - seg_start;
+      double acc[kReduceBlock];
+      {
+        const double w = weights[0];
+        const float* x = replicas[0][s].data() + off;
+        for (std::size_t k = 0; k < len; ++k) acc[k] = w * x[k];
+      }
+      for (std::size_t i = 1; i < n; ++i) {
+        const double w = weights[i];
+        const float* x = replicas[i][s].data() + off;
+        for (std::size_t k = 0; k < len; ++k) acc[k] += w * x[k];
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        float* x = replicas[i][s].data() + off;
+        for (std::size_t k = 0; k < len; ++k) {
+          x[k] = static_cast<float>(acc[k]);
+        }
+      }
+    }
+    seg_start = seg_end;
+  }
+}
+
+}  // namespace
+
 AllReduceCost AllReducer::weighted_average(
-    std::vector<std::span<float>> replicas,
-    std::span<const double> weights) const {
+    std::vector<std::span<float>> replicas, std::span<const double> weights,
+    const kernels::Context& ctx) const {
+  std::vector<SegmentedView> segmented;
+  segmented.reserve(replicas.size());
+  for (auto& r : replicas) segmented.push_back(SegmentedView{r});
+  return weighted_average_segments(segmented, weights, ctx);
+}
+
+AllReduceCost AllReducer::weighted_average_segments(
+    std::span<const SegmentedView> replicas, std::span<const double> weights,
+    const kernels::Context& ctx) const {
   assert(!replicas.empty());
   assert(replicas.size() == weights.size());
-  const std::size_t len = replicas[0].size();
-  for (const auto& r : replicas) {
-    assert(r.size() == len);
-    (void)r;
-  }
-
-  // Numeric merge: out = sum_i w_i * x_i, in fixed index order so that all
-  // algorithms (and stream counts) produce bit-identical results.
-  merge_acc_.assign(len, 0.0);
-  for (std::size_t i = 0; i < replicas.size(); ++i) {
-    const double w = weights[i];
-    const float* x = replicas[i].data();
-    for (std::size_t j = 0; j < len; ++j) merge_acc_[j] += w * x[j];
-  }
-  for (auto& r : replicas) {
-    for (std::size_t j = 0; j < len; ++j) {
-      r[j] = static_cast<float>(merge_acc_[j]);
+  const std::size_t num_segments = replicas[0].size();
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    for (const auto& r : replicas) {
+      assert(r.size() == num_segments);
+      assert(r[s].size() == replicas[0][s].size());
+      (void)r;
     }
+    total += replicas[0][s].size();
   }
-
-  return cost(replicas.size(), len * sizeof(float));
+  if (total > 0) {
+    // At least one shard per paper stream; more when the pool has idle
+    // workers. Shards partition elements, so any count is bit-identical.
+    const std::size_t work = total * replicas.size();
+    std::size_t shards = num_streams_;
+    if (ctx.should_parallelize(work)) {
+      shards = std::max(shards, ctx.workers_for(total));
+    }
+    shards = std::min(shards, total);
+    kernels::parallel_for_ranges(
+        ctx, shards, work, [&](std::size_t s0, std::size_t s1) {
+          for (std::size_t s = s0; s < s1; ++s) {
+            const std::size_t a = total * s / shards;
+            const std::size_t b = total * (s + 1) / shards;
+            reduce_flat_range(replicas, weights, a, b);
+          }
+        });
+  }
+  return cost(replicas.size(), total * sizeof(float));
 }
 
 AllReduceCost AllReducer::cost(std::size_t num_replicas,
                                std::size_t buffer_bytes,
                                double reduce_gbs) const {
   AllReduceCost out;
+  out.payload_bytes = static_cast<double>(buffer_bytes);
   const auto n = num_replicas;
   if (n <= 1) return out;
   const double bytes = static_cast<double>(buffer_bytes);
@@ -110,8 +176,10 @@ AllReduceCost AllReducer::cost(std::size_t num_replicas,
       const std::size_t p = num_streams_;
       const double chunk = bytes / static_cast<double>(p) /
                            static_cast<double>(n);
-      const auto chunk_bytes = static_cast<std::size_t>(chunk);
-      const double xfer = links_.transfer_seconds(chunk_bytes, 0, 1, 1);
+      // Fractional chunk: truncating to whole bytes underbilled small
+      // buffers at high stream counts (sub-byte chunks charged latency
+      // only), which matters once delta merges shrink the payload.
+      const double xfer = links_.transfer_seconds_frac(chunk, 0, 1, 1);
       const double red = reduce_seconds(chunk);
       // Reduce-scatter steps pay the reduction; all-gather steps only
       // forward shards. Every step launches a kernel (reduce or copy).

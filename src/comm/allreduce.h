@@ -26,6 +26,13 @@
 // paper, where the merging math is fixed and the all-reduce implementation
 // is a performance decision. The returned cost is derived from the
 // sim::LinkModel and device reduce throughput.
+//
+// Determinism contract: the reduction accumulates in double precision over
+// replicas in index order (replica 0 initializes the accumulator), one
+// element at a time. Sharding the element space — across streams or across
+// ThreadPool workers — partitions elements without reordering the
+// per-element sum, so every stream/thread/shard count produces bit-identical
+// results.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +42,7 @@
 
 #include "sim/link_model.h"
 #include "sim/virtual_gpu.h"
+#include "util/kernel_context.h"
 
 namespace hetero::comm {
 
@@ -46,7 +54,17 @@ struct AllReduceCost {
   double seconds = 0.0;        // virtual wall-clock of the collective
   double bytes_moved = 0.0;    // total bytes crossing any link
   std::size_t steps = 0;       // number of communication steps (per stream)
+  // Logical buffer the collective was charged for: the full model in dense
+  // merges, the touched-row delta (rows x hidden x 4 bytes) in sparse
+  // merges. Diagnostic for benches/tests; seconds already reflects it.
+  double payload_bytes = 0.0;
 };
+
+/// One replica's parameters as an ordered list of in-place tensor views
+/// (e.g. the W1/b1/W2/b2 segments of nn::MlpModel::segment_views()).
+/// Segment k must have the same length on every replica; concatenating the
+/// segments defines the flat reduction index space.
+using SegmentedView = std::vector<std::span<float>>;
 
 class AllReducer {
  public:
@@ -60,7 +78,18 @@ class AllReducer {
   /// Returns the virtual cost for `num_replicas` GPUs holding buffers of
   /// the given size. Cost does not depend on the weights.
   AllReduceCost weighted_average(std::vector<std::span<float>> replicas,
-                                 std::span<const double> weights) const;
+                                 std::span<const double> weights,
+                                 const kernels::Context& ctx = {}) const;
+
+  /// Zero-copy segmented variant: merges each replica's segments in place
+  /// (no flattening copies). The flat index space is partitioned into at
+  /// least num_streams() shards — mirroring the paper's multi-stream
+  /// partitions — and shards are reduced on the ctx thread pool. Per the
+  /// determinism contract above, the result is bit-identical to the serial
+  /// single-shard reduction for any shard/thread count.
+  AllReduceCost weighted_average_segments(
+      std::span<const SegmentedView> replicas, std::span<const double> weights,
+      const kernels::Context& ctx = {}) const;
 
   /// Cost-only query (used by benches sweeping buffer sizes without data).
   AllReduceCost cost(std::size_t num_replicas, std::size_t buffer_bytes,
@@ -73,11 +102,6 @@ class AllReducer {
   AllReduceAlgo algo_;
   sim::LinkModel links_;
   std::size_t num_streams_;
-  // Scratch accumulator reused across weighted_average calls (merges run
-  // every mega-batch on model-sized buffers; reallocating it each time
-  // showed up in the allreduce bench). Guarded by the single-scheduler
-  // calling convention: merges are never concurrent.
-  mutable std::vector<double> merge_acc_;
 };
 
 }  // namespace hetero::comm

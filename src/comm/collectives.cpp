@@ -31,8 +31,9 @@ double reduce_scatter_seconds(const sim::LinkModel& links,
   const double chunk = static_cast<double>(p.bytes) /
                        static_cast<double>(streams) /
                        static_cast<double>(p.num_devices);
-  const double xfer =
-      links.transfer_seconds(static_cast<std::size_t>(chunk), 0, 1, 1);
+  // Fractional chunk: truncating to whole bytes underbills small buffers at
+  // high stream counts (a sub-byte chunk would be charged latency only).
+  const double xfer = links.transfer_seconds_frac(chunk, 0, 1, 1);
   const double red = reduce_seconds(chunk, p.reduce_gbs);
   const double per_step =
       (streams > 1 ? std::max(xfer, red) : xfer + red) + kReduceLaunchSeconds;
@@ -46,8 +47,7 @@ double all_gather_seconds(const sim::LinkModel& links,
   const double chunk = static_cast<double>(p.bytes) /
                        static_cast<double>(streams) /
                        static_cast<double>(p.num_devices);
-  const double xfer =
-      links.transfer_seconds(static_cast<std::size_t>(chunk), 0, 1, 1);
+  const double xfer = links.transfer_seconds_frac(chunk, 0, 1, 1);
   // No reduction, but every step still launches a copy kernel.
   return static_cast<double>(p.num_devices - 1) *
          (xfer + kReduceLaunchSeconds);

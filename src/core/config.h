@@ -94,6 +94,18 @@ struct TrainerConfig {
   comm::AllReduceAlgo allreduce = comm::AllReduceAlgo::kRingMultiStream;
   std::size_t allreduce_streams = 0;    // 0 = number of GPUs (paper optimum)
 
+  /// Delta-aware merge: replicas track the union of W1 rows their mega-batch
+  /// touched, and the merge reduces/rebroadcasts only the cross-replica
+  /// union of touched rows — untouched rows (bit-identical across replicas
+  /// since the last broadcast) get the closed-form sum_i w_i * global_row
+  /// scaling plus momentum in one pass. Bit-identical to the dense merge by
+  /// construction; the communication charge shrinks to the delta bytes
+  /// (touched rows x hidden) plus the dense b1/W2/b2 tail. Valid for
+  /// trainers whose replica updates all flow through run_update_step /
+  /// run_gradient_step (adaptive, elastic, sync); trainers that mutate W1
+  /// through dispatch_math must leave this off.
+  bool sparse_merge = false;
+
   // --- evaluation -----------------------------------------------------------
   std::size_t eval_samples = 1000;      // test prefix per mega-batch (0=all)
 

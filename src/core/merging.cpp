@@ -75,4 +75,129 @@ void momentum_global_update(std::span<const float> merged,
   }
 }
 
+namespace {
+
+// Stack accumulator block: the merged value never touches memory outside
+// this block, which is what removes the model-sized double buffer (and its
+// traffic) from the merge path.
+constexpr std::size_t kMergeBlock = 512;
+
+// Fused reduce + update of elements [off, off+len) of one segment, where
+// each source pointer i yields x_i[j] for the weighted sum. finalize mirrors
+// momentum_global_update exactly (same float expression, same order) — keep
+// the two in sync or the determinism contract breaks.
+inline void merge_block(std::span<const float* const> sources,
+                        std::size_t off, std::size_t len,
+                        const MergeUpdate& u, float* global, float* prev) {
+  double acc[kMergeBlock];
+  {
+    const double w = u.weights[0];
+    const float* x = sources[0] + off;
+    for (std::size_t k = 0; k < len; ++k) acc[k] = w * x[k];
+  }
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    const double w = u.weights[i];
+    const float* x = sources[i] + off;
+    for (std::size_t k = 0; k < len; ++k) acc[k] += w * x[k];
+  }
+  float* g = global + off;
+  float* p = prev + off;
+  if (u.momentum) {
+    const auto gamma = static_cast<float>(u.gamma);
+    for (std::size_t k = 0; k < len; ++k) {
+      const float w = g[k];
+      g[k] = static_cast<float>(acc[k]) + gamma * (w - p[k]);
+      p[k] = w;
+    }
+  } else {
+    for (std::size_t k = 0; k < len; ++k) {
+      p[k] = g[k];
+      g[k] = static_cast<float>(acc[k]);
+    }
+  }
+}
+
+inline void merge_range(std::span<const float* const> sources,
+                        const MergeUpdate& u, float* global, float* prev,
+                        std::size_t begin, std::size_t end) {
+  for (std::size_t o = begin; o < end; o += kMergeBlock) {
+    merge_block(sources, o, std::min(kMergeBlock, end - o), u, global, prev);
+  }
+}
+
+}  // namespace
+
+void merge_segment(std::span<const float* const> replicas, std::size_t len,
+                   const MergeUpdate& u, std::span<float> global,
+                   std::span<float> prev, std::size_t min_shards,
+                   const kernels::Context& ctx) {
+  assert(replicas.size() == u.weights.size());
+  assert(global.size() == len);
+  assert(prev.size() == len);
+  if (len == 0) return;
+  const std::size_t work = len * replicas.size();
+  std::size_t shards = std::max<std::size_t>(1, min_shards);
+  if (ctx.should_parallelize(work)) {
+    shards = std::max(shards, ctx.workers_for(len));
+  }
+  shards = std::min(shards, len);
+  kernels::parallel_for_ranges(
+      ctx, shards, work, [&](std::size_t s0, std::size_t s1) {
+        for (std::size_t s = s0; s < s1; ++s) {
+          merge_range(replicas, u, global.data(), prev.data(),
+                      len * s / shards, len * (s + 1) / shards);
+        }
+      });
+}
+
+void merge_touched_rows(std::span<const float* const> replicas,
+                        std::span<const std::uint32_t> rows, std::size_t cols,
+                        const MergeUpdate& u, float* global, float* prev,
+                        const kernels::Context& ctx) {
+  assert(replicas.size() == u.weights.size());
+  if (rows.empty() || cols == 0) return;
+  const std::size_t work = rows.size() * cols * replicas.size();
+  kernels::parallel_for_ranges(
+      ctx, rows.size(), work, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const std::size_t base = static_cast<std::size_t>(rows[r]) * cols;
+          for (std::size_t o = 0; o < cols; o += kMergeBlock) {
+            merge_block(replicas, base + o,
+                        std::min(kMergeBlock, cols - o), u, global, prev);
+          }
+        }
+      });
+}
+
+void merge_untouched_rows(const sparse::RowSet& touched, std::size_t num_rows,
+                          std::size_t cols, const MergeUpdate& u,
+                          std::span<float> global, std::span<float> prev,
+                          const kernels::Context& ctx) {
+  assert(global.size() == num_rows * cols);
+  assert(prev.size() == global.size());
+  if (num_rows == 0 || cols == 0) return;
+  const std::size_t n = u.weights.size();
+  // Every "replica" source aliases the global base: untouched rows are
+  // bit-equal to global since the last broadcast, so feeding global through
+  // the same merge_block reproduces the dense kernel's n-term sum without
+  // touching any replica memory. merge_block reads the whole block into the
+  // accumulator before the finalize loop writes it, so the alias is safe.
+  const std::vector<const float*> sources(n, global.data());
+  const std::size_t untouched =
+      num_rows - std::min(num_rows, touched.size());
+  const std::size_t work = untouched * cols * n;
+  kernels::parallel_for_ranges(
+      ctx, num_rows, work, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          if (touched.contains(static_cast<std::uint32_t>(r))) continue;
+          const std::size_t base = r * cols;
+          for (std::size_t o = 0; o < cols; o += kMergeBlock) {
+            merge_block(sources, base + o,
+                        std::min(kMergeBlock, cols - o), u, global.data(),
+                        prev.data());
+          }
+        }
+      });
+}
+
 }  // namespace hetero::core

@@ -14,8 +14,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
+
+#include "sparse/sparse_gradient.h"
+#include "util/kernel_context.h"
 
 namespace hetero::core {
 
@@ -61,5 +65,61 @@ MergeWeights compute_merge_weights(const MergeInputs& inputs);
 void momentum_global_update(std::span<const float> merged,
                             std::span<float> global,
                             std::span<float> previous_global, double gamma);
+
+// ---- Fused merge + momentum kernels (the runtime merge path) -------------
+//
+// These kernels fuse the all-reduce reduction with Algorithm 2 lines 8-9:
+// the weighted average sum_i w_i x_i is accumulated in double precision
+// (replica 0 initializes the accumulator, remaining replicas added in index
+// order) and the momentum update is applied to the global/previous-global
+// models in the same pass. The merged value only ever lives in a stack
+// block — no model-sized accumulator, no staging flats, and no replica
+// writes (replicas are refreshed by the broadcast that follows the merge).
+//
+// Determinism contract: every kernel evaluates the bit-exact same
+// per-element expression in the same order —
+//   merged = float(w_0 x_0[j] + w_1 x_1[j] + ... + w_{n-1} x_{n-1}[j])
+//   momentum:  w = global[j]; global[j] = merged + gamma (w - prev[j]);
+//              prev[j] = w
+//   otherwise: prev[j] = global[j]; global[j] = merged
+// Sharding/threading partitions the element space without reordering any
+// per-element sum, so results are bit-identical at every shard and thread
+// count; and because untouched rows hold x_i[j] bit-equal to global[j],
+// the touched + untouched delta pair is bit-identical to the dense kernel.
+
+struct MergeUpdate {
+  std::span<const double> weights;  // alpha_i — NOT renormalized (Σ may ≠ 1)
+  double gamma = 0.0;               // momentum factor
+  bool momentum = true;             // false: plain assignment update
+};
+
+/// Fused dense merge of one parameter segment. Each replica pointer refers
+/// to `len` floats; `global` and `prev` are the matching global-model and
+/// previous-global segments. The segment is split into at least
+/// `min_shards` shards (mirroring the paper's multi-stream partitions; the
+/// runtime passes the all-reduce stream count) and sharded across `ctx`.
+void merge_segment(std::span<const float* const> replicas, std::size_t len,
+                   const MergeUpdate& u, std::span<float> global,
+                   std::span<float> prev, std::size_t min_shards,
+                   const kernels::Context& ctx);
+
+/// Fused merge restricted to `rows` of a row-major (num_rows x cols)
+/// segment: the delta path's reduced+rebroadcast set. `rows` must be
+/// deduplicated (sorted recommended for locality); replicas/global/prev
+/// point at the full segment base.
+void merge_touched_rows(std::span<const float* const> replicas,
+                        std::span<const std::uint32_t> rows, std::size_t cols,
+                        const MergeUpdate& u, float* global, float* prev,
+                        const kernels::Context& ctx);
+
+/// Closed-form complement of merge_touched_rows: rows NOT in `touched` are
+/// bit-identical across replicas (untouched since the last broadcast), so
+/// the reduction needs no replica reads — it re-accumulates
+/// sum_i w_i global[j] in the same fixed order, which is bit-identical to
+/// the dense kernel reading the n equal replica copies.
+void merge_untouched_rows(const sparse::RowSet& touched, std::size_t num_rows,
+                          std::size_t cols, const MergeUpdate& u,
+                          std::span<float> global, std::span<float> prev,
+                          const kernels::Context& ctx);
 
 }  // namespace hetero::core

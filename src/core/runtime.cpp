@@ -24,8 +24,7 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
   util::Rng init_rng(cfg.seed);
   global_ = nn::MlpModel(model_cfg_);
   global_.init(init_rng);
-  global_flat_ = global_.to_flat();
-  prev_global_flat_ = global_flat_;
+  prev_global_ = global_;
 
   const std::size_t n = devices.size();
   const std::size_t streams =
@@ -58,9 +57,15 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
     for (auto& ws : workspaces_) {
       ws.ctx = kernels::Context{kernel_pool_.get(), kernel_threads};
     }
+    merge_ctx_ = kernels::Context{kernel_pool_.get(), kernel_threads};
   }
   last_batch_.resize(n);
   loss_slots_.resize(n);
+  if (cfg_.sparse_merge) {
+    touched_w1_.resize(n);
+    for (auto& t : touched_w1_) t.reset(model_cfg_.num_features);
+    merge_union_.reset(model_cfg_.num_features);
+  }
   broadcast_global();
 }
 
@@ -147,6 +152,9 @@ double MultiGpuRuntime::run_update_step(std::size_t g, Batch batch, double lr,
     const auto stats = nn::sgd_step(replicas_[g], stored->x, stored->y,
                                     static_cast<float>(lr), workspaces_[g],
                                     static_cast<float>(cfg_.weight_decay));
+    // Delta-merge bookkeeping rides inside the manager's work item: the
+    // workspace gradient keys are only valid until the next step on g.
+    if (cfg_.sparse_merge) touched_w1_[g].add(workspaces_[g].grad_w1.rows());
     loss_slots_[g].sum += stats.loss;
     loss_slots_[g].count += 1;
   });
@@ -161,6 +169,10 @@ double MultiGpuRuntime::run_gradient_step(std::size_t g, Batch batch,
   executor_->dispatch(g, [this, g, stored] {
     const auto stats = nn::compute_gradients(replicas_[g], stored->x,
                                              stored->y, workspaces_[g]);
+    // Conservative for gradient-only steps (the rows may be applied later
+    // by the trainer): over-tracking only widens the reduced union, which
+    // stays bit-identical — under-tracking is what would break the merge.
+    if (cfg_.sparse_merge) touched_w1_[g].add(workspaces_[g].grad_w1.rows());
     loss_slots_[g].sum += stats.loss;
     loss_slots_[g].count += 1;
   });
@@ -179,7 +191,10 @@ double MultiGpuRuntime::take_mean_loss() {
 }
 
 double MultiGpuRuntime::host_roundtrip_seconds() const {
-  const std::size_t bytes = virtual_model_bytes();
+  return host_roundtrip_seconds(virtual_model_bytes());
+}
+
+double MultiGpuRuntime::host_roundtrip_seconds(std::size_t bytes) const {
   const double up =
       links_.transfer_seconds(bytes, 0, sim::LinkModel::kHost, 1);
   const double down = links_.transfer_seconds(bytes, sim::LinkModel::kHost, 0,
@@ -193,33 +208,62 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
   math_barrier();
 
   MergeTiming timing;
+  const std::size_t n = replicas_.size();
+  const MergeUpdate update{weights, cfg_.momentum_gamma, cfg_.enable_momentum};
 
-  // All-reduce the weighted average across replicas (numerics + cost).
-  std::vector<std::vector<float>> flats;
-  flats.reserve(replicas_.size());
-  for (auto& r : replicas_) flats.push_back(r.to_flat());
-  std::vector<std::span<float>> views;
-  views.reserve(flats.size());
-  for (auto& f : flats) views.emplace_back(f.data(), f.size());
-  reducer_->weighted_average(views, weights);
-  // Charge the collective at the simulated (paper-scale) model size, like
-  // every other kernel/transfer cost.
-  timing.allreduce_seconds =
-      reducer_->cost(replicas_.size(), virtual_model_bytes()).seconds;
+  // Fused reduce + momentum over the model segments in place (Section IV:
+  // the model update is executed by the scheduler — fewer CPU-GPU
+  // transfers). No to_flat()/from_flat() staging and no model-sized
+  // accumulator: the kernels stream each replica once and write only the
+  // global/previous-global models; replicas are refreshed by the broadcast.
+  auto global_segs = global_.segment_views();
+  auto prev_segs = prev_global_.segment_views();
+  std::vector<std::vector<std::span<float>>> replica_segs;
+  replica_segs.reserve(n);
+  for (auto& r : replicas_) replica_segs.push_back(r.segment_views());
+  const std::size_t num_segments = global_segs.size();
+  std::vector<const float*> bases(n);
+  const auto merge_dense_segment = [&](std::size_t s) {
+    for (std::size_t i = 0; i < n; ++i) bases[i] = replica_segs[i][s].data();
+    merge_segment(bases, global_segs[s].size(), update, global_segs[s],
+                  prev_segs[s], reducer_->num_streams(), merge_ctx_);
+  };
 
-  // Scheduler-side momentum update of the global model (Section IV: model
-  // update executed by the scheduler — fewer CPU-GPU transfers), then
-  // broadcast to the replicas.
-  if (cfg_.enable_momentum) {
-    momentum_global_update(views[0], global_flat_, prev_global_flat_,
-                           cfg_.momentum_gamma);
+  std::size_t payload_params = global_.num_parameters();
+  if (!cfg_.sparse_merge) {
+    for (std::size_t s = 0; s < num_segments; ++s) merge_dense_segment(s);
   } else {
-    prev_global_flat_ = global_flat_;
-    std::copy(views[0].begin(), views[0].end(), global_flat_.begin());
+    // Delta path: only the cross-replica union of touched W1 rows is
+    // reduced (and later rebroadcast); untouched rows — bit-identical
+    // across replicas since the last broadcast — collapse to the
+    // closed-form sum_i w_i * global_row, same accumulation order.
+    merge_union_.clear();
+    for (const auto& t : touched_w1_) merge_union_.add(t);
+    merge_union_.sorted_rows(merge_rows_scratch_);
+    const std::size_t hidden = model_cfg_.hidden;
+    for (std::size_t i = 0; i < n; ++i) bases[i] = replicas_[i].w1().data();
+    merge_touched_rows(bases, merge_rows_scratch_, hidden, update,
+                       global_.w1().data(), prev_global_.w1().data(),
+                       merge_ctx_);
+    merge_untouched_rows(merge_union_, model_cfg_.num_features, hidden,
+                         update, global_segs[0], prev_segs[0], merge_ctx_);
+    for (std::size_t s = 1; s < num_segments; ++s) merge_dense_segment(s);
+    for (auto& t : touched_w1_) t.clear();
+    timing.touched_rows = merge_union_.size();
+    // Communication payload: the touched-row delta plus the dense tail.
+    payload_params = merge_union_.size() * hidden +
+                     (global_.num_parameters() -
+                      model_cfg_.num_features * hidden);
   }
-  global_.from_flat(global_flat_);
   broadcast_global();
-  timing.host_roundtrip_seconds = host_roundtrip_seconds();
+
+  // Charge the collective at the simulated (paper-scale) payload size, like
+  // every other kernel/transfer cost.
+  const std::size_t payload_bytes = virtual_payload_bytes(payload_params);
+  const auto cost = reducer_->cost(n, payload_bytes);
+  timing.allreduce_seconds = cost.seconds;
+  timing.payload_bytes = cost.payload_bytes;
+  timing.host_roundtrip_seconds = host_roundtrip_seconds(payload_bytes);
 
   timing.finish =
       sync_time + timing.allreduce_seconds + timing.host_roundtrip_seconds;

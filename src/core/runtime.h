@@ -28,6 +28,8 @@
 #include "sim/profiles.h"
 #include "sim/trace.h"
 #include "sim/virtual_gpu.h"
+#include "sparse/sparse_gradient.h"
+#include "util/kernel_context.h"
 
 namespace hetero::core {
 
@@ -93,8 +95,14 @@ class MultiGpuRuntime {
   /// buffer times cfg.comm_scale. All communication costs (all-reduce,
   /// host round trips) use this size.
   std::size_t virtual_model_bytes() const {
+    return virtual_payload_bytes(global_.num_parameters());
+  }
+
+  /// Interconnect charge for an arbitrary parameter count (the delta merge
+  /// charges only touched-rows x hidden + the dense tail).
+  std::size_t virtual_payload_bytes(std::size_t params) const {
     return static_cast<std::size_t>(
-        static_cast<double>(global_.num_bytes()) * cfg_.comm_scale);
+        static_cast<double>(params * sizeof(float)) * cfg_.comm_scale);
   }
 
   /// Cost-only step accounting: charges device g for the batch transfer and
@@ -130,6 +138,12 @@ class MultiGpuRuntime {
     double allreduce_seconds = 0.0;
     double host_roundtrip_seconds = 0.0;
     double finish = 0.0;  // virtual time when all GPUs hold the new model
+    // Diagnostics: W1 rows in the cross-replica touched union (delta merges
+    // only; 0 in dense mode) and the logical bytes charged to the
+    // collective (delta bytes when sparse_merge is on, model bytes
+    // otherwise).
+    std::size_t touched_rows = 0;
+    double payload_bytes = 0.0;
   };
 
   /// Merges replicas with the given weights via the configured all-reduce,
@@ -149,6 +163,10 @@ class MultiGpuRuntime {
 
   /// Replica -> host model transfer cost (e.g. sync SGD publishing state).
   double host_roundtrip_seconds() const;
+
+  /// Same, for an explicit payload size (delta merges round-trip only the
+  /// touched rows plus the dense tail).
+  double host_roundtrip_seconds(std::size_t bytes) const;
 
   // --- evaluation -----------------------------------------------------------------
 
@@ -184,8 +202,10 @@ class MultiGpuRuntime {
   std::unique_ptr<util::ThreadPool> kernel_pool_;
 
   nn::MlpModel global_;
-  std::vector<float> global_flat_;
-  std::vector<float> prev_global_flat_;
+  // Previous global model for the momentum term (Algorithm 2 line 8); kept
+  // as a model so the merge runs segment-wise in place — no flat staging
+  // buffers on the merge path.
+  nn::MlpModel prev_global_;
 
   std::vector<nn::MlpModel> replicas_;
   std::vector<nn::Workspace> workspaces_;
@@ -195,8 +215,19 @@ class MultiGpuRuntime {
 
   data::SampleStream stream_;
 
-  // Loss accumulation (slot per GPU; written only by that GPU's manager).
-  struct LossSlot {
+  // Delta-merge state (cfg.sparse_merge): per-replica mega-batch unions of
+  // touched W1 rows, written by each GPU's manager inside its dispatched
+  // step and read by the scheduler after math_barrier(); plus the
+  // cross-replica union + sorted scratch used during the merge.
+  std::vector<sparse::RowSet> touched_w1_;
+  sparse::RowSet merge_union_;
+  std::vector<std::uint32_t> merge_rows_scratch_;
+  // Context for the merge kernels (scheduler-side, whole pool).
+  kernels::Context merge_ctx_;
+
+  // Loss accumulation (slot per GPU; written only by that GPU's manager —
+  // cache-line padded so adjacent slots never false-share across managers).
+  struct alignas(64) LossSlot {
     double sum = 0.0;
     std::size_t count = 0;
   };

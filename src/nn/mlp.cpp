@@ -48,6 +48,13 @@ void MlpModel::from_flat(std::span<const float> flat) {
   std::copy_n(p, b2_.size(), b2_.data());
 }
 
+std::vector<std::span<float>> MlpModel::segment_views() {
+  return {std::span<float>{w1_.data(), w1_.size()},
+          std::span<float>{b1_.data(), b1_.size()},
+          std::span<float>{w2_.data(), w2_.size()},
+          std::span<float>{b2_.data(), b2_.size()}};
+}
+
 double MlpModel::l2_norm_per_parameter() const {
   double ss = tensor::sum_of_squares(w1_.flat());
   ss += tensor::sum_of_squares({b1_.data(), b1_.size()});

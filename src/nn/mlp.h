@@ -55,6 +55,11 @@ class MlpModel {
   std::vector<float> to_flat() const;
   void from_flat(std::span<const float> flat);
 
+  /// In-place views of the parameter tensors in to_flat() order
+  /// (W1, b1, W2, b2). The merge path reduces these directly, replacing the
+  /// per-merge to_flat()/from_flat() staging copies.
+  std::vector<std::span<float>> segment_views();
+
   /// L2 norm over all parameters divided by the parameter count — the
   /// regularization measure gating weight perturbation in Algorithm 2.
   double l2_norm_per_parameter() const;

@@ -9,6 +9,12 @@ LinkModel::LinkModel(std::size_t num_devices, LinkSpec peer, LinkSpec host)
 
 double LinkModel::transfer_seconds(std::size_t bytes, int src, int dst,
                                    std::size_t concurrent) const {
+  return transfer_seconds_frac(static_cast<double>(bytes), src, dst,
+                               concurrent);
+}
+
+double LinkModel::transfer_seconds_frac(double bytes, int src, int dst,
+                                        std::size_t concurrent) const {
   assert(src == kHost || static_cast<std::size_t>(src) < num_devices_);
   assert(dst == kHost || static_cast<std::size_t>(dst) < num_devices_);
   assert(concurrent >= 1);
@@ -16,7 +22,7 @@ double LinkModel::transfer_seconds(std::size_t bytes, int src, int dst,
   const LinkSpec& link = host_side ? host_ : peer_;
   const double bandwidth =
       link.bandwidth_gbs * 1e9 / static_cast<double>(concurrent);
-  return link.latency_us * 1e-6 + static_cast<double>(bytes) / bandwidth;
+  return link.latency_us * 1e-6 + bytes / bandwidth;
 }
 
 }  // namespace hetero::sim

@@ -28,6 +28,13 @@ class LinkModel {
   double transfer_seconds(std::size_t bytes, int src, int dst,
                           std::size_t concurrent = 1) const;
 
+  /// Fractional-byte variant for chunked collectives: a multi-stream ring
+  /// moves bytes/(streams*n) per step, which is rarely a whole number of
+  /// bytes — truncating it to std::size_t underbills small buffers at high
+  /// stream counts (down to a latency-only charge).
+  double transfer_seconds_frac(double bytes, int src, int dst,
+                               std::size_t concurrent = 1) const;
+
   std::size_t num_devices() const { return num_devices_; }
   const LinkSpec& peer() const { return peer_; }
   const LinkSpec& host() const { return host_; }

@@ -7,6 +7,35 @@
 
 namespace hetero::sparse {
 
+void RowSet::reset(std::size_t logical_rows) {
+  stamp_.assign(logical_rows, 0);
+  epoch_ = 1;
+  rows_.clear();
+}
+
+void RowSet::clear() {
+  rows_.clear();
+  ++epoch_;
+  if (epoch_ == 0) {  // epoch wrap: stale stamps could alias, wipe them
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+void RowSet::add(std::span<const std::uint32_t> rows) {
+  for (const auto r : rows) {
+    assert(r < stamp_.size());
+    if (stamp_[r] == epoch_) continue;
+    stamp_[r] = epoch_;
+    rows_.push_back(r);
+  }
+}
+
+void RowSet::sorted_rows(std::vector<std::uint32_t>& out) const {
+  out.assign(rows_.begin(), rows_.end());
+  std::sort(out.begin(), out.end());
+}
+
 void SparseGradient::reset(const CsrMatrix& x, std::size_t cols) {
   touched_columns(x, scratch_);
   reset(x.cols(), cols, scratch_);

@@ -23,6 +23,47 @@
 
 namespace hetero::sparse {
 
+/// Accumulating set of touched row ids over a fixed logical row space.
+///
+/// The delta-aware merge path (TrainerConfig::sparse_merge) needs the union
+/// of every W1 row a replica touched since the last broadcast: each SGD step
+/// adds its SparseGradient row keys here in O(rows added), and the scheduler
+/// unions the per-replica sets at the merge. Membership is an epoch-stamped
+/// O(1) lookup — clearing between mega-batches just bumps the epoch, so no
+/// per-merge cost scales with the logical row count except the one-time
+/// stamp allocation.
+class RowSet {
+ public:
+  /// Re-targets the set to [0, logical_rows) and clears it.
+  void reset(std::size_t logical_rows);
+
+  /// Empties the set, keeping the row space. O(1) amortized.
+  void clear();
+
+  /// Adds the given row ids (duplicates ignored). O(rows.size()).
+  void add(std::span<const std::uint32_t> rows);
+  void add(const RowSet& other) { add(other.rows()); }
+
+  bool contains(std::uint32_t row) const {
+    return row < stamp_.size() && stamp_[row] == epoch_;
+  }
+
+  std::size_t size() const { return rows_.size(); }
+  std::size_t logical_rows() const { return stamp_.size(); }
+
+  /// Distinct row ids in insertion order.
+  std::span<const std::uint32_t> rows() const { return rows_; }
+
+  /// Copies the distinct ids into `out`, sorted ascending (the merge kernels
+  /// walk rows in address order for locality).
+  void sorted_rows(std::vector<std::uint32_t>& out) const;
+
+ private:
+  std::uint32_t epoch_ = 1;
+  std::vector<std::uint32_t> stamp_;  // per-row epoch of last insertion
+  std::vector<std::uint32_t> rows_;   // distinct ids, insertion order
+};
+
 class SparseGradient {
  public:
   static constexpr std::uint32_t kNoSlot =

@@ -1,0 +1,380 @@
+// Merge-path determinism and equivalence tests.
+//
+// The merge pipeline promises bit-identical results across every execution
+// strategy: serial vs sharded vs threaded reductions, segmented vs flat
+// buffers, and the delta (touched-row) path vs the dense oracle. These tests
+// enforce that contract with exact bitwise comparisons — EXPECT_EQ on float
+// vectors, never EXPECT_NEAR — over fuzzed shapes, perturbed weights with
+// sum != 1, momentum on and off, and 1..16 pool threads.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/allreduce.h"
+#include "core/merging.h"
+#include "core/runtime.h"
+#include "data/synthetic.h"
+#include "sim/profiles.h"
+#include "sparse/sparse_gradient.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hetero {
+namespace {
+
+std::vector<float> random_params(std::size_t len, util::Rng& rng) {
+  std::vector<float> v(len);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+std::vector<double> perturbed_weights(std::size_t n, util::Rng& rng) {
+  // Deliberately NOT summing to 1 (Algorithm 2 perturbation denormalizes).
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.uniform(0.05, 0.6);
+  return w;
+}
+
+// Serial element-at-a-time reference of the fused merge + momentum update —
+// the oracle every sharded/threaded/delta path must match bitwise.
+void reference_merge(const std::vector<std::vector<float>>& replicas,
+                     const std::vector<double>& weights,
+                     std::vector<float>& global, std::vector<float>& prev,
+                     double gamma, bool momentum) {
+  const auto g = static_cast<float>(gamma);
+  for (std::size_t j = 0; j < global.size(); ++j) {
+    double acc = weights[0] * replicas[0][j];
+    for (std::size_t i = 1; i < replicas.size(); ++i) {
+      acc += weights[i] * replicas[i][j];
+    }
+    const auto merged = static_cast<float>(acc);
+    if (momentum) {
+      const float w = global[j];
+      global[j] = merged + g * (w - prev[j]);
+      prev[j] = w;
+    } else {
+      prev[j] = global[j];
+      global[j] = merged;
+    }
+  }
+}
+
+kernels::Context pool_ctx(util::ThreadPool* pool, std::size_t threads) {
+  kernels::Context ctx{pool, threads};
+  ctx.serial_grain = 1;  // force the parallel path even on tiny inputs
+  return ctx;
+}
+
+TEST(MergeSegment, BitIdenticalToSerialReferenceAcrossThreadsAndShards) {
+  util::Rng rng(42);
+  const std::size_t kThreadCounts[] = {1, 2, 3, 8, 16};
+  const std::size_t kShapes[] = {1, 5, 511, 512, 513, 1000, 4113};
+  for (const std::size_t len : kShapes) {
+    for (const std::size_t n : {1u, 2u, 3u, 5u}) {
+      std::vector<std::vector<float>> replicas;
+      for (std::size_t i = 0; i < n; ++i) {
+        replicas.push_back(random_params(len, rng));
+      }
+      const auto weights = perturbed_weights(n, rng);
+      const auto global0 = random_params(len, rng);
+      const auto prev0 = random_params(len, rng);
+      for (const bool momentum : {true, false}) {
+        auto ref_global = global0;
+        auto ref_prev = prev0;
+        reference_merge(replicas, weights, ref_global, ref_prev, 0.9,
+                        momentum);
+        for (const std::size_t threads : kThreadCounts) {
+          util::ThreadPool pool(threads);
+          const auto ctx = pool_ctx(&pool, threads);
+          for (const std::size_t shards : {1u, 3u, 8u}) {
+            auto global = global0;
+            auto prev = prev0;
+            std::vector<const float*> bases;
+            for (const auto& r : replicas) bases.push_back(r.data());
+            core::MergeUpdate u{weights, 0.9, momentum};
+            core::merge_segment(bases, len, u,
+                                {global.data(), global.size()},
+                                {prev.data(), prev.size()}, shards, ctx);
+            ASSERT_EQ(global, ref_global)
+                << "len=" << len << " n=" << n << " threads=" << threads
+                << " shards=" << shards << " momentum=" << momentum;
+            ASSERT_EQ(prev, ref_prev);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MergeSegment, DeltaPairBitIdenticalToDenseKernel) {
+  util::Rng rng(7);
+  const std::size_t rows = 257, cols = 48;
+  const std::size_t len = rows * cols;
+  for (const std::size_t n : {2u, 4u}) {
+    for (const bool momentum : {true, false}) {
+      const auto global0 = random_params(len, rng);
+      const auto prev0 = random_params(len, rng);
+      // Replicas equal global except on their own touched rows — the
+      // invariant the broadcast establishes and sparse updates preserve.
+      sparse::RowSet touched;
+      touched.reset(rows);
+      std::vector<std::vector<float>> replicas(n, global0);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::vector<std::uint32_t> mine;
+        const std::size_t k = 1 + rng.next_below(rows / 3);
+        for (std::size_t t = 0; t < k; ++t) {
+          mine.push_back(static_cast<std::uint32_t>(rng.next_below(rows)));
+        }
+        touched.add(mine);
+        for (const auto r : mine) {
+          for (std::size_t c = 0; c < cols; ++c) {
+            replicas[i][r * cols + c] +=
+                static_cast<float>(rng.uniform(-0.5, 0.5));
+          }
+        }
+      }
+      const auto weights = perturbed_weights(n, rng);
+      core::MergeUpdate u{weights, 0.9, momentum};
+      std::vector<const float*> bases;
+      for (const auto& r : replicas) bases.push_back(r.data());
+
+      auto dense_global = global0;
+      auto dense_prev = prev0;
+      core::merge_segment(bases, len, u,
+                          {dense_global.data(), len},
+                          {dense_prev.data(), len}, 4, {});
+
+      util::ThreadPool pool(4);
+      const auto ctx = pool_ctx(&pool, 4);
+      auto delta_global = global0;
+      auto delta_prev = prev0;
+      std::vector<std::uint32_t> sorted;
+      touched.sorted_rows(sorted);
+      core::merge_touched_rows(bases, sorted, cols, u, delta_global.data(),
+                               delta_prev.data(), ctx);
+      core::merge_untouched_rows(touched, rows, cols, u,
+                                 {delta_global.data(), len},
+                                 {delta_prev.data(), len}, ctx);
+      ASSERT_EQ(delta_global, dense_global)
+          << "n=" << n << " momentum=" << momentum
+          << " touched=" << touched.size();
+      ASSERT_EQ(delta_prev, dense_prev);
+    }
+  }
+}
+
+TEST(WeightedAverageSegments, MatchesFlatPathAndShardCounts) {
+  util::Rng rng(3);
+  const std::vector<std::size_t> seg_lens = {100, 1, 777, 64};
+  const std::size_t total = 942;
+  for (const std::size_t n : {2u, 3u}) {
+    std::vector<std::vector<float>> flat_data;
+    for (std::size_t i = 0; i < n; ++i) {
+      flat_data.push_back(random_params(total, rng));
+    }
+    const auto weights = perturbed_weights(n, rng);
+
+    // Flat single-shard serial reference.
+    auto ref = flat_data;
+    {
+      comm::AllReducer serial(comm::AllReduceAlgo::kRingMultiStream,
+                              sim::default_links(2), 1);
+      std::vector<std::span<float>> views;
+      for (auto& f : ref) views.emplace_back(f.data(), f.size());
+      serial.weighted_average(views, weights);
+    }
+
+    for (const std::size_t streams : {1u, 4u, 13u}) {
+      for (const std::size_t threads : {1u, 8u}) {
+        util::ThreadPool pool(threads);
+        const auto ctx = pool_ctx(&pool, threads);
+        auto data = flat_data;
+        std::vector<comm::SegmentedView> segs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          float* p = data[i].data();
+          for (const auto sl : seg_lens) {
+            segs[i].emplace_back(p, sl);
+            p += sl;
+          }
+        }
+        comm::AllReducer reducer(comm::AllReduceAlgo::kRingMultiStream,
+                                 sim::default_links(2), streams);
+        const auto cost =
+            reducer.weighted_average_segments(segs, weights, ctx);
+        EXPECT_DOUBLE_EQ(cost.payload_bytes,
+                         static_cast<double>(total * sizeof(float)));
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(data[i], ref[i])
+              << "streams=" << streams << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(RowSet, AddDedupContainsClear) {
+  sparse::RowSet set;
+  set.reset(100);
+  EXPECT_EQ(set.size(), 0u);
+  const std::uint32_t a[] = {5, 7, 5, 99, 0, 7};
+  set.add(a);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(99));
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_FALSE(set.contains(100));  // out of range
+
+  sparse::RowSet other;
+  other.reset(100);
+  const std::uint32_t b[] = {5, 42};
+  other.add(b);
+  set.add(other);
+  EXPECT_EQ(set.size(), 5u);
+
+  std::vector<std::uint32_t> sorted;
+  set.sorted_rows(sorted);
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{0, 5, 7, 42, 99}));
+
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(5));
+  set.add(b);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.contains(7));  // stale pre-clear entry must not leak
+}
+
+TEST(AllReduceCost, RingMultiStreamChargesFractionalChunks) {
+  comm::AllReducer reducer(comm::AllReduceAlgo::kRingMultiStream,
+                           sim::default_links(4), 8);
+  // With 8 streams and 4 replicas, 16- and 8-byte buffers both truncate to
+  // 0-byte chunks under the old integer cast — the costs were equal. The
+  // fractional fix must strictly order them.
+  const auto small = reducer.cost(4, 8);
+  const auto large = reducer.cost(4, 16);
+  EXPECT_GT(large.seconds, small.seconds);
+  EXPECT_DOUBLE_EQ(small.payload_bytes, 8.0);
+  EXPECT_DOUBLE_EQ(large.payload_bytes, 16.0);
+}
+
+// ---- Runtime-level equivalence: delta merge vs dense oracle --------------
+
+class DeltaMergeRuntimeTest : public ::testing::Test {
+ protected:
+  DeltaMergeRuntimeTest()
+      : dataset_(data::generate_xml_dataset(data::tiny_profile())) {}
+
+  core::TrainerConfig config(bool sparse_merge, bool momentum,
+                             std::size_t kernel_threads,
+                             bool threaded) const {
+    core::TrainerConfig cfg;
+    cfg.hidden = 16;
+    cfg.batch_max = 32;
+    cfg.batches_per_megabatch = 8;
+    cfg.eval_samples = 100;
+    cfg.compute_scale = 100.0;
+    cfg.sparse_merge = sparse_merge;
+    cfg.enable_momentum = momentum;
+    cfg.kernel_threads = kernel_threads;
+    if (threaded) cfg.mode = core::ExecutionMode::kThreaded;
+    return cfg;
+  }
+
+  // Runs the same step/merge schedule on a runtime and returns the global
+  // model flats observed after each of three merges.
+  std::vector<std::vector<float>> run_schedule(
+      core::MultiGpuRuntime& rt,
+      std::vector<core::MultiGpuRuntime::MergeTiming>* timings = nullptr) {
+    std::vector<std::vector<float>> globals;
+    // Perturbed weights: sum = 1.1 (Algorithm 2 can denormalize).
+    const std::vector<double> weights = {0.4, 0.3, 0.25, 0.15};
+    for (std::size_t mb = 0; mb < 3; ++mb) {
+      double sync = 0.0;
+      for (std::size_t g = 0; g < rt.num_gpus(); ++g) {
+        double t = rt.gpu_free_at(g);
+        for (std::size_t s = 0; s < 2 + g; ++s) {
+          t = rt.run_update_step(g, rt.next_batch(16 + 4 * g), 0.1, t);
+        }
+        sync = std::max(sync, t);
+      }
+      const auto timing = rt.merge_and_update(
+          std::span<const double>(weights.data(), rt.num_gpus()), sync);
+      if (timings != nullptr) timings->push_back(timing);
+      globals.push_back(rt.global_model().to_flat());
+      // Every replica must hold the broadcast global exactly.
+      for (std::size_t g = 0; g < rt.num_gpus(); ++g) {
+        EXPECT_EQ(rt.replica(g).to_flat(), globals.back());
+      }
+    }
+    return globals;
+  }
+
+  data::XmlDataset dataset_;
+};
+
+TEST_F(DeltaMergeRuntimeTest, DeltaBitIdenticalToDenseOracle) {
+  for (const bool momentum : {true, false}) {
+    for (const bool threaded : {false, true}) {
+      for (const std::size_t threads : {1u, 4u}) {
+        core::MultiGpuRuntime dense(
+            dataset_, config(false, momentum, threads, threaded),
+            sim::v100_heterogeneous(4));
+        core::MultiGpuRuntime delta(
+            dataset_, config(true, momentum, threads, threaded),
+            sim::v100_heterogeneous(4));
+        const auto dense_globals = run_schedule(dense);
+        std::vector<core::MultiGpuRuntime::MergeTiming> timings;
+        const auto delta_globals = run_schedule(delta, &timings);
+        ASSERT_EQ(dense_globals.size(), delta_globals.size());
+        for (std::size_t m = 0; m < dense_globals.size(); ++m) {
+          ASSERT_EQ(delta_globals[m], dense_globals[m])
+              << "merge " << m << " momentum=" << momentum
+              << " threaded=" << threaded << " threads=" << threads;
+        }
+        for (const auto& t : timings) {
+          EXPECT_GT(t.touched_rows, 0u);
+          EXPECT_LT(t.touched_rows, delta.model_config().num_features);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DeltaMergeRuntimeTest, DeltaMergeChargesDeltaBytes) {
+  core::MultiGpuRuntime dense(dataset_, config(false, true, 1, false),
+                              sim::v100_heterogeneous(4));
+  core::MultiGpuRuntime delta(dataset_, config(true, true, 1, false),
+                              sim::v100_heterogeneous(4));
+  std::vector<core::MultiGpuRuntime::MergeTiming> dense_t, delta_t;
+  run_schedule(dense, &dense_t);
+  run_schedule(delta, &delta_t);
+  for (std::size_t m = 0; m < delta_t.size(); ++m) {
+    // tiny_profile batches touch a small fraction of features, so the delta
+    // payload — and with it the virtual comm charge — must shrink.
+    EXPECT_LT(delta_t[m].payload_bytes, dense_t[m].payload_bytes);
+    EXPECT_LT(delta_t[m].allreduce_seconds, dense_t[m].allreduce_seconds);
+    EXPECT_LT(delta_t[m].host_roundtrip_seconds,
+              dense_t[m].host_roundtrip_seconds);
+    EXPECT_DOUBLE_EQ(
+        delta_t[m].payload_bytes,
+        static_cast<double>(delta.virtual_payload_bytes(
+            delta_t[m].touched_rows * delta.model_config().hidden +
+            delta.model_config().hidden +
+            delta.model_config().hidden * delta.model_config().num_classes +
+            delta.model_config().num_classes)));
+  }
+}
+
+TEST_F(DeltaMergeRuntimeTest, RepeatedDeltaRunsAreDeterministic) {
+  const auto run_once = [&] {
+    core::MultiGpuRuntime rt(dataset_, config(true, true, 4, true),
+                             sim::v100_heterogeneous(4));
+    return run_schedule(rt);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hetero
