@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/merging.h"
+#include "nn/deep_mlp.h"
 #include "nn/mlp.h"
 #include "sparse/sparse_gradient.h"
 #include "util/kernel_context.h"
@@ -177,6 +178,85 @@ void run_fused_delta_merge(MergeSetup& s, sparse::RowSet& merge_union,
   s.broadcast();
 }
 
+// Deep-model variant of the fused delta merge, run exactly as the runtime
+// now does it for any nn::Model: delta-merge segment 0 (the sparse input
+// layer) over the touched-row union, fused dense merge for every remaining
+// [W,b] segment of the layer stack.
+struct DeepMergeSetup {
+  nn::DeepMlpConfig cfg;
+  nn::DeepMlp global;
+  nn::DeepMlp prev;
+  std::vector<nn::DeepMlp> replicas;
+  std::vector<double> weights;
+  std::vector<sparse::RowSet> touched;
+
+  static nn::DeepMlpConfig make_cfg(std::size_t features) {
+    nn::DeepMlpConfig c;
+    c.num_features = features;
+    c.hidden = {kHidden, kHidden / 2};
+    c.num_classes = kClasses;
+    return c;
+  }
+
+  DeepMergeSetup(std::size_t features, std::size_t num_replicas,
+                 std::size_t touched_permille)
+      : cfg(make_cfg(features)), global(cfg), prev(cfg) {
+    for (auto seg : global.segment_views()) fill_pattern(seg, 1);
+    prev.copy_from(global);
+    for (std::size_t i = 0; i < num_replicas; ++i) {
+      replicas.push_back(global);
+      auto w0 = replicas.back().segment_views()[0];
+      fill_pattern(w0.subspan(0, std::min<std::size_t>(w0.size(), 4096)),
+                   static_cast<std::uint32_t>(17 * (i + 1)));
+    }
+    const double base = 1.0 / static_cast<double>(num_replicas);
+    for (std::size_t i = 0; i < num_replicas; ++i) {
+      weights.push_back(base * (i % 2 == 0 ? 1.1 : 0.9));
+    }
+    util::Rng rng(99);
+    const std::size_t target = features * touched_permille / 1000;
+    touched.resize(num_replicas);
+    for (auto& set : touched) {
+      set.reset(features);
+      std::uint32_t row[1];
+      while (set.size() < target) {
+        row[0] = static_cast<std::uint32_t>(rng.next_below(features));
+        set.add(row);
+      }
+    }
+  }
+};
+
+void run_fused_delta_merge_deep(DeepMergeSetup& s,
+                                sparse::RowSet& merge_union,
+                                std::vector<std::uint32_t>& sorted,
+                                const kernels::Context& ctx) {
+  const core::MergeUpdate u{s.weights, kGamma, true};
+  merge_union.clear();
+  for (const auto& t : s.touched) merge_union.add(t);
+  merge_union.sorted_rows(sorted);
+  auto global_segs = s.global.segment_views();
+  auto prev_segs = s.prev.segment_views();
+  const auto& info = s.global.info();
+  const std::size_t hidden = info.input_cols();
+  std::vector<const float*> bases(s.replicas.size());
+  for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+    bases[i] = s.replicas[i].segment_views()[0].data();
+  }
+  core::merge_touched_rows(bases, sorted, hidden, u, global_segs[0].data(),
+                           prev_segs[0].data(), ctx);
+  core::merge_untouched_rows(merge_union, info.input_rows(), hidden, u,
+                             global_segs[0], prev_segs[0], ctx);
+  for (std::size_t seg = 1; seg < global_segs.size(); ++seg) {
+    for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+      bases[i] = s.replicas[i].segment_views()[seg].data();
+    }
+    core::merge_segment(bases, global_segs[seg].size(), u, global_segs[seg],
+                        prev_segs[seg], kStreams, ctx);
+  }
+  for (auto& r : s.replicas) r.copy_from(s.global);
+}
+
 // args: {log2(features), replicas}
 void BM_MergePr1Path(benchmark::State& state) {
   MergeSetup s(std::size_t{1} << state.range(0), kHidden, kClasses,
@@ -263,10 +343,39 @@ BENCHMARK(BM_MergeFusedDelta)
     ->Args({17, 2, 8, 226})
     ->Unit(benchmark::kMillisecond);
 
+// args: {log2(features), replicas, threads, per-replica touched permille}
+// Deep model (hidden 64,32): one extra dense [W,b] segment pair vs the
+// two-layer MLP, merged through the same generic segment path the runtime
+// uses for any nn::Model.
+void BM_MergeFusedDeltaDeep(benchmark::State& state) {
+  DeepMergeSetup s(std::size_t{1} << state.range(0),
+                   static_cast<std::size_t>(state.range(1)),
+                   static_cast<std::size_t>(state.range(3)));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  util::ThreadPool pool(threads);
+  const kernels::Context ctx{threads > 1 ? &pool : nullptr, threads};
+  sparse::RowSet merge_union;
+  merge_union.reset(s.cfg.num_features);
+  std::vector<std::uint32_t> sorted;
+  for (auto _ : state) {
+    run_fused_delta_merge_deep(s, merge_union, sorted, ctx);
+    benchmark::DoNotOptimize(s.global.segment_views()[0].data());
+  }
+  state.counters["union_rows"] = static_cast<double>(merge_union.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.cfg.num_parameters()));
+}
+BENCHMARK(BM_MergeFusedDeltaDeep)
+    ->Args({21, 4, 8, 226})
+    ->Args({17, 4, 8, 226})
+    ->Args({17, 4, 1, 226})
+    ->Unit(benchmark::kMillisecond);
+
 // Tiny smoke shape for the bench-smoke ctest label (exercises all three
 // paths + JSON emission without paying for the sweep).
 void BM_SmokeMergePaths(benchmark::State& state) {
   MergeSetup s(4096, 16, 64, 2, 100);
+  DeepMergeSetup deep(4096, 2, 100);
   util::ThreadPool pool(2);
   kernels::Context ctx{&pool, 2};
   ctx.serial_grain = 1;
@@ -276,11 +385,16 @@ void BM_SmokeMergePaths(benchmark::State& state) {
   sparse::RowSet merge_union;
   merge_union.reset(s.cfg.num_features);
   std::vector<std::uint32_t> sorted;
+  sparse::RowSet deep_union;
+  deep_union.reset(deep.cfg.num_features);
+  std::vector<std::uint32_t> deep_sorted;
   for (auto _ : state) {
     run_pr1_merge(s, global_flat, prev_flat, acc);
     run_fused_dense_merge(s, ctx);
     run_fused_delta_merge(s, merge_union, sorted, ctx);
+    run_fused_delta_merge_deep(deep, deep_union, deep_sorted, ctx);
     benchmark::DoNotOptimize(s.global.w1().data());
+    benchmark::DoNotOptimize(deep.global.segment_views()[0].data());
   }
 }
 BENCHMARK(BM_SmokeMergePaths)->Unit(benchmark::kMicrosecond);

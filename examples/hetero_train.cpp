@@ -3,8 +3,10 @@
 //
 //   ./build/examples/hetero_train --method adaptive --gpus 4 --gap 0.32
 //       --megabatches 6 --batch-max 128 --lr 0.5 --trace run.trace.json
+//   ./build/examples/hetero_train --model deep --hidden 256,128 --sparse-merge
 //
 // Methods: adaptive | elastic | sync | crossbow | async | slide
+// Models:  mlp (single hidden layer) | deep (--hidden takes a comma list)
 // The trace file can be loaded in chrome://tracing or https://ui.perfetto.dev
 // (one row per GPU; straggler gaps and merge barriers are clearly visible).
 #include <cstdio>
@@ -35,7 +37,14 @@ int main(int argc, char** argv) {
   const auto batches_per_megabatch =
       static_cast<std::size_t>(args.get_int("batches-per-megabatch", 40));
   const auto lr = args.get_double("lr", 0.5);
-  const auto hidden = static_cast<std::size_t>(args.get_int("hidden", 48));
+  const auto model_name = args.get_string("model", "mlp");
+  std::vector<std::size_t> hidden_layers;
+  try {
+    hidden_layers = args.get_size_list("hidden", {48});
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "--hidden: %s\n", e.what());
+    return 1;
+  }
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12345));
   const auto dataset_name = args.get_string("dataset", "amazon");
   const auto trace_path = args.get_string("trace", "");
@@ -61,6 +70,23 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("allreduce-streams", 0));
   if (args.report_unknown()) return 1;
 
+  nn::ModelKind model_kind;
+  if (model_name == "mlp") {
+    model_kind = nn::ModelKind::kMlp;
+  } else if (model_name == "deep") {
+    model_kind = nn::ModelKind::kDeep;
+  } else {
+    std::fprintf(stderr, "unknown --model %s (expected mlp or deep)\n",
+                 model_name.c_str());
+    return 1;
+  }
+  if (model_kind == nn::ModelKind::kMlp && hidden_layers.size() != 1) {
+    std::fprintf(stderr,
+                 "--model mlp takes exactly one hidden width; "
+                 "use --model deep for a layer list\n");
+    return 1;
+  }
+
   auto data_cfg = dataset_name == "delicious" ? data::delicious200k_small()
                                               : data::amazon670k_small();
   data_cfg.num_features = 4096;
@@ -73,7 +99,9 @@ int main(int argc, char** argv) {
   data::print_stats_row(std::cout, data::compute_stats(dataset));
 
   core::TrainerConfig cfg;
-  cfg.hidden = hidden;
+  cfg.model_kind = model_kind;
+  cfg.hidden = hidden_layers.front();
+  cfg.hidden_layers = hidden_layers;
   cfg.batch_max = batch_max;
   cfg.batches_per_megabatch = batches_per_megabatch;
   cfg.num_megabatches = megabatches;
@@ -106,8 +134,12 @@ int main(int argc, char** argv) {
   core::TrainResult result;
   sim::Tracer tracer;
   if (method_name == "slide") {
+    if (hidden_layers.size() != 1) {
+      std::fprintf(stderr, "--method slide supports one hidden layer only\n");
+      return 1;
+    }
     slide::SlideConfig scfg;
-    scfg.hidden = hidden;
+    scfg.hidden = hidden_layers.front();
     scfg.learning_rate = lr / 10.0;
     scfg.min_active = data_cfg.num_classes / 16;
     scfg.max_active = data_cfg.num_classes / 6;

@@ -14,9 +14,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "comm/allreduce.h"
 #include "core/merging.h"
+#include "nn/model.h"
 #include "sim/device.h"
 
 namespace hetero::core {
@@ -28,7 +30,19 @@ enum class ExecutionMode {
 
 struct TrainerConfig {
   // --- model -----------------------------------------------------------
+  /// Architecture family (nn::make_model). kMlp is the paper's 3-layer
+  /// model; kDeep enables multi-layer stacks via `hidden_layers`.
+  nn::ModelKind model_kind = nn::ModelKind::kMlp;
   std::size_t hidden = 64;
+  /// Hidden widths for kDeep (one or more). Empty = {hidden}, so existing
+  /// configs keep working unchanged.
+  std::vector<std::size_t> hidden_layers;
+
+  /// Effective hidden-layer list for the configured model kind.
+  std::vector<std::size_t> derived_hidden_layers() const {
+    return hidden_layers.empty() ? std::vector<std::size_t>{hidden}
+                                 : hidden_layers;
+  }
 
   // --- SGD hyperparameters ----------------------------------------------
   /// b_max; also the initial batch size. 0 = derive from simulated GPU

@@ -9,7 +9,8 @@ CrossbowTrainer::CrossbowTrainer(const data::XmlDataset& dataset,
                                  const TrainerConfig& cfg,
                                  std::vector<sim::DeviceSpec> devices)
     : Trainer(dataset, cfg, std::move(devices)) {
-  central_ = runtime_.global_model().to_flat();
+  central_ = runtime_.global_model().clone();
+  dev_sum_.resize(central_->num_parameters(), 0.0);
 }
 
 void CrossbowTrainer::run_megabatch(TrainResult& result) {
@@ -47,31 +48,43 @@ void CrossbowTrainer::run_megabatch(TrainResult& result) {
     result.comm_seconds += ar.seconds;
     runtime_.math_barrier();
 
-    // SMA update. Deviations are measured before the learners move.
-    const std::size_t len = central_.size();
-    std::vector<double> dev_sum(len, 0.0);
+    // SMA update, segment-wise in place over the replicas' parameter
+    // tensors (deviations are measured before the learners move). The only
+    // O(params) state is the reusable double accumulator — no flat model
+    // copies in or out.
+    const auto central_segs = central_->segment_views();
+    std::fill(dev_sum_.begin(), dev_sum_.end(), 0.0);
     for (std::size_t g = 0; g < n; ++g) {
       auto& replica = runtime_.replica(g);
-      auto flat = replica.to_flat();
-      for (std::size_t j = 0; j < len; ++j) {
-        dev_sum[j] += static_cast<double>(flat[j]) - central_[j];
+      const auto replica_segs = replica.segment_views();
+      std::size_t off = 0;
+      for (std::size_t s = 0; s < central_segs.size(); ++s) {
+        float* w = replica_segs[s].data();
+        const float* z = central_segs[s].data();
+        const std::size_t len = central_segs[s].size();
+        for (std::size_t j = 0; j < len; ++j) {
+          dev_sum_[off + j] += static_cast<double>(w[j]) - z[j];
+          // w_i <- w_i + eta * (z - w_i), then the local gradient.
+          w[j] += eta * (z[j] - w[j]);
+        }
+        off += len;
       }
-      // w_i <- w_i + eta * (z - w_i), then the local gradient.
-      for (std::size_t j = 0; j < len; ++j) {
-        flat[j] += eta * (central_[j] - flat[j]);
-      }
-      replica.from_flat(flat);
-      nn::apply_gradients(replica, runtime_.workspace(g), lr);
+      replica.apply_gradients(runtime_.workspace(g), lr);
     }
     const double scale =
         static_cast<double>(eta) / static_cast<double>(n);
-    for (std::size_t j = 0; j < len; ++j) {
-      central_[j] = static_cast<float>(central_[j] + scale * dev_sum[j]);
+    std::size_t off = 0;
+    for (const auto seg : central_segs) {
+      float* z = seg.data();
+      for (std::size_t j = 0; j < seg.size(); ++j) {
+        z[j] = static_cast<float>(z[j] + scale * dev_sum_[off + j]);
+      }
+      off += seg.size();
     }
   }
 
   // The central average model is the model whose accuracy is reported.
-  runtime_.global_model().from_flat(central_);
+  runtime_.global_model().copy_from(*central_);
   result.merges += 1;
   for (std::size_t g = 0; g < n; ++g) {
     result.gpus[g].batch_size.push_back(b);

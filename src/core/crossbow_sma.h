@@ -15,6 +15,9 @@
 // Amazon-670k, instability on Delicious-200k).
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "core/trainer.h"
 
 namespace hetero::core {
@@ -30,7 +33,11 @@ class CrossbowTrainer final : public Trainer {
   void run_megabatch(TrainResult& result) override;
 
  private:
-  std::vector<float> central_;  // z, flat
+  // Central average model z, kept as a model so the SMA update runs
+  // segment-wise in place against the replicas' segment_views() — no
+  // to_flat()/from_flat() staging copies per round.
+  std::unique_ptr<nn::Model> central_;
+  std::vector<double> dev_sum_;  // per-parameter deviation accumulator
 };
 
 }  // namespace hetero::core

@@ -12,7 +12,9 @@ ParamServerTrainer::ParamServerTrainer(const data::XmlDataset& dataset,
     : Trainer(dataset, cfg, std::move(devices)),
       staleness_bound_(staleness_bound) {
   in_flight_.resize(runtime_.num_gpus());
-  gradients_.resize(runtime_.num_gpus());
+  for (std::size_t g = 0; g < runtime_.num_gpus(); ++g) {
+    gradients_.push_back(runtime_.global_model().make_workspace());
+  }
   local_clock_.resize(runtime_.num_gpus(), 0);
 }
 
@@ -33,9 +35,8 @@ void ParamServerTrainer::dispatch(std::size_t g, double earliest) {
       runtime_.num_gpus());
 
   comm_accum_ += pull + push;
-  const auto stats = nn::compute_gradients(runtime_.global_model(),
-                                           slot.batch.x, slot.batch.y,
-                                           gradients_[g]);
+  const auto stats = runtime_.global_model().compute_gradients(
+      slot.batch.x, slot.batch.y, *gradients_[g]);
   runtime_.record_loss(g, stats.loss);
 
   const double compute_done = runtime_.charge_step(
@@ -76,8 +77,8 @@ void ParamServerTrainer::run_megabatch(TrainResult& result) {
     }
 
     auto& slot = in_flight_[g];
-    nn::apply_gradients(runtime_.global_model(), gradients_[g], lr,
-                        static_cast<float>(cfg_.weight_decay));
+    runtime_.global_model().apply_gradients(
+        *gradients_[g], lr, static_cast<float>(cfg_.weight_decay));
     staleness_sum_ += global_version_ - slot.snapshot_version;
     ++staleness_count_;
     ++global_version_;

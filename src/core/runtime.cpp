@@ -17,14 +17,15 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
       links_(sim::default_links(devices.size())),
       stream_(dataset.train.num_samples(), cfg.seed ^ 0xa5a5a5a5ULL) {
   assert(!devices.empty());
-  model_cfg_.num_features = dataset.train.features.cols();
-  model_cfg_.num_classes = dataset.train.labels.cols();
-  model_cfg_.hidden = cfg.hidden;
+  const std::size_t num_features = dataset.train.features.cols();
+  const std::size_t num_classes = dataset.train.labels.cols();
+  const auto hidden_layers = cfg.derived_hidden_layers();
 
   util::Rng init_rng(cfg.seed);
-  global_ = nn::MlpModel(model_cfg_);
-  global_.init(init_rng);
-  prev_global_ = global_;
+  global_ = nn::make_model(cfg.model_kind, num_features, hidden_layers,
+                           num_classes);
+  global_->init(init_rng);
+  prev_global_ = global_->clone();
 
   const std::size_t n = devices.size();
   const std::size_t streams =
@@ -40,10 +41,12 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
         static_cast<int>(g), devices[g], seeder.next_u64(), streams));
     // Persistent allocations: model replica + dense gradients/optimizer
     // state (2x the model) stay resident for the whole run.
-    gpus_.back()->allocate(2 * global_.num_bytes());
-    replicas_.emplace_back(model_cfg_);
+    gpus_.back()->allocate(2 * global_->num_bytes());
+    replicas_.push_back(global_->clone());
   }
-  workspaces_.resize(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    workspaces_.push_back(global_->make_workspace());
+  }
   // Cap absurd requests (e.g. a negative CLI value cast through size_t)
   // before sizing the pool; oversubscription past this helps nobody.
   constexpr std::size_t kMaxKernelThreads = 256;
@@ -55,7 +58,7 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
   if (kernel_threads > 1) {
     kernel_pool_ = std::make_unique<util::ThreadPool>(kernel_threads);
     for (auto& ws : workspaces_) {
-      ws.ctx = kernels::Context{kernel_pool_.get(), kernel_threads};
+      ws->ctx = kernels::Context{kernel_pool_.get(), kernel_threads};
     }
     merge_ctx_ = kernels::Context{kernel_pool_.get(), kernel_threads};
   }
@@ -63,14 +66,14 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
   loss_slots_.resize(n);
   if (cfg_.sparse_merge) {
     touched_w1_.resize(n);
-    for (auto& t : touched_w1_) t.reset(model_cfg_.num_features);
-    merge_union_.reset(model_cfg_.num_features);
+    for (auto& t : touched_w1_) t.reset(num_features);
+    merge_union_.reset(num_features);
   }
   broadcast_global();
 }
 
 void MultiGpuRuntime::set_kernel_threads(std::size_t g, std::size_t n) {
-  auto& ctx = workspaces_[g].ctx;
+  auto& ctx = workspaces_[g]->ctx;
   if (kernel_pool_ == nullptr || n <= 1) {
     ctx = kernels::Context{};
     return;
@@ -111,7 +114,7 @@ double MultiGpuRuntime::charge_step(std::size_t g, const sparse::CsrMatrix& x,
                               static_cast<int>(g));
   const double data_ready = earliest_start + xfer;
 
-  auto kernels = nn::step_kernels(model_cfg_, x);
+  auto kernels = global_->step_kernels(x);
   const double work_scale = cfg_.framework_overhead * cfg_.compute_scale;
   if (work_scale != 1.0) {
     for (auto& k : kernels) {
@@ -126,8 +129,7 @@ double MultiGpuRuntime::charge_step(std::size_t g, const sparse::CsrMatrix& x,
   const double avg_nnz = x.rows() > 0 ? static_cast<double>(x.nnz()) /
                                             static_cast<double>(x.rows())
                                       : 0.0;
-  const std::size_t step_bytes =
-      nn::step_memory_bytes(model_cfg_, x.rows(), avg_nnz);
+  const std::size_t step_bytes = global_->step_memory_bytes(x.rows(), avg_nnz);
   gpus_[g]->allocate(step_bytes);
 
   const double start = std::max(data_ready, gpus_[g]->stream_free_at(0));
@@ -149,12 +151,14 @@ double MultiGpuRuntime::run_update_step(std::size_t g, Batch batch, double lr,
   auto stored = std::make_shared<Batch>(std::move(batch));
   last_batch_[g] = stored;
   executor_->dispatch(g, [this, g, stored, lr] {
-    const auto stats = nn::sgd_step(replicas_[g], stored->x, stored->y,
-                                    static_cast<float>(lr), workspaces_[g],
-                                    static_cast<float>(cfg_.weight_decay));
+    const auto stats = replicas_[g]->train_step(
+        stored->x, stored->y, static_cast<float>(lr), *workspaces_[g],
+        static_cast<float>(cfg_.weight_decay));
     // Delta-merge bookkeeping rides inside the manager's work item: the
     // workspace gradient keys are only valid until the next step on g.
-    if (cfg_.sparse_merge) touched_w1_[g].add(workspaces_[g].grad_w1.rows());
+    if (cfg_.sparse_merge) {
+      touched_w1_[g].add(workspaces_[g]->touched_input_rows());
+    }
     loss_slots_[g].sum += stats.loss;
     loss_slots_[g].count += 1;
   });
@@ -167,12 +171,15 @@ double MultiGpuRuntime::run_gradient_step(std::size_t g, Batch batch,
   auto stored = std::make_shared<Batch>(std::move(batch));
   last_batch_[g] = stored;
   executor_->dispatch(g, [this, g, stored] {
-    const auto stats = nn::compute_gradients(replicas_[g], stored->x,
-                                             stored->y, workspaces_[g]);
+    const auto stats =
+        replicas_[g]->compute_gradients(stored->x, stored->y,
+                                        *workspaces_[g]);
     // Conservative for gradient-only steps (the rows may be applied later
     // by the trainer): over-tracking only widens the reduced union, which
     // stays bit-identical — under-tracking is what would break the merge.
-    if (cfg_.sparse_merge) touched_w1_[g].add(workspaces_[g].grad_w1.rows());
+    if (cfg_.sparse_merge) {
+      touched_w1_[g].add(workspaces_[g]->touched_input_rows());
+    }
     loss_slots_[g].sum += stats.loss;
     loss_slots_[g].count += 1;
   });
@@ -216,11 +223,11 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
   // transfers). No to_flat()/from_flat() staging and no model-sized
   // accumulator: the kernels stream each replica once and write only the
   // global/previous-global models; replicas are refreshed by the broadcast.
-  auto global_segs = global_.segment_views();
-  auto prev_segs = prev_global_.segment_views();
+  auto global_segs = global_->segment_views();
+  auto prev_segs = prev_global_->segment_views();
   std::vector<std::vector<std::span<float>>> replica_segs;
   replica_segs.reserve(n);
-  for (auto& r : replicas_) replica_segs.push_back(r.segment_views());
+  for (auto& r : replicas_) replica_segs.push_back(r->segment_views());
   const std::size_t num_segments = global_segs.size();
   std::vector<const float*> bases(n);
   const auto merge_dense_segment = [&](std::size_t s) {
@@ -229,31 +236,33 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
                   prev_segs[s], reducer_->num_streams(), merge_ctx_);
   };
 
-  std::size_t payload_params = global_.num_parameters();
+  std::size_t payload_params = global_->num_parameters();
   if (!cfg_.sparse_merge) {
     for (std::size_t s = 0; s < num_segments; ++s) merge_dense_segment(s);
   } else {
-    // Delta path: only the cross-replica union of touched W1 rows is
-    // reduced (and later rebroadcast); untouched rows — bit-identical
+    // Delta path: only the cross-replica union of touched input-layer rows
+    // is reduced (and later rebroadcast); untouched rows — bit-identical
     // across replicas since the last broadcast — collapse to the
-    // closed-form sum_i w_i * global_row, same accumulation order.
+    // closed-form sum_i w_i * global_row, same accumulation order. The
+    // sparse layer is segment 0 of segment_views() by the Model contract.
     merge_union_.clear();
     for (const auto& t : touched_w1_) merge_union_.add(t);
     merge_union_.sorted_rows(merge_rows_scratch_);
-    const std::size_t hidden = model_cfg_.hidden;
-    for (std::size_t i = 0; i < n; ++i) bases[i] = replicas_[i].w1().data();
+    const auto& info = global_->info();
+    const std::size_t hidden = info.input_cols();
+    for (std::size_t i = 0; i < n; ++i) bases[i] = replica_segs[i][0].data();
     merge_touched_rows(bases, merge_rows_scratch_, hidden, update,
-                       global_.w1().data(), prev_global_.w1().data(),
+                       global_segs[0].data(), prev_segs[0].data(),
                        merge_ctx_);
-    merge_untouched_rows(merge_union_, model_cfg_.num_features, hidden,
-                         update, global_segs[0], prev_segs[0], merge_ctx_);
+    merge_untouched_rows(merge_union_, info.input_rows(), hidden, update,
+                         global_segs[0], prev_segs[0], merge_ctx_);
     for (std::size_t s = 1; s < num_segments; ++s) merge_dense_segment(s);
     for (auto& t : touched_w1_) t.clear();
     timing.touched_rows = merge_union_.size();
     // Communication payload: the touched-row delta plus the dense tail.
-    payload_params = merge_union_.size() * hidden +
-                     (global_.num_parameters() -
-                      model_cfg_.num_features * hidden);
+    payload_params =
+        merge_union_.size() * hidden +
+        (global_->num_parameters() - info.input_rows() * hidden);
   }
   broadcast_global();
 
@@ -281,14 +290,14 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
 }
 
 void MultiGpuRuntime::broadcast_global() {
-  for (auto& r : replicas_) r = global_;
+  for (auto& r : replicas_) r->copy_from(*global_);
 }
 
 void MultiGpuRuntime::record_curve_point(TrainResult& result, double vtime,
                                          std::size_t megabatch,
                                          double train_loss) const {
   const auto eval =
-      nn::evaluate(global_, dataset_.test, cfg_.eval_samples);
+      nn::evaluate(*global_, dataset_.test, cfg_.eval_samples);
   CurvePoint p;
   p.vtime = vtime;
   p.samples = stream_.samples_served();
@@ -304,8 +313,7 @@ void MultiGpuRuntime::record_curve_point(TrainResult& result, double vtime,
 
 std::size_t MultiGpuRuntime::max_feasible_batch(std::size_t g) const {
   const double avg_nnz = dataset_.train.features.avg_row_nnz();
-  const std::size_t per_sample =
-      nn::step_memory_bytes(model_cfg_, 1, avg_nnz);
+  const std::size_t per_sample = global_->step_memory_bytes(1, avg_nnz);
   return gpus_[g]->max_batch_for(per_sample);
 }
 

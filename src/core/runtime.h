@@ -23,8 +23,7 @@
 #include "data/sample_stream.h"
 #include "data/synthetic.h"
 #include "nn/evaluate.h"
-#include "nn/mlp.h"
-#include "nn/train_step.h"
+#include "nn/model.h"
 #include "sim/profiles.h"
 #include "sim/trace.h"
 #include "sim/virtual_gpu.h"
@@ -41,12 +40,13 @@ class MultiGpuRuntime {
   std::size_t num_gpus() const { return gpus_.size(); }
   const TrainerConfig& config() const { return cfg_; }
   const data::XmlDataset& dataset() const { return dataset_; }
-  const nn::MlpConfig& model_config() const { return model_cfg_; }
+  /// Architecture of the (polymorphic) model being trained.
+  const nn::ModelInfo& model_info() const { return global_->info(); }
 
   sim::VirtualGpu& gpu(std::size_t g) { return *gpus_[g]; }
   const sim::VirtualGpu& gpu(std::size_t g) const { return *gpus_[g]; }
-  nn::MlpModel& replica(std::size_t g) { return replicas_[g]; }
-  nn::Workspace& workspace(std::size_t g) { return workspaces_[g]; }
+  nn::Model& replica(std::size_t g) { return *replicas_[g]; }
+  nn::ModelWorkspace& workspace(std::size_t g) { return *workspaces_[g]; }
 
   /// Sets the kernel worker count for virtual GPU g's training-step math
   /// (bounded by cfg.kernel_threads, which sizes the shared pool). Lets
@@ -95,7 +95,7 @@ class MultiGpuRuntime {
   /// buffer times cfg.comm_scale. All communication costs (all-reduce,
   /// host round trips) use this size.
   std::size_t virtual_model_bytes() const {
-    return virtual_payload_bytes(global_.num_parameters());
+    return virtual_payload_bytes(global_->num_parameters());
   }
 
   /// Interconnect charge for an arbitrary parameter count (the delta merge
@@ -154,8 +154,8 @@ class MultiGpuRuntime {
                                double sync_time);
 
   /// The current global model (host copy).
-  const nn::MlpModel& global_model() const { return global_; }
-  nn::MlpModel& global_model() { return global_; }
+  const nn::Model& global_model() const { return *global_; }
+  nn::Model& global_model() { return *global_; }
 
   /// Copies the global model into every replica (used at initialization and
   /// by trainers that keep identical replicas).
@@ -191,7 +191,6 @@ class MultiGpuRuntime {
  private:
   const data::XmlDataset& dataset_;
   TrainerConfig cfg_;
-  nn::MlpConfig model_cfg_;
 
   std::vector<std::unique_ptr<sim::VirtualGpu>> gpus_;
   sim::LinkModel links_;
@@ -201,14 +200,16 @@ class MultiGpuRuntime {
   // cfg.kernel_threads resolves to 1); workspaces hold Contexts into it.
   std::unique_ptr<util::ThreadPool> kernel_pool_;
 
-  nn::MlpModel global_;
+  // Polymorphic model state (nn::make_model from cfg.model_kind): the
+  // runtime never names a concrete architecture.
+  std::unique_ptr<nn::Model> global_;
   // Previous global model for the momentum term (Algorithm 2 line 8); kept
   // as a model so the merge runs segment-wise in place — no flat staging
   // buffers on the merge path.
-  nn::MlpModel prev_global_;
+  std::unique_ptr<nn::Model> prev_global_;
 
-  std::vector<nn::MlpModel> replicas_;
-  std::vector<nn::Workspace> workspaces_;
+  std::vector<std::unique_ptr<nn::Model>> replicas_;
+  std::vector<std::unique_ptr<nn::ModelWorkspace>> workspaces_;
   // Shared ownership: in threaded mode the manager's work item must keep
   // its batch alive even after the scheduler dispatches the next one.
   std::vector<std::shared_ptr<Batch>> last_batch_;

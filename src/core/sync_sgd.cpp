@@ -1,6 +1,7 @@
 #include "core/sync_sgd.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 namespace hetero::core {
@@ -50,21 +51,20 @@ void SyncSgdTrainer::run_megabatch(TrainResult& result) {
     runtime_.dispatch_math(0, [this, batches = std::move(batches), &model, lr,
                                n] {
       auto& ws = runtime_.workspace(0);
-      std::vector<nn::Workspace> grads(n);
+      std::vector<std::unique_ptr<nn::ModelWorkspace>> grads;
+      grads.reserve(n);
       for (std::size_t g = 0; g < n; ++g) {
         // Workspace 0 is reused for activations; gradients are swapped out
         // so later batches do not overwrite earlier ones.
         const auto stats =
-            nn::compute_gradients(model, batches[g].x, batches[g].y, ws);
+            model.compute_gradients(batches[g].x, batches[g].y, ws);
         runtime_.record_loss(0, stats.loss);
-        std::swap(grads[g].grad_w1, ws.grad_w1);
-        std::swap(grads[g].grad_w2, ws.grad_w2);
-        std::swap(grads[g].grad_b1, ws.grad_b1);
-        std::swap(grads[g].grad_b2, ws.grad_b2);
+        grads.push_back(model.make_workspace());
+        ws.swap_gradients(*grads.back());
       }
       const float scaled_lr = static_cast<float>(lr / static_cast<double>(n));
       for (std::size_t g = 0; g < n; ++g) {
-        nn::apply_gradients(model, grads[g], scaled_lr);
+        model.apply_gradients(*grads[g], scaled_lr);
       }
     });
     runtime_.math_barrier();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "sparse/ops.h"
 #include "tensor/ops.h"
@@ -20,7 +22,51 @@ std::size_t DeepMlpConfig::num_parameters() const {
   return total;
 }
 
-DeepMlp::DeepMlp(const DeepMlpConfig& cfg) : cfg_(cfg) {
+void DeepWorkspace::ensure(const DeepMlpConfig& cfg) {
+  const std::size_t nh = cfg.hidden.size();
+  const std::size_t layers = cfg.num_layers();
+  pre.resize(nh);
+  acts.resize(nh);
+  deltas.resize(layers);
+  // grad_w1 is keyed per batch by compute_gradients; nothing to pre-size.
+  grad_w.resize(layers - 1);
+  grad_b.resize(layers);
+  std::size_t in = cfg.hidden.front();
+  for (std::size_t l = 1; l < layers; ++l) {
+    const std::size_t out =
+        l < nh ? cfg.hidden[l] : cfg.num_classes;
+    if (grad_w[l - 1].rows() != in || grad_w[l - 1].cols() != out) {
+      grad_w[l - 1].resize(in, out);
+    }
+    in = out;
+  }
+  for (std::size_t l = 0; l < layers; ++l) {
+    const std::size_t out = l < nh ? cfg.hidden[l] : cfg.num_classes;
+    grad_b[l].assign(out, 0.0f);
+  }
+}
+
+void DeepWorkspace::swap_gradients(ModelWorkspace& other) {
+  auto& o = dynamic_cast<DeepWorkspace&>(other);
+  std::swap(grad_w1, o.grad_w1);
+  std::swap(grad_w, o.grad_w);
+  std::swap(grad_b, o.grad_b);
+}
+
+namespace {
+
+ModelInfo make_info(const DeepMlpConfig& cfg) {
+  ModelInfo info;
+  info.num_features = cfg.num_features;
+  info.hidden = cfg.hidden;
+  info.num_classes = cfg.num_classes;
+  info.num_parameters = cfg.num_parameters();
+  return info;
+}
+
+}  // namespace
+
+DeepMlp::DeepMlp(const DeepMlpConfig& cfg) : cfg_(cfg), info_(make_info(cfg)) {
   assert(!cfg.hidden.empty());
   std::size_t in = cfg.num_features;
   for (std::size_t h : cfg.hidden) {
@@ -30,9 +76,6 @@ DeepMlp::DeepMlp(const DeepMlpConfig& cfg) : cfg_(cfg) {
   }
   weights_.emplace_back(in, cfg.num_classes);
   biases_.emplace_back(cfg.num_classes, 0.0f);
-  pre_.resize(weights_.size());
-  acts_.resize(weights_.size());
-  deltas_.resize(weights_.size());
 }
 
 void DeepMlp::init(util::Rng& rng) {
@@ -42,6 +85,23 @@ void DeepMlp::init(util::Rng& rng) {
     tensor::init_gaussian(weights_[l], 1.0 / std::sqrt(fan_in), rng);
     std::fill(biases_[l].begin(), biases_[l].end(), 0.0f);
   }
+}
+
+std::unique_ptr<Model> DeepMlp::clone() const {
+  return std::make_unique<DeepMlp>(*this);
+}
+
+void DeepMlp::copy_from(const Model& other) {
+  const auto& src = dynamic_cast<const DeepMlp&>(other);
+  assert(src.num_parameters() == num_parameters());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    weights_[l] = src.weights_[l];
+    biases_[l] = src.biases_[l];
+  }
+}
+
+std::unique_ptr<ModelWorkspace> DeepMlp::make_workspace() const {
+  return std::make_unique<DeepWorkspace>();
 }
 
 std::vector<float> DeepMlp::to_flat() const {
@@ -66,119 +126,14 @@ void DeepMlp::from_flat(std::span<const float> flat) {
   }
 }
 
-void DeepMlp::forward(const sparse::CsrMatrix& x) {
-  const std::size_t layers = weights_.size();
-  for (std::size_t l = 0; l < layers; ++l) {
-    if (l == 0) {
-      sparse::spmm(x, weights_[0], pre_[0]);
-    } else {
-      tensor::gemm(acts_[l - 1], weights_[l], pre_[l]);
-    }
-    tensor::add_row_bias(pre_[l], {biases_[l].data(), biases_[l].size()});
-    acts_[l] = pre_[l];
-    if (l + 1 < layers) {
-      tensor::relu(acts_[l]);
-    } else {
-      tensor::softmax_rows(acts_[l]);
-    }
+std::vector<std::span<float>> DeepMlp::segment_views() {
+  std::vector<std::span<float>> views;
+  views.reserve(2 * weights_.size());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    views.push_back({weights_[l].data(), weights_[l].size()});
+    views.push_back({biases_[l].data(), biases_[l].size()});
   }
-}
-
-double DeepMlp::loss_from_probs(const sparse::CsrMatrix& y) const {
-  const auto& probs = acts_.back();
-  double total = 0.0;
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    const auto labels = y.row_cols(r);
-    if (labels.empty()) continue;
-    const float* p = probs.data() + r * cfg_.num_classes;
-    double row = 0.0;
-    for (auto c : labels) row -= std::log(std::max(1e-12f, p[c]));
-    total += row / static_cast<double>(labels.size());
-  }
-  return total / static_cast<double>(std::max<std::size_t>(1, y.rows()));
-}
-
-double DeepMlp::loss(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y) {
-  forward(x);
-  return loss_from_probs(y);
-}
-
-double DeepMlp::sgd_step(const sparse::CsrMatrix& x,
-                         const sparse::CsrMatrix& y, float lr) {
-  const std::size_t layers = weights_.size();
-  forward(x);
-  const double step_loss = loss_from_probs(y);
-  const float inv_batch = 1.0f / static_cast<float>(x.rows());
-
-  // Output delta.
-  deltas_.back() = acts_.back();
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const auto labels = y.row_cols(r);
-    if (labels.empty()) continue;
-    const float share = 1.0f / static_cast<float>(labels.size());
-    float* d = deltas_.back().data() + r * cfg_.num_classes;
-    for (auto c : labels) d[c] -= share;
-  }
-  tensor::scale(deltas_.back().flat(), inv_batch);
-
-  // Backward through the dense stack, updating as we go (gradients for
-  // layer l depend only on delta_l and act_{l-1}, both already final).
-  for (std::size_t l = layers; l-- > 0;) {
-    // Propagate delta to the previous layer BEFORE updating weights_[l].
-    if (l > 0) {
-      tensor::gemm_a_bt(deltas_[l], weights_[l], deltas_[l - 1]);
-      tensor::relu_backward(pre_[l - 1], deltas_[l - 1]);
-    }
-
-    grad_b_.assign(weights_[l].cols(), 0.0f);
-    tensor::column_sums(deltas_[l], {grad_b_.data(), grad_b_.size()});
-    tensor::axpy(-lr, {grad_b_.data(), grad_b_.size()},
-                 {biases_[l].data(), biases_[l].size()});
-
-    if (l == 0) {
-      // Sparse layer: accumulate and apply only the touched rows.
-      grad_w_.resize(weights_[0].rows(), weights_[0].cols(), 0.0f);
-      sparse::spmm_t_accumulate(x, deltas_[0], grad_w_);
-      std::vector<std::uint32_t> touched(x.col_idx());
-      std::sort(touched.begin(), touched.end());
-      touched.erase(std::unique(touched.begin(), touched.end()),
-                    touched.end());
-      const std::size_t h = weights_[0].cols();
-      for (auto row : touched) {
-        float* w = weights_[0].data() + static_cast<std::size_t>(row) * h;
-        const float* g = grad_w_.data() + static_cast<std::size_t>(row) * h;
-        for (std::size_t j = 0; j < h; ++j) w[j] -= lr * g[j];
-      }
-    } else {
-      tensor::gemm_at_b(acts_[l - 1], deltas_[l], grad_w_);
-      tensor::axpy(-lr, grad_w_.flat(), weights_[l].flat());
-    }
-  }
-  return step_loss;
-}
-
-double DeepMlp::evaluate_top1(const sparse::LabeledDataset& test,
-                              std::size_t max_samples,
-                              std::size_t eval_batch) {
-  const std::size_t n = max_samples == 0
-                            ? test.num_samples()
-                            : std::min(max_samples, test.num_samples());
-  if (n == 0) return 0.0;
-  std::size_t hits = 0;
-  for (std::size_t begin = 0; begin < n; begin += eval_batch) {
-    const std::size_t end = std::min(begin + eval_batch, n);
-    const auto x = test.features.slice_rows(begin, end);
-    forward(x);
-    const auto& probs = acts_.back();
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      const auto best = tensor::argmax(probs.row(r));
-      if (test.labels.row_contains(begin + r,
-                                   static_cast<std::uint32_t>(best))) {
-        ++hits;
-      }
-    }
-  }
-  return static_cast<double>(hits) / static_cast<double>(n);
+  return views;
 }
 
 double DeepMlp::l2_norm_per_parameter() const {
@@ -188,6 +143,232 @@ double DeepMlp::l2_norm_per_parameter() const {
     ss += tensor::sum_of_squares({biases_[l].data(), biases_[l].size()});
   }
   return std::sqrt(ss) / static_cast<double>(num_parameters());
+}
+
+double DeepMlp::forward_impl(const sparse::CsrMatrix& x,
+                             const sparse::CsrMatrix& y,
+                             DeepWorkspace& ws) const {
+  assert(x.cols() == cfg_.num_features);
+  assert(y.cols() == cfg_.num_classes);
+  assert(x.rows() == y.rows());
+  const std::size_t nh = cfg_.hidden.size();
+
+  // Hidden stack. The single-hidden case runs the exact MlpModel sequence
+  // (spmm, bias, copy, relu, gemm, bias, softmax) so results bit-match.
+  for (std::size_t l = 0; l < nh; ++l) {
+    if (l == 0) {
+      sparse::spmm(x, weights_[0], ws.pre[0], ws.ctx);
+    } else {
+      tensor::gemm(ws.acts[l - 1], weights_[l], ws.pre[l], ws.ctx);
+    }
+    tensor::add_row_bias(ws.pre[l], {biases_[l].data(), biases_[l].size()});
+    ws.acts[l] = ws.pre[l];
+    tensor::relu(ws.acts[l]);
+  }
+
+  // Output layer straight into the shared probs buffer.
+  tensor::gemm(ws.acts[nh - 1], weights_[nh], ws.probs, ws.ctx);
+  tensor::add_row_bias(ws.probs,
+                       {biases_[nh].data(), biases_[nh].size()});
+  tensor::softmax_rows(ws.probs);
+
+  // Multi-label cross-entropy, uniform target over positive labels.
+  double loss = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto labels = y.row_cols(r);
+    if (labels.empty()) continue;
+    const float* p = ws.probs.data() + r * cfg_.num_classes;
+    double row_loss = 0.0;
+    for (auto c : labels) {
+      row_loss -= std::log(std::max(1e-12f, p[c]));
+    }
+    loss += row_loss / static_cast<double>(labels.size());
+  }
+  return loss / static_cast<double>(std::max<std::size_t>(1, x.rows()));
+}
+
+double DeepMlp::forward_loss(const sparse::CsrMatrix& x,
+                             const sparse::CsrMatrix& y,
+                             ModelWorkspace& ws) const {
+  auto& dws = dynamic_cast<DeepWorkspace&>(ws);
+  dws.ensure(cfg_);
+  return forward_impl(x, y, dws);
+}
+
+StepStats DeepMlp::compute_gradients(const sparse::CsrMatrix& x,
+                                     const sparse::CsrMatrix& y,
+                                     ModelWorkspace& ws) const {
+  auto& dws = dynamic_cast<DeepWorkspace&>(ws);
+  dws.ensure(cfg_);
+  const std::size_t layers = cfg_.num_layers();
+  const std::size_t nh = cfg_.hidden.size();
+
+  StepStats stats;
+  stats.batch_size = x.rows();
+  stats.batch_nnz = x.nnz();
+  stats.loss = forward_impl(x, y, dws);
+
+  const float inv_batch = 1.0f / static_cast<float>(x.rows());
+
+  // Output delta: (probs - target) / batch, target uniform over positives.
+  auto& dlast = dws.deltas[layers - 1];
+  dlast = dws.probs;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto labels = y.row_cols(r);
+    if (labels.empty()) continue;
+    const float share = 1.0f / static_cast<float>(labels.size());
+    float* d = dlast.data() + r * cfg_.num_classes;
+    for (auto c : labels) d[c] -= share;
+  }
+  tensor::scale(dlast.flat(), inv_batch);
+
+  // Output-layer gradients.
+  tensor::gemm_at_b(dws.acts[nh - 1], dlast, dws.grad_w[layers - 2],
+                    dws.ctx);
+  tensor::column_sums(dlast, {dws.grad_b[layers - 1].data(),
+                              dws.grad_b[layers - 1].size()});
+
+  // Propagate down the dense stack; deltas are w.r.t. pre-activations.
+  for (std::size_t l = layers - 1; l-- > 0;) {
+    tensor::gemm_a_bt(dws.deltas[l + 1], weights_[l + 1], dws.deltas[l],
+                      dws.ctx);
+    tensor::relu_backward(dws.pre[l], dws.deltas[l]);
+    if (l > 0) {
+      tensor::gemm_at_b(dws.acts[l - 1], dws.deltas[l], dws.grad_w[l - 1],
+                        dws.ctx);
+      tensor::column_sums(dws.deltas[l],
+                          {dws.grad_b[l].data(), dws.grad_b[l].size()});
+    }
+  }
+
+  // Sparse input layer: touched-row gradient keyed by this batch. No
+  // F x H1 dense buffer is ever materialized.
+  dws.grad_w1.reset(x, cfg_.hidden.front());
+  dws.grad_w1.accumulate_spmm_t(x, dws.deltas[0], dws.ctx);
+  tensor::column_sums(dws.deltas[0],
+                      {dws.grad_b[0].data(), dws.grad_b[0].size()});
+  return stats;
+}
+
+void DeepMlp::apply_gradients(const ModelWorkspace& ws, float lr,
+                              float weight_decay) {
+  const auto& dws = dynamic_cast<const DeepWorkspace&>(ws);
+  const std::size_t layers = cfg_.num_layers();
+  // Decoupled L2 decay factor; 1.0 when decay is off.
+  const float keep = 1.0f - lr * weight_decay;
+  // Sparse input layer: only the feature rows present in the batch carry
+  // gradient (and, for consistency, decay).
+  dws.grad_w1.apply_to(weights_[0], lr, keep, dws.ctx);
+  if (weight_decay != 0.0f) {
+    tensor::scale({biases_[0].data(), biases_[0].size()}, keep);
+    for (std::size_t l = 1; l < layers; ++l) {
+      tensor::scale(weights_[l].flat(), keep);
+      tensor::scale({biases_[l].data(), biases_[l].size()}, keep);
+    }
+  }
+  tensor::axpy(-lr, {dws.grad_b[0].data(), dws.grad_b[0].size()},
+               {biases_[0].data(), biases_[0].size()});
+  for (std::size_t l = 1; l < layers; ++l) {
+    tensor::axpy(-lr, dws.grad_w[l - 1].flat(), weights_[l].flat());
+    tensor::axpy(-lr, {dws.grad_b[l].data(), dws.grad_b[l].size()},
+                 {biases_[l].data(), biases_[l].size()});
+  }
+}
+
+StepStats DeepMlp::train_step(const sparse::CsrMatrix& x,
+                              const sparse::CsrMatrix& y, float lr,
+                              ModelWorkspace& ws, float weight_decay) {
+  const StepStats stats = compute_gradients(x, y, ws);
+  apply_gradients(ws, lr, weight_decay);
+  return stats;
+}
+
+std::vector<sim::KernelDesc> DeepMlp::step_kernels(
+    const sparse::CsrMatrix& x) const {
+  const std::size_t layers = cfg_.num_layers();
+  const double b = static_cast<double>(x.rows());
+  const double nnz = static_cast<double>(x.nnz());
+  const double c = static_cast<double>(cfg_.num_classes);
+  const double h1 = static_cast<double>(cfg_.hidden.front());
+  const double f4 = sizeof(float);
+
+  // out[l] = output width of layer l.
+  std::vector<double> out;
+  out.reserve(layers);
+  for (std::size_t h : cfg_.hidden) out.push_back(static_cast<double>(h));
+  out.push_back(c);
+
+  std::vector<sim::KernelDesc> kernels;
+  const auto add = [&](double flops, double bytes, bool sparse,
+                       std::string name) {
+    kernels.push_back({flops, bytes, sparse, std::move(name)});
+  };
+
+  // Forward. With one hidden layer this emits MlpModel's exact list
+  // (same names, formulas, and order), so the simulator charges the two
+  // paths identical virtual time.
+  add(2 * nnz * h1, nnz * (4 + f4) + nnz * h1 * f4 + b * h1 * f4, true,
+      "spmm_fwd1");
+  add(b * h1, 2 * b * h1 * f4, false, "bias_relu1");
+  for (std::size_t l = 1; l < layers; ++l) {
+    const double m = out[l - 1], n = out[l];
+    add(2 * b * m * n, (b * m + m * n + b * n) * f4, false,
+        "gemm_fwd" + std::to_string(l + 1));
+    if (l + 1 < layers) {
+      add(b * n, 2 * b * n * f4, false, "bias_relu" + std::to_string(l + 1));
+    } else {
+      add(b * c * 4, 2 * b * c * f4, false, "bias_softmax");
+    }
+  }
+  // Backward.
+  add(b * c, 2 * b * c * f4, false, "delta" + std::to_string(layers));
+  for (std::size_t l = layers; l-- > 1;) {
+    const double m = out[l - 1], n = out[l];
+    add(2 * b * m * n, (b * m + b * n + m * n) * f4, false,
+        "gemm_grad_w" + std::to_string(l + 1));
+    add(2 * b * m * n, (b * n + m * n + b * m) * f4, false,
+        "gemm_delta" + std::to_string(l));
+    add(b * m, 2 * b * m * f4, false,
+        l == 1 ? std::string("relu_bwd") : "relu_bwd" + std::to_string(l));
+  }
+  add(2 * nnz * h1, nnz * (4 + f4) + nnz * h1 * f4, true, "spmm_t_grad_w1");
+  // Updates (sparse for the input layer: rows touched by the batch only).
+  add(2 * nnz * h1, 2 * nnz * h1 * f4, true, "update_w1");
+  for (std::size_t l = 1; l < layers; ++l) {
+    const double m = out[l - 1], n = out[l];
+    add(2 * m * n, 3 * m * n * f4, false,
+        "update_w" + std::to_string(l + 1));
+  }
+  double bias_total = 0.0;
+  for (double n : out) bias_total += n;
+  add(bias_total, 2 * bias_total * f4, false, "update_bias");
+  return kernels;
+}
+
+std::size_t DeepMlp::step_memory_bytes(std::size_t batch_size,
+                                       double avg_nnz) const {
+  const double c = static_cast<double>(cfg_.num_classes);
+  const double h1 = static_cast<double>(cfg_.hidden.front());
+  const double nnz = avg_nnz * static_cast<double>(batch_size);
+  double sum_hidden = 0.0;
+  for (std::size_t h : cfg_.hidden) sum_hidden += static_cast<double>(h);
+  // Per hidden layer: pre + act + delta; output layer: probs + delta.
+  const double activations =
+      static_cast<double>(batch_size) * (3.0 * sum_hidden + 2.0 * c) *
+      sizeof(float);
+  const double csr = nnz * (sizeof(std::uint32_t) + sizeof(float));
+  // Dense-layer gradients + sparse input-layer gradient rows.
+  double dense_w = 0.0;
+  double in = h1;
+  for (std::size_t l = 1; l < cfg_.num_layers(); ++l) {
+    const double n = l < cfg_.hidden.size()
+                         ? static_cast<double>(cfg_.hidden[l])
+                         : c;
+    dense_w += in * n;
+    in = n;
+  }
+  const double grads = (dense_w + nnz * h1) * sizeof(float);
+  return static_cast<std::size_t>(activations + csr + grads);
 }
 
 }  // namespace hetero::nn

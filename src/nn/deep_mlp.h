@@ -2,18 +2,25 @@
 //
 // The paper evaluates on the SLIDE testbed's 3-layer MLP (one hidden
 // layer), which MlpModel implements; HeteroGPU itself is positioned as a
-// framework "for sparse deep learning" in general. DeepMlp provides the
-// deeper architectures (sparse input -> H1 -> ... -> Hk -> softmax) with
-// the same interface contract: sparse first layer, dense hidden stack,
-// multi-label cross-entropy, flat parameter serialization for all-reduce
-// merging.
+// framework "for sparse deep learning" in general, and the journal version
+// evaluates deeper sparse architectures. DeepMlp provides them
+// (sparse input -> H1 -> ... -> Hk -> softmax) on the same fast path as
+// MlpModel: parallel kernels::Context-routed math, a touched-row
+// SparseGradient for the sparse input layer, reused per-layer workspace
+// buffers, and in-place segment_views for the sharded/delta merge.
+//
+// With a single hidden layer, DeepMlp runs the exact same kernel sequence
+// in the exact same order as MlpModel, so its results (and virtual-GPU
+// costs) are bit-identical to the shallow model — tested in
+// tests/test_model_polymorphic.cpp.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "sparse/libsvm.h"
+#include "nn/model.h"
+#include "sparse/sparse_gradient.h"
 #include "tensor/matrix.h"
 #include "util/rng.h"
 
@@ -28,53 +35,90 @@ struct DeepMlpConfig {
   std::size_t num_parameters() const;
 };
 
-class DeepMlp {
+/// DeepMlp's concrete ModelWorkspace: per-layer activation/delta buffers
+/// plus the per-layer gradients. The sparse input layer's gradient is a
+/// touched-row SparseGradient keyed per batch (no O(F x H1) dense buffer);
+/// dense-layer gradients are reused matrices. All buffers persist across
+/// steps, so steady-state training does no per-batch allocation.
+struct DeepWorkspace : ModelWorkspace {
+  // Indexed by hidden layer (0 .. num_hidden-1); the output layer's
+  // activations live in the base `probs`.
+  std::vector<tensor::Matrix> pre;     // batch x H_l, pre-activation
+  std::vector<tensor::Matrix> acts;    // batch x H_l, post-ReLU
+  // Indexed by layer (0 .. num_layers-1); deltas.back() is batch x C.
+  std::vector<tensor::Matrix> deltas;
+
+  sparse::SparseGradient grad_w1;      // touched rows of F x H1
+  std::vector<tensor::Matrix> grad_w;  // dense layers 1..L-1 (index l-1)
+  std::vector<std::vector<float>> grad_b;  // all layers
+
+  void ensure(const DeepMlpConfig& cfg);
+
+  std::span<const std::uint32_t> touched_input_rows() const override {
+    return grad_w1.rows();
+  }
+  void swap_gradients(ModelWorkspace& other) override;
+};
+
+class DeepMlp : public Model {
  public:
   DeepMlp() = default;
   explicit DeepMlp(const DeepMlpConfig& cfg);
 
   /// Weights ~ N(0, 1/sqrt(fan_in)), biases zero.
-  void init(util::Rng& rng);
+  void init(util::Rng& rng) override;
 
   const DeepMlpConfig& config() const { return cfg_; }
-  std::size_t num_parameters() const { return cfg_.num_parameters(); }
+  const ModelInfo& info() const override { return info_; }
 
-  std::vector<float> to_flat() const;
-  void from_flat(std::span<const float> flat);
+  std::unique_ptr<Model> clone() const override;
+  void copy_from(const Model& other) override;
+  std::unique_ptr<ModelWorkspace> make_workspace() const override;
 
-  /// One SGD step (forward + backward + update). Returns mean loss.
-  double sgd_step(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y,
-                  float lr);
+  /// Flat order: W0,b0,W1,b1,...,W_{L-1},b_{L-1} (layer 0 = sparse input).
+  std::vector<float> to_flat() const override;
+  void from_flat(std::span<const float> flat) override;
 
-  /// Mean multi-label cross-entropy without updating.
-  double loss(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y);
+  /// In-place parameter views: one [weights, biases] pair per layer, in
+  /// flat order. Segment 0 is the sparse F x H1 input layer the delta
+  /// merge reduces by touched rows.
+  std::vector<std::span<float>> segment_views() override;
 
-  /// Top-1 accuracy over a test prefix.
-  double evaluate_top1(const sparse::LabeledDataset& test,
-                       std::size_t max_samples = 0,
-                       std::size_t eval_batch = 256);
+  double l2_norm_per_parameter() const override;
 
-  double l2_norm_per_parameter() const;
+  StepStats train_step(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y,
+                       float lr, ModelWorkspace& ws,
+                       float weight_decay = 0.0f) override;
+  StepStats compute_gradients(const sparse::CsrMatrix& x,
+                              const sparse::CsrMatrix& y,
+                              ModelWorkspace& ws) const override;
+  void apply_gradients(const ModelWorkspace& ws, float lr,
+                       float weight_decay = 0.0f) override;
+  double forward_loss(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y,
+                      ModelWorkspace& ws) const override;
 
-  /// Layer weight matrices (layer 0 is the sparse input layer).
+  std::vector<sim::KernelDesc> step_kernels(
+      const sparse::CsrMatrix& x) const override;
+  std::size_t step_memory_bytes(std::size_t batch_size,
+                                double avg_nnz) const override;
+
+  /// Layer weight matrices / biases (layer 0 is the sparse input layer).
   const tensor::Matrix& weights(std::size_t layer) const {
     return weights_[layer];
   }
+  const std::vector<float>& biases(std::size_t layer) const {
+    return biases_[layer];
+  }
 
  private:
-  /// Forward into the activation stack; probs end in acts_.back().
-  void forward(const sparse::CsrMatrix& x);
-  double loss_from_probs(const sparse::CsrMatrix& y) const;
+  /// Forward into ws (probs end in ws.probs); returns mean CE loss.
+  double forward_impl(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y,
+                      DeepWorkspace& ws) const;
 
   DeepMlpConfig cfg_;
-  std::vector<tensor::Matrix> weights_;          // per layer
-  std::vector<std::vector<float>> biases_;       // per layer
-  // Scratch: pre-activations and post-activations per layer.
-  std::vector<tensor::Matrix> pre_;
-  std::vector<tensor::Matrix> acts_;
-  std::vector<tensor::Matrix> deltas_;
-  tensor::Matrix grad_w_;
-  std::vector<float> grad_b_;
+  ModelInfo info_;
+  std::vector<tensor::Matrix> weights_;     // per layer
+  std::vector<std::vector<float>> biases_;  // per layer
 };
 
 }  // namespace hetero::nn

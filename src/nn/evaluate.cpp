@@ -8,7 +8,7 @@
 
 namespace hetero::nn {
 
-EvalResult evaluate(const MlpModel& model, const sparse::LabeledDataset& test,
+EvalResult evaluate(const Model& model, const sparse::LabeledDataset& test,
                     std::size_t max_samples, std::size_t eval_batch) {
   EvalResult result;
   const std::size_t n =
@@ -16,8 +16,9 @@ EvalResult evaluate(const MlpModel& model, const sparse::LabeledDataset& test,
                        : std::min(max_samples, test.num_samples());
   if (n == 0) return result;
 
-  Workspace ws;
-  const std::size_t c = model.config().num_classes;
+  const auto ws_ptr = model.make_workspace();
+  auto& ws = *ws_ptr;
+  const std::size_t c = model.info().num_classes;
   std::size_t top1_hits = 0, top5_hits = 0;
   std::size_t p3_hits = 0, p5_hits = 0;  // summed |top-k ∩ true|
   double loss = 0.0;
@@ -26,7 +27,7 @@ EvalResult evaluate(const MlpModel& model, const sparse::LabeledDataset& test,
     const std::size_t end = std::min(begin + eval_batch, n);
     const auto x = test.features.slice_rows(begin, end);
     const auto y = test.labels.slice_rows(begin, end);
-    loss += forward_loss(model, x, y, ws) * static_cast<double>(end - begin);
+    loss += model.forward_loss(x, y, ws) * static_cast<double>(end - begin);
 
     for (std::size_t r = 0; r < x.rows(); ++r) {
       const auto labels = y.row_cols(r);

@@ -4,8 +4,7 @@
 
 #include <cstddef>
 
-#include "nn/mlp.h"
-#include "nn/train_step.h"
+#include "nn/model.h"
 #include "sparse/libsvm.h"
 
 namespace hetero::nn {
@@ -25,7 +24,9 @@ struct EvalResult {
 /// batches of `eval_batch`. Using a fixed prefix keeps mega-batch-boundary
 /// evaluation cheap and comparable across algorithms; the paper likewise
 /// excludes evaluation time from its measurements.
-EvalResult evaluate(const MlpModel& model, const sparse::LabeledDataset& test,
+/// Works for any nn::Model; probs are read from the workspace the model
+/// itself creates (no architecture knowledge here beyond num_classes).
+EvalResult evaluate(const Model& model, const sparse::LabeledDataset& test,
                     std::size_t max_samples = 0, std::size_t eval_batch = 256);
 
 }  // namespace hetero::nn

@@ -4,12 +4,27 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/train_step.h"
 #include "tensor/ops.h"
 
 namespace hetero::nn {
 
+namespace {
+
+ModelInfo make_info(const MlpConfig& cfg) {
+  ModelInfo info;
+  info.num_features = cfg.num_features;
+  info.hidden = {cfg.hidden};
+  info.num_classes = cfg.num_classes;
+  info.num_parameters = cfg.num_parameters();
+  return info;
+}
+
+}  // namespace
+
 MlpModel::MlpModel(const MlpConfig& cfg)
     : cfg_(cfg),
+      info_(make_info(cfg)),
       w1_(cfg.num_features, cfg.hidden),
       b1_(cfg.hidden, 0.0f),
       w2_(cfg.hidden, cfg.num_classes),
@@ -24,6 +39,23 @@ void MlpModel::init(util::Rng& rng) {
                         rng);
   std::fill(b1_.begin(), b1_.end(), 0.0f);
   std::fill(b2_.begin(), b2_.end(), 0.0f);
+}
+
+std::unique_ptr<Model> MlpModel::clone() const {
+  return std::make_unique<MlpModel>(*this);
+}
+
+void MlpModel::copy_from(const Model& other) {
+  const auto& src = dynamic_cast<const MlpModel&>(other);
+  assert(src.num_parameters() == num_parameters());
+  w1_ = src.w1_;
+  b1_ = src.b1_;
+  w2_ = src.w2_;
+  b2_ = src.b2_;
+}
+
+std::unique_ptr<ModelWorkspace> MlpModel::make_workspace() const {
+  return std::make_unique<Workspace>();
 }
 
 std::vector<float> MlpModel::to_flat() const {
@@ -61,6 +93,41 @@ double MlpModel::l2_norm_per_parameter() const {
   ss += tensor::sum_of_squares(w2_.flat());
   ss += tensor::sum_of_squares({b2_.data(), b2_.size()});
   return std::sqrt(ss) / static_cast<double>(num_parameters());
+}
+
+StepStats MlpModel::train_step(const sparse::CsrMatrix& x,
+                               const sparse::CsrMatrix& y, float lr,
+                               ModelWorkspace& ws, float weight_decay) {
+  return sgd_step(*this, x, y, lr, dynamic_cast<Workspace&>(ws),
+                  weight_decay);
+}
+
+StepStats MlpModel::compute_gradients(const sparse::CsrMatrix& x,
+                                      const sparse::CsrMatrix& y,
+                                      ModelWorkspace& ws) const {
+  return nn::compute_gradients(*this, x, y, dynamic_cast<Workspace&>(ws));
+}
+
+void MlpModel::apply_gradients(const ModelWorkspace& ws, float lr,
+                               float weight_decay) {
+  nn::apply_gradients(*this, dynamic_cast<const Workspace&>(ws), lr,
+                      weight_decay);
+}
+
+double MlpModel::forward_loss(const sparse::CsrMatrix& x,
+                              const sparse::CsrMatrix& y,
+                              ModelWorkspace& ws) const {
+  return nn::forward_loss(*this, x, y, dynamic_cast<Workspace&>(ws));
+}
+
+std::vector<sim::KernelDesc> MlpModel::step_kernels(
+    const sparse::CsrMatrix& x) const {
+  return nn::step_kernels(cfg_, x);
+}
+
+std::size_t MlpModel::step_memory_bytes(std::size_t batch_size,
+                                        double avg_nnz) const {
+  return nn::step_memory_bytes(cfg_, batch_size, avg_nnz);
 }
 
 namespace {

@@ -7,12 +7,17 @@
 //   layer 2: hidden (H)        -> classes (C), softmax
 //
 // Parameters: W1 (F x H), b1 (H), W2 (H x C), b2 (C).
+//
+// MlpModel implements nn::Model; the depth-specialized training math lives
+// in train_step.* as free functions (also used directly by tests/benches)
+// and the virtual interface delegates to them.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "nn/model.h"
 #include "tensor/matrix.h"
 #include "util/rng.h"
 
@@ -28,7 +33,7 @@ struct MlpConfig {
   }
 };
 
-class MlpModel {
+class MlpModel : public Model {
  public:
   MlpModel() = default;
   explicit MlpModel(const MlpConfig& cfg);
@@ -36,11 +41,10 @@ class MlpModel {
   /// Random initialization: weights ~ N(0, 1/sqrt(fan_in)), biases zero.
   /// All replicas and all algorithms start from the same model in the
   /// paper's methodology, so initialize once and copy.
-  void init(util::Rng& rng);
+  void init(util::Rng& rng) override;
 
   const MlpConfig& config() const { return cfg_; }
-  std::size_t num_parameters() const { return cfg_.num_parameters(); }
-  std::size_t num_bytes() const { return num_parameters() * sizeof(float); }
+  const ModelInfo& info() const override { return info_; }
 
   tensor::Matrix& w1() { return w1_; }
   const tensor::Matrix& w1() const { return w1_; }
@@ -51,24 +55,47 @@ class MlpModel {
   std::vector<float>& b2() { return b2_; }
   const std::vector<float>& b2() const { return b2_; }
 
+  std::unique_ptr<Model> clone() const override;
+  void copy_from(const Model& other) override;
+  std::unique_ptr<ModelWorkspace> make_workspace() const override;
+
   /// Serializes all parameters into one flat buffer (order: W1,b1,W2,b2).
-  std::vector<float> to_flat() const;
-  void from_flat(std::span<const float> flat);
+  std::vector<float> to_flat() const override;
+  void from_flat(std::span<const float> flat) override;
 
   /// In-place views of the parameter tensors in to_flat() order
   /// (W1, b1, W2, b2). The merge path reduces these directly, replacing the
   /// per-merge to_flat()/from_flat() staging copies.
-  std::vector<std::span<float>> segment_views();
+  std::vector<std::span<float>> segment_views() override;
 
   /// L2 norm over all parameters divided by the parameter count — the
   /// regularization measure gating weight perturbation in Algorithm 2.
-  double l2_norm_per_parameter() const;
+  double l2_norm_per_parameter() const override;
 
-  /// Squared L2 distance to another model (test/diagnostic helper).
+  StepStats train_step(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y,
+                       float lr, ModelWorkspace& ws,
+                       float weight_decay = 0.0f) override;
+  StepStats compute_gradients(const sparse::CsrMatrix& x,
+                              const sparse::CsrMatrix& y,
+                              ModelWorkspace& ws) const override;
+  void apply_gradients(const ModelWorkspace& ws, float lr,
+                       float weight_decay = 0.0f) override;
+  double forward_loss(const sparse::CsrMatrix& x, const sparse::CsrMatrix& y,
+                      ModelWorkspace& ws) const override;
+
+  std::vector<sim::KernelDesc> step_kernels(
+      const sparse::CsrMatrix& x) const override;
+  std::size_t step_memory_bytes(std::size_t batch_size,
+                                double avg_nnz) const override;
+
+  /// Squared L2 distance to another MlpModel, segment-by-segment in place
+  /// (no flat copies). The Model-level overload remains available.
   double squared_distance(const MlpModel& other) const;
+  using Model::squared_distance;
 
  private:
   MlpConfig cfg_;
+  ModelInfo info_;
   tensor::Matrix w1_;
   std::vector<float> b1_;
   tensor::Matrix w2_;

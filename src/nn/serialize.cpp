@@ -8,11 +8,17 @@
 #include <stdexcept>
 #include <vector>
 
+#include "nn/deep_mlp.h"
+
 namespace hetero::nn {
 
 namespace {
 constexpr char kMagic[4] = {'H', 'G', 'P', 'U'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionMlp = 1;
+constexpr std::uint32_t kVersionLayerList = 2;
+// Sanity bound for v2 headers: a corrupt num_hidden must fail fast instead
+// of driving a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxHiddenLayers = 1024;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -26,48 +32,113 @@ T read_pod(std::istream& in) {
   if (!in) throw std::runtime_error("model checkpoint: truncated input");
   return value;
 }
-}  // namespace
 
-void save_model(std::ostream& out, const MlpModel& model) {
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
-  write_pod(out, static_cast<std::uint64_t>(model.config().num_features));
-  write_pod(out, static_cast<std::uint64_t>(model.config().hidden));
-  write_pod(out, static_cast<std::uint64_t>(model.config().num_classes));
+void write_params(std::ostream& out, const Model& model) {
   const auto flat = model.to_flat();
   out.write(reinterpret_cast<const char*>(flat.data()),
             static_cast<std::streamsize>(flat.size() * sizeof(float)));
   if (!out) throw std::runtime_error("model checkpoint: write failed");
 }
 
-void save_model_file(const std::string& path, const MlpModel& model) {
+void read_params(std::istream& in, Model& model) {
+  std::vector<float> flat(model.num_parameters());
+  in.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("model checkpoint: truncated parameters");
+  model.from_flat(flat);
+}
+}  // namespace
+
+void save_model(std::ostream& out, const Model& model) {
+  out.write(kMagic, sizeof(kMagic));
+  if (const auto* mlp = dynamic_cast<const MlpModel*>(&model)) {
+    write_pod(out, kVersionMlp);
+    write_pod(out, static_cast<std::uint64_t>(mlp->config().num_features));
+    write_pod(out, static_cast<std::uint64_t>(mlp->config().hidden));
+    write_pod(out, static_cast<std::uint64_t>(mlp->config().num_classes));
+  } else {
+    const auto& info = model.info();
+    write_pod(out, kVersionLayerList);
+    write_pod(out, static_cast<std::uint64_t>(info.hidden.size()));
+    write_pod(out, static_cast<std::uint64_t>(info.num_features));
+    for (const std::size_t h : info.hidden) {
+      write_pod(out, static_cast<std::uint64_t>(h));
+    }
+    write_pod(out, static_cast<std::uint64_t>(info.num_classes));
+  }
+  write_params(out, model);
+}
+
+void save_model_file(const std::string& path, const Model& model) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("model checkpoint: cannot open " + path);
   save_model(out, model);
 }
 
-MlpModel load_model(std::istream& in) {
+std::unique_ptr<Model> load_any_model(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("model checkpoint: bad magic");
   }
   const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) {
-    throw std::runtime_error("model checkpoint: unsupported version " +
-                             std::to_string(version));
+  if (version == kVersionMlp) {
+    MlpConfig cfg;
+    cfg.num_features = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    cfg.hidden = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    cfg.num_classes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    auto model = std::make_unique<MlpModel>(cfg);
+    read_params(in, *model);
+    return model;
   }
-  MlpConfig cfg;
-  cfg.num_features = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  cfg.hidden = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-  cfg.num_classes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  if (version == kVersionLayerList) {
+    const auto num_hidden = read_pod<std::uint64_t>(in);
+    if (num_hidden == 0 || num_hidden > kMaxHiddenLayers) {
+      throw std::runtime_error("model checkpoint: bad hidden-layer count " +
+                               std::to_string(num_hidden));
+    }
+    DeepMlpConfig cfg;
+    cfg.num_features = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    cfg.hidden.clear();
+    for (std::uint64_t l = 0; l < num_hidden; ++l) {
+      const auto width = read_pod<std::uint64_t>(in);
+      if (width == 0) {
+        throw std::runtime_error("model checkpoint: zero-width hidden layer");
+      }
+      cfg.hidden.push_back(static_cast<std::size_t>(width));
+    }
+    cfg.num_classes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    auto model = std::make_unique<DeepMlp>(cfg);
+    read_params(in, *model);
+    return model;
+  }
+  throw std::runtime_error("model checkpoint: unsupported version " +
+                           std::to_string(version));
+}
 
+std::unique_ptr<Model> load_any_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("model checkpoint: cannot open " + path);
+  return load_any_model(in);
+}
+
+MlpModel load_model(std::istream& in) {
+  const auto any = load_any_model(in);
+  if (const auto* mlp = dynamic_cast<const MlpModel*>(any.get())) {
+    return *mlp;
+  }
+  const auto& info = any->info();
+  if (info.hidden.size() != 1) {
+    throw std::runtime_error(
+        "model checkpoint: not loadable as a single-hidden-layer MLP");
+  }
+  // v2 checkpoint with one hidden layer: same flat layout as MlpModel.
+  MlpConfig cfg;
+  cfg.num_features = info.num_features;
+  cfg.hidden = info.hidden.front();
+  cfg.num_classes = info.num_classes;
   MlpModel model(cfg);
-  std::vector<float> flat(cfg.num_parameters());
-  in.read(reinterpret_cast<char*>(flat.data()),
-          static_cast<std::streamsize>(flat.size() * sizeof(float)));
-  if (!in) throw std::runtime_error("model checkpoint: truncated parameters");
-  model.from_flat(flat);
+  model.from_flat(any->to_flat());
   return model;
 }
 

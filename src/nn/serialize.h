@@ -1,23 +1,41 @@
 // Model checkpointing: a small self-describing binary format.
 //
-// Layout: magic "HGPU" | version u32 | num_features u64 | hidden u64 |
-// num_classes u64 | float32 parameters in to_flat() order (W1, b1, W2, b2).
-// Little-endian host order (the format is a local checkpoint, not a wire
-// protocol).
+// Version 1 (single-hidden-layer MLP):
+//   magic "HGPU" | version=1 u32 | num_features u64 | hidden u64 |
+//   num_classes u64 | float32 parameters in to_flat() order (W1, b1, W2, b2).
+//
+// Version 2 (arbitrary layer list):
+//   magic "HGPU" | version=2 u32 | num_hidden u64 | num_features u64 |
+//   hidden[0..num_hidden) u64 | num_classes u64 | float32 parameters in
+//   to_flat() order (W_l, b_l per layer).
+//
+// save_model writes v1 for an MlpModel — old checkpoints and old readers
+// keep working byte-for-byte — and v2 for everything else. Little-endian
+// host order (the format is a local checkpoint, not a wire protocol).
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "nn/mlp.h"
+#include "nn/model.h"
 
 namespace hetero::nn {
 
 /// Writes the model; throws std::runtime_error on I/O failure.
-void save_model(std::ostream& out, const MlpModel& model);
-void save_model_file(const std::string& path, const MlpModel& model);
+/// MlpModel is written as v1 (byte-identical to the legacy format);
+/// any other model kind is written as v2.
+void save_model(std::ostream& out, const Model& model);
+void save_model_file(const std::string& path, const Model& model);
 
-/// Reads a model; throws std::runtime_error on malformed input.
+/// Reads a checkpoint of any supported version; throws std::runtime_error
+/// on malformed input. v1 yields an MlpModel, v2 a DeepMlp.
+std::unique_ptr<Model> load_any_model(std::istream& in);
+std::unique_ptr<Model> load_any_model_file(const std::string& path);
+
+/// Legacy readers: accept only checkpoints loadable as a single-hidden-layer
+/// MlpModel (v1, or v2 with exactly one hidden layer).
 MlpModel load_model(std::istream& in);
 MlpModel load_model_file(const std::string& path);
 

@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "tensor/ops.h"
 
 namespace hetero::nn {
+
+void Workspace::swap_gradients(ModelWorkspace& other) {
+  auto& o = dynamic_cast<Workspace&>(other);
+  std::swap(grad_w1, o.grad_w1);
+  std::swap(grad_w2, o.grad_w2);
+  std::swap(grad_b1, o.grad_b1);
+  std::swap(grad_b2, o.grad_b2);
+}
 
 void Workspace::ensure(const MlpConfig& cfg) {
   // grad_w1 is keyed per batch by compute_gradients; nothing to pre-size

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/mlp.h"
+#include "nn/model.h"
 #include "sim/cost_model.h"
 #include "sparse/csr.h"
 #include "sparse/ops.h"
@@ -21,20 +22,15 @@
 namespace hetero::nn {
 
 /// Scratch buffers reused across steps (avoids per-batch allocation).
+/// MlpModel's concrete ModelWorkspace; `probs` and `ctx` live in the base.
 ///
 /// The layer-1 gradient is a touched-row sparse::SparseGradient keyed per
 /// batch: compute_gradients records the batch's distinct feature columns
 /// once, and apply_gradients reuses that key — no per-step O(F x H) dense
 /// zero/fill and no second sort of the column ids.
-///
-/// `ctx` selects the kernel backend: serial by default; point it at a
-/// ThreadPool (kernels::Context{&pool, n}) to run the spmm/gemm kernels and
-/// the sparse update n-way parallel. Threaded results are bit-identical to
-/// serial (kernels partition output rows).
-struct Workspace {
+struct Workspace : ModelWorkspace {
   tensor::Matrix h_pre;     // batch x H, pre-activation
   tensor::Matrix h;         // batch x H, post-ReLU
-  tensor::Matrix probs;     // batch x C, softmax output
   tensor::Matrix delta2;    // batch x C, output delta
   tensor::Matrix delta1;    // batch x H, hidden delta
   sparse::SparseGradient grad_w1;  // touched rows of F x H
@@ -42,15 +38,12 @@ struct Workspace {
   std::vector<float> grad_b1;
   std::vector<float> grad_b2;
 
-  kernels::Context ctx;     // kernel execution backend (serial by default)
-
   void ensure(const MlpConfig& cfg);
-};
 
-struct StepStats {
-  double loss = 0.0;           // mean cross-entropy over the batch
-  std::size_t batch_size = 0;
-  std::size_t batch_nnz = 0;
+  std::span<const std::uint32_t> touched_input_rows() const override {
+    return grad_w1.rows();
+  }
+  void swap_gradients(ModelWorkspace& other) override;
 };
 
 /// Runs forward+backward+update on `model` with learning rate `lr`.

@@ -3,8 +3,39 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace hetero::util {
+
+std::vector<std::size_t> parse_size_list(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("size list is empty");
+  }
+  std::vector<std::size_t> sizes;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    auto comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    if (token.empty()) {
+      throw std::invalid_argument("size list '" + text +
+                                  "' has an empty element");
+    }
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size()) {
+      throw std::invalid_argument("size list entry '" + token +
+                                  "' is not a number");
+    }
+    if (value == 0) {
+      throw std::invalid_argument("size list '" + text +
+                                  "' contains a zero entry");
+    }
+    sizes.push_back(static_cast<std::size_t>(value));
+    pos = comma + 1;
+  }
+  return sizes;
+}
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -48,6 +79,13 @@ double ArgParser::get_double(const std::string& name, double def) {
   auto v = take(name);
   if (!v) return def;
   return std::strtod(v->c_str(), nullptr);
+}
+
+std::vector<std::size_t> ArgParser::get_size_list(
+    const std::string& name, std::vector<std::size_t> def) {
+  auto v = take(name);
+  if (!v) return def;
+  return parse_size_list(*v);
 }
 
 bool ArgParser::get_bool(const std::string& name, bool def) {

@@ -12,6 +12,11 @@
 
 namespace hetero::util {
 
+/// Parses a comma-separated size list ("256,128,64") into positive sizes.
+/// Throws std::invalid_argument on an empty list, an empty element, trailing
+/// garbage ("12x"), or a zero entry — experiment configs must fail loudly.
+std::vector<std::size_t> parse_size_list(const std::string& text);
+
 class ArgParser {
  public:
   ArgParser(int argc, const char* const* argv);
@@ -21,6 +26,11 @@ class ArgParser {
   std::int64_t get_int(const std::string& name, std::int64_t def);
   double get_double(const std::string& name, double def);
   bool get_bool(const std::string& name, bool def);
+
+  /// Comma-separated size list, e.g. --hidden 256,128,64. Throws
+  /// std::invalid_argument (via parse_size_list) on malformed input.
+  std::vector<std::size_t> get_size_list(const std::string& name,
+                                         std::vector<std::size_t> def);
 
   /// True if any unknown/undeclared flags remain; prints them to stderr.
   /// Call after all get_* declarations.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "data/synthetic.h"
+#include "nn/evaluate.h"
 #include "nn/mlp.h"
 #include "nn/train_step.h"
 #include "util/rng.h"
@@ -51,6 +52,9 @@ TEST(DeepMlp, ParameterCount) {
   DeepMlp net(cfg);
   EXPECT_EQ(net.num_parameters(), 266u);
   EXPECT_EQ(cfg.num_layers(), 3u);
+  EXPECT_EQ(net.info().hidden, (std::vector<std::size_t>{8, 4}));
+  EXPECT_EQ(net.info().input_rows(), 24u);
+  EXPECT_EQ(net.info().input_cols(), 8u);
 }
 
 TEST(DeepMlp, FlatRoundTrip) {
@@ -64,25 +68,55 @@ TEST(DeepMlp, FlatRoundTrip) {
   EXPECT_EQ(b.to_flat(), flat);
 }
 
+TEST(DeepMlp, SegmentViewsMatchFlatLayout) {
+  util::Rng rng(2);
+  DeepMlp net(deep_config({8, 4}));
+  net.init(rng);
+  const auto flat = net.to_flat();
+  const auto views = net.segment_views();
+  ASSERT_EQ(views.size(), 6u);  // [W,b] x 3 layers
+  std::size_t off = 0;
+  for (const auto v : views) {
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      ASSERT_EQ(v[j], flat[off + j]);
+    }
+    off += v.size();
+  }
+  EXPECT_EQ(off, net.num_parameters());
+}
+
+TEST(DeepMlp, CloneAndCopyFromPreserveParameters) {
+  util::Rng rng(9);
+  DeepMlp net(deep_config({8, 4}));
+  net.init(rng);
+  const auto cloned = net.clone();
+  EXPECT_EQ(cloned->to_flat(), net.to_flat());
+
+  DeepMlp other(deep_config({8, 4}));
+  other.copy_from(net);
+  EXPECT_EQ(other.to_flat(), net.to_flat());
+}
+
 TEST(DeepMlp, LossDecreasesAtEveryDepth) {
   for (const auto& hidden : std::vector<std::vector<std::size_t>>{
            {8}, {8, 8}, {12, 8, 6}}) {
     util::Rng rng(7);
     DeepMlp net(deep_config(hidden));
     net.init(rng);
+    const auto ws = net.make_workspace();
     const auto x = batch_x(8, 24, rng);
     const auto y = batch_y(8, 6, rng);
-    const double initial = net.loss(x, y);
-    for (int i = 0; i < 80; ++i) net.sgd_step(x, y, 0.3f);
-    EXPECT_LT(net.loss(x, y), initial * 0.6)
+    const double initial = net.forward_loss(x, y, *ws);
+    for (int i = 0; i < 80; ++i) net.train_step(x, y, 0.3f, *ws);
+    EXPECT_LT(net.forward_loss(x, y, *ws), initial * 0.6)
         << "depth " << hidden.size();
   }
 }
 
-TEST(DeepMlp, OneHiddenLayerMatchesMlpModel) {
-  // With a single hidden layer DeepMlp and MlpModel implement the same
-  // network; starting from identical parameters, one step must produce
-  // identical parameters.
+TEST(DeepMlp, OneHiddenLayerBitIdenticalToMlpModel) {
+  // With a single hidden layer DeepMlp runs the exact kernel sequence of
+  // MlpModel in the exact order; starting from identical parameters, one
+  // step must produce bit-identical parameters.
   util::Rng rng(3);
   MlpConfig mcfg;
   mcfg.num_features = 24;
@@ -97,22 +131,35 @@ TEST(DeepMlp, OneHiddenLayerMatchesMlpModel) {
   util::Rng data_rng(4);
   const auto x = batch_x(5, 24, data_rng);
   const auto y = batch_y(5, 6, data_rng);
-  Workspace ws;
-  sgd_step(shallow, x, y, 0.2f, ws);
-  deep.sgd_step(x, y, 0.2f);
+  const auto sws = shallow.make_workspace();
+  const auto dws = deep.make_workspace();
+  const auto s_stats = shallow.train_step(x, y, 0.2f, *sws);
+  const auto d_stats = deep.train_step(x, y, 0.2f, *dws);
+  EXPECT_EQ(s_stats.loss, d_stats.loss);
 
   const auto a = shallow.to_flat();
   const auto b = deep.to_flat();
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_NEAR(a[i], b[i], 1e-6f) << i;
+    ASSERT_EQ(a[i], b[i]) << i;
   }
+
+  // The virtual-GPU cost report must be identical too, or the simulator
+  // would schedule the two models differently.
+  const auto sk = shallow.step_kernels(x);
+  const auto dk = deep.step_kernels(x);
+  ASSERT_EQ(sk.size(), dk.size());
+  for (std::size_t i = 0; i < sk.size(); ++i) {
+    EXPECT_EQ(sk[i].name, dk[i].name) << i;
+    EXPECT_EQ(sk[i].flops, dk[i].flops) << i;
+    EXPECT_EQ(sk[i].bytes, dk[i].bytes) << i;
+    EXPECT_EQ(sk[i].sparse, dk[i].sparse) << i;
+  }
+  EXPECT_EQ(shallow.step_memory_bytes(64, 7.0), deep.step_memory_bytes(64, 7.0));
 }
 
 TEST(DeepMlp, GradientCheckTwoHiddenLayers) {
   util::Rng rng(5);
-  DeepMlp net(deep_config({5, 4}));
-  net.init(rng);
   const auto x = batch_x(3, 24, rng);
   const auto y = batch_y(3, 6, rng);
 
@@ -123,9 +170,10 @@ TEST(DeepMlp, GradientCheckTwoHiddenLayers) {
     DeepMlp fresh(deep_config({5, 4}));
     util::Rng r2(100 + restart);
     fresh.init(r2);
-    const double before = fresh.loss(x, y);
-    fresh.sgd_step(x, y, 1e-3f);
-    EXPECT_LE(fresh.loss(x, y), before + 1e-6) << restart;
+    const auto ws = fresh.make_workspace();
+    const double before = fresh.forward_loss(x, y, *ws);
+    fresh.train_step(x, y, 1e-3f, *ws);
+    EXPECT_LE(fresh.forward_loss(x, y, *ws), before + 1e-6) << restart;
   }
 }
 
@@ -138,13 +186,40 @@ TEST(DeepMlp, UntouchedSparseRowsUnchanged) {
   const auto x = bx.build();
   const auto y = batch_y(1, 6, rng);
   const auto before = net.weights(0);
-  net.sgd_step(x, y, 0.5f);
+  const auto ws = net.make_workspace();
+  net.train_step(x, y, 0.5f, *ws);
+  // The touched-row key must report exactly the batch's feature rows.
+  const auto touched = ws->touched_input_rows();
+  ASSERT_EQ(touched.size(), 1u);
+  EXPECT_EQ(touched[0], 3u);
   for (std::size_t f = 0; f < 24; ++f) {
     if (f == 3) continue;
     for (std::size_t h = 0; h < 8; ++h) {
       EXPECT_EQ(net.weights(0)(f, h), before(f, h));
     }
   }
+}
+
+TEST(DeepMlp, ThreadedKernelsBitIdenticalToSerial) {
+  // Same model + batch trained with the serial context and with a 4-worker
+  // pool must produce bit-identical parameters (kernels partition output
+  // rows; the accumulation order per output element never changes).
+  util::Rng rng(21);
+  DeepMlp serial(deep_config({12, 8}));
+  serial.init(rng);
+  const auto threaded_model = serial.clone();
+  const auto x = batch_x(16, 24, rng);
+  const auto y = batch_y(16, 6, rng);
+
+  const auto sws = serial.make_workspace();
+  for (int i = 0; i < 5; ++i) serial.train_step(x, y, 0.2f, *sws);
+
+  util::ThreadPool pool(4);
+  const auto tws = threaded_model->make_workspace();
+  tws->ctx = kernels::Context{&pool, 4, /*serial_grain=*/1};
+  for (int i = 0; i < 5; ++i) threaded_model->train_step(x, y, 0.2f, *tws);
+
+  EXPECT_EQ(serial.to_flat(), threaded_model->to_flat());
 }
 
 TEST(DeepMlp, TrainsOnSyntheticDataset) {
@@ -160,15 +235,16 @@ TEST(DeepMlp, TrainsOnSyntheticDataset) {
   DeepMlp net(cfg);
   net.init(rng);
 
-  const double before = net.evaluate_top1(ds.test, 200);
+  const double before = evaluate(net, ds.test, 200).top1;
+  const auto ws = net.make_workspace();
   for (int epoch = 0; epoch < 3; ++epoch) {
     for (std::size_t b = 0; b + 64 <= ds.train.num_samples(); b += 64) {
       const auto x = ds.train.features.slice_rows(b, b + 64);
       const auto y = ds.train.labels.slice_rows(b, b + 64);
-      net.sgd_step(x, y, 0.3f);
+      net.train_step(x, y, 0.3f, *ws);
     }
   }
-  EXPECT_GT(net.evaluate_top1(ds.test, 200), before + 0.3);
+  EXPECT_GT(evaluate(net, ds.test, 200).top1, before + 0.3);
 }
 
 TEST(DeepMlp, L2NormPerParameterPositive) {
@@ -176,6 +252,22 @@ TEST(DeepMlp, L2NormPerParameterPositive) {
   DeepMlp net(deep_config({8, 4}));
   net.init(rng);
   EXPECT_GT(net.l2_norm_per_parameter(), 0.0);
+}
+
+TEST(ModelFactory, BuildsBothKindsAndValidates) {
+  const std::size_t hidden1[] = {16};
+  const std::size_t hidden2[] = {16, 8};
+  const auto mlp = make_model(ModelKind::kMlp, 24, hidden1, 6);
+  EXPECT_EQ(mlp->info().hidden, (std::vector<std::size_t>{16}));
+  const auto deep = make_model(ModelKind::kDeep, 24, hidden2, 6);
+  EXPECT_EQ(deep->info().hidden, (std::vector<std::size_t>{16, 8}));
+
+  EXPECT_THROW(make_model(ModelKind::kMlp, 24, {}, 6), std::invalid_argument);
+  const std::size_t zero[] = {16, 0};
+  EXPECT_THROW(make_model(ModelKind::kDeep, 24, zero, 6),
+               std::invalid_argument);
+  EXPECT_THROW(make_model(ModelKind::kMlp, 24, hidden2, 6),
+               std::invalid_argument);
 }
 
 }  // namespace

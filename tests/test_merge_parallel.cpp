@@ -335,7 +335,7 @@ TEST_F(DeltaMergeRuntimeTest, DeltaBitIdenticalToDenseOracle) {
         }
         for (const auto& t : timings) {
           EXPECT_GT(t.touched_rows, 0u);
-          EXPECT_LT(t.touched_rows, delta.model_config().num_features);
+          EXPECT_LT(t.touched_rows, delta.model_info().num_features);
         }
       }
     }
@@ -360,10 +360,10 @@ TEST_F(DeltaMergeRuntimeTest, DeltaMergeChargesDeltaBytes) {
     EXPECT_DOUBLE_EQ(
         delta_t[m].payload_bytes,
         static_cast<double>(delta.virtual_payload_bytes(
-            delta_t[m].touched_rows * delta.model_config().hidden +
-            delta.model_config().hidden +
-            delta.model_config().hidden * delta.model_config().num_classes +
-            delta.model_config().num_classes)));
+            delta_t[m].touched_rows * delta.model_info().input_cols() +
+            delta.model_info().input_cols() +
+            delta.model_info().input_cols() * delta.model_info().num_classes +
+            delta.model_info().num_classes)));
   }
 }
 

@@ -36,9 +36,9 @@ TEST_F(RuntimeTest, ConstructionBroadcastsGlobal) {
 
 TEST_F(RuntimeTest, ModelConfigFromDataset) {
   MultiGpuRuntime rt(dataset_, config(), sim::v100_heterogeneous(2));
-  EXPECT_EQ(rt.model_config().num_features, dataset_.train.features.cols());
-  EXPECT_EQ(rt.model_config().num_classes, dataset_.train.labels.cols());
-  EXPECT_EQ(rt.model_config().hidden, 16u);
+  EXPECT_EQ(rt.model_info().num_features, dataset_.train.features.cols());
+  EXPECT_EQ(rt.model_info().num_classes, dataset_.train.labels.cols());
+  EXPECT_EQ(rt.model_info().input_cols(), 16u);
 }
 
 TEST_F(RuntimeTest, NextBatchDrawsRequestedSize) {

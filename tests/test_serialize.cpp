@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "core/result_io.h"
+#include "nn/deep_mlp.h"
 #include "util/rng.h"
 
 namespace hetero {
@@ -65,6 +68,109 @@ TEST(Serialize, MissingFileThrows) {
                std::runtime_error);
   EXPECT_THROW(nn::save_model_file("/nonexistent/dir/m.hgpu", make_model()),
                std::runtime_error);
+}
+
+TEST(Serialize, V1BytesArePinned) {
+  // An MlpModel must serialize to the exact legacy v1 byte layout:
+  // "HGPU" | u32 1 | u64 F | u64 H | u64 C | float params. Checkpoints
+  // written before the layer-list format existed must stay readable, and
+  // new MlpModel checkpoints must stay readable by old builds.
+  const auto model = make_model();
+  std::stringstream buffer;
+  nn::save_model(buffer, model);
+  const std::string got = buffer.str();
+
+  std::string expected = "HGPU";
+  const auto append_pod = [&expected](const auto& value) {
+    expected.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  append_pod(std::uint32_t{1});
+  append_pod(std::uint64_t{20});
+  append_pod(std::uint64_t{6});
+  append_pod(std::uint64_t{9});
+  for (const float p : model.to_flat()) append_pod(p);
+
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Serialize, DeepModelRoundTripsAsV2) {
+  nn::DeepMlpConfig cfg;
+  cfg.num_features = 20;
+  cfg.hidden = {10, 7};
+  cfg.num_classes = 9;
+  nn::DeepMlp model(cfg);
+  util::Rng rng(6);
+  model.init(rng);
+
+  std::stringstream buffer;
+  nn::save_model(buffer, model);
+  // v2 header: magic + u32 version + u64 num_hidden.
+  const std::string bytes = buffer.str();
+  ASSERT_GE(bytes.size(), 16u);
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  EXPECT_EQ(version, 2u);
+
+  const auto loaded = nn::load_any_model(buffer);
+  EXPECT_EQ(loaded->info().num_features, 20u);
+  EXPECT_EQ(loaded->info().hidden, (std::vector<std::size_t>{10, 7}));
+  EXPECT_EQ(loaded->info().num_classes, 9u);
+  EXPECT_EQ(loaded->to_flat(), model.to_flat());
+}
+
+TEST(Serialize, LoadAnyModelReadsV1AsMlp) {
+  const auto model = make_model();
+  std::stringstream buffer;
+  nn::save_model(buffer, model);
+  const auto loaded = nn::load_any_model(buffer);
+  ASSERT_NE(dynamic_cast<const nn::MlpModel*>(loaded.get()), nullptr);
+  EXPECT_DOUBLE_EQ(loaded->squared_distance(model), 0.0);
+}
+
+TEST(Serialize, LegacyLoaderAcceptsSingleHiddenV2) {
+  nn::DeepMlpConfig cfg;
+  cfg.num_features = 20;
+  cfg.hidden = {6};
+  cfg.num_classes = 9;
+  nn::DeepMlp model(cfg);
+  util::Rng rng(7);
+  model.init(rng);
+
+  std::stringstream buffer;
+  nn::save_model(buffer, model);
+  const auto loaded = nn::load_model(buffer);
+  EXPECT_EQ(loaded.to_flat(), model.to_flat());
+}
+
+TEST(Serialize, LegacyLoaderRejectsMultiLayerV2) {
+  nn::DeepMlpConfig cfg;
+  cfg.num_features = 20;
+  cfg.hidden = {10, 7};
+  cfg.num_classes = 9;
+  nn::DeepMlp model(cfg);
+  util::Rng rng(8);
+  model.init(rng);
+
+  std::stringstream buffer;
+  nn::save_model(buffer, model);
+  EXPECT_THROW(nn::load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialize, V2FileRoundTrip) {
+  nn::DeepMlpConfig cfg;
+  cfg.num_features = 20;
+  cfg.hidden = {10, 7};
+  cfg.num_classes = 9;
+  nn::DeepMlp model(cfg);
+  util::Rng rng(9);
+  model.init(rng);
+
+  const std::string path = ::testing::TempDir() + "/deep.hgpu";
+  nn::save_model_file(path, model);
+  const auto loaded = nn::load_any_model_file(path);
+  EXPECT_EQ(loaded->to_flat(), model.to_flat());
+  std::remove(path.c_str());
 }
 
 core::TrainResult sample_result() {

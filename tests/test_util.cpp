@@ -6,6 +6,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "util/cli.h"
@@ -224,6 +225,28 @@ TEST(Cli, NegativeNumbersViaEquals) {
   const char* argv[] = {"prog", "--delta=-0.5"};
   ArgParser args(2, argv);
   EXPECT_DOUBLE_EQ(args.get_double("delta", 0.0), -0.5);
+}
+
+TEST(Cli, ParseSizeList) {
+  EXPECT_EQ(parse_size_list("256,128,64"),
+            (std::vector<std::size_t>{256, 128, 64}));
+  EXPECT_EQ(parse_size_list("48"), (std::vector<std::size_t>{48}));
+  EXPECT_THROW(parse_size_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_size_list("128,"), std::invalid_argument);
+  EXPECT_THROW(parse_size_list(",128"), std::invalid_argument);
+  EXPECT_THROW(parse_size_list("128,0,64"), std::invalid_argument);
+  EXPECT_THROW(parse_size_list("12x"), std::invalid_argument);
+  EXPECT_THROW(parse_size_list("128,,64"), std::invalid_argument);
+}
+
+TEST(Cli, GetSizeList) {
+  const char* argv[] = {"prog", "--hidden=256,128"};
+  ArgParser args(2, argv);
+  EXPECT_EQ(args.get_size_list("hidden", {48}),
+            (std::vector<std::size_t>{256, 128}));
+  EXPECT_EQ(args.get_size_list("other", {48}),
+            (std::vector<std::size_t>{48}));
+  EXPECT_FALSE(args.report_unknown());
 }
 
 }  // namespace
