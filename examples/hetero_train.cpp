@@ -4,6 +4,9 @@
 //   ./build/examples/hetero_train --method adaptive --gpus 4 --gap 0.32
 //       --megabatches 6 --batch-max 128 --lr 0.5 --trace run.trace.json
 //   ./build/examples/hetero_train --model deep --hidden 256,128 --sparse-merge
+//   ./build/examples/hetero_train --fault-plan "crash@2.5:gpu1;join@4.0:gpu1"
+//       --checkpoint-every 2 --checkpoint-path run.ckpt
+//   ./build/examples/hetero_train --resume-from run.ckpt
 //
 // Methods: adaptive | elastic | sync | crossbow | async | slide
 // Models:  mlp (single hidden layer) | deep (--hidden takes a comma list)
@@ -16,6 +19,9 @@
 #include "core/adaptive_sgd.h"
 #include "core/trainer.h"
 #include "data/dataset_stats.h"
+#include "fault/checkpoint.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "data/synthetic.h"
 #include "sim/profiles.h"
 #include "sim/gantt.h"
@@ -68,6 +74,13 @@ int main(int argc, char** argv) {
   const bool sparse_merge = args.get_bool("sparse-merge", false);
   const auto allreduce_streams =
       static_cast<std::size_t>(args.get_int("allreduce-streams", 0));
+  // Fault subsystem: deterministic fault schedule + checkpointed recovery.
+  const auto fault_plan_spec = args.get_string("fault-plan", "");
+  const auto checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
+  const auto checkpoint_path =
+      args.get_string("checkpoint-path", "hetero.ckpt");
+  const auto resume_from = args.get_string("resume-from", "");
   if (args.report_unknown()) return 1;
 
   nn::ModelKind model_kind;
@@ -134,6 +147,13 @@ int main(int argc, char** argv) {
   core::TrainResult result;
   sim::Tracer tracer;
   if (method_name == "slide") {
+    if (!fault_plan_spec.empty() || !resume_from.empty() ||
+        checkpoint_every > 0) {
+      std::fprintf(stderr,
+                   "--fault-plan/--checkpoint-every/--resume-from are not "
+                   "supported with --method slide\n");
+      return 1;
+    }
     if (hidden_layers.size() != 1) {
       std::fprintf(stderr, "--method slide supports one hidden layer only\n");
       return 1;
@@ -167,6 +187,46 @@ int main(int argc, char** argv) {
     const auto devices = speeds.empty() ? sim::v100_heterogeneous(gpus, gap)
                                         : sim::v100_custom(speeds);
     auto trainer = core::make_trainer(method, dataset, cfg, devices);
+
+    auto* adaptive = dynamic_cast<core::AdaptiveSgdTrainer*>(trainer.get());
+    if ((checkpoint_every > 0 || !resume_from.empty()) &&
+        adaptive == nullptr) {
+      std::fprintf(stderr,
+                   "--checkpoint-every/--resume-from support --method "
+                   "adaptive only\n");
+      return 1;
+    }
+    // Resume before arming the fault plan: membership events already
+    // reflected in the checkpoint must not fire twice.
+    double resumed_vtime = -1.0;
+    if (!resume_from.empty()) {
+      try {
+        const auto ckpt = fault::load_checkpoint_file(resume_from);
+        fault::restore_checkpoint(*adaptive, ckpt);
+        resumed_vtime = ckpt.vtime;
+        std::printf("resumed from %s: %zu mega-batches, vtime %.4fs\n",
+                    resume_from.c_str(),
+                    static_cast<std::size_t>(ckpt.megabatches_completed),
+                    ckpt.vtime);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--resume-from: %s\n", e.what());
+        return 1;
+      }
+    }
+    if (!fault_plan_spec.empty()) {
+      try {
+        fault::FaultInjector(fault::FaultPlan::parse(fault_plan_spec))
+            .arm(trainer->runtime(), resumed_vtime);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--fault-plan: %s\n", e.what());
+        return 1;
+      }
+    }
+    if (checkpoint_every > 0) {
+      fault::enable_periodic_checkpoint(*adaptive, checkpoint_path,
+                                        checkpoint_every);
+    }
+
     if (!trace_path.empty() || show_gantt) {
       trainer->runtime().set_tracer(&tracer);
     }
@@ -190,6 +250,16 @@ int main(int argc, char** argv) {
                 100 * result.perturbation_frequency());
   }
   std::printf("\n");
+  if (result.faults.any()) {
+    std::printf(
+        "faults: %zu events (%zu slowdowns, %zu stalls, %zu oom windows), "
+        "%zu crashes, %zu joins, %zu oom clamps, %zu degraded merges, "
+        "recovery %.4fs\n",
+        result.faults.events_injected, result.faults.slowdowns,
+        result.faults.stalls, result.faults.oom_events, result.faults.crashes,
+        result.faults.joins, result.faults.oom_clamps,
+        result.faults.degraded_merges, result.faults.recovery_seconds);
+  }
 
   if (!trace_path.empty() && method_name != "slide") {
     tracer.write_chrome_json_file(trace_path);

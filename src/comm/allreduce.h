@@ -92,6 +92,9 @@ class AllReducer {
       const kernels::Context& ctx = {}) const;
 
   /// Cost-only query (used by benches sweeping buffer sizes without data).
+  /// Under elastic membership the caller passes the ALIVE replica count:
+  /// the ring/tree cost model re-derives its step count over the degraded
+  /// topology, so losing a device also shrinks the collective.
   AllReduceCost cost(std::size_t num_replicas, std::size_t buffer_bytes,
                      double reduce_gbs = 300.0) const;
 

@@ -103,4 +103,22 @@ bool ScalingScheduler::observe(const std::vector<std::size_t>& batch_sizes) {
   return false;
 }
 
+ScalingSchedulerState ScalingScheduler::snapshot() const {
+  return ScalingSchedulerState{interval_,    since_last_scale_,
+                               stable_,      oscillating_,
+                               previous_,    last_direction_,
+                               steps_without_change_, reversal_streak_};
+}
+
+void ScalingScheduler::restore(const ScalingSchedulerState& state) {
+  interval_ = state.interval;
+  since_last_scale_ = state.since_last_scale;
+  stable_ = state.stable;
+  oscillating_ = state.oscillating;
+  previous_ = state.previous;
+  last_direction_ = state.last_direction;
+  steps_without_change_ = state.steps_without_change;
+  reversal_streak_ = state.reversal_streak;
+}
+
 }  // namespace hetero::core

@@ -49,6 +49,20 @@ BatchScalingOutcome scale_batch_sizes(std::vector<GpuSgdState>& gpus,
 ///                  previous change's direction on the same GPU.
 /// Either condition doubles the interval (capped at `max_interval`); a
 /// genuine drift (non-reversal change) resets the interval to 1.
+
+/// Serializable snapshot of the cadence state (checkpointed recovery):
+/// restoring it resumes the exact observe() decision sequence.
+struct ScalingSchedulerState {
+  std::size_t interval = 1;
+  std::size_t since_last_scale = 0;
+  bool stable = false;
+  bool oscillating = false;
+  std::vector<std::size_t> previous;
+  std::vector<int> last_direction;
+  std::size_t steps_without_change = 0;
+  std::size_t reversal_streak = 0;
+};
+
 class ScalingScheduler {
  public:
   explicit ScalingScheduler(std::size_t stability_window = 3,
@@ -61,6 +75,9 @@ class ScalingScheduler {
   std::size_t interval() const { return interval_; }
   bool stable() const { return stable_; }
   bool oscillating() const { return oscillating_; }
+
+  ScalingSchedulerState snapshot() const;
+  void restore(const ScalingSchedulerState& state);
 
  private:
   std::size_t stability_window_;

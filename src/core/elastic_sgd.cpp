@@ -1,6 +1,7 @@
 #include "core/elastic_sgd.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/merging.h"
 
@@ -12,26 +13,50 @@ void ElasticSgdTrainer::run_megabatch(TrainResult& result) {
   const double lr = cfg_.learning_rate * lr_schedule_factor();
 
   // Static assignment: batches_per_megabatch batches handed out round-robin
-  // up-front, each GPU processing its share back-to-back.
+  // up-front, each GPU processing its share back-to-back. Non-schedulable
+  // devices (stalled past the horizon or crashed) forfeit their slot to the
+  // earliest-free survivor.
   std::vector<std::size_t> updates(n, 0);
   for (std::size_t i = 0; i < cfg_.batches_per_megabatch; ++i) {
-    const std::size_t g = i % n;
+    std::size_t g = i % n;
+    if (!runtime_.schedulable(g)) g = runtime_.next_free_gpu();
     auto batch = runtime_.next_batch(b);
-    runtime_.run_update_step(g, std::move(batch), lr,
-                             runtime_.gpu_free_at(g));
+    try {
+      runtime_.run_update_step(g, std::move(batch), lr,
+                               runtime_.gpu_free_at(g));
+    } catch (const sim::DeviceUnavailable&) {
+      continue;  // crashed mid-mega-batch: batch lost, membership below
+    }
     updates[g] += 1;
     result.gpus[g].total_samples += b;
   }
 
-  double sync = 0.0;
+  double all_free = 0.0;
   for (std::size_t g = 0; g < n; ++g) {
-    sync = std::max(sync, runtime_.gpu(g).device_free_at());
+    all_free = std::max(all_free, runtime_.gpu(g).device_free_at());
   }
   runtime_.math_barrier();
+  runtime_.apply_crashes_until(all_free);
 
-  // Plain elastic averaging: equal weights (all batch sizes identical),
-  // no perturbation; momentum follows the shared update rule.
-  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  double sync = 0.0;
+  std::size_t num_alive = 0;
+  for (std::size_t g = 0; g < n; ++g) {
+    if (!runtime_.replica_alive(g)) continue;
+    ++num_alive;
+    sync = std::max(sync, runtime_.gpu(g).device_free_at());
+  }
+  if (num_alive == 0) {
+    throw std::runtime_error("elastic-sgd: all replicas crashed");
+  }
+
+  // Plain elastic averaging: equal weights over the alive set (all batch
+  // sizes identical), no perturbation; momentum follows the shared rule.
+  std::vector<double> weights(n, 0.0);
+  for (std::size_t g = 0; g < n; ++g) {
+    if (runtime_.replica_alive(g)) {
+      weights[g] = 1.0 / static_cast<double>(num_alive);
+    }
+  }
   const auto timing = runtime_.merge_and_update(weights, sync);
 
   result.merges += 1;
@@ -41,6 +66,7 @@ void ElasticSgdTrainer::run_megabatch(TrainResult& result) {
     result.gpus[g].batch_size.push_back(b);
     result.gpus[g].updates.push_back(updates[g]);
   }
+  runtime_.apply_joins_until(timing.finish);
 }
 
 }  // namespace hetero::core

@@ -200,4 +200,16 @@ void merge_untouched_rows(const sparse::RowSet& touched, std::size_t num_rows,
       });
 }
 
+std::vector<double> expand_alive_weights(
+    std::span<const double> alive_weights,
+    std::span<const std::size_t> alive_indices, std::size_t num_replicas) {
+  assert(alive_weights.size() == alive_indices.size());
+  std::vector<double> full(num_replicas, 0.0);
+  for (std::size_t i = 0; i < alive_indices.size(); ++i) {
+    assert(alive_indices[i] < num_replicas);
+    full[alive_indices[i]] = alive_weights[i];
+  }
+  return full;
+}
+
 }  // namespace hetero::core

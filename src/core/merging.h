@@ -58,6 +58,16 @@ struct MergeWeights {
 /// Lines 1-7 of Algorithm 2: normalization + perturbation.
 MergeWeights compute_merge_weights(const MergeInputs& inputs);
 
+/// Elastic membership (fault subsystem): expands weights computed by
+/// compute_merge_weights over the alive subset into a full per-replica
+/// vector — survivors keep their Algorithm-2 weight (already normalized
+/// over the survivor inputs), dead replicas get exactly 0 and are excluded
+/// from the merge accumulation. `alive_indices` lists the replica index of
+/// each survivor weight, ascending.
+std::vector<double> expand_alive_weights(
+    std::span<const double> alive_weights,
+    std::span<const std::size_t> alive_indices, std::size_t num_replicas);
+
 /// Lines 8-9: momentum update of the global model, given the already
 /// weighted-averaged replica combination `merged` (from the all-reduce).
 ///   w' = merged + gamma * (w - w_prev)

@@ -18,6 +18,29 @@ struct CurvePoint {
   double top5 = 0.0;
   double test_loss = 0.0;
   double train_loss = 0.0;  // mean step loss within the last mega-batch
+  // Appended field (keeps older aggregate initializers valid): merge-group
+  // size when the point was recorded — shrinks after a crash, grows back
+  // after a join (fault subsystem).
+  std::size_t alive_gpus = 0;
+};
+
+/// Fault-injection and elastic-membership counters. Event windows are
+/// counted when the FaultInjector arms them; crashes/joins when the
+/// membership flip is applied at a merge boundary.
+struct FaultStats {
+  std::size_t events_injected = 0;  // FaultPlan events armed on the runtime
+  std::size_t slowdowns = 0;        // transient-slowdown windows armed
+  std::size_t stalls = 0;           // stall windows armed
+  std::size_t oom_events = 0;       // memory-cap windows armed
+  std::size_t crashes = 0;          // replicas removed from the merge group
+  std::size_t joins = 0;            // replicas re-admitted to the group
+  std::size_t oom_clamps = 0;       // batches re-clamped after simulated OOM
+  std::size_t degraded_merges = 0;  // merges run with a shrunken group
+  double recovery_seconds = 0.0;    // summed crash -> rejoin outage time
+
+  bool any() const {
+    return events_injected > 0 || oom_clamps > 0 || crashes > 0 || joins > 0;
+  }
 };
 
 /// Per-GPU execution trace.
@@ -48,6 +71,9 @@ struct TrainResult {
   /// gradient's snapshot and its application). Nonzero only for the
   /// asynchronous trainer.
   double avg_staleness = 0.0;
+
+  /// Fault-injection counters for the run (all zero on a healthy run).
+  FaultStats faults;
 
   /// First virtual time at which top-1 accuracy reached `target`
   /// (linear interpolation between curve points); nullopt if never.

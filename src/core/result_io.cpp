@@ -12,13 +12,16 @@ void write_rows(std::ostream& out, const TrainResult& r) {
     out << r.dataset << ',' << r.method << ',' << r.num_gpus << ','
         << p.megabatch << ',' << p.vtime << ',' << p.samples << ','
         << p.passes << ',' << p.top1 << ',' << p.top5 << ',' << p.test_loss
-        << ',' << p.train_loss << '\n';
+        << ',' << p.train_loss << ',' << p.alive_gpus << ','
+        << r.faults.events_injected << ',' << r.faults.degraded_merges << ','
+        << r.faults.oom_clamps << ',' << r.faults.recovery_seconds << '\n';
   }
 }
 
 constexpr const char* kCsvHeader =
     "dataset,method,gpus,megabatch,vtime,samples,passes,top1,top5,"
-    "test_loss,train_loss\n";
+    "test_loss,train_loss,alive_gpus,fault_events,degraded_merges,"
+    "oom_clamps,recovery_seconds\n";
 }  // namespace
 
 void write_curve_csv(std::ostream& out, const TrainResult& result) {
@@ -40,13 +43,24 @@ void write_result_json(std::ostream& out, const TrainResult& r) {
       << ",\"scaling_updates\":" << r.scaling_updates
       << ",\"avg_staleness\":" << r.avg_staleness
       << ",\"best_top1\":" << r.best_top1()
-      << ",\"final_top1\":" << r.final_top1() << ",\"curve\":[";
+      << ",\"final_top1\":" << r.final_top1() << ",\"faults\":{"
+      << "\"events_injected\":" << r.faults.events_injected
+      << ",\"slowdowns\":" << r.faults.slowdowns
+      << ",\"stalls\":" << r.faults.stalls
+      << ",\"oom_events\":" << r.faults.oom_events
+      << ",\"crashes\":" << r.faults.crashes
+      << ",\"joins\":" << r.faults.joins
+      << ",\"oom_clamps\":" << r.faults.oom_clamps
+      << ",\"degraded_merges\":" << r.faults.degraded_merges
+      << ",\"recovery_seconds\":" << r.faults.recovery_seconds
+      << "},\"curve\":[";
   for (std::size_t i = 0; i < r.curve.size(); ++i) {
     const auto& p = r.curve[i];
     if (i) out << ',';
     out << "{\"vtime\":" << p.vtime << ",\"samples\":" << p.samples
         << ",\"passes\":" << p.passes << ",\"top1\":" << p.top1
-        << ",\"top5\":" << p.top5 << ",\"test_loss\":" << p.test_loss << "}";
+        << ",\"top5\":" << p.top5 << ",\"test_loss\":" << p.test_loss
+        << ",\"alive_gpus\":" << p.alive_gpus << "}";
   }
   out << "],\"gpus_detail\":[";
   for (std::size_t g = 0; g < r.gpus.size(); ++g) {

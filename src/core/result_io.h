@@ -13,7 +13,10 @@ namespace hetero::core {
 
 /// Writes curve points as CSV with a header row:
 /// dataset,method,gpus,megabatch,vtime,samples,passes,top1,top5,test_loss,
-/// train_loss
+/// train_loss,alive_gpus,fault_events,degraded_merges,oom_clamps,
+/// recovery_seconds
+/// (alive_gpus is per curve point; the fault counters are run-level and
+/// repeated on every row of that run).
 void write_curve_csv(std::ostream& out, const TrainResult& result);
 void write_curve_csv(std::ostream& out,
                      const std::vector<TrainResult>& results);

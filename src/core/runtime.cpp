@@ -64,6 +64,8 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
   }
   last_batch_.resize(n);
   loss_slots_.resize(n);
+  alive_.assign(n, 1);
+  crash_time_.assign(n, 0.0);
   if (cfg_.sparse_merge) {
     touched_w1_.resize(n);
     for (auto& t : touched_w1_) t.reset(num_features);
@@ -83,15 +85,93 @@ void MultiGpuRuntime::set_kernel_threads(std::size_t g, std::size_t n) {
 }
 
 double MultiGpuRuntime::gpu_free_at(std::size_t g) const {
-  return gpus_[g]->stream_free_at(0);
+  return gpus_[g]->next_schedulable(gpus_[g]->stream_free_at(0));
 }
 
 std::size_t MultiGpuRuntime::next_free_gpu() const {
-  std::size_t best = 0;
-  for (std::size_t g = 1; g < gpus_.size(); ++g) {
-    if (gpu_free_at(g) < gpu_free_at(best)) best = g;
+  std::size_t best = gpus_.size();
+  double best_free = std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    if (!replica_alive(g)) continue;
+    const double free = gpu_free_at(g);
+    if (free < best_free) {
+      best = g;
+      best_free = free;
+    }
+  }
+  if (best == gpus_.size()) {
+    throw std::runtime_error(
+        "next_free_gpu: no alive schedulable device (all replicas crashed "
+        "or stalled forever)");
   }
   return best;
+}
+
+std::size_t MultiGpuRuntime::num_alive() const {
+  std::size_t n = 0;
+  for (const char a : alive_) n += a != 0;
+  return n;
+}
+
+void MultiGpuRuntime::schedule_crash(std::size_t g, double time) {
+  assert(g < gpus_.size());
+  gpus_[g]->kill_at(time);
+  const MembershipEvent ev{g, time};
+  auto it = std::upper_bound(
+      pending_crashes_.begin() + static_cast<std::ptrdiff_t>(crash_cursor_),
+      pending_crashes_.end(), ev,
+      [](const MembershipEvent& a, const MembershipEvent& b) {
+        return a.time < b.time;
+      });
+  pending_crashes_.insert(it, ev);
+}
+
+void MultiGpuRuntime::schedule_join(std::size_t g, double time) {
+  assert(g < gpus_.size());
+  const MembershipEvent ev{g, time};
+  auto it = std::upper_bound(
+      pending_joins_.begin() + static_cast<std::ptrdiff_t>(join_cursor_),
+      pending_joins_.end(), ev,
+      [](const MembershipEvent& a, const MembershipEvent& b) {
+        return a.time < b.time;
+      });
+  pending_joins_.insert(it, ev);
+}
+
+std::vector<std::size_t> MultiGpuRuntime::apply_crashes_until(double t) {
+  std::vector<std::size_t> crashed;
+  while (crash_cursor_ < pending_crashes_.size() &&
+         pending_crashes_[crash_cursor_].time <= t) {
+    const auto ev = pending_crashes_[crash_cursor_++];
+    if (!alive_[ev.device]) continue;  // already dead (e.g. restored state)
+    alive_[ev.device] = 0;
+    crash_time_[ev.device] = ev.time;
+    // Drop the crashed replica's pending merge contributions: its
+    // touched-row union and accumulated loss vanish with the device.
+    if (cfg_.sparse_merge) touched_w1_[ev.device].clear();
+    loss_slots_[ev.device] = LossSlot{};
+    fault_stats_.crashes += 1;
+    crashed.push_back(ev.device);
+  }
+  return crashed;
+}
+
+std::vector<std::size_t> MultiGpuRuntime::apply_joins_until(double t) {
+  std::vector<std::size_t> joined;
+  while (join_cursor_ < pending_joins_.size() &&
+         pending_joins_[join_cursor_].time <= t) {
+    const auto ev = pending_joins_[join_cursor_++];
+    if (alive_[ev.device]) continue;  // already a member (restored state)
+    gpus_[ev.device]->revive_at(t);
+    replicas_[ev.device]->copy_from(*global_);
+    alive_[ev.device] = 1;
+    fault_stats_.joins += 1;
+    // Outage time: from the crash event to the merge boundary that
+    // re-admitted the replica.
+    fault_stats_.recovery_seconds += t - crash_time_[ev.device];
+    joined.push_back(ev.device);
+  }
+  return joined;
 }
 
 MultiGpuRuntime::Batch MultiGpuRuntime::next_batch(std::size_t n) {
@@ -130,9 +210,18 @@ double MultiGpuRuntime::charge_step(std::size_t g, const sparse::CsrMatrix& x,
                                             static_cast<double>(x.rows())
                                       : 0.0;
   const std::size_t step_bytes = global_->step_memory_bytes(x.rows(), avg_nnz);
-  gpus_[g]->allocate(step_bytes);
+  // Resolve the true kernel start (past any stall window) before touching
+  // device state: a dead device must throw before the allocation so no
+  // memory leaks on the unavailable path, and the OOM check must use the
+  // memory cap in effect when the step actually runs.
+  const double start = gpus_[g]->next_available(
+      std::max(data_ready, gpus_[g]->stream_free_at(0)));
+  if (gpus_[g]->dead_at(start)) {
+    gpus_[g]->wait_all_until(gpus_[g]->dead_after());
+    throw sim::DeviceUnavailable(static_cast<int>(g), start);
+  }
+  gpus_[g]->allocate(step_bytes, start);
 
-  const double start = std::max(data_ready, gpus_[g]->stream_free_at(0));
   const double finish =
       gpus_[g]->submit(/*stream=*/0, kernels, data_ready, cfg_.fused_kernels,
                        /*active_managers=*/gpus_.size());
@@ -215,8 +304,23 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
   math_barrier();
 
   MergeTiming timing;
-  const std::size_t n = replicas_.size();
-  const MergeUpdate update{weights, cfg_.momentum_gamma, cfg_.enable_momentum};
+  // Elastic membership: the merge group is the alive subset. Survivor
+  // weights are compacted in replica index order, which preserves the
+  // deterministic accumulation contract (replica 0 of the survivor set
+  // initializes, the rest add in order) — bit-identical to a run over the
+  // survivors alone.
+  std::vector<std::size_t> alive_idx;
+  alive_idx.reserve(replicas_.size());
+  for (std::size_t g = 0; g < replicas_.size(); ++g) {
+    if (alive_[g]) alive_idx.push_back(g);
+  }
+  const std::size_t n = alive_idx.size();
+  assert(n > 0 && "merge_and_update: every replica is dead");
+  if (n < replicas_.size()) fault_stats_.degraded_merges += 1;
+  std::vector<double> alive_weights(n);
+  for (std::size_t i = 0; i < n; ++i) alive_weights[i] = weights[alive_idx[i]];
+  const MergeUpdate update{alive_weights, cfg_.momentum_gamma,
+                           cfg_.enable_momentum};
 
   // Fused reduce + momentum over the model segments in place (Section IV:
   // the model update is executed by the scheduler — fewer CPU-GPU
@@ -227,7 +331,9 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
   auto prev_segs = prev_global_->segment_views();
   std::vector<std::vector<std::span<float>>> replica_segs;
   replica_segs.reserve(n);
-  for (auto& r : replicas_) replica_segs.push_back(r->segment_views());
+  for (const std::size_t g : alive_idx) {
+    replica_segs.push_back(replicas_[g]->segment_views());
+  }
   const std::size_t num_segments = global_segs.size();
   std::vector<const float*> bases(n);
   const auto merge_dense_segment = [&](std::size_t s) {
@@ -246,7 +352,9 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
     // closed-form sum_i w_i * global_row, same accumulation order. The
     // sparse layer is segment 0 of segment_views() by the Model contract.
     merge_union_.clear();
-    for (const auto& t : touched_w1_) merge_union_.add(t);
+    // Crashed replicas' unions were dropped at apply_crashes_until; union
+    // only the alive members so the reduced set matches the survivor run.
+    for (const std::size_t g : alive_idx) merge_union_.add(touched_w1_[g]);
     merge_union_.sorted_rows(merge_rows_scratch_);
     const auto& info = global_->info();
     const std::size_t hidden = info.input_cols();
@@ -276,7 +384,11 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
 
   timing.finish =
       sync_time + timing.allreduce_seconds + timing.host_roundtrip_seconds;
-  for (auto& gpu : gpus_) gpu->wait_all_until(timing.finish);
+  // Dead devices' clocks stay frozen at the crash point (they rejoin via
+  // revive_at, which advances them to the admitting boundary).
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    if (alive_[g]) gpus_[g]->wait_all_until(timing.finish);
+  }
   if (tracer_ != nullptr) {
     for (std::size_t g = 0; g < gpus_.size(); ++g) {
       tracer_->add({"allreduce_merge", "comm", static_cast<int>(g), 0,
@@ -290,7 +402,10 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
 }
 
 void MultiGpuRuntime::broadcast_global() {
-  for (auto& r : replicas_) r->copy_from(*global_);
+  for (std::size_t g = 0; g < replicas_.size(); ++g) {
+    if (!alive_.empty() && !alive_[g]) continue;  // dead replicas rejoin later
+    replicas_[g]->copy_from(*global_);
+  }
 }
 
 void MultiGpuRuntime::record_curve_point(TrainResult& result, double vtime,
@@ -308,13 +423,15 @@ void MultiGpuRuntime::record_curve_point(TrainResult& result, double vtime,
   p.top5 = eval.top5;
   p.test_loss = eval.loss;
   p.train_loss = train_loss;
+  p.alive_gpus = num_alive();
   result.curve.push_back(p);
 }
 
-std::size_t MultiGpuRuntime::max_feasible_batch(std::size_t g) const {
+std::size_t MultiGpuRuntime::max_feasible_batch(std::size_t g,
+                                                double at) const {
   const double avg_nnz = dataset_.train.features.avg_row_nnz();
   const std::size_t per_sample = global_->step_memory_bytes(1, avg_nnz);
-  return gpus_[g]->max_batch_for(per_sample);
+  return gpus_[g]->max_batch_for(per_sample, at);
 }
 
 }  // namespace hetero::core

@@ -13,6 +13,7 @@
 // threads in threaded mode).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -53,11 +54,75 @@ class MultiGpuRuntime {
   /// heterogeneous simulations give fast devices more CPU workers.
   void set_kernel_threads(std::size_t g, std::size_t n);
 
-  /// Earliest time device g can accept new work (compute stream).
+  /// Earliest time device g can accept new work (compute stream), pushed
+  /// past any stall window; +infinity when the device is dead by then.
   double gpu_free_at(std::size_t g) const;
 
-  /// Index of the device that becomes free first (dynamic scheduling).
+  /// Index of the alive device that becomes free first (dynamic
+  /// scheduling). Stalled devices are considered at their post-stall
+  /// availability; dead or not-yet-joined replicas are skipped entirely.
+  /// Throws std::runtime_error when no alive device can accept work.
   std::size_t next_free_gpu() const;
+
+  /// True when replica g can be dispatched to: a merge-group member whose
+  /// device will accept work at some finite time.
+  bool schedulable(std::size_t g) const {
+    return replica_alive(g) && gpu_free_at(g) <
+                                   std::numeric_limits<double>::infinity();
+  }
+
+  // --- elastic membership (fault subsystem) ----------------------------------
+
+  /// True when replica g is a member of the merge group. Membership
+  /// shrinks/grows only at merge boundaries (apply_crashes_until /
+  /// apply_joins_until); the device-level kill takes effect immediately.
+  bool replica_alive(std::size_t g) const { return alive_[g] != 0; }
+  std::size_t num_alive() const;
+
+  /// Overrides a replica's membership flag directly (checkpoint restore).
+  void set_replica_alive(std::size_t g, bool alive) {
+    alive_[g] = alive ? 1 : 0;
+  }
+
+  /// Schedules replica g to leave the merge group: the device stops
+  /// accepting new work at `time` (kill armed immediately on the virtual
+  /// timeline); the membership flag flips at the next merge boundary and
+  /// the replica's pending updates are dropped.
+  void schedule_crash(std::size_t g, double time);
+
+  /// Schedules replica g to re-enter the group at `time`: applied at the
+  /// first merge boundary at or after `time`, seeding the replica from the
+  /// merged global model with update count 0.
+  void schedule_join(std::size_t g, double time);
+
+  bool has_fault_schedule() const {
+    return !pending_crashes_.empty() || !pending_joins_.empty();
+  }
+
+  /// Applies scheduled crashes with event time <= t: marks the replicas
+  /// dead and drops their pending merge state (touched-row unions, loss
+  /// slots). Call after math_barrier(), before computing merge weights.
+  /// Returns the replica indices crashed by this call; each event fires
+  /// once.
+  std::vector<std::size_t> apply_crashes_until(double t);
+
+  /// Applies scheduled joins with event time <= t: revives the device at
+  /// `t` (the admitting merge boundary) and seeds the replica from the
+  /// global model. Call after merge_and_update(); the trainer resets the
+  /// replica's SGD state (update count 0). Returns the indices joined.
+  std::vector<std::size_t> apply_joins_until(double t);
+
+  FaultStats& fault_stats() { return fault_stats_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Previous global model (Algorithm 2 momentum state) — checkpointed
+  /// alongside the global model for bit-identical recovery.
+  nn::Model& prev_global_model() { return *prev_global_; }
+  const nn::Model& prev_global_model() const { return *prev_global_; }
+
+  /// Fast-forwards the sample stream without materializing ids
+  /// (checkpoint resume).
+  void skip_samples(std::size_t n) { stream_.skip(n); }
 
   // --- batches ---------------------------------------------------------------
 
@@ -149,7 +214,14 @@ class MultiGpuRuntime {
   /// Merges replicas with the given weights via the configured all-reduce,
   /// applies the momentum global update on the host (the scheduler-side
   /// choice of Section IV), and broadcasts the new global model to every
-  /// replica. All devices synchronize: their clocks advance to `finish`.
+  /// alive replica; alive devices synchronize their clocks to `finish`.
+  ///
+  /// `weights` is always full-size (one entry per replica); only alive
+  /// replicas participate — their weight entries are compacted in replica
+  /// index order, so the accumulation is bit-identical to a run over the
+  /// survivor set alone. Dead replicas' entries must be 0 (see
+  /// expand_alive_weights). The all-reduce topology/cost and the per-merge
+  /// payload are re-derived over the alive subset.
   MergeTiming merge_and_update(std::span<const double> weights,
                                double sync_time);
 
@@ -176,8 +248,9 @@ class MultiGpuRuntime {
                           std::size_t megabatch, double train_loss) const;
 
   /// Largest batch size that fits in device memory next to the model and
-  /// gradients (used to validate b_max).
-  std::size_t max_feasible_batch(std::size_t g) const;
+  /// gradients at virtual time `at` (used to validate b_max and to re-clamp
+  /// after a simulated OOM under a memory-cap window).
+  std::size_t max_feasible_batch(std::size_t g, double at = 0.0) const;
 
   const comm::AllReducer& reducer() const { return *reducer_; }
   const sim::LinkModel& links() const { return links_; }
@@ -233,6 +306,20 @@ class MultiGpuRuntime {
     std::size_t count = 0;
   };
   std::vector<LossSlot> loss_slots_;
+
+  // Elastic membership: per-replica alive flags plus the crash/join
+  // schedule (kept sorted by time; cursors make each event fire once).
+  struct MembershipEvent {
+    std::size_t device = 0;
+    double time = 0.0;
+  };
+  std::vector<char> alive_;
+  std::vector<MembershipEvent> pending_crashes_;
+  std::vector<MembershipEvent> pending_joins_;
+  std::size_t crash_cursor_ = 0;
+  std::size_t join_cursor_ = 0;
+  std::vector<double> crash_time_;  // last applied crash per device
+  FaultStats fault_stats_;
 
   sim::Tracer* tracer_ = nullptr;
 };

@@ -43,6 +43,13 @@ double Trainer::current_vtime() const {
   return t;
 }
 
+void Trainer::set_resume_point(std::size_t completed, double best_top1,
+                               std::size_t megabatches_without_improvement) {
+  start_megabatch_ = completed;
+  early_stop_best_ = best_top1;
+  early_stop_stagnation_ = megabatches_without_improvement;
+}
+
 TrainResult Trainer::train() {
   TrainResult result;
   result.method = method_name();
@@ -51,27 +58,36 @@ TrainResult Trainer::train() {
   result.gpus.resize(runtime_.num_gpus());
 
   on_start(result);
-  runtime_.record_curve_point(result, 0.0, 0, 0.0);
+  // Fresh runs record the t=0 baseline; resumed runs re-record the restored
+  // boundary (same model, same clock) so curve tails line up.
+  runtime_.record_curve_point(result, current_vtime(), start_megabatch_, 0.0);
 
-  double best_top1 = result.curve.empty() ? 0.0 : result.curve.back().top1;
-  std::size_t megabatches_without_improvement = 0;
-  for (std::size_t m = 1; m <= cfg_.num_megabatches; ++m) {
+  if (start_megabatch_ == 0) {
+    early_stop_best_ = result.curve.empty() ? 0.0 : result.curve.back().top1;
+    early_stop_stagnation_ = 0;
+  }
+  for (std::size_t m = start_megabatch_ + 1; m <= cfg_.num_megabatches; ++m) {
     current_megabatch_ = m - 1;
     run_megabatch(result);
     const double t = current_vtime();
     runtime_.record_curve_point(result, t, m, runtime_.take_mean_loss());
+    // Early-stop bookkeeping runs before the boundary hook so a checkpoint
+    // written there captures this boundary's state, then break decisions
+    // follow.
+    const double top1 = result.curve.back().top1;
+    if (top1 >= early_stop_best_ + cfg_.early_stop_delta) {
+      early_stop_best_ = top1;
+      early_stop_stagnation_ = 0;
+    } else {
+      ++early_stop_stagnation_;
+    }
+    if (boundary_hook_) boundary_hook_(m, t);
     if (cfg_.virtual_time_budget > 0.0 && t >= cfg_.virtual_time_budget) {
       break;
     }
-    if (cfg_.early_stop_patience > 0) {
-      const double top1 = result.curve.back().top1;
-      if (top1 >= best_top1 + cfg_.early_stop_delta) {
-        best_top1 = top1;
-        megabatches_without_improvement = 0;
-      } else if (++megabatches_without_improvement >=
-                 cfg_.early_stop_patience) {
-        break;
-      }
+    if (cfg_.early_stop_patience > 0 &&
+        early_stop_stagnation_ >= cfg_.early_stop_patience) {
+      break;
     }
   }
 
@@ -82,6 +98,7 @@ TrainResult Trainer::train() {
     trace.total_updates = 0;
     for (auto u : trace.updates) trace.total_updates += u;
   }
+  result.faults = runtime_.fault_stats();
   return result;
 }
 

@@ -6,6 +6,7 @@
 // replicas updated, and models merged.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,27 @@ class Trainer {
   virtual std::string method_name() const = 0;
 
   MultiGpuRuntime& runtime() { return runtime_; }
+  const TrainerConfig& config() const { return cfg_; }
+
+  /// Invoked after every completed mega-batch (post-merge, post-eval,
+  /// post-early-stop bookkeeping) with the 1-based mega-batch index and the
+  /// current virtual time. The fault subsystem installs its periodic
+  /// checkpoint writer here; default is none.
+  using BoundaryHook = std::function<void(std::size_t megabatch, double vtime)>;
+  void set_boundary_hook(BoundaryHook hook) {
+    boundary_hook_ = std::move(hook);
+  }
+
+  /// Positions the trainer to resume after `completed` mega-batches
+  /// (checkpointed recovery): train() records its initial curve point at
+  /// the restored clock/index and starts with mega-batch completed+1, with
+  /// the early-stopping state re-seeded from the checkpoint.
+  void set_resume_point(std::size_t completed, double best_top1,
+                        std::size_t megabatches_without_improvement);
+
+  /// Early-stopping state (captured into checkpoints at boundaries).
+  double early_stop_best() const { return early_stop_best_; }
+  std::size_t early_stop_stagnation() const { return early_stop_stagnation_; }
 
  protected:
   /// Processes one mega-batch: schedule batches, update replicas, merge.
@@ -55,6 +77,10 @@ class Trainer {
 
  private:
   std::size_t current_megabatch_ = 0;
+  std::size_t start_megabatch_ = 0;  // completed mega-batches at resume
+  double early_stop_best_ = 0.0;
+  std::size_t early_stop_stagnation_ = 0;
+  BoundaryHook boundary_hook_;
 };
 
 enum class Method { kAdaptive, kElastic, kSync, kCrossbow, kAsync };

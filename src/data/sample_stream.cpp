@@ -31,4 +31,18 @@ std::vector<std::size_t> SampleStream::next(std::size_t n) {
   return out;
 }
 
+void SampleStream::skip(std::size_t n) {
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    if (cursor_ == order_.size()) {
+      ++passes_;
+      reshuffle();
+    }
+    const std::size_t take = std::min(remaining, order_.size() - cursor_);
+    cursor_ += take;
+    remaining -= take;
+  }
+  served_ += n;
+}
+
 }  // namespace hetero::data

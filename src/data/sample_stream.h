@@ -22,6 +22,11 @@ class SampleStream {
   /// Returns the next `n` row ids (possibly crossing a reshuffle boundary).
   std::vector<std::size_t> next(std::size_t n);
 
+  /// Fast-forwards the stream past `n` ids without materializing them:
+  /// consumes exactly the RNG draws and cursor/pass movement that `next(n)`
+  /// would. Used by checkpointed recovery to replay the sample position.
+  void skip(std::size_t n);
+
   /// Total samples handed out so far.
   std::size_t samples_served() const { return served_; }
 

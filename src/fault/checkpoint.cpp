@@ -1,0 +1,278 @@
+#include "fault/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+
+namespace hetero::fault {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'G', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_bytes(std::ostream& out, const void* p, std::size_t n) {
+  out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+void write_u8(std::ostream& out, std::uint8_t v) { write_bytes(out, &v, 1); }
+void write_u32(std::ostream& out, std::uint32_t v) {
+  write_bytes(out, &v, sizeof v);
+}
+void write_u64(std::ostream& out, std::uint64_t v) {
+  write_bytes(out, &v, sizeof v);
+}
+void write_f64(std::ostream& out, double v) { write_bytes(out, &v, sizeof v); }
+void write_blob(std::ostream& out, const std::string& blob) {
+  write_u64(out, blob.size());
+  write_bytes(out, blob.data(), blob.size());
+}
+
+void read_bytes(std::istream& in, void* p, std::size_t n) {
+  in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("checkpoint: truncated input");
+}
+std::uint8_t read_u8(std::istream& in) {
+  std::uint8_t v;
+  read_bytes(in, &v, 1);
+  return v;
+}
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v;
+  read_bytes(in, &v, sizeof v);
+  return v;
+}
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v;
+  read_bytes(in, &v, sizeof v);
+  return v;
+}
+double read_f64(std::istream& in) {
+  double v;
+  read_bytes(in, &v, sizeof v);
+  return v;
+}
+std::string read_blob(std::istream& in) {
+  const auto n = read_u64(in);
+  std::string blob(n, '\0');
+  read_bytes(in, blob.data(), n);
+  return blob;
+}
+
+std::string serialize_model(const nn::Model& model) {
+  std::ostringstream out(std::ios::binary);
+  nn::save_model(out, model);
+  return out.str();
+}
+
+void copy_blob_into(const std::string& blob, nn::Model& target) {
+  std::istringstream in(blob, std::ios::binary);
+  const auto loaded = nn::load_any_model(in);
+  if (loaded->num_parameters() != target.num_parameters()) {
+    throw std::runtime_error(
+        "checkpoint: model parameter count does not match runtime");
+  }
+  target.copy_from(*loaded);
+}
+
+}  // namespace
+
+TrainingCheckpoint capture_checkpoint(core::AdaptiveSgdTrainer& trainer) {
+  auto& runtime = trainer.runtime();
+  TrainingCheckpoint ckpt;
+  ckpt.seed = trainer.config().seed;
+  ckpt.megabatches_completed = trainer.megabatch_index();
+  ckpt.samples_served = runtime.samples_served();
+  ckpt.round_robin_cursor = trainer.round_robin_cursor();
+  ckpt.best_top1 = trainer.early_stop_best();
+  ckpt.stagnation = trainer.early_stop_stagnation();
+
+  double vtime = 0.0;
+  for (std::size_t g = 0; g < runtime.num_gpus(); ++g) {
+    vtime = std::max(vtime, runtime.gpu(g).device_free_at());
+  }
+  ckpt.vtime = vtime;
+
+  const auto& sgd = trainer.sgd_state();
+  ckpt.gpus.resize(runtime.num_gpus());
+  for (std::size_t g = 0; g < runtime.num_gpus(); ++g) {
+    auto& s = ckpt.gpus[g];
+    const auto& gpu = runtime.gpu(g);
+    s.batch_size = sgd[g].batch_size;
+    s.learning_rate = sgd[g].learning_rate;
+    s.updates = sgd[g].updates;
+    s.alive = runtime.replica_alive(g) ? 1 : 0;
+    s.busy_seconds = gpu.busy_seconds();
+    s.degraded_until = gpu.degraded_until();
+    s.transient_episodes = gpu.transient_episodes();
+    s.rng = gpu.rng().state();
+  }
+
+  ckpt.scaling = trainer.scaling_scheduler().snapshot();
+  ckpt.global_blob = serialize_model(runtime.global_model());
+  ckpt.prev_global_blob = serialize_model(runtime.prev_global_model());
+  return ckpt;
+}
+
+void restore_checkpoint(core::AdaptiveSgdTrainer& trainer,
+                        const TrainingCheckpoint& ckpt) {
+  auto& runtime = trainer.runtime();
+  if (ckpt.gpus.size() != runtime.num_gpus()) {
+    throw std::runtime_error("checkpoint: GPU count does not match runtime");
+  }
+  if (ckpt.seed != trainer.config().seed) {
+    throw std::runtime_error("checkpoint: seed does not match config");
+  }
+  if (runtime.samples_served() != 0) {
+    throw std::runtime_error(
+        "checkpoint: restore requires a freshly constructed trainer");
+  }
+
+  copy_blob_into(ckpt.global_blob, runtime.global_model());
+  copy_blob_into(ckpt.prev_global_blob, runtime.prev_global_model());
+  runtime.skip_samples(ckpt.samples_served);
+
+  std::vector<core::GpuSgdState> sgd(ckpt.gpus.size());
+  for (std::size_t g = 0; g < ckpt.gpus.size(); ++g) {
+    const auto& s = ckpt.gpus[g];
+    auto& gpu = runtime.gpu(g);
+    gpu.rng().set_state(s.rng);
+    gpu.restore_timing(ckpt.vtime, s.busy_seconds, s.degraded_until,
+                       s.transient_episodes);
+    runtime.set_replica_alive(g, s.alive != 0);
+    sgd[g].batch_size = s.batch_size;
+    sgd[g].learning_rate = s.learning_rate;
+    sgd[g].updates = s.updates;
+  }
+
+  // At a merge boundary every alive replica holds the freshly broadcast
+  // global model.
+  runtime.broadcast_global();
+
+  trainer.restore_progress(std::move(sgd), ckpt.megabatches_completed,
+                           ckpt.round_robin_cursor);
+  trainer.scaling_scheduler_mutable().restore(ckpt.scaling);
+  trainer.set_resume_point(ckpt.megabatches_completed, ckpt.best_top1,
+                           ckpt.stagnation);
+}
+
+void save_checkpoint(std::ostream& out, const TrainingCheckpoint& ckpt) {
+  write_bytes(out, kMagic, 4);
+  write_u32(out, kVersion);
+  write_u64(out, ckpt.seed);
+  write_u64(out, ckpt.megabatches_completed);
+  write_u64(out, ckpt.samples_served);
+  write_u64(out, ckpt.round_robin_cursor);
+  write_f64(out, ckpt.vtime);
+  write_f64(out, ckpt.best_top1);
+  write_u64(out, ckpt.stagnation);
+  write_u64(out, ckpt.gpus.size());
+  for (const auto& s : ckpt.gpus) {
+    write_u64(out, s.batch_size);
+    write_f64(out, s.learning_rate);
+    write_u64(out, s.updates);
+    write_u8(out, s.alive);
+    write_f64(out, s.busy_seconds);
+    write_f64(out, s.degraded_until);
+    write_u64(out, s.transient_episodes);
+    for (auto word : s.rng.s) write_u64(out, word);
+    write_f64(out, s.rng.cached_gaussian);
+    write_u8(out, s.rng.has_cached_gaussian ? 1 : 0);
+  }
+  const auto& sc = ckpt.scaling;
+  write_u64(out, sc.interval);
+  write_u64(out, sc.since_last_scale);
+  write_u8(out, sc.stable ? 1 : 0);
+  write_u8(out, sc.oscillating ? 1 : 0);
+  write_u64(out, sc.previous.size());
+  for (auto v : sc.previous) write_u64(out, v);
+  write_u64(out, sc.last_direction.size());
+  for (auto v : sc.last_direction) {
+    write_u64(out, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  write_u64(out, sc.steps_without_change);
+  write_u64(out, sc.reversal_streak);
+  write_blob(out, ckpt.global_blob);
+  write_blob(out, ckpt.prev_global_blob);
+  if (!out) throw std::runtime_error("checkpoint: write failed");
+}
+
+TrainingCheckpoint load_checkpoint(std::istream& in) {
+  char magic[4];
+  read_bytes(in, magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  const auto version = read_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  TrainingCheckpoint ckpt;
+  ckpt.seed = read_u64(in);
+  ckpt.megabatches_completed = read_u64(in);
+  ckpt.samples_served = read_u64(in);
+  ckpt.round_robin_cursor = read_u64(in);
+  ckpt.vtime = read_f64(in);
+  ckpt.best_top1 = read_f64(in);
+  ckpt.stagnation = read_u64(in);
+  ckpt.gpus.resize(read_u64(in));
+  for (auto& s : ckpt.gpus) {
+    s.batch_size = read_u64(in);
+    s.learning_rate = read_f64(in);
+    s.updates = read_u64(in);
+    s.alive = read_u8(in);
+    s.busy_seconds = read_f64(in);
+    s.degraded_until = read_f64(in);
+    s.transient_episodes = read_u64(in);
+    for (auto& word : s.rng.s) word = read_u64(in);
+    s.rng.cached_gaussian = read_f64(in);
+    s.rng.has_cached_gaussian = read_u8(in) != 0;
+  }
+  auto& sc = ckpt.scaling;
+  sc.interval = read_u64(in);
+  sc.since_last_scale = read_u64(in);
+  sc.stable = read_u8(in) != 0;
+  sc.oscillating = read_u8(in) != 0;
+  sc.previous.resize(read_u64(in));
+  for (auto& v : sc.previous) v = read_u64(in);
+  sc.last_direction.resize(read_u64(in));
+  for (auto& v : sc.last_direction) {
+    v = static_cast<int>(static_cast<std::int64_t>(read_u64(in)));
+  }
+  sc.steps_without_change = read_u64(in);
+  sc.reversal_streak = read_u64(in);
+  ckpt.global_blob = read_blob(in);
+  ckpt.prev_global_blob = read_blob(in);
+  return ckpt;
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const TrainingCheckpoint& ckpt) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  save_checkpoint(out, ckpt);
+}
+
+TrainingCheckpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  return load_checkpoint(in);
+}
+
+void enable_periodic_checkpoint(core::AdaptiveSgdTrainer& trainer,
+                                std::string path, std::size_t every) {
+  if (every == 0) return;
+  trainer.set_boundary_hook(
+      [&trainer, path = std::move(path), every](std::size_t megabatch,
+                                                double /*vtime*/) {
+        if (megabatch % every == 0 ||
+            megabatch == trainer.config().num_megabatches) {
+          save_checkpoint_file(path, capture_checkpoint(trainer));
+        }
+      });
+}
+
+}  // namespace hetero::fault

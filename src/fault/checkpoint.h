@@ -1,0 +1,79 @@
+// Checkpointed recovery for the adaptive trainer (tentpole: fault
+// subsystem). A checkpoint captures everything the mega-batch loop depends
+// on at a merge boundary — global + momentum models, sample-stream
+// position, per-device SGD state, clocks and jitter RNGs, scaling-cadence
+// state, early-stopping state — so that an interrupted run resumed from the
+// checkpoint is bit-identical to the uninterrupted run at every subsequent
+// merge boundary.
+//
+// On-disk format (little-endian host order, like nn/serialize):
+//   magic "HGCK" | version=1 u32 | seed u64 | megabatches_completed u64 |
+//   samples_served u64 | round_robin_cursor u64 | vtime f64 | best_top1 f64 |
+//   stagnation u64 | num_gpus u64 |
+//   per gpu { batch_size u64 | learning_rate f64 | updates u64 | alive u8 |
+//             busy_seconds f64 | degraded_until f64 | transient_episodes u64 |
+//             rng s[4] u64 | rng cached f64 | rng has_cached u8 } |
+//   scaling-scheduler state | global model blob | prev-global model blob
+//   (model blobs via nn::save_model, size-prefixed).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_sgd.h"
+#include "util/rng.h"
+
+namespace hetero::fault {
+
+struct TrainingCheckpoint {
+  std::uint64_t seed = 0;
+  std::uint64_t megabatches_completed = 0;
+  std::uint64_t samples_served = 0;
+  std::uint64_t round_robin_cursor = 0;
+  double vtime = 0.0;
+  double best_top1 = 0.0;
+  std::uint64_t stagnation = 0;
+
+  struct GpuState {
+    std::uint64_t batch_size = 0;
+    double learning_rate = 0.0;
+    std::uint64_t updates = 0;
+    std::uint8_t alive = 1;
+    double busy_seconds = 0.0;
+    double degraded_until = 0.0;
+    std::uint64_t transient_episodes = 0;
+    util::Rng::State rng;
+  };
+  std::vector<GpuState> gpus;
+
+  core::ScalingSchedulerState scaling;
+
+  // Serialized nn model blobs (nn::save_model format) for the global model
+  // and the Algorithm-2 momentum state.
+  std::string global_blob;
+  std::string prev_global_blob;
+};
+
+/// Snapshots the trainer at the current merge boundary.
+TrainingCheckpoint capture_checkpoint(core::AdaptiveSgdTrainer& trainer);
+
+/// Restores a checkpoint into a FRESHLY CONSTRUCTED trainer built from the
+/// same config (seed, devices, dataset). Throws std::runtime_error when the
+/// checkpoint does not match (GPU count, seed, parameter count).
+void restore_checkpoint(core::AdaptiveSgdTrainer& trainer,
+                        const TrainingCheckpoint& ckpt);
+
+void save_checkpoint(std::ostream& out, const TrainingCheckpoint& ckpt);
+TrainingCheckpoint load_checkpoint(std::istream& in);
+void save_checkpoint_file(const std::string& path,
+                          const TrainingCheckpoint& ckpt);
+TrainingCheckpoint load_checkpoint_file(const std::string& path);
+
+/// Installs a boundary hook writing `path` every `every` completed
+/// mega-batches (and at the final one).
+void enable_periodic_checkpoint(core::AdaptiveSgdTrainer& trainer,
+                                std::string path, std::size_t every);
+
+}  // namespace hetero::fault

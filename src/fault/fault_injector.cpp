@@ -1,0 +1,52 @@
+#include "fault/fault_injector.h"
+
+#include <cmath>
+#include <limits>
+
+namespace hetero::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void FaultInjector::arm(core::MultiGpuRuntime& runtime,
+                        double applied_until) const {
+  plan_.validate(runtime.num_gpus());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto& stats = runtime.fault_stats();
+
+  for (const auto& ev : plan_.events) {
+    auto& gpu = runtime.gpu(ev.device);
+    switch (ev.kind) {
+      case FaultKind::kSlowdown:
+        gpu.add_slowdown(ev.time, ev.time + ev.duration, ev.factor);
+        stats.slowdowns += 1;
+        break;
+      case FaultKind::kStall:
+        gpu.add_stall(ev.time, ev.time + ev.duration);
+        stats.stalls += 1;
+        break;
+      case FaultKind::kOom: {
+        const auto cap =
+            ev.mem_bytes != 0
+                ? ev.mem_bytes
+                : static_cast<std::size_t>(
+                      ev.factor *
+                      static_cast<double>(gpu.spec().memory_bytes));
+        const double end = ev.duration > 0.0 ? ev.time + ev.duration : kInf;
+        gpu.add_memory_cap(ev.time, end, cap);
+        stats.oom_events += 1;
+        break;
+      }
+      case FaultKind::kCrash:
+        if (ev.time <= applied_until) break;  // already in restored state
+        runtime.schedule_crash(ev.device, ev.time);
+        break;
+      case FaultKind::kJoin:
+        if (ev.time <= applied_until) break;
+        runtime.schedule_join(ev.device, ev.time);
+        break;
+    }
+    stats.events_injected += 1;
+  }
+}
+
+}  // namespace hetero::fault

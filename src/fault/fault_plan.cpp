@@ -1,0 +1,221 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hetero::fault {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what, const std::string& token) {
+  throw std::invalid_argument("fault plan: " + what + " in \"" + token + "\"");
+}
+
+FaultKind parse_kind(const std::string& word, const std::string& token) {
+  if (word == "slow") return FaultKind::kSlowdown;
+  if (word == "stall") return FaultKind::kStall;
+  if (word == "crash") return FaultKind::kCrash;
+  if (word == "join") return FaultKind::kJoin;
+  if (word == "oom") return FaultKind::kOom;
+  bad_spec("unknown kind \"" + word + "\"", token);
+}
+
+double parse_number(const std::string& text, const std::string& token) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') bad_spec("bad number \"" + text + "\"", token);
+  return value;
+}
+
+FaultEvent parse_event(const std::string& token) {
+  FaultEvent ev;
+  const auto at = token.find('@');
+  const auto colon = token.rfind(':');
+  if (at == std::string::npos || colon == std::string::npos || colon < at) {
+    bad_spec("expected kind@time...:gpuN", token);
+  }
+  ev.kind = parse_kind(token.substr(0, at), token);
+
+  const std::string target = token.substr(colon + 1);
+  if (target.rfind("gpu", 0) != 0 || target.size() == 3) {
+    bad_spec("expected target gpuN", token);
+  }
+  ev.device = static_cast<std::size_t>(
+      parse_number(target.substr(3), token));
+
+  // The middle section is time, optionally followed by +duration and/or
+  // xfactor (in that order).
+  std::string middle = token.substr(at + 1, colon - at - 1);
+  const auto x = middle.find('x');
+  if (x != std::string::npos) {
+    ev.factor = parse_number(middle.substr(x + 1), token);
+    middle = middle.substr(0, x);
+  }
+  const auto plus = middle.find('+');
+  if (plus != std::string::npos) {
+    ev.duration = parse_number(middle.substr(plus + 1), token);
+    middle = middle.substr(0, plus);
+  }
+  ev.time = parse_number(middle, token);
+  return ev;
+}
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSlowdown:
+      return "slow";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kJoin:
+      return "join";
+    case FaultKind::kOom:
+      return "oom";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto next = spec.find(';', pos);
+    if (next == std::string::npos) next = spec.size();
+    const std::string token = spec.substr(pos, next - pos);
+    if (!token.empty()) plan.events.push_back(parse_event(token));
+    pos = next + 1;
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.device < b.device;
+                   });
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::size_t num_devices,
+                            const RandomFaultConfig& cfg, std::uint64_t seed) {
+  FaultPlan plan;
+  util::Rng rng(seed);
+  auto exponential = [&rng](double mean) {
+    return -mean * std::log(1.0 - rng.next_double());
+  };
+
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    // Poisson processes for transient faults: exponential inter-arrival
+    // gaps with the configured per-horizon rate.
+    if (cfg.slowdown_rate > 0.0) {
+      const double mean_gap = cfg.horizon / cfg.slowdown_rate;
+      for (double t = exponential(mean_gap); t < cfg.horizon;
+           t += exponential(mean_gap)) {
+        plan.events.push_back({FaultKind::kSlowdown, d, t,
+                               exponential(cfg.mean_duration),
+                               cfg.slowdown_factor, 0});
+      }
+    }
+    if (cfg.stall_rate > 0.0) {
+      const double mean_gap = cfg.horizon / cfg.stall_rate;
+      for (double t = exponential(mean_gap); t < cfg.horizon;
+           t += exponential(mean_gap)) {
+        plan.events.push_back({FaultKind::kStall, d, t,
+                               exponential(cfg.mean_duration), 1.0, 0});
+      }
+    }
+  }
+
+  // Crashes: device 0 is exempt so the merge group never empties.
+  if (cfg.crash_fraction > 0.0 && num_devices > 1) {
+    const auto want = static_cast<std::size_t>(
+        std::ceil(cfg.crash_fraction * static_cast<double>(num_devices)));
+    const std::size_t crashes = std::min(want, num_devices - 1);
+    std::vector<std::size_t> candidates;
+    for (std::size_t d = 1; d < num_devices; ++d) candidates.push_back(d);
+    rng.shuffle(candidates);
+    for (std::size_t i = 0; i < crashes; ++i) {
+      const std::size_t d = candidates[i];
+      const double t = rng.uniform(0.1 * cfg.horizon, 0.9 * cfg.horizon);
+      plan.events.push_back({FaultKind::kCrash, d, t, 0.0, 1.0, 0});
+      if (cfg.rejoin) {
+        plan.events.push_back(
+            {FaultKind::kJoin, d, t + exponential(cfg.mean_outage), 0.0, 1.0,
+             0});
+      }
+    }
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.device < b.device;
+                   });
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  out.precision(17);  // round-trips doubles through parse()
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    if (i) out << ';';
+    out << fault::to_string(ev.kind) << '@' << ev.time;
+    if (ev.duration > 0.0) out << '+' << ev.duration;
+    if (ev.kind == FaultKind::kSlowdown ||
+        (ev.kind == FaultKind::kOom && ev.mem_bytes == 0)) {
+      out << 'x' << ev.factor;
+    }
+    out << ":gpu" << ev.device;
+  }
+  return out.str();
+}
+
+void FaultPlan::validate(std::size_t num_devices) const {
+  std::vector<char> alive(num_devices, 1);
+  double prev_time = -1.0;
+  for (const auto& ev : events) {
+    const std::string token = fault::to_string(ev.kind) + " event";
+    if (ev.device >= num_devices) {
+      bad_spec("device index out of range", token);
+    }
+    if (!(ev.time >= 0.0)) bad_spec("negative or NaN time", token);
+    if (ev.time < prev_time) bad_spec("events not sorted by time", token);
+    prev_time = ev.time;
+    switch (ev.kind) {
+      case FaultKind::kSlowdown:
+        if (!(ev.duration > 0.0)) bad_spec("slowdown needs +duration", token);
+        if (!(ev.factor > 0.0 && ev.factor <= 1.0)) {
+          bad_spec("slowdown factor must be in (0,1]", token);
+        }
+        break;
+      case FaultKind::kStall:
+        if (!(ev.duration > 0.0)) bad_spec("stall needs +duration", token);
+        break;
+      case FaultKind::kOom:
+        if (ev.mem_bytes == 0 && !(ev.factor > 0.0 && ev.factor < 1.0)) {
+          bad_spec("oom factor must be in (0,1)", token);
+        }
+        break;
+      case FaultKind::kCrash:
+        if (!alive[ev.device]) bad_spec("crash of already-dead device", token);
+        alive[ev.device] = 0;
+        break;
+      case FaultKind::kJoin:
+        if (alive[ev.device]) bad_spec("join of alive device", token);
+        alive[ev.device] = 1;
+        break;
+    }
+  }
+  if (std::none_of(alive.begin(), alive.end(), [](char a) { return a != 0; })) {
+    bad_spec("plan leaves no device alive", "plan");
+  }
+}
+
+}  // namespace hetero::fault

@@ -1,0 +1,87 @@
+// Deterministic fault plans: a seeded schedule of virtual-time fault events
+// against the simulated devices.
+//
+// A plan is either parsed from a compact spec string (CLI `--fault-plan`) or
+// generated pseudo-randomly from a seed; either way the same plan and the
+// same training seed reproduce bit-identical runs. Events are applied to the
+// runtime by fault::FaultInjector.
+//
+// Spec grammar (semicolon-separated events):
+//   kind@time[+duration][xfactor]:gpuN
+//     kind     slow | stall | crash | join | oom
+//     time     virtual seconds of the event start
+//     duration window length (slow/stall/oom); omitted => open-ended for
+//              oom, instantaneous kinds (crash/join) never take one
+//     factor   slow: throughput multiplier in (0,1]; oom: fraction of
+//              device memory left usable in (0,1)
+//   e.g. "slow@0.5+1.0x0.4:gpu0;crash@2.5:gpu1;join@4.0:gpu1"
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetero::fault {
+
+enum class FaultKind {
+  kSlowdown,  // transient throughput degradation window
+  kStall,     // device unavailable window
+  kCrash,     // replica permanently lost (until a later join)
+  kJoin,      // replica (re-)enters at the next merge boundary
+  kOom,       // memory-cap window forcing simulated OOM pressure
+};
+
+std::string to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSlowdown;
+  std::size_t device = 0;
+  double time = 0.0;
+  /// Window length for slow/stall/oom; <= 0 means open-ended (oom) and is
+  /// meaningless for crash/join.
+  double duration = 0.0;
+  /// Slowdown: throughput multiplier. Oom: usable-memory fraction (ignored
+  /// when mem_bytes is set).
+  double factor = 1.0;
+  /// Oom only: absolute usable-memory cap in bytes (overrides factor).
+  std::size_t mem_bytes = 0;
+};
+
+/// Knobs for FaultPlan::random.
+struct RandomFaultConfig {
+  double horizon = 10.0;        // events drawn in [0, horizon)
+  double slowdown_rate = 0.2;   // expected slowdowns per device per horizon
+  double stall_rate = 0.1;      // expected stalls per device per horizon
+  double crash_fraction = 0.0;  // fraction of devices (never device 0)
+  bool rejoin = false;          // crashed devices rejoin later
+  double mean_outage = 2.0;     // mean crash->join gap
+  double mean_duration = 0.5;   // mean slowdown/stall window length
+  double slowdown_factor = 0.5; // throughput multiplier for slowdowns
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // sorted by (time, device, kind)
+
+  bool empty() const { return events.empty(); }
+
+  /// Parses the spec grammar above; throws std::invalid_argument with a
+  /// position hint on malformed input. Events are sorted by time.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Seeded pseudo-random plan over `num_devices` devices. Device 0 is
+  /// never crashed so at least one replica always survives.
+  static FaultPlan random(std::size_t num_devices,
+                          const RandomFaultConfig& cfg, std::uint64_t seed);
+
+  /// Renders the plan back into the spec grammar (round-trips through
+  /// parse(): numeric fields printed at max precision).
+  std::string to_string() const;
+
+  /// Checks device indices, window parameters, and crash/join ordering by
+  /// replaying per-device alive state (crash-on-dead or join-on-alive is
+  /// invalid). Throws std::invalid_argument.
+  void validate(std::size_t num_devices) const;
+};
+
+}  // namespace hetero::fault

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <string>
 
 namespace hetero::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
 
 OutOfDeviceMemory::OutOfDeviceMemory(int device, std::size_t requested,
                                      std::size_t available)
@@ -13,17 +18,31 @@ OutOfDeviceMemory::OutOfDeviceMemory(int device, std::size_t requested,
                          " bytes, " + std::to_string(available) + " free"),
       device_(device) {}
 
+DeviceUnavailable::DeviceUnavailable(int device, double time)
+    : std::runtime_error("device " + std::to_string(device) +
+                         " is dead at t=" + std::to_string(time)),
+      device_(device),
+      time_(time) {}
+
 VirtualGpu::VirtualGpu(int id, DeviceSpec spec, std::uint64_t seed,
                        std::size_t num_streams)
     : id_(id), spec_(std::move(spec)), rng_(seed),
-      stream_free_at_(std::max<std::size_t>(1, num_streams), 0.0) {}
+      stream_free_at_(std::max<std::size_t>(1, num_streams), 0.0),
+      dead_after_(kInf) {}
 
 double VirtualGpu::submit(std::size_t stream,
                           const std::vector<KernelDesc>& kernels,
                           double earliest_start, bool fused,
                           std::size_t active_managers) {
   assert(stream < stream_free_at_.size());
-  const double start = std::max(earliest_start, stream_free_at_[stream]);
+  const double start =
+      next_available(std::max(earliest_start, stream_free_at_[stream]));
+  if (start >= dead_after_) {
+    // Freeze the clocks at the kill point so next_schedulable() reads the
+    // device as permanently unavailable from here on.
+    wait_all_until(dead_after_);
+    throw DeviceUnavailable(id_, start);
+  }
 
   // Transient degradation (thermal throttling / interference).
   if (spec_.transient_probability > 0.0 && start >= degraded_until_ &&
@@ -31,10 +50,15 @@ double VirtualGpu::submit(std::size_t stream,
     degraded_until_ = start + spec_.transient_duration;
     ++transient_episodes_;
   }
-  double duration;
+  double throughput = 1.0;
   if (start < degraded_until_ && spec_.transient_factor != 1.0) {
+    throughput *= spec_.transient_factor;
+  }
+  throughput *= slowdown_factor_at(start);
+  double duration;
+  if (throughput != 1.0) {
     DeviceSpec degraded = spec_;
-    degraded.speed_factor *= spec_.transient_factor;
+    degraded.speed_factor *= throughput;
     duration = CostModel::sequence_seconds(kernels, degraded, fused,
                                            active_managers, rng_);
   } else {
@@ -59,9 +83,82 @@ void VirtualGpu::wait_all_until(double time) {
   for (auto& t : stream_free_at_) t = std::max(t, time);
 }
 
-void VirtualGpu::allocate(std::size_t bytes) {
-  if (bytes > memory_free()) {
-    throw OutOfDeviceMemory(id_, bytes, memory_free());
+void VirtualGpu::add_slowdown(double start, double end, double factor) {
+  assert(factor > 0.0);
+  if (end <= start) return;
+  slowdowns_.push_back({start, end, factor, 0});
+}
+
+void VirtualGpu::add_stall(double start, double end) {
+  if (end <= start) return;
+  stalls_.push_back({start, end, 1.0, 0});
+}
+
+void VirtualGpu::add_memory_cap(double start, double end, std::size_t bytes) {
+  if (end <= start) return;
+  memory_caps_.push_back({start, end, 1.0, bytes});
+}
+
+void VirtualGpu::kill_at(double time) {
+  dead_after_ = std::min(dead_after_, time);
+}
+
+void VirtualGpu::revive_at(double time) {
+  dead_after_ = kInf;
+  wait_all_until(time);
+}
+
+double VirtualGpu::next_available(double t) const {
+  // Windows are few and may overlap; iterate to a fixed point.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& w : stalls_) {
+      if (t >= w.start && t < w.end) {
+        t = w.end;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+double VirtualGpu::next_schedulable(double t) const {
+  const double u = next_available(t);
+  return u < dead_after_ ? u : kInf;
+}
+
+void VirtualGpu::restore_timing(double clock, double busy_seconds,
+                                double degraded_until,
+                                std::size_t transient_episodes) {
+  for (auto& t : stream_free_at_) t = clock;
+  busy_seconds_ = busy_seconds;
+  degraded_until_ = degraded_until;
+  transient_episodes_ = transient_episodes;
+}
+
+double VirtualGpu::slowdown_factor_at(double t) const {
+  double factor = 1.0;
+  for (const auto& w : slowdowns_) {
+    if (t >= w.start && t < w.end) factor *= w.factor;
+  }
+  return factor;
+}
+
+std::size_t VirtualGpu::memory_capacity_at(double at) const {
+  std::size_t capacity = spec_.memory_bytes;
+  for (const auto& w : memory_caps_) {
+    if (at >= w.start && at < w.end) capacity = std::min(capacity, w.bytes);
+  }
+  return capacity;
+}
+
+void VirtualGpu::allocate(std::size_t bytes, double at) {
+  const std::size_t capacity = memory_capacity_at(at);
+  const std::size_t available =
+      capacity > memory_used_ ? capacity - memory_used_ : 0;
+  if (bytes > available) {
+    throw OutOfDeviceMemory(id_, bytes, available);
   }
   memory_used_ += bytes;
 }
@@ -71,9 +168,13 @@ void VirtualGpu::free(std::size_t bytes) {
   memory_used_ -= bytes;
 }
 
-std::size_t VirtualGpu::max_batch_for(std::size_t bytes_per_sample) const {
+std::size_t VirtualGpu::max_batch_for(std::size_t bytes_per_sample,
+                                      double at) const {
   if (bytes_per_sample == 0) return 0;
-  return memory_free() / bytes_per_sample;
+  const std::size_t capacity = memory_capacity_at(at);
+  const std::size_t available =
+      capacity > memory_used_ ? capacity - memory_used_ : 0;
+  return available / bytes_per_sample;
 }
 
 }  // namespace hetero::sim

@@ -5,6 +5,14 @@
 // implementations) decide when work starts; VirtualGpu computes when it
 // finishes and tracks per-stream availability. All times are virtual seconds
 // since experiment start.
+//
+// Fault windows (armed by fault::FaultInjector against the virtual timeline):
+//   - slowdown windows multiply throughput for work starting inside them,
+//     composing with the DeviceSpec transient mechanism;
+//   - stall windows make the device unavailable between two virtual times —
+//     submissions are pushed past the window;
+//   - kill_at / revive_at model a crashed replica leaving and re-entering
+//     the server: no kernel may start at or after the kill time.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +37,21 @@ class OutOfDeviceMemory : public std::runtime_error {
   int device_;
 };
 
+/// Thrown when work would start on a device at or after its kill time — the
+/// dispatch decision raced a scheduled crash. Schedulers avoid dead devices
+/// via next_schedulable(); trainers that catch this drop the batch (the
+/// crashed replica's pending updates are discarded at the merge anyway).
+class DeviceUnavailable : public std::runtime_error {
+ public:
+  DeviceUnavailable(int device, double time);
+  int device() const { return device_; }
+  double time() const { return time_; }
+
+ private:
+  int device_;
+  double time_;
+};
+
 class VirtualGpu {
  public:
   /// `num_streams` independent execution lanes (CUDA streams).
@@ -42,8 +65,11 @@ class VirtualGpu {
   // --- execution -----------------------------------------------------------
 
   /// Runs a kernel sequence on `stream`, starting no earlier than
-  /// `earliest_start` and no earlier than the stream's previous work.
-  /// Returns the completion time and advances the stream clock.
+  /// `earliest_start`, the stream's previous work, and the end of any stall
+  /// window covering the start. Returns the completion time and advances the
+  /// stream clock. Throws DeviceUnavailable when the start would land at or
+  /// after the kill time (clocks are first advanced to the kill time so the
+  /// device reads as unschedulable from then on).
   double submit(std::size_t stream, const std::vector<KernelDesc>& kernels,
                 double earliest_start, bool fused = true,
                 std::size_t active_managers = 1);
@@ -64,21 +90,77 @@ class VirtualGpu {
   /// Number of transient-slowdown episodes entered so far.
   std::size_t transient_episodes() const { return transient_episodes_; }
 
+  // --- fault windows -------------------------------------------------------
+
+  /// Multiplies throughput by `factor` for work starting in [start, end).
+  /// Factors of overlapping windows (and the transient mechanism) compose.
+  void add_slowdown(double start, double end, double factor);
+
+  /// Device unavailable in [start, end): no kernel may start inside the
+  /// window; submissions are pushed to `end`.
+  void add_stall(double start, double end);
+
+  /// Caps usable memory at `bytes` for allocations made in [start, end)
+  /// (simulated OOM pressure: co-tenant allocations, fragmentation).
+  void add_memory_cap(double start, double end, std::size_t bytes);
+
+  /// Permanent failure: no work may start at or after `time` (until a
+  /// revive). Earlier of multiple kills wins.
+  void kill_at(double time);
+
+  /// Re-enters a killed device at `time` (elastic join): clears the kill
+  /// and advances all stream clocks to at least `time`.
+  void revive_at(double time);
+
+  bool dead_at(double time) const { return time >= dead_after_; }
+  double dead_after() const { return dead_after_; }
+
+  /// Earliest time >= t not inside a stall window (ignores the kill).
+  double next_available(double t) const;
+
+  /// Earliest time >= t at which new work may start, or +infinity when the
+  /// device is dead by then — the scheduler's dispatch predicate.
+  double next_schedulable(double t) const;
+
+  /// Restores the device timeline from a checkpoint: every stream clock set
+  /// to `clock`, cumulative busy time and transient-degradation state to
+  /// the stored values (the jitter RNG is restored separately via rng()).
+  void restore_timing(double clock, double busy_seconds, double degraded_until,
+                      std::size_t transient_episodes);
+
+  double degraded_until() const { return degraded_until_; }
+
   // --- memory --------------------------------------------------------------
 
-  /// Reserves bytes; throws OutOfDeviceMemory when exceeding capacity.
-  void allocate(std::size_t bytes);
+  /// Reserves bytes at virtual time `at`; throws OutOfDeviceMemory when
+  /// exceeding the capacity in effect at that time.
+  void allocate(std::size_t bytes, double at = 0.0);
   void free(std::size_t bytes);
   std::size_t memory_used() const { return memory_used_; }
   std::size_t memory_free() const { return spec_.memory_bytes - memory_used_; }
 
-  /// Largest batch (in samples) fitting in free memory given a per-sample
-  /// footprint estimate. Used to derive b_max.
-  std::size_t max_batch_for(std::size_t bytes_per_sample) const;
+  /// Usable capacity for an allocation made at virtual time `at` (device
+  /// memory reduced by any covering memory-cap window).
+  std::size_t memory_capacity_at(double at) const;
+
+  /// Largest batch (in samples) fitting in free memory at time `at` given a
+  /// per-sample footprint estimate. Used to derive b_max.
+  std::size_t max_batch_for(std::size_t bytes_per_sample,
+                            double at = 0.0) const;
 
   util::Rng& rng() { return rng_; }
+  const util::Rng& rng() const { return rng_; }
 
  private:
+  struct Window {
+    double start = 0.0;
+    double end = 0.0;
+    double factor = 1.0;     // slowdown windows
+    std::size_t bytes = 0;   // memory-cap windows
+  };
+
+  double slowdown_factor_at(double t) const;
+
   int id_;
   DeviceSpec spec_;
   util::Rng rng_;
@@ -87,6 +169,10 @@ class VirtualGpu {
   double busy_seconds_ = 0.0;
   double degraded_until_ = 0.0;
   std::size_t transient_episodes_ = 0;
+  std::vector<Window> slowdowns_;
+  std::vector<Window> stalls_;
+  std::vector<Window> memory_caps_;
+  double dead_after_;  // +infinity while healthy
 };
 
 }  // namespace hetero::sim

@@ -58,6 +58,25 @@ class Rng {
   /// Derives an independent child generator (for per-device streams).
   Rng split();
 
+  /// Full generator state, including the cached Box-Muller pair — restoring
+  /// it resumes the exact draw sequence (checkpointed recovery).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_gaussian = 0.0;
+    bool has_cached_gaussian = false;
+  };
+
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, cached_gaussian_,
+                 has_cached_gaussian_};
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_gaussian_ = st.cached_gaussian;
+    has_cached_gaussian_ = st.has_cached_gaussian;
+  }
+
   /// Fisher-Yates shuffle of an index vector.
   template <typename T>
   void shuffle(std::vector<T>& v) {

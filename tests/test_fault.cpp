@@ -1,0 +1,572 @@
+// Fault-tolerance subsystem tests: fault plans, injection, elastic
+// membership (degraded merging), OOM clamping, and checkpointed recovery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/adaptive_sgd.h"
+#include "core/merging.h"
+#include "core/runtime.h"
+#include "data/synthetic.h"
+#include "fault/checkpoint.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "sim/profiles.h"
+#include "sim/trace.h"
+
+namespace hetero {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : dataset_(data::generate_xml_dataset(data::tiny_profile())) {}
+
+  core::TrainerConfig config() const {
+    core::TrainerConfig cfg;
+    cfg.hidden = 16;
+    cfg.batch_max = 32;
+    cfg.batches_per_megabatch = 8;
+    cfg.eval_samples = 100;
+    cfg.compute_scale = 100.0;
+    cfg.num_megabatches = 4;
+    return cfg;
+  }
+
+  static std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + name;
+  }
+
+  data::XmlDataset dataset_;
+};
+
+// ---- fault plans ----------------------------------------------------------
+
+TEST_F(FaultTest, PlanParsesAllEventKinds) {
+  const auto plan = fault::FaultPlan::parse(
+      "slow@0.5+1.0x0.4:gpu0;stall@1.0+0.25:gpu2;crash@2.5:gpu1;"
+      "join@4.0:gpu1;oom@0.25+3.0x0.5:gpu3");
+  ASSERT_EQ(plan.events.size(), 5u);
+  // Sorted by time.
+  EXPECT_EQ(plan.events[0].kind, fault::FaultKind::kOom);
+  EXPECT_DOUBLE_EQ(plan.events[0].time, 0.25);
+  EXPECT_EQ(plan.events[0].device, 3u);
+  EXPECT_EQ(plan.events[1].kind, fault::FaultKind::kSlowdown);
+  EXPECT_DOUBLE_EQ(plan.events[1].duration, 1.0);
+  EXPECT_DOUBLE_EQ(plan.events[1].factor, 0.4);
+  EXPECT_EQ(plan.events[4].kind, fault::FaultKind::kJoin);
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+TEST_F(FaultTest, PlanRoundTripsThroughToString) {
+  const auto plan = fault::FaultPlan::parse(
+      "slow@0.125+0.75x0.333:gpu1;crash@2.5:gpu1;join@3.75:gpu1");
+  const auto reparsed = fault::FaultPlan::parse(plan.to_string());
+  ASSERT_EQ(reparsed.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].kind, plan.events[i].kind);
+    EXPECT_EQ(reparsed.events[i].device, plan.events[i].device);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].time, plan.events[i].time);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].duration, plan.events[i].duration);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].factor, plan.events[i].factor);
+  }
+}
+
+TEST_F(FaultTest, PlanRejectsMalformedSpecs) {
+  EXPECT_THROW(fault::FaultPlan::parse("melt@1.0:gpu0"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("crash@:gpu0"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("crash@1.0"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("crash@1.0:cpu0"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("slow@1.0+abcx0.5:gpu0"),
+               std::invalid_argument);
+}
+
+TEST_F(FaultTest, PlanValidateCatchesBadMembershipAndWindows) {
+  // Crash of an already-dead device.
+  EXPECT_THROW(
+      fault::FaultPlan::parse("crash@1.0:gpu1;crash@2.0:gpu1").validate(2),
+      std::invalid_argument);
+  // Join of an alive device.
+  EXPECT_THROW(fault::FaultPlan::parse("join@1.0:gpu0").validate(2),
+               std::invalid_argument);
+  // Device index out of range.
+  EXPECT_THROW(fault::FaultPlan::parse("crash@1.0:gpu5").validate(2),
+               std::invalid_argument);
+  // Slowdown without a duration; factor out of range.
+  EXPECT_THROW(fault::FaultPlan::parse("slow@1.0x0.5:gpu0").validate(2),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("slow@1.0+1.0x1.5:gpu0").validate(2),
+               std::invalid_argument);
+  // A plan may not kill every device.
+  EXPECT_THROW(
+      fault::FaultPlan::parse("crash@1.0:gpu0;crash@1.0:gpu1").validate(2),
+      std::invalid_argument);
+}
+
+TEST_F(FaultTest, RandomPlanIsSeededAndSparesDeviceZero) {
+  fault::RandomFaultConfig rcfg;
+  rcfg.horizon = 8.0;
+  rcfg.slowdown_rate = 2.0;
+  rcfg.stall_rate = 1.0;
+  rcfg.crash_fraction = 0.5;
+  rcfg.rejoin = true;
+  const auto a = fault::FaultPlan::random(4, rcfg, 7);
+  const auto b = fault::FaultPlan::random(4, rcfg, 7);
+  const auto c = fault::FaultPlan::random(4, rcfg, 8);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_NE(a.to_string(), c.to_string());
+  EXPECT_FALSE(a.empty());
+  EXPECT_NO_THROW(a.validate(4));
+  for (const auto& ev : a.events) {
+    if (ev.kind == fault::FaultKind::kCrash) {
+      EXPECT_NE(ev.device, 0u);
+    }
+  }
+}
+
+// ---- scheduling around faulted devices (satellite 2) ----------------------
+
+TEST_F(FaultTest, NoDispatchInsideStallOrAfterCrash) {
+  auto cfg = config();
+  // Healthy probe run to scale the fault times to the run's actual span.
+  core::AdaptiveSgdTrainer probe(dataset_, cfg, sim::v100_heterogeneous(3));
+  const double span = probe.train().total_vtime;
+  const double stall_end = 0.3 * span;
+  const double crash_at = 0.5 * span;
+
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg,
+                                   sim::v100_heterogeneous(3));
+  fault::FaultPlan plan;
+  plan.events.push_back(
+      {fault::FaultKind::kStall, 0, 0.0, stall_end, 1.0, 0});
+  plan.events.push_back({fault::FaultKind::kCrash, 1, crash_at, 0.0, 1.0, 0});
+  fault::FaultInjector(plan).arm(trainer.runtime());
+
+  sim::Tracer tracer;
+  trainer.runtime().set_tracer(&tracer);
+  const auto result = trainer.train();
+
+  ASSERT_GT(tracer.size(), 0u);
+  for (const auto& ev : tracer.events()) {
+    if (ev.category != "compute") continue;
+    if (ev.device == 0) {
+      EXPECT_FALSE(ev.start >= 0.0 && ev.start < stall_end)
+          << "compute started inside gpu0's stall window at " << ev.start;
+    }
+    if (ev.device == 1) {
+      EXPECT_LT(ev.start, crash_at) << "compute started on crashed gpu1";
+    }
+  }
+  EXPECT_EQ(result.faults.stalls, 1u);
+  EXPECT_EQ(result.faults.crashes, 1u);
+  EXPECT_GE(result.faults.degraded_merges, 1u);
+  // The crashed replica is out of the merge group by the end.
+  EXPECT_EQ(result.curve.back().alive_gpus, 2u);
+}
+
+TEST_F(FaultTest, NextFreeGpuSkipsStalledDeviceUntilWindowEnds) {
+  core::MultiGpuRuntime rt(dataset_, config(), sim::v100_heterogeneous(2));
+  rt.gpu(0).add_stall(0.0, 5.0);
+  // Both devices idle at t=0, but gpu0 cannot start work before 5.0.
+  EXPECT_EQ(rt.next_free_gpu(), 1u);
+  EXPECT_DOUBLE_EQ(rt.gpu_free_at(0), 5.0);
+}
+
+TEST_F(FaultTest, AllReplicasCrashedThrows) {
+  auto cfg = config();
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg,
+                                   sim::v100_heterogeneous(2));
+  trainer.runtime().schedule_crash(0, 0.0);
+  trainer.runtime().schedule_crash(1, 0.0);
+  EXPECT_THROW(trainer.train(), std::runtime_error);
+}
+
+// ---- degraded-mode merging (tentpole + satellite 3) -----------------------
+
+TEST_F(FaultTest, CrashRenormalizationBitIdenticalToSurvivorOracle) {
+  for (const bool sparse : {false, true}) {
+    auto cfg = config();
+    cfg.sparse_merge = sparse;
+    core::MultiGpuRuntime rt(dataset_, cfg, sim::v100_heterogeneous(3));
+    for (int i = 0; i < 6; ++i) {
+      const auto g = static_cast<std::size_t>(i % 3);
+      rt.run_update_step(g, rt.next_batch(32), 0.2, rt.gpu_free_at(g));
+    }
+    rt.math_barrier();
+    const auto r0 = rt.replica(0).to_flat();
+    const auto r2 = rt.replica(2).to_flat();
+    auto oracle_global = rt.global_model().to_flat();
+    auto oracle_prev = rt.prev_global_model().to_flat();
+
+    double now = 0.0;
+    for (std::size_t g = 0; g < 3; ++g) {
+      now = std::max(now, rt.gpu(g).device_free_at());
+    }
+    rt.schedule_crash(1, now);
+    const auto crashed = rt.apply_crashes_until(now);
+    ASSERT_EQ(crashed, (std::vector<std::size_t>{1}));
+    EXPECT_FALSE(rt.replica_alive(1));
+    EXPECT_EQ(rt.num_alive(), 2u);
+
+    const std::vector<double> survivor_w{0.7, 0.3};
+    const std::vector<std::size_t> alive_idx{0, 2};
+    const auto full = core::expand_alive_weights(survivor_w, alive_idx, 3);
+    EXPECT_EQ(full, (std::vector<double>{0.7, 0.0, 0.3}));
+    rt.merge_and_update(full, now);
+
+    // Survivor-only oracle: the fused merge kernel applied to exactly the
+    // two surviving replicas with the compacted weights.
+    const float* bases[2] = {r0.data(), r2.data()};
+    const core::MergeUpdate u{survivor_w, cfg.momentum_gamma,
+                              cfg.enable_momentum};
+    core::merge_segment(std::span<const float* const>(bases, 2),
+                        oracle_global.size(), u,
+                        {oracle_global.data(), oracle_global.size()},
+                        {oracle_prev.data(), oracle_prev.size()},
+                        /*min_shards=*/1, {});
+    EXPECT_EQ(rt.global_model().to_flat(), oracle_global)
+        << "sparse=" << sparse;
+    EXPECT_EQ(rt.prev_global_model().to_flat(), oracle_prev)
+        << "sparse=" << sparse;
+    EXPECT_EQ(rt.fault_stats().degraded_merges, 1u);
+  }
+}
+
+// Satellite 3: an N-replica run in which one replica crashes mid-stream is
+// bit-identical to an (N-1)-replica run started from the pre-crash global
+// model, with the crashed replica's batches drawn and discarded.
+TEST_F(FaultTest, CrashRunMatchesSurvivorOnlyRun) {
+  for (const bool sparse : {false, true}) {
+    auto cfg = config();
+    cfg.sparse_merge = sparse;
+
+    // --- run A: 3 replicas, gpu1 crashes before the second merge -----------
+    core::MultiGpuRuntime a(dataset_, cfg, sim::v100_heterogeneous(3));
+    // Phase 1 (healthy): 6 steps round-robin, merge over all three.
+    for (int i = 0; i < 6; ++i) {
+      const auto g = static_cast<std::size_t>(i % 3);
+      a.run_update_step(g, a.next_batch(32), 0.2, a.gpu_free_at(g));
+    }
+    a.math_barrier();
+    double sync_a = 0.0;
+    for (std::size_t g = 0; g < 3; ++g) {
+      sync_a = std::max(sync_a, a.gpu(g).device_free_at());
+    }
+    const std::vector<double> healthy_w{1.0 / 3, 1.0 / 3, 1.0 / 3};
+    a.merge_and_update(healthy_w, sync_a);
+    const std::size_t phase1_samples = a.samples_served();
+
+    // --- run B: 2 replicas seeded from A's post-phase-1 state --------------
+    core::MultiGpuRuntime b(dataset_, cfg, sim::v100_heterogeneous(2));
+    b.global_model().copy_from(a.global_model());
+    b.prev_global_model().copy_from(a.prev_global_model());
+    b.broadcast_global();
+    b.skip_samples(phase1_samples);
+
+    // Phase 2: gpu1 is dead on A (killed at its current clock); B replays
+    // the same dispatch schedule, drawing and discarding gpu1's batches.
+    a.schedule_crash(1, a.gpu(1).device_free_at());
+    for (int i = 0; i < 6; ++i) {
+      const auto g = static_cast<std::size_t>(i % 3);
+      auto batch_a = a.next_batch(32);
+      if (g == 1) {
+        EXPECT_THROW(
+            a.run_update_step(1, std::move(batch_a), 0.2, a.gpu_free_at(1)),
+            sim::DeviceUnavailable);
+        b.next_batch(32);  // discard the crashed replica's batch
+        continue;
+      }
+      a.run_update_step(g, std::move(batch_a), 0.2, a.gpu_free_at(g));
+      const std::size_t bg = g == 0 ? 0 : 1;
+      b.run_update_step(bg, b.next_batch(32), 0.2, b.gpu_free_at(bg));
+    }
+    a.math_barrier();
+    b.math_barrier();
+
+    double all_free_a = 0.0;
+    for (std::size_t g = 0; g < 3; ++g) {
+      all_free_a = std::max(all_free_a, a.gpu(g).device_free_at());
+    }
+    ASSERT_EQ(a.apply_crashes_until(all_free_a),
+              (std::vector<std::size_t>{1}));
+
+    const std::vector<double> survivor_w{0.6, 0.4};
+    const auto full =
+        core::expand_alive_weights(survivor_w, std::vector<std::size_t>{0, 2},
+                                   3);
+    a.merge_and_update(full, all_free_a);
+
+    double sync_b = 0.0;
+    for (std::size_t g = 0; g < 2; ++g) {
+      sync_b = std::max(sync_b, b.gpu(g).device_free_at());
+    }
+    b.merge_and_update(survivor_w, sync_b);
+
+    EXPECT_EQ(a.global_model().to_flat(), b.global_model().to_flat())
+        << "sparse=" << sparse;
+    EXPECT_EQ(a.prev_global_model().to_flat(),
+              b.prev_global_model().to_flat())
+        << "sparse=" << sparse;
+  }
+}
+
+// ---- OOM clamping (satellite 1) -------------------------------------------
+
+TEST_F(FaultTest, OomClampsBatchToLargestThatFits) {
+  auto cfg = config();
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg,
+                                   sim::v100_heterogeneous(2));
+  auto& rt = trainer.runtime();
+  // Cap gpu1's memory so its resident state plus an 8-sample step fits but
+  // the full 32-sample step does not.
+  const double avg_nnz = dataset_.train.features.avg_row_nnz();
+  const auto cap = 2 * rt.global_model().num_bytes() +
+                   rt.global_model().step_memory_bytes(8, avg_nnz);
+  rt.gpu(1).add_memory_cap(0.0, std::numeric_limits<double>::infinity(), cap);
+
+  const auto result = trainer.train();
+  EXPECT_GE(result.faults.oom_clamps, 1u);
+  const auto& sgd = trainer.sgd_state();
+  EXPECT_LT(sgd[1].batch_size, 32u);
+  EXPECT_GE(sgd[1].batch_size, 1u);
+  // The clamped learning rate follows the linear scaling rule downward.
+  EXPECT_LT(sgd[1].learning_rate, cfg.learning_rate);
+  // The run completed all mega-batches despite the pressure.
+  EXPECT_EQ(result.curve.back().megabatch, cfg.num_megabatches);
+}
+
+// ---- crash + rejoin at the trainer level ----------------------------------
+
+TEST_F(FaultTest, CrashThenJoinShrinksAndRestoresMembership) {
+  auto cfg = config();
+  cfg.num_megabatches = 6;
+
+  // Healthy run to place the crash/join times inside the run.
+  core::AdaptiveSgdTrainer healthy(dataset_, cfg,
+                                   sim::v100_heterogeneous(3));
+  const auto healthy_result = healthy.train();
+  const double total = healthy_result.total_vtime;
+
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg,
+                                   sim::v100_heterogeneous(3));
+  fault::FaultPlan plan;
+  plan.events.push_back(
+      {fault::FaultKind::kCrash, 1, 0.35 * total, 0.0, 1.0, 0});
+  plan.events.push_back(
+      {fault::FaultKind::kJoin, 1, 0.6 * total, 0.0, 1.0, 0});
+  fault::FaultInjector(plan).arm(trainer.runtime());
+
+  const auto result = trainer.train();
+  EXPECT_EQ(result.faults.crashes, 1u);
+  EXPECT_EQ(result.faults.joins, 1u);
+  EXPECT_GE(result.faults.degraded_merges, 1u);
+  EXPECT_GT(result.faults.recovery_seconds, 0.0);
+
+  std::size_t min_alive = 3;
+  for (const auto& p : result.curve) {
+    min_alive = std::min(min_alive, p.alive_gpus);
+  }
+  EXPECT_EQ(min_alive, 2u);
+  EXPECT_EQ(result.curve.back().alive_gpus, 3u);
+  // The rejoined replica restarts at b_max with the base learning rate.
+  EXPECT_EQ(trainer.sgd_state()[1].batch_size, cfg.batch_max);
+}
+
+TEST_F(FaultTest, SamePlanSameSeedReproducesBitIdenticalRuns) {
+  const auto run = [&]() {
+    auto cfg = config();
+    core::AdaptiveSgdTrainer trainer(dataset_, cfg,
+                                     sim::v100_heterogeneous(3));
+    fault::FaultInjector(
+        fault::FaultPlan::parse("slow@0.2+0.4x0.5:gpu2;crash@0.9:gpu1"))
+        .arm(trainer.runtime());
+    auto result = trainer.train();
+    return std::make_pair(std::move(result),
+                          trainer.runtime().global_model().to_flat());
+  };
+  const auto [r1, m1] = run();
+  const auto [r2, m2] = run();
+  EXPECT_EQ(m1, m2);
+  ASSERT_EQ(r1.curve.size(), r2.curve.size());
+  for (std::size_t i = 0; i < r1.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.curve[i].vtime, r2.curve[i].vtime);
+    EXPECT_DOUBLE_EQ(r1.curve[i].top1, r2.curve[i].top1);
+    EXPECT_EQ(r1.curve[i].alive_gpus, r2.curve[i].alive_gpus);
+  }
+  EXPECT_EQ(r1.faults.crashes, r2.faults.crashes);
+  EXPECT_EQ(r1.faults.degraded_merges, r2.faults.degraded_merges);
+  EXPECT_DOUBLE_EQ(r1.faults.recovery_seconds, r2.faults.recovery_seconds);
+}
+
+// ---- checkpointed recovery (tentpole) -------------------------------------
+
+TEST_F(FaultTest, CheckpointFileRoundTripsAllFields) {
+  auto cfg = config();
+  cfg.num_megabatches = 2;
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg,
+                                   sim::v100_heterogeneous(2));
+  trainer.train();
+  const auto ckpt = fault::capture_checkpoint(trainer);
+
+  const auto path = temp_path("fault_roundtrip.ckpt");
+  fault::save_checkpoint_file(path, ckpt);
+  const auto loaded = fault::load_checkpoint_file(path);
+
+  EXPECT_EQ(loaded.seed, ckpt.seed);
+  EXPECT_EQ(loaded.megabatches_completed, ckpt.megabatches_completed);
+  EXPECT_EQ(loaded.samples_served, ckpt.samples_served);
+  EXPECT_EQ(loaded.round_robin_cursor, ckpt.round_robin_cursor);
+  EXPECT_DOUBLE_EQ(loaded.vtime, ckpt.vtime);
+  EXPECT_DOUBLE_EQ(loaded.best_top1, ckpt.best_top1);
+  EXPECT_EQ(loaded.stagnation, ckpt.stagnation);
+  ASSERT_EQ(loaded.gpus.size(), ckpt.gpus.size());
+  for (std::size_t g = 0; g < ckpt.gpus.size(); ++g) {
+    EXPECT_EQ(loaded.gpus[g].batch_size, ckpt.gpus[g].batch_size);
+    EXPECT_DOUBLE_EQ(loaded.gpus[g].learning_rate,
+                     ckpt.gpus[g].learning_rate);
+    EXPECT_EQ(loaded.gpus[g].alive, ckpt.gpus[g].alive);
+    EXPECT_DOUBLE_EQ(loaded.gpus[g].busy_seconds, ckpt.gpus[g].busy_seconds);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(loaded.gpus[g].rng.s[i], ckpt.gpus[g].rng.s[i]);
+    }
+  }
+  EXPECT_EQ(loaded.scaling.interval, ckpt.scaling.interval);
+  EXPECT_EQ(loaded.scaling.previous, ckpt.scaling.previous);
+  EXPECT_EQ(loaded.global_blob, ckpt.global_blob);
+  EXPECT_EQ(loaded.prev_global_blob, ckpt.prev_global_blob);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, ResumedRunBitIdenticalToUninterrupted) {
+  auto cfg = config();
+  cfg.num_megabatches = 6;
+  cfg.adaptive_scaling_cadence = true;  // exercise the scheduler snapshot
+
+  // Uninterrupted reference.
+  core::AdaptiveSgdTrainer full(dataset_, cfg, sim::v100_heterogeneous(3));
+  const auto full_result = full.train();
+
+  // Interrupted run: stop after 3 mega-batches, checkpoint, resume.
+  auto cfg3 = cfg;
+  cfg3.num_megabatches = 3;
+  core::AdaptiveSgdTrainer first_half(dataset_, cfg3,
+                                      sim::v100_heterogeneous(3));
+  first_half.train();
+  const auto path = temp_path("fault_resume.ckpt");
+  fault::save_checkpoint_file(path, fault::capture_checkpoint(first_half));
+
+  core::AdaptiveSgdTrainer resumed(dataset_, cfg,
+                                   sim::v100_heterogeneous(3));
+  fault::restore_checkpoint(resumed, fault::load_checkpoint_file(path));
+  const auto resumed_result = resumed.train();
+
+  // The resumed curve re-records the restored boundary, then continues with
+  // mega-batches 4..6 — every shared boundary must match bit-exactly.
+  ASSERT_EQ(resumed_result.curve.size(), 4u);
+  ASSERT_EQ(full_result.curve.size(), 7u);
+  for (std::size_t i = 0; i < resumed_result.curve.size(); ++i) {
+    const auto& r = resumed_result.curve[i];
+    const auto& f = full_result.curve[3 + i];
+    EXPECT_EQ(r.megabatch, f.megabatch);
+    EXPECT_DOUBLE_EQ(r.vtime, f.vtime) << "megabatch " << f.megabatch;
+    EXPECT_EQ(r.samples, f.samples);
+    EXPECT_DOUBLE_EQ(r.top1, f.top1) << "megabatch " << f.megabatch;
+    EXPECT_DOUBLE_EQ(r.top5, f.top5);
+    EXPECT_DOUBLE_EQ(r.test_loss, f.test_loss);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(r.train_loss, f.train_loss);
+    }
+  }
+  EXPECT_EQ(resumed.runtime().global_model().to_flat(),
+            full.runtime().global_model().to_flat());
+  EXPECT_EQ(resumed.runtime().prev_global_model().to_flat(),
+            full.runtime().prev_global_model().to_flat());
+  const auto& sgd_full = full.sgd_state();
+  const auto& sgd_resumed = resumed.sgd_state();
+  for (std::size_t g = 0; g < sgd_full.size(); ++g) {
+    EXPECT_EQ(sgd_resumed[g].batch_size, sgd_full[g].batch_size);
+    EXPECT_DOUBLE_EQ(sgd_resumed[g].learning_rate,
+                     sgd_full[g].learning_rate);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, PeriodicCheckpointHookWritesAtCadenceAndEnd) {
+  auto cfg = config();
+  cfg.num_megabatches = 3;
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg,
+                                   sim::v100_heterogeneous(2));
+  const auto path = temp_path("fault_periodic.ckpt");
+  fault::enable_periodic_checkpoint(trainer, path, 2);
+  trainer.train();
+  // Written at mega-batch 2 and overwritten at the final (3rd) boundary.
+  const auto ckpt = fault::load_checkpoint_file(path);
+  EXPECT_EQ(ckpt.megabatches_completed, 3u);
+  EXPECT_EQ(ckpt.samples_served, trainer.runtime().samples_served());
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, RestoreRejectsMismatchedTrainer) {
+  auto cfg = config();
+  cfg.num_megabatches = 2;
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg,
+                                   sim::v100_heterogeneous(2));
+  trainer.train();
+  const auto ckpt = fault::capture_checkpoint(trainer);
+
+  // Wrong GPU count.
+  core::AdaptiveSgdTrainer three(dataset_, cfg, sim::v100_heterogeneous(3));
+  EXPECT_THROW(fault::restore_checkpoint(three, ckpt), std::runtime_error);
+  // Wrong seed.
+  auto cfg_seed = cfg;
+  cfg_seed.seed = 999;
+  core::AdaptiveSgdTrainer other_seed(dataset_, cfg_seed,
+                                      sim::v100_heterogeneous(2));
+  EXPECT_THROW(fault::restore_checkpoint(other_seed, ckpt),
+               std::runtime_error);
+}
+
+TEST_F(FaultTest, ResumeWithFaultPlanSkipsAlreadyAppliedEvents) {
+  auto cfg = config();
+  cfg.num_megabatches = 6;
+
+  // Healthy probe run to place the crash inside the checkpointed half.
+  core::AdaptiveSgdTrainer probe(dataset_, cfg, sim::v100_heterogeneous(3));
+  const double span = probe.train().total_vtime;
+  fault::FaultPlan plan;
+  plan.events.push_back(
+      {fault::FaultKind::kCrash, 2, 0.25 * span, 0.0, 1.0, 0});
+
+  core::AdaptiveSgdTrainer reference(dataset_, cfg,
+                                     sim::v100_heterogeneous(3));
+  fault::FaultInjector(plan).arm(reference.runtime());
+  const auto ref_result = reference.train();
+  ASSERT_EQ(ref_result.faults.crashes, 1u);
+
+  auto cfg3 = cfg;
+  cfg3.num_megabatches = 3;
+  core::AdaptiveSgdTrainer first_half(dataset_, cfg3,
+                                      sim::v100_heterogeneous(3));
+  fault::FaultInjector(plan).arm(first_half.runtime());
+  first_half.train();
+  const auto ckpt = fault::capture_checkpoint(first_half);
+  ASSERT_EQ(ckpt.gpus[2].alive, 0u);  // crash applied before the checkpoint
+
+  core::AdaptiveSgdTrainer resumed(dataset_, cfg,
+                                   sim::v100_heterogeneous(3));
+  fault::restore_checkpoint(resumed, ckpt);
+  // Re-arm with the checkpoint vtime: the crash must not fire again.
+  fault::FaultInjector(plan).arm(resumed.runtime(), ckpt.vtime);
+  const auto resumed_result = resumed.train();
+  EXPECT_EQ(resumed_result.faults.crashes, 0u);  // fresh stats, no re-fire
+  EXPECT_EQ(resumed.runtime().global_model().to_flat(),
+            reference.runtime().global_model().to_flat());
+}
+
+}  // namespace
+}  // namespace hetero
