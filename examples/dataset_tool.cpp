@@ -22,10 +22,33 @@
 #include "data/synthetic.h"
 #include "sparse/libsvm.h"
 #include "util/cli.h"
+#include "util/error.h"
 
 using namespace hetero;
 
+namespace {
+
+// Input files are untrusted: a malformed libSVM line or flag value exits
+// with a diagnostic and code 2, not an abort.
+int run(int argc, char** argv);
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "dataset_tool: invalid input: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dataset_tool: internal error: %s\n", e.what());
+    return 3;
+  }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   const auto profile = args.get_string("profile", "amazon");
   const auto in_path = args.get_string("in", "");
@@ -82,3 +105,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace

@@ -28,10 +28,34 @@
 #include "sim/trace.h"
 #include "slide/slide_trainer.h"
 #include "util/cli.h"
+#include "util/error.h"
 
 using namespace hetero;
 
+namespace {
+
+// All flag values, dataset bytes, fault-plan specs, and checkpoints are
+// untrusted input: they reject with hetero::ParseError, which exits with a
+// diagnostic and code 2. Anything else escaping is an internal bug (code 3).
+int run(int argc, char** argv);
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "hetero_train: invalid input: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hetero_train: internal error: %s\n", e.what());
+    return 3;
+  }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   const auto method_name = args.get_string("method", "adaptive");
   const auto gpus = static_cast<std::size_t>(args.get_int("gpus", 4));
@@ -47,9 +71,9 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> hidden_layers;
   try {
     hidden_layers = args.get_size_list("hidden", {48});
-  } catch (const std::invalid_argument& e) {
+  } catch (const ParseError& e) {
     std::fprintf(stderr, "--hidden: %s\n", e.what());
-    return 1;
+    return 2;
   }
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12345));
   const auto dataset_name = args.get_string("dataset", "amazon");
@@ -208,7 +232,13 @@ int main(int argc, char** argv) {
                     resume_from.c_str(),
                     static_cast<std::size_t>(ckpt.megabatches_completed),
                     ckpt.vtime);
+      } catch (const ParseError& e) {
+        // Corrupt/truncated checkpoint bytes: typed error with byte offset.
+        std::fprintf(stderr, "--resume-from: corrupt checkpoint: %s\n",
+                     e.what());
+        return 2;
       } catch (const std::exception& e) {
+        // Well-formed checkpoint that does not match this run's config.
         std::fprintf(stderr, "--resume-from: %s\n", e.what());
         return 1;
       }
@@ -217,9 +247,9 @@ int main(int argc, char** argv) {
       try {
         fault::FaultInjector(fault::FaultPlan::parse(fault_plan_spec))
             .arm(trainer->runtime(), resumed_vtime);
-      } catch (const std::exception& e) {
+      } catch (const ParseError& e) {
         std::fprintf(stderr, "--fault-plan: %s\n", e.what());
-        return 1;
+        return 2;
       }
     }
     if (checkpoint_every > 0) {
@@ -273,3 +303,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace

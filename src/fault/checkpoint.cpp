@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "nn/serialize.h"
+#include "util/error.h"
 
 namespace hetero::fault {
 
@@ -31,9 +33,46 @@ void write_blob(std::ostream& out, const std::string& blob) {
   write_bytes(out, blob.data(), blob.size());
 }
 
+std::size_t stream_offset(std::istream& in) {
+  const auto pos = in.tellg();
+  return pos == std::istream::pos_type(-1) ? ParseError::npos
+                                           : static_cast<std::size_t>(pos);
+}
+
+[[noreturn]] void bad_checkpoint(std::istream& in, const std::string& what) {
+  in.clear();  // tellg on a failed stream would itself fail
+  throw ParseError("checkpoint", what, ParseError::npos, stream_offset(in));
+}
+
+/// Bytes between the read cursor and end-of-stream, or npos when the stream
+/// is not seekable. Length/count fields are validated against this before
+/// any allocation so a corrupt 2^63 length cannot drive a huge resize.
+std::size_t remaining_bytes(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return ParseError::npos;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return ParseError::npos;
+  return static_cast<std::size_t>(end - pos);
+}
+
+/// Validates `count` records of at least `min_record_bytes` each against the
+/// remaining stream size.
+void check_count(std::istream& in, std::uint64_t count,
+                 std::size_t min_record_bytes, const char* what) {
+  const auto remaining = remaining_bytes(in);
+  if (remaining == ParseError::npos) return;  // non-seekable: cannot bound
+  if (count > remaining / min_record_bytes) {
+    bad_checkpoint(in, std::string(what) + " count " + std::to_string(count) +
+                           " exceeds remaining stream size " +
+                           std::to_string(remaining));
+  }
+}
+
 void read_bytes(std::istream& in, void* p, std::size_t n) {
   in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-  if (!in) throw std::runtime_error("checkpoint: truncated input");
+  if (!in) bad_checkpoint(in, "truncated input");
 }
 std::uint8_t read_u8(std::istream& in) {
   std::uint8_t v;
@@ -57,8 +96,17 @@ double read_f64(std::istream& in) {
 }
 std::string read_blob(std::istream& in) {
   const auto n = read_u64(in);
-  std::string blob(n, '\0');
-  read_bytes(in, blob.data(), n);
+  // Validate the length against the bytes actually present BEFORE the
+  // resize: a corrupt/hostile length field (e.g. 2^63) must produce a typed
+  // error, not a bad_alloc/length_error from a huge allocation.
+  const auto remaining = remaining_bytes(in);
+  if (remaining != ParseError::npos && n > remaining) {
+    bad_checkpoint(in, "blob length " + std::to_string(n) +
+                           " exceeds remaining stream size " +
+                           std::to_string(remaining));
+  }
+  std::string blob(static_cast<std::size_t>(n), '\0');
+  read_bytes(in, blob.data(), static_cast<std::size_t>(n));
   return blob;
 }
 
@@ -204,11 +252,11 @@ TrainingCheckpoint load_checkpoint(std::istream& in) {
   char magic[4];
   read_bytes(in, magic, 4);
   if (std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("checkpoint: bad magic");
+    bad_checkpoint(in, "bad magic");
   }
   const auto version = read_u32(in);
   if (version != kVersion) {
-    throw std::runtime_error("checkpoint: unsupported version");
+    bad_checkpoint(in, "unsupported version " + std::to_string(version));
   }
   TrainingCheckpoint ckpt;
   ckpt.seed = read_u64(in);
@@ -218,7 +266,11 @@ TrainingCheckpoint load_checkpoint(std::istream& in) {
   ckpt.vtime = read_f64(in);
   ckpt.best_top1 = read_f64(in);
   ckpt.stagnation = read_u64(in);
-  ckpt.gpus.resize(read_u64(in));
+  // Each per-GPU record is at least 90 bytes on disk; a corrupt count field
+  // must fail here, not in a multi-gigabyte resize.
+  const auto num_gpus = read_u64(in);
+  check_count(in, num_gpus, 90, "gpu");
+  ckpt.gpus.resize(static_cast<std::size_t>(num_gpus));
   for (auto& s : ckpt.gpus) {
     s.batch_size = read_u64(in);
     s.learning_rate = read_f64(in);
@@ -236,9 +288,13 @@ TrainingCheckpoint load_checkpoint(std::istream& in) {
   sc.since_last_scale = read_u64(in);
   sc.stable = read_u8(in) != 0;
   sc.oscillating = read_u8(in) != 0;
-  sc.previous.resize(read_u64(in));
+  const auto num_previous = read_u64(in);
+  check_count(in, num_previous, sizeof(std::uint64_t), "scaling history");
+  sc.previous.resize(static_cast<std::size_t>(num_previous));
   for (auto& v : sc.previous) v = read_u64(in);
-  sc.last_direction.resize(read_u64(in));
+  const auto num_directions = read_u64(in);
+  check_count(in, num_directions, sizeof(std::uint64_t), "scaling direction");
+  sc.last_direction.resize(static_cast<std::size_t>(num_directions));
   for (auto& v : sc.last_direction) {
     v = static_cast<int>(static_cast<std::int64_t>(read_u64(in)));
   }

@@ -66,6 +66,11 @@ void restore_checkpoint(core::AdaptiveSgdTrainer& trainer,
                         const TrainingCheckpoint& ckpt);
 
 void save_checkpoint(std::ostream& out, const TrainingCheckpoint& ckpt);
+
+/// Deserializes an HGCK checkpoint. This is an untrusted-input path: bad
+/// magic, unsupported versions, truncation, and hostile length/count fields
+/// (validated against the remaining stream size before any allocation)
+/// throw hetero::ParseError carrying the byte offset.
 TrainingCheckpoint load_checkpoint(std::istream& in);
 void save_checkpoint_file(const std::string& path,
                           const TrainingCheckpoint& ckpt);

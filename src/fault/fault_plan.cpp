@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
 
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace hetero::fault {
@@ -13,7 +13,7 @@ namespace hetero::fault {
 namespace {
 
 [[noreturn]] void bad_spec(const std::string& what, const std::string& token) {
-  throw std::invalid_argument("fault plan: " + what + " in \"" + token + "\"");
+  throw ParseError("fault-plan", what + " in \"" + token + "\"");
 }
 
 FaultKind parse_kind(const std::string& word, const std::string& token) {
@@ -26,11 +26,11 @@ FaultKind parse_kind(const std::string& word, const std::string& token) {
 }
 
 double parse_number(const std::string& text, const std::string& token) {
-  const char* begin = text.c_str();
-  char* end = nullptr;
-  const double value = std::strtod(begin, &end);
-  if (end == begin || *end != '\0') bad_spec("bad number \"" + text + "\"", token);
-  return value;
+  try {
+    return util::parse_f64_strict(text, "fault-plan");
+  } catch (const ParseError&) {
+    bad_spec("bad number \"" + text + "\"", token);
+  }
 }
 
 FaultEvent parse_event(const std::string& token) {
@@ -46,18 +46,33 @@ FaultEvent parse_event(const std::string& token) {
   if (target.rfind("gpu", 0) != 0 || target.size() == 3) {
     bad_spec("expected target gpuN", token);
   }
-  ev.device = static_cast<std::size_t>(
-      parse_number(target.substr(3), token));
+  // Strict integer parse: "gpu1.5", "gpu-1", and values past 2^53 (where a
+  // double->size_t round-trip would be lossy or UB) are all rejected.
+  try {
+    ev.device = static_cast<std::size_t>(util::parse_u64_strict(
+        target.substr(3), "fault-plan", ParseError::npos,
+        std::numeric_limits<std::size_t>::max()));
+  } catch (const ParseError&) {
+    bad_spec("bad device \"" + target + "\"", token);
+  }
 
   // The middle section is time, optionally followed by +duration and/or
-  // xfactor (in that order).
+  // xfactor (in that order). A '+' directly after an exponent marker is
+  // part of a number ("2.4e+18"), not the duration separator — to_string()
+  // prints large times in scientific notation and must round-trip.
   std::string middle = token.substr(at + 1, colon - at - 1);
   const auto x = middle.find('x');
   if (x != std::string::npos) {
     ev.factor = parse_number(middle.substr(x + 1), token);
     middle = middle.substr(0, x);
   }
-  const auto plus = middle.find('+');
+  auto plus = std::string::npos;
+  for (std::size_t i = 1; i < middle.size(); ++i) {
+    if (middle[i] == '+' && middle[i - 1] != 'e' && middle[i - 1] != 'E') {
+      plus = i;
+      break;
+    }
+  }
   if (plus != std::string::npos) {
     ev.duration = parse_number(middle.substr(plus + 1), token);
     middle = middle.substr(0, plus);

@@ -65,7 +65,7 @@ struct FaultPlan {
 
   bool empty() const { return events.empty(); }
 
-  /// Parses the spec grammar above; throws std::invalid_argument with a
+  /// Parses the spec grammar above; throws hetero::ParseError with a
   /// position hint on malformed input. Events are sorted by time.
   static FaultPlan parse(const std::string& spec);
 
@@ -80,7 +80,7 @@ struct FaultPlan {
 
   /// Checks device indices, window parameters, and crash/join ordering by
   /// replaying per-device alive state (crash-on-dead or join-on-alive is
-  /// invalid). Throws std::invalid_argument.
+  /// invalid). Throws hetero::ParseError.
   void validate(std::size_t num_devices) const;
 };
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/deep_mlp.h"
+#include "util/error.h"
 
 namespace hetero::nn {
 
@@ -20,6 +21,15 @@ constexpr std::uint32_t kVersionLayerList = 2;
 // of driving a multi-gigabyte allocation.
 constexpr std::uint64_t kMaxHiddenLayers = 1024;
 
+[[noreturn]] void bad_blob(std::istream& in, const std::string& what) {
+  in.clear();
+  const auto pos = in.tellg();
+  throw ParseError("model-checkpoint", what, ParseError::npos,
+                   pos == std::istream::pos_type(-1)
+                       ? ParseError::npos
+                       : static_cast<std::size_t>(pos));
+}
+
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
@@ -29,8 +39,26 @@ template <typename T>
 T read_pod(std::istream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("model checkpoint: truncated input");
+  if (!in) bad_blob(in, "truncated input");
   return value;
+}
+
+// A hostile header (e.g. num_features = 2^60) must not drive the model
+// constructor into a huge allocation: the float32 parameter payload that a
+// header implies has to actually be present in the stream. Parameter counts
+// are accumulated in 128-bit so the overflow-prone products (features x
+// hidden) cannot wrap before the check.
+void check_params_present(std::istream& in, unsigned __int128 num_params) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return;  // non-seekable: no bound
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return;
+  const auto remaining = static_cast<unsigned __int128>(end - pos);
+  if (num_params * sizeof(float) > remaining) {
+    bad_blob(in, "header implies more parameters than the stream holds");
+  }
 }
 
 void write_params(std::ostream& out, const Model& model) {
@@ -44,7 +72,7 @@ void read_params(std::istream& in, Model& model) {
   std::vector<float> flat(model.num_parameters());
   in.read(reinterpret_cast<char*>(flat.data()),
           static_cast<std::streamsize>(flat.size() * sizeof(float)));
-  if (!in) throw std::runtime_error("model checkpoint: truncated parameters");
+  if (!in) bad_blob(in, "truncated parameters");
   model.from_flat(flat);
 }
 }  // namespace
@@ -79,14 +107,25 @@ std::unique_ptr<Model> load_any_model(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("model checkpoint: bad magic");
+    bad_blob(in, "bad magic");
   }
   const auto version = read_pod<std::uint32_t>(in);
   if (version == kVersionMlp) {
+    const auto num_features = read_pod<std::uint64_t>(in);
+    const auto hidden = read_pod<std::uint64_t>(in);
+    const auto num_classes = read_pod<std::uint64_t>(in);
+    if (num_features == 0 || hidden == 0 || num_classes == 0) {
+      bad_blob(in, "zero model dimension");
+    }
+    // W1 + b1 + W2 + b2, in 128-bit so hostile dimensions cannot wrap.
+    const auto params =
+        static_cast<unsigned __int128>(num_features) * hidden + hidden +
+        static_cast<unsigned __int128>(hidden) * num_classes + num_classes;
+    check_params_present(in, params);
     MlpConfig cfg;
-    cfg.num_features = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-    cfg.hidden = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-    cfg.num_classes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    cfg.num_features = static_cast<std::size_t>(num_features);
+    cfg.hidden = static_cast<std::size_t>(hidden);
+    cfg.num_classes = static_cast<std::size_t>(num_classes);
     auto model = std::make_unique<MlpModel>(cfg);
     read_params(in, *model);
     return model;
@@ -94,8 +133,7 @@ std::unique_ptr<Model> load_any_model(std::istream& in) {
   if (version == kVersionLayerList) {
     const auto num_hidden = read_pod<std::uint64_t>(in);
     if (num_hidden == 0 || num_hidden > kMaxHiddenLayers) {
-      throw std::runtime_error("model checkpoint: bad hidden-layer count " +
-                               std::to_string(num_hidden));
+      bad_blob(in, "bad hidden-layer count " + std::to_string(num_hidden));
     }
     DeepMlpConfig cfg;
     cfg.num_features = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
@@ -103,17 +141,28 @@ std::unique_ptr<Model> load_any_model(std::istream& in) {
     for (std::uint64_t l = 0; l < num_hidden; ++l) {
       const auto width = read_pod<std::uint64_t>(in);
       if (width == 0) {
-        throw std::runtime_error("model checkpoint: zero-width hidden layer");
+        bad_blob(in, "zero-width hidden layer");
       }
       cfg.hidden.push_back(static_cast<std::size_t>(width));
     }
     cfg.num_classes = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    if (cfg.num_features == 0 || cfg.num_classes == 0) {
+      bad_blob(in, "zero model dimension");
+    }
+    unsigned __int128 params = 0;
+    std::uint64_t prev = static_cast<std::uint64_t>(cfg.num_features);
+    for (const std::size_t h : cfg.hidden) {
+      params += static_cast<unsigned __int128>(prev) * h + h;
+      prev = h;
+    }
+    params += static_cast<unsigned __int128>(prev) * cfg.num_classes +
+              cfg.num_classes;
+    check_params_present(in, params);
     auto model = std::make_unique<DeepMlp>(cfg);
     read_params(in, *model);
     return model;
   }
-  throw std::runtime_error("model checkpoint: unsupported version " +
-                           std::to_string(version));
+  bad_blob(in, "unsupported version " + std::to_string(version));
 }
 
 std::unique_ptr<Model> load_any_model_file(const std::string& path) {

@@ -29,8 +29,11 @@ namespace hetero::nn {
 void save_model(std::ostream& out, const Model& model);
 void save_model_file(const std::string& path, const Model& model);
 
-/// Reads a checkpoint of any supported version; throws std::runtime_error
-/// on malformed input. v1 yields an MlpModel, v2 a DeepMlp.
+/// Reads a checkpoint of any supported version; throws hetero::ParseError
+/// (a std::runtime_error) on malformed input — bad magic, truncation, and
+/// headers whose implied parameter payload exceeds the remaining stream
+/// size (checked before any allocation). v1 yields an MlpModel, v2 a
+/// DeepMlp.
 std::unique_ptr<Model> load_any_model(std::istream& in);
 std::unique_ptr<Model> load_any_model_file(const std::string& path);
 

@@ -1,25 +1,38 @@
 #include "sparse/libsvm.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/error.h"
 
 namespace hetero::sparse {
 
 namespace {
+
+using hetero::ParseError;
 
 struct ParsedRow {
   std::vector<std::uint32_t> labels;
   std::vector<Entry> features;
 };
 
+std::uint32_t parse_index(const std::string& text, std::size_t line_no) {
+  return static_cast<std::uint32_t>(util::parse_u64_strict(
+      text, "libsvm", line_no, std::numeric_limits<std::uint32_t>::max()));
+}
+
 // Parses "l1,l2 i1:v1 i2:v2". Lines without a ':' in the second token and
-// exactly 2-3 integer tokens are treated as headers by the caller.
-ParsedRow parse_row(const std::string& line, bool one_based) {
+// exactly 2-3 integer tokens are treated as headers by the caller. Every
+// numeric field is parsed strictly: "abc:1.0" (index silently 0 under
+// strtoul), "2x" labels (trailing garbage), out-of-range indices, and
+// non-finite values are all rejected with a ParseError naming the line.
+ParsedRow parse_row(const std::string& line, std::size_t line_no,
+                    bool one_based, std::size_t declared_features) {
   ParsedRow row;
   std::istringstream ss(line);
   std::string token;
@@ -33,8 +46,8 @@ ParsedRow parse_row(const std::string& line, bool one_based) {
         auto comma = token.find(',', pos);
         if (comma == std::string::npos) comma = token.size();
         if (comma > pos) {
-          row.labels.push_back(static_cast<std::uint32_t>(
-              std::strtoul(token.substr(pos, comma - pos).c_str(), nullptr, 10)));
+          row.labels.push_back(
+              parse_index(token.substr(pos, comma - pos), line_no));
         }
         pos = comma + 1;
       }
@@ -43,16 +56,24 @@ ParsedRow parse_row(const std::string& line, bool one_based) {
     }
     first = false;
     if (colon == std::string::npos) {
-      throw std::runtime_error("libsvm: malformed token '" + token + "'");
+      throw ParseError("libsvm", "malformed token '" + token + "'", line_no);
     }
-    auto idx = static_cast<std::uint32_t>(
-        std::strtoul(token.substr(0, colon).c_str(), nullptr, 10));
+    auto idx = parse_index(token.substr(0, colon), line_no);
     if (one_based) {
-      if (idx == 0) throw std::runtime_error("libsvm: 0 index in 1-based file");
+      if (idx == 0) {
+        throw ParseError("libsvm", "0 index in 1-based file", line_no);
+      }
       idx -= 1;
     }
+    if (declared_features != 0 && idx >= declared_features) {
+      throw ParseError("libsvm",
+                       "feature index " + std::to_string(idx) +
+                           " exceeds declared num_features " +
+                           std::to_string(declared_features),
+                       line_no);
+    }
     const float value =
-        std::strtof(token.substr(colon + 1).c_str(), nullptr);
+        util::parse_f32_strict(token.substr(colon + 1), "libsvm", line_no);
     row.features.push_back({idx, value});
   }
   return row;
@@ -79,31 +100,45 @@ LabeledDataset read_libsvm(std::istream& in, std::size_t num_features,
   std::string line;
   std::vector<ParsedRow> rows;
   bool first_line = true;
-  while (std::getline(in, line)) {
+  std::size_t line_no = 0;
+  for (; std::getline(in, line); ) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
     if (first_line && looks_like_header(line)) {
       std::istringstream ss(line);
-      std::size_t ns = 0, nf = 0, nc = 0;
+      std::string ns, nf, nc;
       ss >> ns >> nf >> nc;
-      if (num_features == 0) num_features = nf;
-      if (num_classes == 0) num_classes = nc;
+      util::parse_u64_strict(ns, "libsvm", line_no);  // sample count unused
+      const auto header_features = util::parse_u64_strict(nf, "libsvm", line_no);
+      const auto header_classes = util::parse_u64_strict(nc, "libsvm", line_no);
+      if (num_features == 0) {
+        num_features = static_cast<std::size_t>(header_features);
+      }
+      if (num_classes == 0) {
+        num_classes = static_cast<std::size_t>(header_classes);
+      }
       first_line = false;
       continue;
     }
     first_line = false;
-    rows.push_back(parse_row(line, one_based_indices));
+    rows.push_back(parse_row(line, line_no, one_based_indices, num_features));
   }
 
   std::size_t max_feature = 0, max_label = 0;
   for (const auto& r : rows) {
-    for (const auto& e : r.features)
-      max_feature = std::max<std::size_t>(max_feature, e.col + 1);
-    for (auto l : r.labels) max_label = std::max<std::size_t>(max_label, l + 1);
+    for (const auto& e : r.features) {
+      // size_t arithmetic: `e.col + 1` would wrap to 0 at UINT32_MAX.
+      max_feature =
+          std::max<std::size_t>(max_feature, std::size_t{e.col} + 1);
+    }
+    for (auto l : r.labels) {
+      max_label = std::max<std::size_t>(max_label, std::size_t{l} + 1);
+    }
   }
   if (num_features == 0) num_features = max_feature;
   if (num_classes == 0) num_classes = max_label;
   if (max_feature > num_features || max_label > num_classes) {
-    throw std::runtime_error("libsvm: index exceeds declared dimensions");
+    throw ParseError("libsvm", "index exceeds declared dimensions");
   }
 
   CsrBuilder features(num_features);

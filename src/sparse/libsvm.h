@@ -27,6 +27,11 @@ struct LabeledDataset {
 /// "infer from data (max index + 1)", unless a header line provides them.
 /// Feature indices in the file may be 0- or 1-based; `one_based_indices`
 /// selects the convention (XML Repository files are 0-based).
+///
+/// This is an untrusted-input path: malformed lines — non-numeric or
+/// out-of-range indices, trailing garbage in labels or values, non-finite
+/// values, indices beyond the declared dimensions — throw hetero::ParseError
+/// carrying the 1-based line number. Allocation is bounded by input size.
 LabeledDataset read_libsvm(std::istream& in, std::size_t num_features = 0,
                            std::size_t num_classes = 0,
                            bool one_based_indices = false);

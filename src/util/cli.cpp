@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <stdexcept>
+
+#include "util/error.h"
 
 namespace hetero::util {
 
 std::vector<std::size_t> parse_size_list(const std::string& text) {
   if (text.empty()) {
-    throw std::invalid_argument("size list is empty");
+    throw ParseError("size-list", "list is empty");
   }
   std::vector<std::size_t> sizes;
   std::size_t pos = 0;
@@ -18,18 +18,14 @@ std::vector<std::size_t> parse_size_list(const std::string& text) {
     if (comma == std::string::npos) comma = text.size();
     const std::string token = text.substr(pos, comma - pos);
     if (token.empty()) {
-      throw std::invalid_argument("size list '" + text +
-                                  "' has an empty element");
+      throw ParseError("size-list",
+                       "'" + text + "' has an empty element", ParseError::npos,
+                       pos);
     }
-    char* end = nullptr;
-    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
-    if (end != token.c_str() + token.size()) {
-      throw std::invalid_argument("size list entry '" + token +
-                                  "' is not a number");
-    }
+    const auto value = parse_u64_strict(token, "size-list");
     if (value == 0) {
-      throw std::invalid_argument("size list '" + text +
-                                  "' contains a zero entry");
+      throw ParseError("size-list", "'" + text + "' contains a zero entry",
+                       ParseError::npos, pos);
     }
     sizes.push_back(static_cast<std::size_t>(value));
     pos = comma + 1;
@@ -72,13 +68,13 @@ std::string ArgParser::get_string(const std::string& name,
 std::int64_t ArgParser::get_int(const std::string& name, std::int64_t def) {
   auto v = take(name);
   if (!v) return def;
-  return std::strtoll(v->c_str(), nullptr, 10);
+  return parse_i64_strict(*v, "cli: flag --" + name);
 }
 
 double ArgParser::get_double(const std::string& name, double def) {
   auto v = take(name);
   if (!v) return def;
-  return std::strtod(v->c_str(), nullptr);
+  return parse_f64_strict(*v, "cli: flag --" + name);
 }
 
 std::vector<std::size_t> ArgParser::get_size_list(

@@ -13,22 +13,25 @@
 namespace hetero::util {
 
 /// Parses a comma-separated size list ("256,128,64") into positive sizes.
-/// Throws std::invalid_argument on an empty list, an empty element, trailing
-/// garbage ("12x"), or a zero entry — experiment configs must fail loudly.
+/// Throws hetero::ParseError on an empty list, an empty element, trailing
+/// garbage ("12x"), overflow, or a zero entry — experiment configs must
+/// fail loudly.
 std::vector<std::size_t> parse_size_list(const std::string& text);
 
 class ArgParser {
  public:
   ArgParser(int argc, const char* const* argv);
 
-  /// Declares a flag with a default, returning the parsed value.
+  /// Declares a flag with a default, returning the parsed value. The
+  /// numeric forms throw hetero::ParseError naming the flag when the value
+  /// is not a number — "--gpus=abc" must not silently become 0.
   std::string get_string(const std::string& name, const std::string& def);
   std::int64_t get_int(const std::string& name, std::int64_t def);
   double get_double(const std::string& name, double def);
   bool get_bool(const std::string& name, bool def);
 
   /// Comma-separated size list, e.g. --hidden 256,128,64. Throws
-  /// std::invalid_argument (via parse_size_list) on malformed input.
+  /// hetero::ParseError (via parse_size_list) on malformed input.
   std::vector<std::size_t> get_size_list(const std::string& name,
                                          std::vector<std::size_t> def);
 

@@ -1,0 +1,105 @@
+#include "util/error.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace hetero::util {
+
+namespace {
+
+[[noreturn]] void bad_token(const std::string& token, const std::string& kind,
+                            const std::string& source, std::size_t line) {
+  throw ParseError(source, "'" + token + "' is not a valid " + kind, line);
+}
+
+}  // namespace
+
+std::uint64_t parse_u64_strict(const std::string& token,
+                               const std::string& source, std::size_t line,
+                               std::uint64_t max) {
+  // strtoull silently accepts a leading '-' (negating modulo 2^64) and
+  // leading whitespace; both are malformed here.
+  if (token.empty() || !(token[0] >= '0' && token[0] <= '9')) {
+    bad_token(token, "unsigned integer", source, line);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    bad_token(token, "unsigned integer", source, line);
+  }
+  if (errno == ERANGE || value > max) {
+    throw ParseError(source,
+                     "'" + token + "' is out of range (max " +
+                         std::to_string(max) + ")",
+                     line);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::int64_t parse_i64_strict(const std::string& token,
+                              const std::string& source, std::size_t line) {
+  if (token.empty() ||
+      !((token[0] >= '0' && token[0] <= '9') || token[0] == '-' ||
+        token[0] == '+')) {
+    bad_token(token, "integer", source, line);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || end == token.c_str()) {
+    bad_token(token, "integer", source, line);
+  }
+  if (errno == ERANGE) {
+    throw ParseError(source, "'" + token + "' is out of range", line);
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+double parse_f64_strict(const std::string& token, const std::string& source,
+                        std::size_t line, bool allow_non_finite) {
+  if (token.empty() ||
+      std::isspace(static_cast<unsigned char>(token[0]))) {
+    bad_token(token, "number", source, line);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || end == token.c_str()) {
+    bad_token(token, "number", source, line);
+  }
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    throw ParseError(source, "'" + token + "' overflows a double", line);
+  }
+  if (!allow_non_finite && !std::isfinite(value)) {
+    throw ParseError(source, "'" + token + "' is not finite", line);
+  }
+  return value;
+}
+
+float parse_f32_strict(const std::string& token, const std::string& source,
+                       std::size_t line) {
+  if (token.empty() ||
+      std::isspace(static_cast<unsigned char>(token[0]))) {
+    bad_token(token, "number", source, line);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const float value = std::strtof(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || end == token.c_str()) {
+    bad_token(token, "number", source, line);
+  }
+  if (errno == ERANGE &&
+      (value == HUGE_VALF || value == -HUGE_VALF)) {
+    throw ParseError(source, "'" + token + "' overflows a float", line);
+  }
+  if (!std::isfinite(value)) {
+    throw ParseError(source, "'" + token + "' is not finite", line);
+  }
+  return value;
+}
+
+}  // namespace hetero::util

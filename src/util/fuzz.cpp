@@ -1,0 +1,174 @@
+#include "util/fuzz.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace hetero::util::fuzz {
+
+namespace {
+
+// Bytes that matter to the text grammars under test (delimiters, signs,
+// exponent markers) plus classic boundary bytes for the binary formats.
+constexpr char kInterestingBytes[] = {
+    ':', ',', ';', '@', '+', '-', 'x', '.', ' ', '\t', '\n', '#',
+    '0', '1', '9', 'e', 'E', 'g', 'p', 'u', '\0', '\x7f', '\x80', '\xff'};
+
+// Length/count fields in binary formats are 64-bit; smashing 8 bytes with
+// these values is how the fuzzer reaches "hostile length" code paths.
+constexpr std::uint64_t kInterestingU64[] = {
+    0,
+    1,
+    0x7fULL,
+    0xffULL,
+    0x7fffULL,
+    0xffffULL,
+    0x7fffffffULL,
+    0x80000000ULL,
+    0xffffffffULL,
+    0x100000000ULL,
+    0x7fffffffffffffffULL,
+    0x8000000000000000ULL,
+    0xffffffffffffffffULL,
+};
+
+}  // namespace
+
+Corpus::Corpus(std::vector<std::string> seeds) : entries_(std::move(seeds)) {
+  if (entries_.empty()) entries_.emplace_back();
+}
+
+const std::string& Corpus::pick(Rng& rng) const {
+  return entries_[static_cast<std::size_t>(rng.next_below(entries_.size()))];
+}
+
+void Corpus::add(std::string input) {
+  if (entries_.size() >= max_entries_) return;
+  entries_.push_back(std::move(input));
+}
+
+Mutator::Mutator(std::vector<std::string> dictionary)
+    : dictionary_(std::move(dictionary)) {}
+
+std::string Mutator::mutate(const std::string& input, Rng& rng) const {
+  std::string out = input;
+  const auto ops = 1 + rng.next_below(4);
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    // Positions are drawn over size()+1 so insertions can hit the end and
+    // mutations still apply to an empty string.
+    const auto pos = static_cast<std::size_t>(rng.next_below(out.size() + 1));
+    switch (rng.next_below(10)) {
+      case 0:  // flip one bit
+        if (!out.empty()) {
+          out[pos % out.size()] ^=
+              static_cast<char>(1u << rng.next_below(8));
+        }
+        break;
+      case 1:  // overwrite with a random byte
+        if (!out.empty()) {
+          out[pos % out.size()] = static_cast<char>(rng.next_below(256));
+        }
+        break;
+      case 2:  // overwrite with an interesting byte
+        if (!out.empty()) {
+          out[pos % out.size()] = kInterestingBytes[static_cast<std::size_t>(
+              rng.next_below(sizeof(kInterestingBytes)))];
+        }
+        break;
+      case 3:  // insert an interesting byte
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                   kInterestingBytes[static_cast<std::size_t>(
+                       rng.next_below(sizeof(kInterestingBytes)))]);
+        break;
+      case 4: {  // erase a span
+        if (!out.empty()) {
+          const auto begin = pos % out.size();
+          const auto len = 1 + rng.next_below(
+                                   std::min<std::uint64_t>(16, out.size() - begin));
+          out.erase(begin, static_cast<std::size_t>(len));
+        }
+        break;
+      }
+      case 5: {  // duplicate a span (stresses repeated-token handling)
+        if (!out.empty()) {
+          const auto begin = pos % out.size();
+          const auto len = 1 + rng.next_below(
+                                   std::min<std::uint64_t>(32, out.size() - begin));
+          out.insert(begin, out.substr(begin, static_cast<std::size_t>(len)));
+        }
+        break;
+      }
+      case 6:  // truncate (binary formats: simulates a torn write)
+        out.resize(pos);
+        break;
+      case 7: {  // splice in a dictionary token
+        if (!dictionary_.empty()) {
+          const auto& tok = dictionary_[static_cast<std::size_t>(
+              rng.next_below(dictionary_.size()))];
+          out.insert(pos, tok);
+        }
+        break;
+      }
+      case 8: {  // append random digits (number-length stressing)
+        const auto digits = 1 + rng.next_below(24);
+        for (std::uint64_t d = 0; d < digits; ++d) {
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                         std::min(pos, out.size())),
+                     static_cast<char>('0' + rng.next_below(10)));
+        }
+        break;
+      }
+      case 9: {  // smash 8 bytes with an interesting u64 (length fields)
+        if (out.size() >= 8) {
+          const auto begin = pos % (out.size() - 7);
+          const std::uint64_t v = kInterestingU64[static_cast<std::size_t>(
+              rng.next_below(std::size(kInterestingU64)))];
+          std::memcpy(out.data() + begin, &v, sizeof v);
+        }
+        break;
+      }
+    }
+    if (out.size() > max_output_bytes_) out.resize(max_output_bytes_);
+  }
+  return out;
+}
+
+Options Options::from_env(Options base) {
+  if (const char* env = std::getenv("HETERO_FUZZ_ITERS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      base.iterations = static_cast<std::size_t>(v);
+    }
+  }
+  return base;
+}
+
+Stats run(const Options& opts, Corpus& corpus, const Mutator& mutator,
+          const std::function<void(const std::string&)>& target) {
+  Rng rng(opts.seed);
+  Stats stats;
+  for (std::size_t i = 0; i < opts.iterations; ++i) {
+    const std::string& base = corpus.pick(rng);
+    const std::string input = rng.next_double() < opts.pristine_probability
+                                  ? base
+                                  : mutator.mutate(base, rng);
+    stats.max_input_bytes = std::max(stats.max_input_bytes, input.size());
+    ++stats.iterations;
+    try {
+      target(input);
+      ++stats.accepted;
+      if (opts.grow_corpus && input != base) corpus.add(input);
+    } catch (const ParseError&) {
+      ++stats.rejected;  // the documented rejection path — success
+    }
+    // Anything else (std::bad_alloc, std::logic_error, stray
+    // std::runtime_error, ...) propagates: the parser broke its contract.
+  }
+  stats.corpus_size = corpus.size();
+  return stats;
+}
+
+}  // namespace hetero::util::fuzz

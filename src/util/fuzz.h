@@ -1,0 +1,97 @@
+// Deterministic, seed-driven mutational fuzzing for untrusted-input parsers.
+//
+// Unlike libFuzzer/AFL this harness is a plain library: a fixed util::Rng
+// seed fully determines the input sequence, so a fuzz run is a reproducible
+// test (same seed => same 10k inputs, bit for bit) that can run under any
+// sanitizer preset (asan/ubsan/tsan) in seconds. The contract every target
+// must satisfy:
+//
+//   for any byte string: the parser either succeeds, or throws
+//   hetero::ParseError — it never crashes, trips UB, throws anything else,
+//   or allocates unboundedly (allocations must be bounded by input size).
+//
+// fuzz::run enforces the exception side of that contract (ParseError is
+// counted as a clean rejection; any other exception propagates and fails
+// the test); the sanitizer presets enforce the crash/UB side.
+//
+// Usage (see tests/fuzz/):
+//   fuzz::Corpus corpus({"0 1:1.0", "2 100 50"});
+//   fuzz::Mutator mut({":", ",", "1e308", "-1"});
+//   auto stats = fuzz::run(fuzz::Options::from_env({}), corpus, mut,
+//                          [](const std::string& input) { parse(input); });
+//   EXPECT_GE(stats.iterations, 10000u);
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hetero::util::fuzz {
+
+/// Pool of inputs mutations are derived from. Starts from hand-written valid
+/// seeds; inputs the target accepted are added back (bounded) so mutation
+/// walks deeper into the accepted grammar over time.
+class Corpus {
+ public:
+  explicit Corpus(std::vector<std::string> seeds);
+
+  const std::string& pick(Rng& rng) const;
+  void add(std::string input);
+
+  std::size_t size() const { return entries_.size(); }
+  void set_max_entries(std::size_t n) { max_entries_ = n; }
+
+ private:
+  std::vector<std::string> entries_;
+  std::size_t max_entries_ = 4096;
+};
+
+/// Random byte- and token-level mutations. A dictionary of format-specific
+/// tokens (delimiters, keywords, magic values) makes mutants structure-aware
+/// enough to reach past the first validation layer.
+class Mutator {
+ public:
+  explicit Mutator(std::vector<std::string> dictionary = {});
+
+  /// Applies 1..4 random mutation ops; output size is capped.
+  std::string mutate(const std::string& input, Rng& rng) const;
+
+  void set_max_output_bytes(std::size_t n) { max_output_bytes_ = n; }
+
+ private:
+  std::vector<std::string> dictionary_;
+  std::size_t max_output_bytes_ = 1 << 14;
+};
+
+struct Options {
+  std::size_t iterations = 10000;
+  std::uint64_t seed = 0x48655455ULL;  // fixed default: runs are reproducible
+  bool grow_corpus = true;
+  /// Occasionally feed the unmutated corpus entry (keeps the accepting path
+  /// exercised); probability in [0,1).
+  double pristine_probability = 0.05;
+
+  /// Returns `base` with iterations overridden by the HETERO_FUZZ_ITERS
+  /// environment variable when set (longer soak runs without a rebuild).
+  static Options from_env(Options base);
+};
+
+struct Stats {
+  std::size_t iterations = 0;    // inputs fed to the target
+  std::size_t accepted = 0;      // target returned normally
+  std::size_t rejected = 0;      // target threw hetero::ParseError
+  std::size_t corpus_size = 0;   // corpus entries after the run
+  std::size_t max_input_bytes = 0;
+};
+
+/// Drives `target` through opts.iterations mutated inputs. ParseError from
+/// the target counts as a clean rejection; any other exception propagates
+/// (the fuzz test should let it fail the test framework).
+Stats run(const Options& opts, Corpus& corpus, const Mutator& mutator,
+          const std::function<void(const std::string&)>& target);
+
+}  // namespace hetero::util::fuzz

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 
 namespace hetero::util {
@@ -13,11 +14,28 @@ Histogram::Histogram(double lo, double hi, std::size_t num_bins)
 }
 
 void Histogram::add(double value) {
+  if (std::isnan(value)) {
+    // A NaN has no bin; dropping it deterministically (and counting it)
+    // beats the old float->integer cast, which was UB before the clamp ran.
+    ++non_finite_;
+    return;
+  }
+  // Clamp in double space: for values far outside [lo, hi) — including
+  // +/-inf and finite values whose scaled position exceeds PTRDIFF_MAX —
+  // the cast itself would be UB, so the edge bins are chosen before any
+  // float->integer conversion happens.
   const double t = (value - lo_) / (hi_ - lo_);
-  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  std::size_t bin;
+  if (!(t > 0.0)) {
+    bin = 0;
+  } else if (t >= 1.0) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+    bin = std::min(bin, counts_.size() - 1);  // t just below 1 can round up
+  }
+  if (std::isinf(value)) ++non_finite_;
+  ++counts_[bin];
   ++total_;
 }
 

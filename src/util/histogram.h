@@ -9,7 +9,9 @@ namespace hetero::util {
 
 class Histogram {
  public:
-  /// Uniform bins over [lo, hi); values outside are clamped to the edge bins.
+  /// Uniform bins over [lo, hi); values outside — including +/-inf — are
+  /// clamped to the edge bins. NaN values are dropped (counted separately,
+  /// see non_finite()); they are never cast to an integer bin.
   Histogram(double lo, double hi, std::size_t num_bins);
 
   void add(double value);
@@ -17,6 +19,10 @@ class Histogram {
   std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
   std::size_t num_bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+
+  /// Number of non-finite values seen: NaNs (dropped) plus +/-infs
+  /// (clamped into the edge bins but flagged here).
+  std::size_t non_finite() const { return non_finite_; }
   double bin_lo(std::size_t bin) const;
   double bin_hi(std::size_t bin) const;
 
@@ -28,6 +34,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t non_finite_ = 0;
 };
 
 }  // namespace hetero::util

@@ -1,0 +1,94 @@
+// Fuzzes the libSVM dataset parser: for any byte string, read_libsvm must
+// either return a structurally valid dataset or throw hetero::ParseError.
+// Run under the asan/ubsan presets this also proves no heap corruption or
+// UB on hostile datasets (the paper's pipeline ingests real XML-repository
+// files; a malformed line must never take the trainer down).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/libsvm.h"
+#include "util/error.h"
+#include "util/fuzz.h"
+
+namespace hetero::sparse {
+namespace {
+
+namespace fuzz = util::fuzz;
+
+fuzz::Corpus make_corpus() {
+  return fuzz::Corpus({
+      "1,3 0:0.5 4:1.5\n2 1:2.0\n",
+      "2 100 50\n0 1:1.0\n1 2:1.0\n",
+      "# comment\n\n0 1:1.0\n",
+      "0 0:7.0\n",
+      "12,9,4 0:0.25 1:-1.5e-3 7:3\n",
+      "5 4:1e2\n",
+      "0:1.0 1:2.0\n",  // unlabeled row
+  });
+}
+
+fuzz::Mutator make_mutator() {
+  return fuzz::Mutator({":", ",", "#", " ", "\n", "-", ".", "e", "E",
+                        "0:", ":1", "4294967295", "99999999999999999999",
+                        "1e308", "1e-308", "nan", "inf", "-inf", "abc"});
+}
+
+// The parser's postcondition on success: both CSR matrices hold their
+// structural invariants and share row order. Violations escape as
+// logic_error, which fuzz::run propagates as a test failure.
+void check_dataset(const LabeledDataset& ds) {
+  if (!ds.features.validate() || !ds.labels.validate()) {
+    throw std::logic_error("libsvm produced an invalid CSR matrix");
+  }
+  if (ds.features.rows() != ds.labels.rows()) {
+    throw std::logic_error("libsvm feature/label row mismatch");
+  }
+}
+
+TEST(FuzzLibsvm, AutoSizedParserNeverCrashes) {
+  auto corpus = make_corpus();
+  const auto mutator = make_mutator();
+  auto opts = fuzz::Options::from_env({});
+  const auto stats =
+      fuzz::run(opts, corpus, mutator, [](const std::string& input) {
+        std::istringstream in(input);
+        check_dataset(read_libsvm(in));
+      });
+  EXPECT_GE(stats.iterations, 10000u);
+  EXPECT_GT(stats.accepted, 0u);  // the pristine seeds must parse
+  EXPECT_GT(stats.rejected, 0u);  // and mutation must reach the error paths
+}
+
+TEST(FuzzLibsvm, DeclaredDimensionsParserNeverCrashes) {
+  auto corpus = make_corpus();
+  const auto mutator = make_mutator();
+  auto opts = fuzz::Options::from_env({});
+  opts.seed = 0x11B5711ULL;
+  const auto stats =
+      fuzz::run(opts, corpus, mutator, [](const std::string& input) {
+        std::istringstream in(input);
+        check_dataset(read_libsvm(in, 128, 64));
+      });
+  EXPECT_GE(stats.iterations, 10000u);
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(FuzzLibsvm, OneBasedParserNeverCrashes) {
+  fuzz::Corpus corpus({"0 1:7.0\n", "1,2 3:0.5 9:1.25\n2 1:2.0\n"});
+  const auto mutator = make_mutator();
+  auto opts = fuzz::Options::from_env({});
+  opts.seed = 0x0E1BA5EDULL;
+  const auto stats =
+      fuzz::run(opts, corpus, mutator, [](const std::string& input) {
+        std::istringstream in(input);
+        check_dataset(read_libsvm(in, 0, 0, /*one_based_indices=*/true));
+      });
+  EXPECT_GE(stats.iterations, 10000u);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+}  // namespace
+}  // namespace hetero::sparse

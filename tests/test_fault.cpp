@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -17,6 +20,8 @@
 #include "fault/fault_plan.h"
 #include "sim/profiles.h"
 #include "sim/trace.h"
+#include "util/error.h"
+#include "util/rng.h"
 
 namespace hetero {
 namespace {
@@ -77,35 +82,35 @@ TEST_F(FaultTest, PlanRoundTripsThroughToString) {
 
 TEST_F(FaultTest, PlanRejectsMalformedSpecs) {
   EXPECT_THROW(fault::FaultPlan::parse("melt@1.0:gpu0"),
-               std::invalid_argument);
-  EXPECT_THROW(fault::FaultPlan::parse("crash@:gpu0"), std::invalid_argument);
-  EXPECT_THROW(fault::FaultPlan::parse("crash@1.0"), std::invalid_argument);
+               hetero::ParseError);
+  EXPECT_THROW(fault::FaultPlan::parse("crash@:gpu0"), hetero::ParseError);
+  EXPECT_THROW(fault::FaultPlan::parse("crash@1.0"), hetero::ParseError);
   EXPECT_THROW(fault::FaultPlan::parse("crash@1.0:cpu0"),
-               std::invalid_argument);
+               hetero::ParseError);
   EXPECT_THROW(fault::FaultPlan::parse("slow@1.0+abcx0.5:gpu0"),
-               std::invalid_argument);
+               hetero::ParseError);
 }
 
 TEST_F(FaultTest, PlanValidateCatchesBadMembershipAndWindows) {
   // Crash of an already-dead device.
   EXPECT_THROW(
       fault::FaultPlan::parse("crash@1.0:gpu1;crash@2.0:gpu1").validate(2),
-      std::invalid_argument);
+      hetero::ParseError);
   // Join of an alive device.
   EXPECT_THROW(fault::FaultPlan::parse("join@1.0:gpu0").validate(2),
-               std::invalid_argument);
+               hetero::ParseError);
   // Device index out of range.
   EXPECT_THROW(fault::FaultPlan::parse("crash@1.0:gpu5").validate(2),
-               std::invalid_argument);
+               hetero::ParseError);
   // Slowdown without a duration; factor out of range.
   EXPECT_THROW(fault::FaultPlan::parse("slow@1.0x0.5:gpu0").validate(2),
-               std::invalid_argument);
+               hetero::ParseError);
   EXPECT_THROW(fault::FaultPlan::parse("slow@1.0+1.0x1.5:gpu0").validate(2),
-               std::invalid_argument);
+               hetero::ParseError);
   // A plan may not kill every device.
   EXPECT_THROW(
       fault::FaultPlan::parse("crash@1.0:gpu0;crash@1.0:gpu1").validate(2),
-      std::invalid_argument);
+      hetero::ParseError);
 }
 
 TEST_F(FaultTest, RandomPlanIsSeededAndSparesDeviceZero) {
@@ -439,6 +444,105 @@ TEST_F(FaultTest, CheckpointFileRoundTripsAllFields) {
   EXPECT_EQ(loaded.scaling.previous, ckpt.scaling.previous);
   EXPECT_EQ(loaded.global_blob, ckpt.global_blob);
   EXPECT_EQ(loaded.prev_global_blob, ckpt.prev_global_blob);
+  std::remove(path.c_str());
+}
+
+// ---- corrupt / hostile checkpoint bytes (untrusted-input hardening) -------
+
+// A serialized checkpoint small enough to corrupt surgically.
+std::string tiny_checkpoint_bytes() {
+  fault::TrainingCheckpoint ckpt;
+  ckpt.seed = 7;
+  ckpt.megabatches_completed = 2;
+  ckpt.gpus.resize(2);
+  for (std::size_t g = 0; g < ckpt.gpus.size(); ++g) {
+    ckpt.gpus[g].batch_size = 32;
+    ckpt.gpus[g].rng = util::Rng(g).state();
+  }
+  ckpt.scaling.previous = {32, 64};
+  ckpt.scaling.last_direction = {1, -1};
+  ckpt.global_blob = std::string(96, 'G');
+  ckpt.prev_global_blob = std::string(96, 'P');
+  std::ostringstream out(std::ios::binary);
+  fault::save_checkpoint(out, ckpt);
+  return out.str();
+}
+
+fault::TrainingCheckpoint load_from_bytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return fault::load_checkpoint(in);
+}
+
+void write_u64_at(std::string& bytes, std::size_t offset, std::uint64_t v) {
+  ASSERT_LE(offset + sizeof(v), bytes.size());
+  std::memcpy(bytes.data() + offset, &v, sizeof(v));
+}
+
+TEST_F(FaultTest, CorruptCheckpointWrongMagicIsTypedError) {
+  auto bytes = tiny_checkpoint_bytes();
+  bytes[0] = 'X';
+  try {
+    load_from_bytes(bytes);
+    FAIL() << "expected ParseError";
+  } catch (const hetero::ParseError& e) {
+    EXPECT_EQ(e.source(), "checkpoint");
+    EXPECT_NE(e.offset(), hetero::ParseError::npos);
+  }
+}
+
+TEST_F(FaultTest, CorruptCheckpointHostileBlobLengthIsTypedErrorNotBadAlloc) {
+  // The global-model blob length field sits before the last two
+  // size-prefixed blobs. A hostile 2^63 length must be rejected against the
+  // remaining stream size BEFORE any allocation happens — the pre-fix code
+  // fed it straight into std::string::resize (bad_alloc/length_error).
+  auto bytes = tiny_checkpoint_bytes();
+  const std::size_t global_len_at = bytes.size() - (8 + 96 + 8 + 96);
+  write_u64_at(bytes, global_len_at, std::uint64_t{1} << 63);
+  EXPECT_THROW(load_from_bytes(bytes), hetero::ParseError);
+
+  // A length just past the bytes actually present is equally hostile.
+  auto near = tiny_checkpoint_bytes();
+  write_u64_at(near, global_len_at, 96 + 1024);
+  EXPECT_THROW(load_from_bytes(near), hetero::ParseError);
+}
+
+TEST_F(FaultTest, CorruptCheckpointHostileGpuCountIsTypedError) {
+  // num_gpus lives at byte 64 (magic+version+6 u64/f64 header fields); a
+  // corrupt count must fail the remaining-size check, not resize() a
+  // multi-exabyte vector.
+  auto bytes = tiny_checkpoint_bytes();
+  write_u64_at(bytes, 64, std::uint64_t{1} << 62);
+  EXPECT_THROW(load_from_bytes(bytes), hetero::ParseError);
+}
+
+TEST_F(FaultTest, TruncatedCheckpointTailIsTypedError) {
+  const auto bytes = tiny_checkpoint_bytes();
+  // Every proper prefix must produce a clean typed error (torn write /
+  // partial download), never UB or a crash.
+  for (const double frac : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    const auto cut = static_cast<std::size_t>(
+        frac * static_cast<double>(bytes.size()));
+    EXPECT_THROW(load_from_bytes(bytes.substr(0, cut)), hetero::ParseError)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST_F(FaultTest, CheckpointUnsupportedVersionIsTypedError) {
+  auto bytes = tiny_checkpoint_bytes();
+  bytes[4] = 9;  // version u32 follows the 4-byte magic
+  EXPECT_THROW(load_from_bytes(bytes), hetero::ParseError);
+}
+
+TEST_F(FaultTest, ResumeFromCorruptFileIsTypedError) {
+  // End-to-end through the file API --resume-from uses.
+  auto bytes = tiny_checkpoint_bytes();
+  const auto path = temp_path("fault_corrupt.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(fault::load_checkpoint_file(path), hetero::ParseError);
   std::remove(path.c_str());
 }
 

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "data/synthetic.h"
+#include "util/error.h"
 
 namespace hetero::sparse {
 namespace {
@@ -68,6 +70,77 @@ TEST(Libsvm, SkipsCommentsAndBlanks) {
 TEST(Libsvm, MalformedTokenThrows) {
   std::istringstream in("0 1:1.0 garbage\n");
   EXPECT_THROW(read_libsvm(in), std::runtime_error);
+}
+
+// ---- malformed-input corpus (untrusted-file hardening) --------------------
+// Each row exercises a distinct way real-world files go bad. All must be
+// rejected with hetero::ParseError naming the offending line — never parsed
+// silently into wrong data (the pre-fix strtoul/strtof paths turned
+// "abc:1.0" into feature 0 and "1.0x" into 1.0).
+
+TEST(Libsvm, GarbageFeatureIndexThrowsInsteadOfParsingAsZero) {
+  std::istringstream in("0 abc:1.0\n");
+  EXPECT_THROW(read_libsvm(in), hetero::ParseError);
+}
+
+TEST(Libsvm, LabelWithTrailingGarbageThrows) {
+  std::istringstream in("2x 1:1.0\n");
+  EXPECT_THROW(read_libsvm(in), hetero::ParseError);
+}
+
+TEST(Libsvm, NegativeFeatureIndexThrows) {
+  // strtoul silently negates "-1" into 2^64-1; the strict parser rejects it.
+  std::istringstream in("0 -1:1.0\n");
+  EXPECT_THROW(read_libsvm(in), hetero::ParseError);
+}
+
+TEST(Libsvm, OverflowingFeatureIndexThrows) {
+  std::istringstream in("0 99999999999:1.0\n");
+  EXPECT_THROW(read_libsvm(in), hetero::ParseError);
+}
+
+TEST(Libsvm, ValueWithTrailingGarbageThrows) {
+  std::istringstream in("0 1:1.0x\n");
+  EXPECT_THROW(read_libsvm(in), hetero::ParseError);
+}
+
+TEST(Libsvm, NonFiniteValueThrows) {
+  std::istringstream in("0 1:nan\n");
+  EXPECT_THROW(read_libsvm(in), hetero::ParseError);
+  std::istringstream in2("0 1:inf\n");
+  EXPECT_THROW(read_libsvm(in2), hetero::ParseError);
+}
+
+TEST(Libsvm, ErrorNamesTheOffendingLine) {
+  std::istringstream in(
+      "0 1:1.0\n"
+      "0 1:1.0\n"
+      "0 bad:1.0\n");
+  try {
+    read_libsvm(in);
+    FAIL() << "expected ParseError";
+  } catch (const hetero::ParseError& e) {
+    EXPECT_EQ(e.source(), "libsvm");
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Libsvm, IndexAtDeclaredBoundThrowsWithLine) {
+  std::istringstream in("0 10:1.0\n");
+  try {
+    read_libsvm(in, /*num_features=*/10, /*num_labels=*/10);
+    FAIL() << "expected ParseError";
+  } catch (const hetero::ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+  }
+}
+
+TEST(Libsvm, OverflowingHeaderCountThrows) {
+  // All-digit tokens, so this IS shaped like a header — the count must
+  // still go through the strict (range-checked) parser.
+  std::istringstream in("2 99999999999999999999 5\n0 1:1.0\n");
+  EXPECT_THROW(read_libsvm(in), hetero::ParseError);
 }
 
 TEST(Libsvm, RoundTripPreservesData) {

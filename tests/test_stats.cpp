@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/histogram.h"
 #include "util/rng.h"
@@ -145,6 +146,32 @@ TEST(Histogram, BinEdges) {
   EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
   EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, NonFiniteValuesAreHandledWithoutUb) {
+  // Pre-fix, add() cast the value to an integer bin BEFORE clamping; for
+  // NaN, +/-inf, or anything outside ptrdiff_t range that cast is UB
+  // (caught by -fsanitize=float-cast-overflow). Now: NaN is dropped and
+  // counted, infinities clamp to the edge bins.
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.non_finite(), 1u);
+
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bin_count(9), 1u);
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.non_finite(), 3u);
+
+  // Finite but astronomically out of range: scaled position is far beyond
+  // ptrdiff_t, so the pre-clamp cast would also have been UB.
+  h.add(1e308);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  h.add(-1e308);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.non_finite(), 3u);
 }
 
 TEST(Histogram, RenderContainsCounts) {

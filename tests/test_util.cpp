@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/csv.h"
 #include "util/event_queue.h"
 #include "util/thread_pool.h"
@@ -231,12 +232,36 @@ TEST(Cli, ParseSizeList) {
   EXPECT_EQ(parse_size_list("256,128,64"),
             (std::vector<std::size_t>{256, 128, 64}));
   EXPECT_EQ(parse_size_list("48"), (std::vector<std::size_t>{48}));
-  EXPECT_THROW(parse_size_list(""), std::invalid_argument);
-  EXPECT_THROW(parse_size_list("128,"), std::invalid_argument);
-  EXPECT_THROW(parse_size_list(",128"), std::invalid_argument);
-  EXPECT_THROW(parse_size_list("128,0,64"), std::invalid_argument);
-  EXPECT_THROW(parse_size_list("12x"), std::invalid_argument);
-  EXPECT_THROW(parse_size_list("128,,64"), std::invalid_argument);
+  EXPECT_THROW(parse_size_list(""), hetero::ParseError);
+  EXPECT_THROW(parse_size_list("128,"), hetero::ParseError);
+  EXPECT_THROW(parse_size_list(",128"), hetero::ParseError);
+  EXPECT_THROW(parse_size_list("128,0,64"), hetero::ParseError);
+  EXPECT_THROW(parse_size_list("12x"), hetero::ParseError);
+  EXPECT_THROW(parse_size_list("128,,64"), hetero::ParseError);
+  // Overflow and negative entries go through the strict parser too; strtoul
+  // used to wrap "99999999999999999999" and negate "-64" silently.
+  EXPECT_THROW(parse_size_list("99999999999999999999"), hetero::ParseError);
+  EXPECT_THROW(parse_size_list("256,-64"), hetero::ParseError);
+}
+
+TEST(Cli, NumericGettersRejectGarbageValues) {
+  // Pre-fix, strtoll/strtod swallowed errors and "--gpus=abc" became 0.
+  const char* argv[] = {"prog", "--gpus=abc", "--lr=0.5x", "--gap=1e999"};
+  ArgParser args(4, argv);
+  EXPECT_THROW(args.get_int("gpus", 4), hetero::ParseError);
+  EXPECT_THROW(args.get_double("lr", 0.5), hetero::ParseError);
+  EXPECT_THROW(args.get_double("gap", 0.3), hetero::ParseError);
+}
+
+TEST(Cli, ParseErrorMessageNamesTheFlag) {
+  const char* argv[] = {"prog", "--gpus=abc"};
+  ArgParser args(2, argv);
+  try {
+    args.get_int("gpus", 4);
+    FAIL() << "expected ParseError";
+  } catch (const hetero::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("--gpus"), std::string::npos);
+  }
 }
 
 TEST(Cli, GetSizeList) {
