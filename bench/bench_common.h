@@ -19,6 +19,38 @@
 
 namespace hetero::bench {
 
+/// Build type this binary was compiled as, injected by bench/CMakeLists.txt
+/// (CMake's CMAKE_BUILD_TYPE). NDEBUG alone cannot distinguish Release from
+/// RelWithDebInfo — both define it — hence the explicit definition.
+inline const char* build_type() {
+#ifdef HETERO_BUILD_TYPE
+  return HETERO_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+/// Prints a loud stderr warning when the binary was not built Release.
+/// Returns true when the warning fired. Every binary that includes this
+/// header warns automatically at startup (see the initializer below), so
+/// BENCH_*.json numbers recorded from a debug-ish build are never silent.
+inline bool warn_if_not_release_build() {
+  if (std::string(build_type()) == "Release") return false;
+  std::fprintf(stderr,
+               "========================================================\n"
+               "  WARNING: benchmark built as '%s', not 'Release'.\n"
+               "  Timings from this build are meaningless — do NOT record\n"
+               "  them into BENCH_*.json. Rebuild with the bench preset:\n"
+               "    cmake --preset bench && cmake --build --preset bench -j\n"
+               "========================================================\n",
+               build_type());
+  return true;
+}
+
+namespace detail {
+inline const bool build_type_warning = warn_if_not_release_build();
+}  // namespace detail
+
 /// Amazon-670k-shaped profile at bench scale.
 inline data::SyntheticXmlConfig bench_amazon() {
   auto cfg = data::amazon670k_small();

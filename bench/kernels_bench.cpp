@@ -17,13 +17,16 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "comm/allreduce.h"
+#include "core/merging.h"
 #include "nn/train_step.h"
 #include "sim/profiles.h"
 #include "slide/simhash.h"
 #include "sparse/ops.h"
 #include "sparse/sparse_gradient.h"
 #include "tensor/ops.h"
+#include "tensor/vec/vec.h"
 #include "util/kernel_context.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -331,6 +334,137 @@ void BM_SmokeSgdStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SmokeSgdStep);
 
+// ---- Per-ISA kernel rows -------------------------------------------------
+//
+// The same serial kernel at the same shape, once per ISA the host supports,
+// so BENCH_kernels.json carries a scalar/avx2/avx512 column for each
+// vectorized hot path (the ISA is the benchmark name suffix). Registered
+// from main() via register_isa_benchmarks() because the supported set is
+// only known at runtime. Each row pins the global dispatch table to its
+// ISA for the duration of the run and restores the previous table after.
+
+class IsaScope {
+ public:
+  explicit IsaScope(vec::Isa isa) : prev_(vec::active_isa()) {
+    vec::set_isa(isa);
+  }
+  ~IsaScope() { vec::set_isa(prev_); }
+
+ private:
+  vec::Isa prev_;
+};
+
+// spmm at hidden 64 — the forward hot path (row-major axpy inner loop).
+void run_spmm_isa(benchmark::State& state, vec::Isa isa) {
+  const IsaScope scope(isa);
+  const auto x = make_sparse_batch(128, 8192, 76, 1);
+  util::Rng rng(2);
+  tensor::Matrix w(8192, 64);
+  tensor::init_gaussian(w, 0.05, rng);
+  tensor::Matrix y;
+  for (auto _ : state) {
+    sparse::spmm(x, w, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.nnz()) * 64);
+}
+
+// spmm_t_accumulate at hidden 64 — the backward scatter.
+void run_spmm_t_isa(benchmark::State& state, vec::Isa isa) {
+  const IsaScope scope(isa);
+  const auto x = make_sparse_batch(128, 8192, 76, 3);
+  util::Rng rng(4);
+  tensor::Matrix d(128, 64);
+  tensor::init_gaussian(d, 0.05, rng);
+  tensor::Matrix g(8192, 64, 0.0f);
+  for (auto _ : state) {
+    g.fill(0.0f);
+    sparse::spmm_t_accumulate(x, d, g);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.nnz()) * 64);
+}
+
+// Dense gemm 128x64 * 64x1024 — broadcast-axpy inner loop.
+void run_gemm_isa(benchmark::State& state, vec::Isa isa) {
+  const IsaScope scope(isa);
+  util::Rng rng(5);
+  tensor::Matrix a(128, 64), b(64, 1024), c;
+  tensor::init_gaussian(a, 0.05, rng);
+  tensor::init_gaussian(b, 0.05, rng);
+  for (auto _ : state) {
+    tensor::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 128 * 64 * 1024);
+}
+
+// Fused dense merge + momentum over a 1M-float segment, 4 replicas.
+void run_merge_isa(benchmark::State& state, vec::Isa isa) {
+  const IsaScope scope(isa);
+  const std::size_t len = 1 << 20;
+  util::Rng rng(6);
+  std::vector<std::vector<float>> replicas(4, std::vector<float>(len));
+  for (auto& r : replicas) {
+    for (auto& v : r) v = static_cast<float>(rng.uniform(-1, 1));
+  }
+  std::vector<float> global(replicas[0]), prev(len, 0.0f);
+  std::vector<const float*> ptrs;
+  for (const auto& r : replicas) ptrs.push_back(r.data());
+  const std::vector<double> weights{0.3, 0.3, 0.2, 0.2};
+  core::MergeUpdate u;
+  u.weights = weights;
+  u.gamma = 0.9;
+  u.momentum = true;
+  const kernels::Context ctx{};
+  for (auto _ : state) {
+    core::merge_segment(ptrs, len, u, global, prev, 1, ctx);
+    benchmark::DoNotOptimize(global.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(len));
+}
+
+// Touched-row SGD apply (w = keep*w - lr*g over packed rows, hidden 64).
+void run_sgd_apply_isa(benchmark::State& state, vec::Isa isa) {
+  const IsaScope scope(isa);
+  const std::size_t features = 1 << 17;
+  const auto x = make_sparse_batch(128, features, 100, 3);
+  util::Rng rng(4);
+  tensor::Matrix d(128, 64), w(features, 64);
+  tensor::init_gaussian(d, 0.05, rng);
+  tensor::init_gaussian(w, 0.05, rng);
+  const kernels::Context ctx{};
+  sparse::SparseGradient g;
+  g.reset(x, 64);
+  g.accumulate_spmm_t(x, d, ctx);
+  for (auto _ : state) {
+    g.apply_to(w, 0.01f, 1.0f, ctx);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_rows()) * 64);
+}
+
+void register_isa_benchmarks() {
+  for (const vec::Isa isa :
+       {vec::Isa::kScalar, vec::Isa::kAvx2, vec::Isa::kAvx512}) {
+    if (!vec::isa_supported(isa)) continue;
+    const std::string tag = vec::isa_name(isa);
+    benchmark::RegisterBenchmark(("BM_SpmmIsa/" + tag).c_str(),
+                                 run_spmm_isa, isa);
+    benchmark::RegisterBenchmark(("BM_SpmmTransposeIsa/" + tag).c_str(),
+                                 run_spmm_t_isa, isa);
+    benchmark::RegisterBenchmark(("BM_DenseGemmIsa/" + tag).c_str(),
+                                 run_gemm_isa, isa);
+    benchmark::RegisterBenchmark(("BM_MergeSegmentIsa/" + tag).c_str(),
+                                 run_merge_isa, isa);
+    benchmark::RegisterBenchmark(("BM_SgdApplyIsa/" + tag).c_str(),
+                                 run_sgd_apply_isa, isa);
+  }
+}
+
 void BM_SimHashSignature(benchmark::State& state) {
   util::Rng rng(9);
   slide::SimHash hasher(64, 6, 8, rng);
@@ -369,18 +503,35 @@ BENCHMARK(BM_WeightedAllReduceNumerics)->Arg(1 << 16)->Arg(1 << 20);
 
 // Custom main: unless the caller chose an output file, record the run to
 // BENCH_kernels.json (the perf-trajectory artifact tracked across PRs).
+// `--isa=scalar|avx2|avx512` pins the default dispatch table (the per-ISA
+// rows still sweep every supported ISA); HETERO_ISA does the same via the
+// environment. The recorded JSON context carries the build type and the
+// default ISA so a result file is self-describing.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--isa=", 6) == 0) {
+      hetero::vec::set_isa_from_string(argv[i] + 6);
+      continue;  // ours, not google-benchmark's
+    }
+    args.push_back(argv[i]);
+  }
   static char out_flag[] = "--benchmark_out=BENCH_kernels.json";
   static char fmt_flag[] = "--benchmark_out_format=json";
   bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  for (const char* a : args) {
+    if (std::strncmp(a, "--benchmark_out", 15) == 0) has_out = true;
   }
   if (!has_out) {
     args.push_back(out_flag);
     args.push_back(fmt_flag);
   }
+  register_isa_benchmarks();
+  benchmark::AddCustomContext("hetero_build_type", hetero::bench::build_type());
+  benchmark::AddCustomContext(
+      "hetero_default_isa",
+      hetero::vec::isa_name(hetero::vec::active_isa()));
   int ac = static_cast<int>(args.size());
   benchmark::Initialize(&ac, args.data());
   if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;

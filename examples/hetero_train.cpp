@@ -10,6 +10,8 @@
 //
 // Methods: adaptive | elastic | sync | crossbow | async | slide
 // Models:  mlp (single hidden layer) | deep (--hidden takes a comma list)
+// --isa scalar|avx2|avx512 pins the SIMD kernel table (default: best the
+// host supports; results are bit-identical on every ISA).
 // The trace file can be loaded in chrome://tracing or https://ui.perfetto.dev
 // (one row per GPU; straggler gaps and merge barriers are clearly visible).
 #include <cstdio>
@@ -27,6 +29,7 @@
 #include "sim/gantt.h"
 #include "sim/trace.h"
 #include "slide/slide_trainer.h"
+#include "tensor/vec/vec.h"
 #include "util/cli.h"
 #include "util/error.h"
 
@@ -57,6 +60,9 @@ namespace {
 
 int run(int argc, char** argv) {
   util::ArgParser args(argc, argv);
+  // Pin the SIMD dispatch table before any kernel runs (empty = automatic:
+  // HETERO_ISA if set, else the best ISA cpuid reports).
+  vec::set_isa_from_string(args.get_string("isa", ""));
   const auto method_name = args.get_string("method", "adaptive");
   const auto gpus = static_cast<std::size_t>(args.get_int("gpus", 4));
   const auto gap = args.get_double("gap", 0.32);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/vec/vec.h"
+
 namespace hetero::comm {
 
 std::string to_string(AllReduceAlgo algo) {
@@ -38,6 +40,7 @@ void reduce_flat_range(std::span<const SegmentedView> replicas,
                        std::size_t end) {
   const std::size_t n = replicas.size();
   const std::size_t num_segments = replicas[0].size();
+  const auto& vk = vec::kernels();
   std::size_t seg_start = 0;
   for (std::size_t s = 0; s < num_segments && seg_start < end; ++s) {
     const std::size_t seg_len = replicas[0][s].size();
@@ -48,21 +51,12 @@ void reduce_flat_range(std::span<const SegmentedView> replicas,
       const std::size_t len = std::min(kReduceBlock, hi - o);
       const std::size_t off = o - seg_start;
       double acc[kReduceBlock];
-      {
-        const double w = weights[0];
-        const float* x = replicas[0][s].data() + off;
-        for (std::size_t k = 0; k < len; ++k) acc[k] = w * x[k];
-      }
+      vk.merge_init(acc, replicas[0][s].data() + off, weights[0], len);
       for (std::size_t i = 1; i < n; ++i) {
-        const double w = weights[i];
-        const float* x = replicas[i][s].data() + off;
-        for (std::size_t k = 0; k < len; ++k) acc[k] += w * x[k];
+        vk.merge_accum(acc, replicas[i][s].data() + off, weights[i], len);
       }
       for (std::size_t i = 0; i < n; ++i) {
-        float* x = replicas[i][s].data() + off;
-        for (std::size_t k = 0; k < len; ++k) {
-          x[k] = static_cast<float>(acc[k]);
-        }
+        vk.merge_store(acc, replicas[i][s].data() + off, len);
       }
     }
     seg_start = seg_end;

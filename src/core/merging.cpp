@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "tensor/vec/vec.h"
+
 namespace hetero::core {
 
 MergeWeights compute_merge_weights(const MergeInputs& inputs) {
@@ -67,12 +69,9 @@ void momentum_global_update(std::span<const float> merged,
                             std::span<float> previous_global, double gamma) {
   assert(merged.size() == global.size());
   assert(global.size() == previous_global.size());
-  const auto g = static_cast<float>(gamma);
-  for (std::size_t i = 0; i < merged.size(); ++i) {
-    const float w = global[i];
-    global[i] = merged[i] + g * (w - previous_global[i]);
-    previous_global[i] = w;
-  }
+  vec::kernels().momentum_update(merged.data(), global.data(),
+                                 previous_global.data(),
+                                 static_cast<float>(gamma), merged.size());
 }
 
 namespace {
@@ -83,45 +82,36 @@ namespace {
 constexpr std::size_t kMergeBlock = 512;
 
 // Fused reduce + update of elements [off, off+len) of one segment, where
-// each source pointer i yields x_i[j] for the weighted sum. finalize mirrors
-// momentum_global_update exactly (same float expression, same order) — keep
-// the two in sync or the determinism contract breaks.
+// each source pointer i yields x_i[j] for the weighted sum. The vec merge
+// kernels are element-wise in double, so the block stays bit-identical to
+// the element-at-a-time reference on every ISA; the momentum finalize
+// mirrors momentum_global_update exactly (same float expression, same
+// order) — keep the two in sync or the determinism contract breaks.
 inline void merge_block(std::span<const float* const> sources,
                         std::size_t off, std::size_t len,
-                        const MergeUpdate& u, float* global, float* prev) {
+                        const MergeUpdate& u, float* global, float* prev,
+                        const vec::VecKernels& vk) {
   double acc[kMergeBlock];
-  {
-    const double w = u.weights[0];
-    const float* x = sources[0] + off;
-    for (std::size_t k = 0; k < len; ++k) acc[k] = w * x[k];
-  }
+  vk.merge_init(acc, sources[0] + off, u.weights[0], len);
   for (std::size_t i = 1; i < sources.size(); ++i) {
-    const double w = u.weights[i];
-    const float* x = sources[i] + off;
-    for (std::size_t k = 0; k < len; ++k) acc[k] += w * x[k];
+    vk.merge_accum(acc, sources[i] + off, u.weights[i], len);
   }
   float* g = global + off;
   float* p = prev + off;
   if (u.momentum) {
-    const auto gamma = static_cast<float>(u.gamma);
-    for (std::size_t k = 0; k < len; ++k) {
-      const float w = g[k];
-      g[k] = static_cast<float>(acc[k]) + gamma * (w - p[k]);
-      p[k] = w;
-    }
+    vk.merge_finalize_momentum(acc, g, p, static_cast<float>(u.gamma), len);
   } else {
-    for (std::size_t k = 0; k < len; ++k) {
-      p[k] = g[k];
-      g[k] = static_cast<float>(acc[k]);
-    }
+    vk.merge_finalize_plain(acc, g, p, len);
   }
 }
 
 inline void merge_range(std::span<const float* const> sources,
                         const MergeUpdate& u, float* global, float* prev,
-                        std::size_t begin, std::size_t end) {
+                        std::size_t begin, std::size_t end,
+                        const vec::VecKernels& vk) {
   for (std::size_t o = begin; o < end; o += kMergeBlock) {
-    merge_block(sources, o, std::min(kMergeBlock, end - o), u, global, prev);
+    merge_block(sources, o, std::min(kMergeBlock, end - o), u, global, prev,
+                vk);
   }
 }
 
@@ -141,11 +131,12 @@ void merge_segment(std::span<const float* const> replicas, std::size_t len,
     shards = std::max(shards, ctx.workers_for(len));
   }
   shards = std::min(shards, len);
+  const auto& vk = vec::kernels();
   kernels::parallel_for_ranges(
       ctx, shards, work, [&](std::size_t s0, std::size_t s1) {
         for (std::size_t s = s0; s < s1; ++s) {
           merge_range(replicas, u, global.data(), prev.data(),
-                      len * s / shards, len * (s + 1) / shards);
+                      len * s / shards, len * (s + 1) / shards, vk);
         }
       });
 }
@@ -157,13 +148,14 @@ void merge_touched_rows(std::span<const float* const> replicas,
   assert(replicas.size() == u.weights.size());
   if (rows.empty() || cols == 0) return;
   const std::size_t work = rows.size() * cols * replicas.size();
+  const auto& vk = vec::kernels();
   kernels::parallel_for_ranges(
       ctx, rows.size(), work, [&](std::size_t r0, std::size_t r1) {
         for (std::size_t r = r0; r < r1; ++r) {
           const std::size_t base = static_cast<std::size_t>(rows[r]) * cols;
           for (std::size_t o = 0; o < cols; o += kMergeBlock) {
             merge_block(replicas, base + o,
-                        std::min(kMergeBlock, cols - o), u, global, prev);
+                        std::min(kMergeBlock, cols - o), u, global, prev, vk);
           }
         }
       });
@@ -186,6 +178,7 @@ void merge_untouched_rows(const sparse::RowSet& touched, std::size_t num_rows,
   const std::size_t untouched =
       num_rows - std::min(num_rows, touched.size());
   const std::size_t work = untouched * cols * n;
+  const auto& vk = vec::kernels();
   kernels::parallel_for_ranges(
       ctx, num_rows, work, [&](std::size_t r0, std::size_t r1) {
         for (std::size_t r = r0; r < r1; ++r) {
@@ -194,7 +187,7 @@ void merge_untouched_rows(const sparse::RowSet& touched, std::size_t num_rows,
           for (std::size_t o = 0; o < cols; o += kMergeBlock) {
             merge_block(sources, base + o,
                         std::min(kMergeBlock, cols - o), u, global.data(),
-                        prev.data());
+                        prev.data(), vk);
           }
         }
       });

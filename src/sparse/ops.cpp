@@ -5,6 +5,9 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/vec/vec.h"
+#include "util/partition.h"
+
 namespace hetero::sparse {
 
 void spmm(const CsrMatrix& x, const tensor::Matrix& w, tensor::Matrix& y) {
@@ -17,6 +20,7 @@ void spmm(const CsrMatrix& x, const tensor::Matrix& w, tensor::Matrix& y,
   const std::size_t h = w.cols();
   y.resize(x.rows(), h, 0.0f);
   const std::size_t work = x.nnz() * h;
+  const auto& vk = vec::kernels();
 
   const auto run_rows = [&](std::size_t r0, std::size_t r1) {
     for (std::size_t r = r0; r < r1; ++r) {
@@ -24,9 +28,8 @@ void spmm(const CsrMatrix& x, const tensor::Matrix& w, tensor::Matrix& y,
       const auto cols = x.row_cols(r);
       const auto vals = x.row_values(r);
       for (std::size_t i = 0; i < cols.size(); ++i) {
-        const float v = vals[i];
-        const float* wrow = w.data() + static_cast<std::size_t>(cols[i]) * h;
-        for (std::size_t j = 0; j < h; ++j) yr[j] += v * wrow[j];
+        vk.axpy(vals[i],
+                w.data() + static_cast<std::size_t>(cols[i]) * h, yr, h);
       }
     }
   };
@@ -39,26 +42,13 @@ void spmm(const CsrMatrix& x, const tensor::Matrix& w, tensor::Matrix& y,
   }
   // nnz-balanced row ranges: split the row_ptr prefix sums evenly so skewed
   // batches (a few heavy rows) do not serialize on one worker.
-  const auto& row_ptr = x.row_ptr();
+  const auto ranges = kernels::nnz_balanced_ranges(x.row_ptr(), workers);
   std::vector<std::future<void>> futures;
-  futures.reserve(workers);
-  std::size_t r0 = 0;
-  for (std::size_t c = 0; c < workers; ++c) {
-    const std::size_t target = x.nnz() * (c + 1) / workers;
-    std::size_t r1 =
-        c + 1 == workers
-            ? x.rows()
-            : static_cast<std::size_t>(
-                  std::upper_bound(row_ptr.begin(), row_ptr.end(), target) -
-                  row_ptr.begin() - 1);
-    if (r1 < r0) r1 = r0;
-    if (r1 > x.rows()) r1 = x.rows();
-    if (r1 > r0) {
-      futures.push_back(ctx.pool->submit([&run_rows, r0, r1] {
-        run_rows(r0, r1);
-      }));
-    }
-    r0 = r1;
+  futures.reserve(ranges.size());
+  for (const auto& [r0, r1] : ranges) {
+    futures.push_back(ctx.pool->submit([&run_rows, r0 = r0, r1 = r1] {
+      run_rows(r0, r1);
+    }));
   }
   for (auto& f : futures) f.get();
 }
@@ -74,6 +64,7 @@ void spmm_t_accumulate(const CsrMatrix& x, const tensor::Matrix& d,
   assert(g.rows() == x.cols());
   assert(g.cols() == d.cols());
   const std::size_t h = d.cols();
+  const auto& vk = vec::kernels();
   // Partition by output (feature) row: worker ranges [f0, f1) over g's rows.
   // Every worker scans the full batch but touches only its own g rows, so
   // the scatter needs no atomics and accumulates in batch order per row.
@@ -86,9 +77,7 @@ void spmm_t_accumulate(const CsrMatrix& x, const tensor::Matrix& d,
           for (std::size_t i = 0; i < cols.size(); ++i) {
             const auto f = static_cast<std::size_t>(cols[i]);
             if (f < f0 || f >= f1) continue;
-            const float v = vals[i];
-            float* grow = g.data() + f * h;
-            for (std::size_t j = 0; j < h; ++j) grow[j] += v * dr[j];
+            vk.axpy(vals[i], dr, g.data() + f * h, h);
           }
         }
       });

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "sparse/ops.h"
+#include "tensor/vec/vec.h"
 
 namespace hetero::sparse {
 
@@ -70,6 +71,7 @@ void SparseGradient::accumulate_spmm_t(const CsrMatrix& x,
   assert(x.cols() == logical_rows_);
   assert(d.cols() == cols_);
   const std::size_t h = cols_;
+  const auto& vk = vec::kernels();
   kernels::parallel_for_ranges(
       ctx, rows_.size(), x.nnz() * h, [&](std::size_t s0, std::size_t s1) {
         for (std::size_t r = 0; r < x.rows(); ++r) {
@@ -80,9 +82,8 @@ void SparseGradient::accumulate_spmm_t(const CsrMatrix& x,
             const std::uint32_t s = slot_map_[cols[i]];
             assert(s != kNoSlot);
             if (s < s0 || s >= s1) continue;
-            const float v = vals[i];
-            float* grow = values_.data() + static_cast<std::size_t>(s) * h;
-            for (std::size_t j = 0; j < h; ++j) grow[j] += v * dr[j];
+            vk.axpy(vals[i], dr,
+                    values_.data() + static_cast<std::size_t>(s) * h, h);
           }
         }
       });
@@ -93,12 +94,15 @@ void SparseGradient::apply_to(tensor::Matrix& w, float lr, float keep,
   assert(w.rows() == logical_rows_);
   assert(w.cols() == cols_);
   const std::size_t h = cols_;
+  const auto& vk = vec::kernels();
   kernels::parallel_for_ranges(
       ctx, rows_.size(), rows_.size() * h, [&](std::size_t s0, std::size_t s1) {
         for (std::size_t s = s0; s < s1; ++s) {
-          float* wr = w.data() + static_cast<std::size_t>(rows_[s]) * h;
-          const float* g = values_.data() + s * h;
-          for (std::size_t j = 0; j < h; ++j) wr[j] = keep * wr[j] - lr * g[j];
+          // keep*w - lr*g == (-lr)*g + keep*w bit for bit (the negation is
+          // exact and float addition is commutative), so the SGD row update
+          // is exactly the axpby kernel.
+          vk.axpby(-lr, values_.data() + s * h, keep,
+                   w.data() + static_cast<std::size_t>(rows_[s]) * h, h);
         }
       });
 }
@@ -107,9 +111,8 @@ void SparseGradient::add_scaled(const SparseGradient& other, float alpha) {
   assert(cols_ == other.cols_);
   assert(rows_.size() == other.rows_.size());
   assert(std::equal(rows_.begin(), rows_.end(), other.rows_.begin()));
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    values_[i] += alpha * other.values_[i];
-  }
+  vec::kernels().axpy(alpha, other.values_.data(), values_.data(),
+                      values_.size());
 }
 
 void SparseGradient::to_dense(tensor::Matrix& out) const {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/vec/vec.h"
+
 namespace hetero::tensor {
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -15,8 +17,9 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c,
   assert(a.cols() == b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   c.resize(m, n, 0.0f);
+  const auto& vk = vec::kernels();
   // Row blocks of C are independent; within a block the i-k-j loop order
-  // streams B rows and accumulates into C rows.
+  // streams B rows and accumulates into C rows (each a vectorized axpy).
   parallel_for_ranges(ctx, m, m * k * n, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       float* ci = c.data() + i * n;
@@ -24,8 +27,7 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c,
       for (std::size_t p = 0; p < k; ++p) {
         const float av = ai[p];
         if (av == 0.0f) continue;
-        const float* bp = b.data() + p * n;
-        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+        vk.axpy(av, b.data() + p * n, ci, n);
       }
     }
   });
@@ -40,6 +42,7 @@ void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c,
   assert(a.rows() == b.rows());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   c.resize(m, n, 0.0f);
+  const auto& vk = vec::kernels();
   // Partition the output rows (columns of A): each worker owns C rows
   // [i0, i1) and scans all k input rows, so no write races and per-row
   // accumulation order (p ascending) matches the serial loop exactly.
@@ -50,8 +53,7 @@ void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c,
       for (std::size_t i = i0; i < i1; ++i) {
         const float av = ap[i];
         if (av == 0.0f) continue;
-        float* ci = c.data() + i * n;
-        for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+        vk.axpy(av, bp, c.data() + i * n, n);
       }
     }
   });
@@ -66,15 +68,16 @@ void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c,
   assert(a.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   c.resize(m, n, 0.0f);
+  const auto& vk = vec::kernels();
+  // Each C element is an inner product over k. dot_f32 uses the fixed
+  // 8-virtual-lane accumulator, so the sum is identical on every ISA (and
+  // independent of the thread partition, which never splits a row).
   parallel_for_ranges(ctx, m, m * k * n, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const float* ai = a.data() + i * k;
       float* ci = c.data() + i * n;
       for (std::size_t j = 0; j < n; ++j) {
-        const float* bj = b.data() + j * k;
-        float acc = 0.0f;
-        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-        ci[j] = acc;
+        ci[j] = vk.dot_f32(ai, b.data() + j * k, k);
       }
     }
   });
@@ -82,38 +85,34 @@ void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c,
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  vec::kernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void axpby(float alpha, std::span<const float> x, float beta,
            std::span<float> y) {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = alpha * x[i] + beta * y[i];
+  vec::kernels().axpby(alpha, x.data(), beta, y.data(), x.size());
 }
 
 void scale(std::span<float> x, float alpha) {
-  for (auto& v : x) v *= alpha;
+  vec::kernels().scale(x.data(), alpha, x.size());
 }
 
 void add_row_bias(Matrix& m, std::span<const float> bias) {
   assert(bias.size() == m.cols());
+  const auto& vk = vec::kernels();
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    float* row = m.data() + i * m.cols();
-    for (std::size_t j = 0; j < m.cols(); ++j) row[j] += bias[j];
+    vk.add(bias.data(), m.data() + i * m.cols(), m.cols());
   }
 }
 
 void relu(Matrix& m) {
-  for (auto& v : m.flat()) v = std::max(v, 0.0f);
+  vec::kernels().relu(m.data(), m.size());
 }
 
 void relu_backward(const Matrix& activation, Matrix& grad) {
   assert(activation.same_shape(grad));
-  const float* a = activation.data();
-  float* g = grad.data();
-  for (std::size_t i = 0; i < grad.size(); ++i) {
-    if (a[i] <= 0.0f) g[i] = 0.0f;
-  }
+  vec::kernels().relu_backward(activation.data(), grad.data(), grad.size());
 }
 
 void softmax_rows(Matrix& m) {
@@ -134,26 +133,22 @@ void softmax_rows(Matrix& m) {
 void column_sums(const Matrix& m, std::span<float> out) {
   assert(out.size() == m.cols());
   std::fill(out.begin(), out.end(), 0.0f);
+  const auto& vk = vec::kernels();
   for (std::size_t i = 0; i < m.rows(); ++i) {
-    const float* row = m.data() + i * m.cols();
-    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += row[j];
+    vk.add(m.data() + i * m.cols(), out.data(), m.cols());
   }
 }
 
 double sum_of_squares(std::span<const float> x) {
-  double acc = 0.0;
-  for (float v : x) acc += static_cast<double>(v) * v;
-  return acc;
+  // 8-virtual-lane reduction: identical on every ISA (see vec.h).
+  return vec::kernels().sum_squares(x.data(), x.size());
 }
 
 double l2_norm(std::span<const float> x) { return std::sqrt(sum_of_squares(x)); }
 
 double dot(std::span<const float> a, std::span<const float> b) {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    acc += static_cast<double>(a[i]) * b[i];
-  return acc;
+  return vec::kernels().dot_f64(a.data(), b.data(), a.size());
 }
 
 std::size_t argmax(std::span<const float> x) {

@@ -1,0 +1,160 @@
+// Runtime ISA dispatch for the vec kernel backend.
+//
+// The three kernel tables live in their own TUs (vec_kernels_*.cpp), each
+// compiled with exactly the -m flags its intrinsics need; this file is
+// compiled for baseline x86-64 and only ever *calls through* a table the
+// host CPU supports, so the binary cannot hit an illegal instruction on a
+// non-AVX host. Selection order: explicit set_isa() (the --isa flag) wins,
+// else the HETERO_ISA environment variable, else the best ISA cpuid
+// reports. An unknown or unsupported request is a typed ParseError — user
+// input problem, not a bug.
+#include "tensor/vec/vec.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+
+namespace hetero::vec {
+
+namespace detail {
+VecKernels make_scalar_table();
+#if defined(HETERO_VEC_AVX2)
+VecKernels make_avx2_table();
+#endif
+#if defined(HETERO_VEC_AVX512)
+VecKernels make_avx512_table();
+#endif
+}  // namespace detail
+
+namespace {
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx512f") && cpu_has_avx2();
+#else
+  return false;
+#endif
+}
+
+std::atomic<const VecKernels*> g_active{nullptr};
+
+[[noreturn]] void throw_unsupported(const std::string& source, Isa isa) {
+  throw ParseError(source, std::string("ISA '") + isa_name(isa) +
+                               "' is not supported on this host (compiled " +
+                               "out or missing from cpuid)");
+}
+
+// Resolves HETERO_ISA (ParseError on junk), else best supported.
+const VecKernels* resolve_default() {
+  const char* env = std::getenv("HETERO_ISA");
+  if (env != nullptr && env[0] != '\0') {
+    const auto isa = parse_isa(env);
+    if (!isa) {
+      throw ParseError("HETERO_ISA",
+                       std::string("unknown ISA '") + env +
+                           "' (expected scalar, avx2, or avx512)");
+    }
+    const VecKernels* t = kernels_for(*isa);
+    if (t == nullptr) throw_unsupported("HETERO_ISA", *isa);
+    return t;
+  }
+  return kernels_for(best_supported_isa());
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<Isa> parse_isa(const std::string& text) {
+  if (text == "scalar") return Isa::kScalar;
+  if (text == "avx2") return Isa::kAvx2;
+  if (text == "avx512") return Isa::kAvx512;
+  return std::nullopt;
+}
+
+const VecKernels* kernels_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: {
+      static const VecKernels table = detail::make_scalar_table();
+      return &table;
+    }
+    case Isa::kAvx2: {
+#if defined(HETERO_VEC_AVX2)
+      if (cpu_has_avx2()) {
+        static const VecKernels table = detail::make_avx2_table();
+        return &table;
+      }
+#endif
+      return nullptr;
+    }
+    case Isa::kAvx512: {
+#if defined(HETERO_VEC_AVX512)
+      if (cpu_has_avx512()) {
+        static const VecKernels table = detail::make_avx512_table();
+        return &table;
+      }
+#endif
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+bool isa_supported(Isa isa) { return kernels_for(isa) != nullptr; }
+
+Isa best_supported_isa() {
+  if (isa_supported(Isa::kAvx512)) return Isa::kAvx512;
+  if (isa_supported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+const VecKernels& kernels() {
+  const VecKernels* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // First use. A concurrent first call resolves the same table; the
+    // double store is benign.
+    t = resolve_default();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Isa active_isa() { return kernels().isa; }
+
+void set_isa(Isa isa) {
+  const VecKernels* t = kernels_for(isa);
+  if (t == nullptr) throw_unsupported("--isa", isa);
+  g_active.store(t, std::memory_order_release);
+}
+
+void set_isa_from_string(const std::string& name) {
+  if (name.empty()) return;
+  const auto isa = parse_isa(name);
+  if (!isa) {
+    throw ParseError("--isa", std::string("unknown ISA '") + name +
+                                  "' (expected scalar, avx2, or avx512)");
+  }
+  set_isa(*isa);
+}
+
+}  // namespace hetero::vec

@@ -1,0 +1,131 @@
+// AVX2 Vec wrappers: 8-lane float and 4-lane double over ymm registers.
+//
+// Only compiled into the avx2/avx512 kernel TUs (CMake adds -mavx2 -mfma
+// -ffp-contract=off to exactly those sources). No fused operations are used
+// anywhere: bit-identity with the scalar table requires the same two
+// roundings per mul+add as the scalar expression, and -ffp-contract=off
+// stops GCC from fusing the intrinsic mul/add pairs (they are plain vector
+// operators under the hood) on its own.
+//
+// Tail handling is masked: load_n/store_n use vmaskmov with a mask built
+// from a constant table, so element-wise kernels never read or write past
+// the span while still running the identical per-element expressions on the
+// live lanes.
+#pragma once
+
+#if !defined(__AVX2__)
+#error "vec256.h requires -mavx2"
+#endif
+
+#include <immintrin.h>
+
+#include <cassert>
+#include <cstddef>
+
+namespace hetero::vec {
+
+namespace detail256 {
+// mask_table[n] has the low n lanes set (all-ones) and the rest clear.
+alignas(32) inline constexpr int kMaskTable[9][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},
+    {-1, 0, 0, 0, 0, 0, 0, 0},
+    {-1, -1, 0, 0, 0, 0, 0, 0},
+    {-1, -1, -1, 0, 0, 0, 0, 0},
+    {-1, -1, -1, -1, 0, 0, 0, 0},
+    {-1, -1, -1, -1, -1, 0, 0, 0},
+    {-1, -1, -1, -1, -1, -1, 0, 0},
+    {-1, -1, -1, -1, -1, -1, -1, 0},
+    {-1, -1, -1, -1, -1, -1, -1, -1},
+};
+inline __m256i mask(std::size_t n) {
+  assert(n <= 8);
+  return _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable[n]));
+}
+}  // namespace detail256
+
+struct Avx2F {
+  static constexpr std::size_t kWidth = 8;
+  __m256 v;
+
+  static Avx2F load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  static Avx2F load_n(const float* p, std::size_t n) {
+    return {_mm256_maskload_ps(p, detail256::mask(n))};
+  }
+  void store(float* p) const { _mm256_storeu_ps(p, v); }
+  void store_n(float* p, std::size_t n) const {
+    _mm256_maskstore_ps(p, detail256::mask(n), v);
+  }
+  static Avx2F broadcast(float x) { return {_mm256_set1_ps(x)}; }
+  static Avx2F zero() { return {_mm256_setzero_ps()}; }
+
+  friend Avx2F operator+(Avx2F a, Avx2F b) {
+    return {_mm256_add_ps(a.v, b.v)};
+  }
+  friend Avx2F operator-(Avx2F a, Avx2F b) {
+    return {_mm256_sub_ps(a.v, b.v)};
+  }
+  friend Avx2F operator*(Avx2F a, Avx2F b) {
+    return {_mm256_mul_ps(a.v, b.v)};
+  }
+
+  /// max(v, 0): max_ps(0, v) returns v on NaN and -0.0 on -0.0, exactly the
+  /// scalar (v < 0) ? 0 : v.
+  static Avx2F relu(Avx2F a) {
+    return {_mm256_max_ps(_mm256_setzero_ps(), a.v)};
+  }
+  /// (mask <= 0) ? 0 : g. NLE_UQ is true on mask > 0 and on NaN, matching
+  /// the scalar comparison's NaN behavior.
+  static Avx2F zero_where_nonpositive(Avx2F mask, Avx2F g) {
+    const __m256 keep =
+        _mm256_cmp_ps(mask.v, _mm256_setzero_ps(), _CMP_NLE_UQ);
+    return {_mm256_and_ps(g.v, keep)};
+  }
+};
+
+/// 4-lane float vector (xmm). Only used as Avx2D::NarrowF in the mixed
+/// double->float finalize kernels, so it carries just the float arithmetic
+/// those need.
+struct Sse4F {
+  static constexpr std::size_t kWidth = 4;
+  __m128 v;
+
+  static Sse4F load(const float* p) { return {_mm_loadu_ps(p)}; }
+  void store(float* p) const { _mm_storeu_ps(p, v); }
+  static Sse4F broadcast(float x) { return {_mm_set1_ps(x)}; }
+
+  friend Sse4F operator+(Sse4F a, Sse4F b) { return {_mm_add_ps(a.v, b.v)}; }
+  friend Sse4F operator-(Sse4F a, Sse4F b) { return {_mm_sub_ps(a.v, b.v)}; }
+  friend Sse4F operator*(Sse4F a, Sse4F b) { return {_mm_mul_ps(a.v, b.v)}; }
+};
+
+/// 4-lane double vector whose from_float/store_float convert a half ymm of
+/// floats. Element-wise double kernels (merge accumulation) use it; the
+/// 8-lane virtual-accumulator reductions build their lane pairs from it.
+struct Avx2D {
+  static constexpr std::size_t kWidth = 4;
+  using NarrowF = Sse4F;
+  __m256d v;
+
+  static Avx2D load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+  static Avx2D broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static Avx2D zero() { return {_mm256_setzero_pd()}; }
+  static Avx2D from_float(const float* p) {
+    return {_mm256_cvtps_pd(_mm_loadu_ps(p))};
+  }
+  void store_float(float* p) const { _mm_storeu_ps(p, _mm256_cvtpd_ps(v)); }
+  NarrowF to_float() const { return {_mm256_cvtpd_ps(v)}; }
+
+  friend Avx2D operator+(Avx2D a, Avx2D b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend Avx2D operator-(Avx2D a, Avx2D b) {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend Avx2D operator*(Avx2D a, Avx2D b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+};
+
+}  // namespace hetero::vec

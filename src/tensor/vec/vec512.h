@@ -1,0 +1,93 @@
+// AVX-512F Vec wrappers: 16-lane float and 8-lane double over zmm
+// registers, with native mask registers for the tails.
+//
+// Only compiled into the avx512 kernel TU (-mavx512f -mavx2 -mfma
+// -ffp-contract=off). Same no-FMA rule as vec256.h. Note the reductions in
+// the avx512 table do NOT use the 16-lane float type: the determinism
+// contract fixes the virtual accumulator at 8 lanes, so dot_f32 runs on
+// 256-bit registers even in the avx512 TU (see vec_impl.h), and the
+// double-precision reductions use exactly one 8-lane Avx512D accumulator.
+#pragma once
+
+#if !defined(__AVX512F__)
+#error "vec512.h requires -mavx512f"
+#endif
+
+#include <immintrin.h>
+
+#include <cassert>
+#include <cstddef>
+
+#include "tensor/vec/vec256.h"  // Avx2F: the 8-lane reduction + NarrowF type
+
+namespace hetero::vec {
+
+struct Avx512F {
+  static constexpr std::size_t kWidth = 16;
+  __m512 v;
+
+  static Avx512F load(const float* p) { return {_mm512_loadu_ps(p)}; }
+  static Avx512F load_n(const float* p, std::size_t n) {
+    assert(n <= 16);
+    const __mmask16 m = static_cast<__mmask16>((1u << n) - 1u);
+    return {_mm512_maskz_loadu_ps(m, p)};
+  }
+  void store(float* p) const { _mm512_storeu_ps(p, v); }
+  void store_n(float* p, std::size_t n) const {
+    assert(n <= 16);
+    const __mmask16 m = static_cast<__mmask16>((1u << n) - 1u);
+    _mm512_mask_storeu_ps(p, m, v);
+  }
+  static Avx512F broadcast(float x) { return {_mm512_set1_ps(x)}; }
+  static Avx512F zero() { return {_mm512_setzero_ps()}; }
+
+  friend Avx512F operator+(Avx512F a, Avx512F b) {
+    return {_mm512_add_ps(a.v, b.v)};
+  }
+  friend Avx512F operator-(Avx512F a, Avx512F b) {
+    return {_mm512_sub_ps(a.v, b.v)};
+  }
+  friend Avx512F operator*(Avx512F a, Avx512F b) {
+    return {_mm512_mul_ps(a.v, b.v)};
+  }
+
+  static Avx512F relu(Avx512F a) {
+    return {_mm512_max_ps(_mm512_setzero_ps(), a.v)};
+  }
+  static Avx512F zero_where_nonpositive(Avx512F mask, Avx512F g) {
+    // keep lanes where !(mask <= 0): mask > 0 or NaN, like the scalar test.
+    const __mmask16 keep =
+        _mm512_cmp_ps_mask(mask.v, _mm512_setzero_ps(), _CMP_NLE_UQ);
+    return {_mm512_maskz_mov_ps(keep, g.v)};
+  }
+};
+
+struct Avx512D {
+  static constexpr std::size_t kWidth = 8;
+  using NarrowF = Avx2F;
+  __m512d v;
+
+  static Avx512D load(const double* p) { return {_mm512_loadu_pd(p)}; }
+  void store(double* p) const { _mm512_storeu_pd(p, v); }
+  static Avx512D broadcast(double x) { return {_mm512_set1_pd(x)}; }
+  static Avx512D zero() { return {_mm512_setzero_pd()}; }
+  static Avx512D from_float(const float* p) {
+    return {_mm512_cvtps_pd(_mm256_loadu_ps(p))};
+  }
+  void store_float(float* p) const {
+    _mm256_storeu_ps(p, _mm512_cvtpd_ps(v));
+  }
+  NarrowF to_float() const { return {_mm512_cvtpd_ps(v)}; }
+
+  friend Avx512D operator+(Avx512D a, Avx512D b) {
+    return {_mm512_add_pd(a.v, b.v)};
+  }
+  friend Avx512D operator-(Avx512D a, Avx512D b) {
+    return {_mm512_sub_pd(a.v, b.v)};
+  }
+  friend Avx512D operator*(Avx512D a, Avx512D b) {
+    return {_mm512_mul_pd(a.v, b.v)};
+  }
+};
+
+}  // namespace hetero::vec

@@ -1,0 +1,337 @@
+// Generic kernel bodies for the vec backend, templated over the Vec wrapper
+// types (vec_scalar.h / vec256.h / vec512.h) and instantiated once per ISA
+// translation unit via make_table<>.
+//
+// Every body evaluates the exact per-element expression of the scalar code
+// it replaces (see the call sites in tensor/ops.cpp, sparse/ops.cpp,
+// core/merging.cpp) — no fused multiply-adds, no reassociation. The
+// reductions follow the fixed 8-virtual-lane contract documented in vec.h:
+// element p lands in lane p mod 8 on every ISA, the main loop consumes 8
+// elements per iteration, the tail element at offset t past the last full
+// virtual row therefore lands in lane t, and the lanes are combined with
+// one fixed tree.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/vec/vec.h"
+
+namespace hetero::vec::impl {
+
+// ---------------------------------------------------------------------------
+// Element-wise float kernels over VF. Lane width only changes how many
+// elements one iteration touches, never the per-element expression.
+// ---------------------------------------------------------------------------
+
+// y[i] += a * x[i]
+template <class VF>
+void axpy(float a, const float* x, float* y, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF av = VF::broadcast(a);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (VF::load(y + i) + av * VF::load(x + i)).store(y + i);
+  }
+  if (const std::size_t r = n - i) {
+    (VF::load_n(y + i, r) + av * VF::load_n(x + i, r)).store_n(y + i, r);
+  }
+}
+
+// y[i] = a * x[i] + b * y[i]
+template <class VF>
+void axpby(float a, const float* x, float b, float* y, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF av = VF::broadcast(a);
+  const VF bv = VF::broadcast(b);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (av * VF::load(x + i) + bv * VF::load(y + i)).store(y + i);
+  }
+  if (const std::size_t r = n - i) {
+    (av * VF::load_n(x + i, r) + bv * VF::load_n(y + i, r)).store_n(y + i, r);
+  }
+}
+
+// x[i] *= a
+template <class VF>
+void scale(float* x, float a, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF av = VF::broadcast(a);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (VF::load(x + i) * av).store(x + i);
+  }
+  if (const std::size_t r = n - i) {
+    (VF::load_n(x + i, r) * av).store_n(x + i, r);
+  }
+}
+
+// y[i] += x[i]
+template <class VF>
+void add(const float* x, float* y, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (VF::load(y + i) + VF::load(x + i)).store(y + i);
+  }
+  if (const std::size_t r = n - i) {
+    (VF::load_n(y + i, r) + VF::load_n(x + i, r)).store_n(y + i, r);
+  }
+}
+
+// x[i] = max(x[i], 0) with std::max's NaN/-0 semantics
+template <class VF>
+void relu(float* x, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    VF::relu(VF::load(x + i)).store(x + i);
+  }
+  if (const std::size_t r = n - i) {
+    VF::relu(VF::load_n(x + i, r)).store_n(x + i, r);
+  }
+}
+
+// g[i] = (a[i] <= 0) ? 0 : g[i]
+template <class VF>
+void relu_backward(const float* a, float* g, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    VF::zero_where_nonpositive(VF::load(a + i), VF::load(g + i))
+        .store(g + i);
+  }
+  if (const std::size_t r = n - i) {
+    VF::zero_where_nonpositive(VF::load_n(a + i, r), VF::load_n(g + i, r))
+        .store_n(g + i, r);
+  }
+}
+
+// w = global[i]; global[i] = merged[i] + gamma * (w - prev[i]); prev[i] = w
+template <class VF>
+void momentum_update(const float* merged, float* global, float* prev,
+                     float gamma, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF gv = VF::broadcast(gamma);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const VF w = VF::load(global + i);
+    (VF::load(merged + i) + gv * (w - VF::load(prev + i))).store(global + i);
+    w.store(prev + i);
+  }
+  if (const std::size_t r = n - i) {
+    const VF w = VF::load_n(global + i, r);
+    (VF::load_n(merged + i, r) + gv * (w - VF::load_n(prev + i, r)))
+        .store_n(global + i, r);
+    w.store_n(prev + i, r);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed 8-virtual-lane reductions. RF/VD must satisfy kWidth <= 8 and
+// 8 % kWidth == 0 so the 8-lane accumulator splits evenly across registers:
+// scalar keeps 8 one-lane accumulators, AVX2 one 8-float ymm (or two
+// 4-double ymm), AVX-512 reuses the AVX2 float shape and one 8-double zmm.
+// ---------------------------------------------------------------------------
+
+inline float reduce_tree8(const float* l) {
+  const float t0 = l[0] + l[4];
+  const float t1 = l[1] + l[5];
+  const float t2 = l[2] + l[6];
+  const float t3 = l[3] + l[7];
+  const float u0 = t0 + t2;
+  const float u1 = t1 + t3;
+  return u0 + u1;
+}
+
+inline double reduce_tree8d(const double* l) {
+  const double t0 = l[0] + l[4];
+  const double t1 = l[1] + l[5];
+  const double t2 = l[2] + l[6];
+  const double t3 = l[3] + l[7];
+  const double u0 = t0 + t2;
+  const double u1 = t1 + t3;
+  return u0 + u1;
+}
+
+// sum_p a[p] * b[p] in float (gemm_a_bt inner product).
+template <class RF>
+float dot_f32(const float* a, const float* b, std::size_t n) {
+  constexpr std::size_t W = RF::kWidth;
+  static_assert(W <= 8 && 8 % W == 0, "reduction lanes must tile 8");
+  constexpr std::size_t kAcc = 8 / W;
+  RF acc[kAcc];
+  for (auto& v : acc) v = RF::zero();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t k = 0; k < kAcc; ++k) {
+      acc[k] = acc[k] + RF::load(a + i + k * W) * RF::load(b + i + k * W);
+    }
+  }
+  alignas(32) float lanes[8];
+  for (std::size_t k = 0; k < kAcc; ++k) acc[k].store(lanes + k * W);
+  // The main loop consumed a multiple of 8, so tail element t belongs to
+  // lane t — same accumulation expression, scalar this time.
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    lanes[l] = lanes[l] + a[i] * b[i];
+  }
+  return reduce_tree8(lanes);
+}
+
+// sum_p double(a[p]) * b[p] (tensor::dot).
+template <class VD>
+double dot_f64(const float* a, const float* b, std::size_t n) {
+  constexpr std::size_t W = VD::kWidth;
+  static_assert(W <= 8 && 8 % W == 0, "reduction lanes must tile 8");
+  constexpr std::size_t kAcc = 8 / W;
+  VD acc[kAcc];
+  for (auto& v : acc) v = VD::zero();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t k = 0; k < kAcc; ++k) {
+      acc[k] = acc[k] +
+               VD::from_float(a + i + k * W) * VD::from_float(b + i + k * W);
+    }
+  }
+  alignas(64) double lanes[8];
+  for (std::size_t k = 0; k < kAcc; ++k) acc[k].store(lanes + k * W);
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    lanes[l] = lanes[l] + static_cast<double>(a[i]) * b[i];
+  }
+  return reduce_tree8d(lanes);
+}
+
+// sum_p double(x[p]) * x[p] (tensor::sum_of_squares).
+template <class VD>
+double sum_squares(const float* x, std::size_t n) {
+  constexpr std::size_t W = VD::kWidth;
+  static_assert(W <= 8 && 8 % W == 0, "reduction lanes must tile 8");
+  constexpr std::size_t kAcc = 8 / W;
+  VD acc[kAcc];
+  for (auto& v : acc) v = VD::zero();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t k = 0; k < kAcc; ++k) {
+      const VD v = VD::from_float(x + i + k * W);
+      acc[k] = acc[k] + v * v;
+    }
+  }
+  alignas(64) double lanes[8];
+  for (std::size_t k = 0; k < kAcc; ++k) acc[k].store(lanes + k * W);
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    lanes[l] = lanes[l] + static_cast<double>(x[i]) * x[i];
+  }
+  return reduce_tree8d(lanes);
+}
+
+// ---------------------------------------------------------------------------
+// Fused-merge building blocks over a double accumulator block. Element-wise
+// in double, scalar tails (the accumulator blocks are at most 512 elements,
+// so the tail is cold). The finalize kernels narrow through VD::NarrowF —
+// a float type of the same lane count.
+// ---------------------------------------------------------------------------
+
+// acc[i] = w * x[i]
+template <class VD>
+void merge_init(double* acc, const float* x, double w, std::size_t n) {
+  constexpr std::size_t W = VD::kWidth;
+  const VD wv = VD::broadcast(w);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (wv * VD::from_float(x + i)).store(acc + i);
+  }
+  for (; i < n; ++i) acc[i] = w * x[i];
+}
+
+// acc[i] += w * x[i]
+template <class VD>
+void merge_accum(double* acc, const float* x, double w, std::size_t n) {
+  constexpr std::size_t W = VD::kWidth;
+  const VD wv = VD::broadcast(w);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (VD::load(acc + i) + wv * VD::from_float(x + i)).store(acc + i);
+  }
+  for (; i < n; ++i) acc[i] = acc[i] + w * x[i];
+}
+
+// x[i] = float(acc[i])
+template <class VD>
+void merge_store(const double* acc, float* x, std::size_t n) {
+  constexpr std::size_t W = VD::kWidth;
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    VD::load(acc + i).store_float(x + i);
+  }
+  for (; i < n; ++i) x[i] = static_cast<float>(acc[i]);
+}
+
+// w = g[i]; g[i] = float(acc[i]) + gamma * (w - p[i]); p[i] = w
+template <class VD>
+void merge_finalize_momentum(const double* acc, float* g, float* p,
+                             float gamma, std::size_t n) {
+  using NF = typename VD::NarrowF;
+  constexpr std::size_t W = VD::kWidth;
+  static_assert(NF::kWidth == W, "NarrowF must match the double lane count");
+  const NF gv = NF::broadcast(gamma);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const NF af = VD::load(acc + i).to_float();
+    const NF w = NF::load(g + i);
+    (af + gv * (w - NF::load(p + i))).store(g + i);
+    w.store(p + i);
+  }
+  for (; i < n; ++i) {
+    const float w = g[i];
+    g[i] = static_cast<float>(acc[i]) + gamma * (w - p[i]);
+    p[i] = w;
+  }
+}
+
+// p[i] = g[i]; g[i] = float(acc[i])
+template <class VD>
+void merge_finalize_plain(const double* acc, float* g, float* p,
+                          std::size_t n) {
+  using NF = typename VD::NarrowF;
+  constexpr std::size_t W = VD::kWidth;
+  static_assert(NF::kWidth == W, "NarrowF must match the double lane count");
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    NF::load(g + i).store(p + i);
+    VD::load(acc + i).to_float().store(g + i);
+  }
+  for (; i < n; ++i) {
+    p[i] = g[i];
+    g[i] = static_cast<float>(acc[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table assembly. VF: element-wise float type. VD: double type (also used
+// for the double reductions). RF: float reduction type — the avx512 table
+// passes the 8-lane AVX2 type here to honor the 8-virtual-lane contract.
+// ---------------------------------------------------------------------------
+
+template <class VF, class VD, class RF>
+VecKernels make_table(Isa isa) {
+  VecKernels t{};
+  t.isa = isa;
+  t.axpy = &axpy<VF>;
+  t.axpby = &axpby<VF>;
+  t.scale = &scale<VF>;
+  t.add = &add<VF>;
+  t.relu = &relu<VF>;
+  t.relu_backward = &relu_backward<VF>;
+  t.momentum_update = &momentum_update<VF>;
+  t.dot_f32 = &dot_f32<RF>;
+  t.dot_f64 = &dot_f64<VD>;
+  t.sum_squares = &sum_squares<VD>;
+  t.merge_init = &merge_init<VD>;
+  t.merge_accum = &merge_accum<VD>;
+  t.merge_store = &merge_store<VD>;
+  t.merge_finalize_momentum = &merge_finalize_momentum<VD>;
+  t.merge_finalize_plain = &merge_finalize_plain<VD>;
+  return t;
+}
+
+}  // namespace hetero::vec::impl

@@ -1,0 +1,13 @@
+// AVX2 kernel table TU. CMake compiles exactly this file with
+// -mavx2 -mfma -ffp-contract=off; nothing here may be called unless cpuid
+// reported AVX2+FMA (the dispatcher in vec.cpp guarantees that).
+#include "tensor/vec/vec256.h"
+#include "tensor/vec/vec_impl.h"
+
+namespace hetero::vec::detail {
+
+VecKernels make_avx2_table() {
+  return impl::make_table<Avx2F, Avx2D, Avx2F>(Isa::kAvx2);
+}
+
+}  // namespace hetero::vec::detail

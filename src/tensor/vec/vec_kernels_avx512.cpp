@@ -1,0 +1,14 @@
+// AVX-512 kernel table TU. CMake compiles exactly this file with
+// -mavx512f -mavx2 -mfma -ffp-contract=off. The float reduction type is the
+// 8-lane AVX2 wrapper: the determinism contract fixes the virtual
+// accumulator at 8 lanes, so dot_f32 must not widen to 16.
+#include "tensor/vec/vec512.h"
+#include "tensor/vec/vec_impl.h"
+
+namespace hetero::vec::detail {
+
+VecKernels make_avx512_table() {
+  return impl::make_table<Avx512F, Avx512D, Avx2F>(Isa::kAvx512);
+}
+
+}  // namespace hetero::vec::detail

@@ -1,0 +1,13 @@
+// Scalar kernel table: the reference lanes every SIMD table must bit-match.
+// Compiled with -ffp-contract=off like the SIMD TUs so the compiler cannot
+// fuse the mul+add pairs on targets where that would change rounding.
+#include "tensor/vec/vec_impl.h"
+#include "tensor/vec/vec_scalar.h"
+
+namespace hetero::vec::detail {
+
+VecKernels make_scalar_table() {
+  return impl::make_table<ScalarF, ScalarD, ScalarF>(Isa::kScalar);
+}
+
+}  // namespace hetero::vec::detail

@@ -1,0 +1,67 @@
+// Width-1 "vector" types: the scalar reference lanes of the vec backend.
+//
+// These exist so vec_impl.h can instantiate the exact same generic kernel
+// bodies for the scalar table as for the SIMD tables — the per-element
+// expressions are shared by construction, which is most of the bit-identity
+// argument. The tail paths (load_n / store_n) are unreachable at width 1.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace hetero::vec {
+
+struct ScalarF {
+  static constexpr std::size_t kWidth = 1;
+  float v;
+
+  static ScalarF load(const float* p) { return {*p}; }
+  static ScalarF load_n(const float* p, [[maybe_unused]] std::size_t n) {
+    assert(n == 1);
+    return {*p};
+  }
+  void store(float* p) const { *p = v; }
+  void store_n(float* p, [[maybe_unused]] std::size_t n) const {
+    assert(n == 1);
+    *p = v;
+  }
+  static ScalarF broadcast(float x) { return {x}; }
+  static ScalarF zero() { return {0.0f}; }
+
+  friend ScalarF operator+(ScalarF a, ScalarF b) { return {a.v + b.v}; }
+  friend ScalarF operator-(ScalarF a, ScalarF b) { return {a.v - b.v}; }
+  friend ScalarF operator*(ScalarF a, ScalarF b) { return {a.v * b.v}; }
+
+  /// max(v, 0) with std::max's exact tie/NaN behavior: (v < 0) ? 0 : v.
+  static ScalarF relu(ScalarF a) { return {a.v < 0.0f ? 0.0f : a.v}; }
+  /// (mask <= 0) ? 0 : g — keeps g when mask is NaN, like the scalar loop.
+  static ScalarF zero_where_nonpositive(ScalarF mask, ScalarF g) {
+    return {mask.v <= 0.0f ? 0.0f : g.v};
+  }
+};
+
+struct ScalarD {
+  static constexpr std::size_t kWidth = 1;
+  /// Float type of the same lane count, for the mixed double->float
+  /// finalize kernels.
+  using NarrowF = ScalarF;
+  double v;
+
+  static ScalarD load(const double* p) { return {*p}; }
+  void store(double* p) const { *p = v; }
+  static ScalarD broadcast(double x) { return {x}; }
+  static ScalarD zero() { return {0.0}; }
+  /// Widens kWidth floats starting at p.
+  static ScalarD from_float(const float* p) {
+    return {static_cast<double>(*p)};
+  }
+  /// Narrows back to float (round-to-nearest, like static_cast<float>).
+  void store_float(float* p) const { *p = static_cast<float>(v); }
+  NarrowF to_float() const { return {static_cast<float>(v)}; }
+
+  friend ScalarD operator+(ScalarD a, ScalarD b) { return {a.v + b.v}; }
+  friend ScalarD operator-(ScalarD a, ScalarD b) { return {a.v - b.v}; }
+  friend ScalarD operator*(ScalarD a, ScalarD b) { return {a.v * b.v}; }
+};
+
+}  // namespace hetero::vec

@@ -1,0 +1,48 @@
+#include "util/partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hetero::kernels {
+
+std::vector<RowRange> nnz_balanced_ranges(std::span<const std::size_t> row_ptr,
+                                          std::size_t workers) {
+  std::vector<RowRange> ranges;
+  if (row_ptr.size() <= 1) return ranges;  // zero rows
+  const std::size_t rows = row_ptr.size() - 1;
+  const std::size_t nnz = row_ptr.back();
+  if (workers == 0) workers = 1;
+  ranges.reserve(std::min(workers, rows));
+
+  std::size_t r0 = 0;
+  for (std::size_t c = 0; c < workers; ++c) {
+    // Cut at the row boundary whose prefix sum is NEAREST the c-th nnz
+    // quantile. Rounding down only (the last boundary at or below the
+    // target) degenerates when a heavy row straddles every quantile from
+    // the left — e.g. a heavy FIRST row pulls all cuts to 0 and the whole
+    // matrix lands on one worker. Nearest rounding isolates a heavy row at
+    // either end. The final range always extends to `rows` so every row is
+    // covered even when trailing rows are empty.
+    const std::size_t target = nnz * (c + 1) / workers;
+    std::size_t r1 = rows;
+    if (c + 1 < workers) {
+      const auto lo =
+          std::upper_bound(row_ptr.begin(), row_ptr.end(), target) -
+          row_ptr.begin() - 1;
+      r1 = static_cast<std::size_t>(lo);
+      if (r1 < rows &&
+          target - row_ptr[r1] > row_ptr[r1 + 1] - target) {
+        ++r1;
+      }
+    }
+    if (r1 < r0) r1 = r0;
+    if (r1 > rows) r1 = rows;
+    if (r1 > r0) ranges.emplace_back(r0, r1);
+    r0 = r1;
+  }
+  assert(ranges.empty() || (ranges.front().first == 0 &&
+                            ranges.back().second == rows));
+  return ranges;
+}
+
+}  // namespace hetero::kernels

@@ -1,0 +1,28 @@
+// nnz-balanced range partitioning for CSR-shaped work.
+//
+// Splitting rows evenly serializes skewed batches (a few heavy rows land on
+// one worker); splitting the row_ptr prefix sums evenly balances the actual
+// non-zero count instead. Extracted from spmm's open-coded loop so every
+// CSR-walking kernel shares one implementation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace hetero::kernels {
+
+/// One contiguous row range [begin, end).
+using RowRange = std::pair<std::size_t, std::size_t>;
+
+/// Splits the rows of a CSR matrix into at most `workers` contiguous
+/// ranges whose non-zero counts are approximately equal. `row_ptr` is the
+/// CSR row-pointer array (rows + 1 monotone entries, back() == nnz).
+/// Empty ranges are dropped, so the result may have fewer than `workers`
+/// entries; the ranges returned are disjoint, ascending, and cover
+/// [0, rows) exactly. workers == 0 is treated as 1.
+std::vector<RowRange> nnz_balanced_ranges(std::span<const std::size_t> row_ptr,
+                                          std::size_t workers);
+
+}  // namespace hetero::kernels

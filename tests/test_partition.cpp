@@ -1,0 +1,139 @@
+// Unit tests for kernels::nnz_balanced_ranges — the CSR prefix-sum row
+// splitter extracted from spmm. Covers skewed nnz distributions, empty
+// matrices, empty rows, single-row inputs, and workers > rows, and checks
+// the structural invariants every caller relies on: disjoint ascending
+// ranges covering [0, rows) exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "util/partition.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+using kernels::RowRange;
+using kernels::nnz_balanced_ranges;
+
+// row_ptr from per-row nnz counts.
+std::vector<std::size_t> prefix(const std::vector<std::size_t>& row_nnz) {
+  std::vector<std::size_t> row_ptr(row_nnz.size() + 1, 0);
+  std::partial_sum(row_nnz.begin(), row_nnz.end(), row_ptr.begin() + 1);
+  return row_ptr;
+}
+
+void expect_valid_cover(const std::vector<RowRange>& ranges,
+                        std::size_t rows) {
+  if (rows == 0) {
+    EXPECT_TRUE(ranges.empty());
+    return;
+  }
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges.front().first, 0u);
+  EXPECT_EQ(ranges.back().second, rows);
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_LT(ranges[i].first, ranges[i].second);  // non-empty
+    if (i > 0) {
+      EXPECT_EQ(ranges[i - 1].second, ranges[i].first);
+    }
+  }
+}
+
+TEST(NnzBalancedRanges, EmptyMatrix) {
+  EXPECT_TRUE(nnz_balanced_ranges({}, 4).empty());
+  const std::vector<std::size_t> zero_rows = {0};  // 0 rows, row_ptr = {0}
+  EXPECT_TRUE(nnz_balanced_ranges(zero_rows, 4).empty());
+}
+
+TEST(NnzBalancedRanges, SingleRow) {
+  const auto row_ptr = prefix({17});
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    const auto ranges = nnz_balanced_ranges(row_ptr, workers);
+    expect_valid_cover(ranges, 1);
+    ASSERT_EQ(ranges.size(), 1u);  // one row can never split
+  }
+}
+
+TEST(NnzBalancedRanges, AllRowsEmpty) {
+  const auto row_ptr = prefix({0, 0, 0, 0, 0});
+  const auto ranges = nnz_balanced_ranges(row_ptr, 3);
+  // nnz == 0: no balance to find, but every row must still be covered.
+  expect_valid_cover(ranges, 5);
+}
+
+TEST(NnzBalancedRanges, UniformSplitsEvenly) {
+  const auto row_ptr = prefix(std::vector<std::size_t>(8, 10));
+  const auto ranges = nnz_balanced_ranges(row_ptr, 4);
+  expect_valid_cover(ranges, 8);
+  ASSERT_EQ(ranges.size(), 4u);
+  for (const auto& [b, e] : ranges) EXPECT_EQ(e - b, 2u);
+}
+
+TEST(NnzBalancedRanges, SkewedHeavyFirstRow) {
+  // One row holds ~all the nnz: it must get its own range instead of
+  // dragging the whole matrix onto one worker.
+  const auto row_ptr = prefix({1000, 1, 1, 1, 1, 1, 1, 1});
+  const auto ranges = nnz_balanced_ranges(row_ptr, 4);
+  expect_valid_cover(ranges, 8);
+  EXPECT_EQ(ranges.front(), (RowRange{0, 1}));
+}
+
+TEST(NnzBalancedRanges, SkewedHeavyLastRow) {
+  const auto row_ptr = prefix({1, 1, 1, 1, 1, 1, 1, 1000});
+  const auto ranges = nnz_balanced_ranges(row_ptr, 4);
+  expect_valid_cover(ranges, 8);
+  EXPECT_EQ(ranges.back(), (RowRange{7, 8}));
+}
+
+TEST(NnzBalancedRanges, WorkersExceedRows) {
+  const auto row_ptr = prefix({3, 3, 3});
+  const auto ranges = nnz_balanced_ranges(row_ptr, 16);
+  expect_valid_cover(ranges, 3);
+  EXPECT_LE(ranges.size(), 3u);  // never more ranges than rows
+}
+
+TEST(NnzBalancedRanges, ZeroWorkersTreatedAsOne) {
+  const auto row_ptr = prefix({2, 4, 6});
+  const auto ranges = nnz_balanced_ranges(row_ptr, 0);
+  expect_valid_cover(ranges, 3);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (RowRange{0, 3}));
+}
+
+TEST(NnzBalancedRanges, FuzzedInvariantsAndBalance) {
+  util::Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t rows = rng.next_below(40);
+    std::vector<std::size_t> row_nnz(rows);
+    for (auto& c : row_nnz) {
+      // Heavy-tailed: mostly small rows, occasional huge one.
+      c = rng.bernoulli(0.1) ? rng.next_below(500) : rng.next_below(5);
+    }
+    const auto row_ptr = prefix(row_nnz);
+    const std::size_t workers = 1 + rng.next_below(9);
+    const auto ranges = nnz_balanced_ranges(row_ptr, workers);
+    expect_valid_cover(ranges, rows);
+    EXPECT_LE(ranges.size(), workers);
+
+    // Balance: no range may exceed one worker-quantile plus the single row
+    // that straddles the cut (the unavoidable granularity).
+    const std::size_t nnz = row_ptr.empty() ? 0 : row_ptr.back();
+    const std::size_t quantile = nnz / workers;
+    const std::size_t max_row =
+        row_nnz.empty()
+            ? 0
+            : *std::max_element(row_nnz.begin(), row_nnz.end());
+    for (const auto& [b, e] : ranges) {
+      const std::size_t range_nnz = row_ptr[e] - row_ptr[b];
+      EXPECT_LE(range_nnz, quantile + max_row)
+          << "range [" << b << "," << e << ") too heavy";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetero
