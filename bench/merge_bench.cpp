@@ -23,13 +23,19 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
+#include "comm/quant.h"
+#include "core/adaptive_sgd.h"
 #include "core/merging.h"
+#include "data/synthetic.h"
 #include "nn/deep_mlp.h"
 #include "nn/mlp.h"
+#include "sim/profiles.h"
 #include "sparse/sparse_gradient.h"
+#include "tensor/vec/vec.h"
 #include "util/kernel_context.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -257,6 +263,167 @@ void run_fused_delta_merge_deep(DeepMergeSetup& s,
   for (auto& r : s.replicas) r.copy_from(s.global);
 }
 
+// Quantized delta merge (DESIGN.md §10): the same work merge_and_update
+// does under --merge-precision fp16/int8 — error-feedback delta pass,
+// per-group quantization, fused dequant-reduce, residual update — over the
+// union-row + dense-tail payload layout the runtime ships.
+struct QuantDeltaScratch {
+  // One scale group per union W1 row, then 512-blocks of the dense tail.
+  struct Group {
+    std::size_t seg, off, dst, len;
+  };
+  sparse::RowSet merge_union;
+  std::vector<std::uint32_t> sorted;
+  std::vector<Group> groups;
+  std::size_t elems = 0;
+  std::vector<std::vector<float>> residual;          // packed payload layout
+  std::vector<std::vector<std::uint16_t>> q16;
+  std::vector<std::vector<std::int8_t>> q8;
+  std::vector<std::vector<float>> scales;
+  comm::LossScaleGuard guard;
+
+  void build(MergeSetup& s) {
+    merge_union.reset(s.cfg.num_features);
+    for (const auto& t : s.touched) merge_union.add(t);
+    merge_union.sorted_rows(sorted);
+    const auto segs = s.global.segment_views();
+    std::size_t dst = 0;
+    for (const auto row : sorted) {
+      groups.push_back({0, row * s.cfg.hidden, dst, s.cfg.hidden});
+      dst += s.cfg.hidden;
+    }
+    for (std::size_t seg = 1; seg < segs.size(); ++seg) {
+      for (std::size_t off = 0; off < segs[seg].size();
+           off += core::kQuantGroupCols) {
+        const std::size_t len =
+            std::min(core::kQuantGroupCols, segs[seg].size() - off);
+        groups.push_back({seg, off, dst, len});
+        dst += len;
+      }
+    }
+    elems = dst;
+    const std::size_t n = s.replicas.size();
+    residual.assign(n, std::vector<float>(elems, 0.0f));
+    q16.assign(n, std::vector<std::uint16_t>(elems));
+    q8.assign(n, std::vector<std::int8_t>(elems));
+    scales.assign(n, std::vector<float>(groups.size(), 0.0f));
+  }
+};
+
+void run_quantized_delta_merge(MergeSetup& s, comm::MergePrecision prec,
+                               QuantDeltaScratch& qs,
+                               const kernels::Context& ctx) {
+  const auto& vk = *vec::kernels_for(vec::active_isa());
+  const core::MergeUpdate u{s.weights, kGamma, true};
+  double wsum = 0.0;
+  for (const double w : s.weights) wsum += w;
+
+  // Pass A: fold this merge's delta into each replica's residual.
+  for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+    const auto rsegs = s.replicas[i].segment_views();
+    const auto gsegs = s.global.segment_views();
+    float* res = qs.residual[i].data();
+    kernels::parallel_for_ranges(
+        ctx, qs.groups.size(), qs.elems,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const auto& q = qs.groups[k];
+            vk.ef_delta(rsegs[q.seg].data() + q.off,
+                        gsegs[q.seg].data() + q.off, res + q.dst, q.len);
+          }
+        });
+  }
+
+  // Pass B: quantize the residuals into the wire codes.
+  float inv_scale = 1.0f;
+  if (prec == comm::MergePrecision::kInt8) {
+    for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+      const float* res = qs.residual[i].data();
+      std::int8_t* codes = qs.q8[i].data();
+      float* scales = qs.scales[i].data();
+      kernels::parallel_for_ranges(
+          ctx, qs.groups.size(), qs.elems,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+              const auto& q = qs.groups[k];
+              const float amax = vk.absmax(res + q.dst, q.len);
+              const bool ok = amax > 0.0f && std::isfinite(amax);
+              scales[k] = ok ? amax / 127.0f : 0.0f;
+              vk.quant_i8(res + q.dst, codes + q.dst,
+                          ok ? 127.0f / amax : 0.0f, q.len);
+            }
+          });
+    }
+  } else {
+    for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+      if (vk.quant_fp16(qs.residual[i].data(), qs.q16[i].data(),
+                        qs.guard.scale, qs.elems) > 0) {
+        qs.guard.on_overflow();
+        vk.quant_fp16(qs.residual[i].data(), qs.q16[i].data(),
+                      qs.guard.scale, qs.elems);
+      }
+    }
+    inv_scale = 1.0f / qs.guard.scale;
+  }
+
+  // Pass C: fused dequant-reduce into the global/momentum models.
+  std::vector<const std::uint16_t*> r16(s.replicas.size());
+  std::vector<const std::int8_t*> r8(s.replicas.size());
+  std::vector<const float*> rsc(s.replicas.size());
+  const auto region = [&](std::size_t code_off, std::size_t scale_off) {
+    core::QuantizedSources src;
+    src.precision = prec;
+    src.dequant_scale = inv_scale;
+    for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+      r16[i] = qs.q16[i].data() + code_off;
+      r8[i] = qs.q8[i].data() + code_off;
+      rsc[i] = qs.scales[i].data() + scale_off;
+    }
+    src.fp16 = {r16.data(), r16.size()};
+    src.i8 = {r8.data(), r8.size()};
+    src.scales = {rsc.data(), rsc.size()};
+    return src;
+  };
+  auto global_segs = s.global.segment_views();
+  auto prev_segs = s.prev.segment_views();
+  core::merge_touched_rows_quantized(region(0, 0), qs.sorted, s.cfg.hidden,
+                                     wsum, u, global_segs[0].data(),
+                                     prev_segs[0].data(), ctx);
+  core::merge_untouched_rows(qs.merge_union, s.cfg.num_features,
+                             s.cfg.hidden, u, global_segs[0], prev_segs[0],
+                             ctx);
+  std::size_t code_off = qs.sorted.size() * s.cfg.hidden;
+  std::size_t scale_off = qs.sorted.size();
+  for (std::size_t seg = 1; seg < global_segs.size(); ++seg) {
+    const std::size_t len = global_segs[seg].size();
+    core::merge_segment_quantized(region(code_off, scale_off), len, wsum, u,
+                                  global_segs[seg], prev_segs[seg], kStreams,
+                                  ctx);
+    code_off += len;
+    scale_off += (len + core::kQuantGroupCols - 1) / core::kQuantGroupCols;
+  }
+
+  // Pass D: subtract what was shipped — the residual keeps the error.
+  for (std::size_t i = 0; i < s.replicas.size(); ++i) {
+    float* res = qs.residual[i].data();
+    kernels::parallel_for_ranges(
+        ctx, qs.groups.size(), qs.elems,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const auto& q = qs.groups[k];
+            if (prec == comm::MergePrecision::kInt8) {
+              vk.residual_i8(qs.q8[i].data() + q.dst, qs.scales[i][k],
+                             res + q.dst, q.len);
+            } else {
+              vk.residual_fp16(qs.q16[i].data() + q.dst, inv_scale,
+                               res + q.dst, q.len);
+            }
+          }
+        });
+  }
+  s.broadcast();
+}
+
 // args: {log2(features), replicas}
 void BM_MergePr1Path(benchmark::State& state) {
   MergeSetup s(std::size_t{1} << state.range(0), kHidden, kClasses,
@@ -343,6 +510,76 @@ BENCHMARK(BM_MergeFusedDelta)
     ->Args({17, 2, 8, 226})
     ->Unit(benchmark::kMillisecond);
 
+// args: {log2(features), replicas, threads, touched permille, precision}
+// The quantized delta merge at the same shapes as BM_MergeFusedDelta:
+// precision 1 = fp16, 2 = int8. payload_bytes / wire_bytes counters record
+// the simulated transfer size next to the fp32 delta payload, so one JSON
+// row carries precision x payload x merge-time.
+void BM_MergeQuantizedDelta(benchmark::State& state) {
+  MergeSetup s(std::size_t{1} << state.range(0), kHidden, kClasses,
+               static_cast<std::size_t>(state.range(1)),
+               static_cast<std::size_t>(state.range(3)));
+  const auto prec = static_cast<comm::MergePrecision>(state.range(4));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  util::ThreadPool pool(threads);
+  const kernels::Context ctx{threads > 1 ? &pool : nullptr, threads};
+  QuantDeltaScratch qs;
+  qs.build(s);
+  for (auto _ : state) {
+    run_quantized_delta_merge(s, prec, qs, ctx);
+    benchmark::DoNotOptimize(s.global.w1().data());
+  }
+  const auto wire = comm::wire_payload(
+      prec, qs.groups.size(), qs.elems);
+  state.counters["union_rows"] = static_cast<double>(qs.merge_union.size());
+  state.counters["payload_bytes"] = static_cast<double>(wire.payload_bytes);
+  state.counters["wire_bytes"] = static_cast<double>(wire.total());
+  state.counters["fp32_payload_bytes"] =
+      static_cast<double>(qs.elems * sizeof(float));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.cfg.num_parameters()));
+}
+BENCHMARK(BM_MergeQuantizedDelta)
+    ->Args({21, 4, 8, 226, 1})
+    ->Args({21, 4, 8, 226, 2})
+    ->Args({21, 4, 1, 226, 2})
+    ->Args({17, 4, 8, 226, 1})
+    ->Args({17, 4, 8, 226, 2})
+    ->Args({17, 4, 8, 50, 2})
+    ->Unit(benchmark::kMillisecond);
+
+// args: {precision} — end-to-end time-to-accuracy parity on the tiny
+// synthetic dataset: same adaptive trainer, merges at fp32 / fp16 / int8.
+// Counters record final top-1 and the simulated clock; the acceptance bar
+// is quantized top1 within 1% of the fp32 row at a smaller vtime.
+void BM_TrainTimeToAccuracy(benchmark::State& state) {
+  static const data::XmlDataset dataset =
+      data::generate_xml_dataset(data::tiny_profile());
+  core::TrainerConfig cfg;
+  cfg.hidden = 16;
+  cfg.batch_max = 32;
+  cfg.batches_per_megabatch = 8;
+  cfg.eval_samples = 200;
+  cfg.compute_scale = 100.0;
+  cfg.num_megabatches = 8;
+  cfg.sparse_merge = true;
+  cfg.merge_precision = static_cast<comm::MergePrecision>(state.range(0));
+  for (auto _ : state) {
+    core::AdaptiveSgdTrainer trainer(dataset, cfg,
+                                     sim::v100_heterogeneous(4));
+    const auto result = trainer.train();
+    state.counters["top1"] = result.curve.back().top1;
+    state.counters["vtime"] = result.total_vtime;
+    state.counters["comm_seconds"] = result.comm_seconds;
+  }
+}
+BENCHMARK(BM_TrainTimeToAccuracy)
+    ->Args({0})
+    ->Args({1})
+    ->Args({2})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
 // args: {log2(features), replicas, threads, per-replica touched permille}
 // Deep model (hidden 64,32): one extra dense [W,b] segment pair vs the
 // two-layer MLP, merged through the same generic segment path the runtime
@@ -371,8 +608,9 @@ BENCHMARK(BM_MergeFusedDeltaDeep)
     ->Args({17, 4, 1, 226})
     ->Unit(benchmark::kMillisecond);
 
-// Tiny smoke shape for the bench-smoke ctest label (exercises all three
-// paths + JSON emission without paying for the sweep).
+// Tiny smoke shape for the bench-smoke ctest label (exercises all merge
+// paths — including the int8/fp16 quantized delta merge — plus JSON
+// emission without paying for the sweep).
 void BM_SmokeMergePaths(benchmark::State& state) {
   MergeSetup s(4096, 16, 64, 2, 100);
   DeepMergeSetup deep(4096, 2, 100);
@@ -388,10 +626,15 @@ void BM_SmokeMergePaths(benchmark::State& state) {
   sparse::RowSet deep_union;
   deep_union.reset(deep.cfg.num_features);
   std::vector<std::uint32_t> deep_sorted;
+  QuantDeltaScratch qs8, qs16;
+  qs8.build(s);
+  qs16.build(s);
   for (auto _ : state) {
     run_pr1_merge(s, global_flat, prev_flat, acc);
     run_fused_dense_merge(s, ctx);
     run_fused_delta_merge(s, merge_union, sorted, ctx);
+    run_quantized_delta_merge(s, comm::MergePrecision::kInt8, qs8, ctx);
+    run_quantized_delta_merge(s, comm::MergePrecision::kFp16, qs16, ctx);
     run_fused_delta_merge_deep(deep, deep_union, deep_sorted, ctx);
     benchmark::DoNotOptimize(s.global.w1().data());
     benchmark::DoNotOptimize(deep.global.segment_views()[0].data());

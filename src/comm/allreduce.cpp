@@ -113,11 +113,23 @@ AllReduceCost AllReducer::weighted_average_segments(
 AllReduceCost AllReducer::cost(std::size_t num_replicas,
                                std::size_t buffer_bytes,
                                double reduce_gbs) const {
+  return cost(num_replicas,
+              WirePayload{static_cast<double>(buffer_bytes), 0.0},
+              reduce_gbs);
+}
+
+AllReduceCost AllReducer::cost(std::size_t num_replicas,
+                               const WirePayload& wire,
+                               double reduce_gbs) const {
   AllReduceCost out;
-  out.payload_bytes = static_cast<double>(buffer_bytes);
+  out.payload_bytes = wire.payload_bytes;
+  out.wire_bytes = wire.total();
   const auto n = num_replicas;
   if (n <= 1) return out;
-  const double bytes = static_cast<double>(buffer_bytes);
+  // Transfer/reduce time is driven by everything on the wire — element
+  // data plus compression metadata.
+  const double bytes = wire.total();
+  const auto buffer_bytes = static_cast<std::size_t>(bytes);
   // Reduction compute: read two operands, write one (3x traffic).
   const auto reduce_seconds = [&](double b) {
     return 3.0 * b / (reduce_gbs * 1e9);

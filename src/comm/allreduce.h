@@ -54,10 +54,27 @@ struct AllReduceCost {
   double seconds = 0.0;        // virtual wall-clock of the collective
   double bytes_moved = 0.0;    // total bytes crossing any link
   std::size_t steps = 0;       // number of communication steps (per stream)
-  // Logical buffer the collective was charged for: the full model in dense
-  // merges, the touched-row delta (rows x hidden x 4 bytes) in sparse
-  // merges. Diagnostic for benches/tests; seconds already reflects it.
+  // Element data the collective was charged for: the full model in dense
+  // merges, the touched-row delta in sparse merges — rows x hidden x
+  // element size, where the element size depends on the merge precision
+  // (4 bytes fp32, 2 fp16, 1 int8). Diagnostic for benches/tests; seconds
+  // already reflects it.
   double payload_bytes = 0.0;
+  // Everything on the wire: payload_bytes plus compression metadata
+  // (per-group scales, header, loss scale). Equal to payload_bytes for
+  // uncompressed merges. seconds/bytes_moved are derived from this total,
+  // so compression metadata is billed honestly.
+  double wire_bytes = 0.0;
+};
+
+/// Bytes-on-wire description of one merge transfer. Splitting element data
+/// from metadata lets payload_bytes record the pure element-size reduction
+/// (4x for int8, 2x for fp16) while the simulated transfer still pays for
+/// the scales it ships.
+struct WirePayload {
+  double payload_bytes = 0.0;   // element data: elems x element size
+  double metadata_bytes = 0.0;  // scales + header + loss scale
+  double total() const { return payload_bytes + metadata_bytes; }
 };
 
 /// One replica's parameters as an ordered list of in-place tensor views
@@ -96,6 +113,15 @@ class AllReducer {
   /// the ring/tree cost model re-derives its step count over the degraded
   /// topology, so losing a device also shrinks the collective.
   AllReduceCost cost(std::size_t num_replicas, std::size_t buffer_bytes,
+                     double reduce_gbs = 300.0) const;
+
+  /// Compressed-payload variant: the transfer (and the fractional ring
+  /// chunks) is billed at wire.total() bytes, while the returned
+  /// payload_bytes records only the element data — so a fp16/int8 merge
+  /// shows the exact 2x/4x element reduction and still pays for its scale
+  /// metadata. The plain-size overload is equivalent to a WirePayload with
+  /// zero metadata.
+  AllReduceCost cost(std::size_t num_replicas, const WirePayload& wire,
                      double reduce_gbs = 300.0) const;
 
   AllReduceAlgo algo() const { return algo_; }

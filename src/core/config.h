@@ -120,6 +120,17 @@ struct TrainerConfig {
   /// through dispatch_math must leave this off.
   bool sparse_merge = false;
 
+  /// Merge-payload compression (DESIGN.md §10): quantize the shipped merge
+  /// deltas to fp16 (dynamic loss scale) or int8 (per-group scales) with
+  /// per-replica error-feedback residuals. kFp32 ships raw floats and takes
+  /// the bit-exact oracle merge path; fp16/int8 cut the element payload
+  /// 2x/4x at a small controlled accuracy cost (the residuals re-inject the
+  /// quantization error into the next merge). Composes with sparse_merge
+  /// (only the touched-row delta + dense tail is quantized) and with the
+  /// fault subsystem (residuals reset on crash/join, checkpointed for
+  /// deterministic resume).
+  comm::MergePrecision merge_precision = comm::MergePrecision::kFp32;
+
   // --- evaluation -----------------------------------------------------------
   std::size_t eval_samples = 1000;      // test prefix per mega-batch (0=all)
 

@@ -38,9 +38,11 @@ void CrossbowTrainer::run_megabatch(TrainResult& result) {
       result.gpus[g].total_samples += b;
     }
 
-    // Synchronous exchange of replica deviations (model-sized all-reduce).
+    // Synchronous exchange of replica deviations (model-sized all-reduce;
+    // billed at the compressed wire size under --merge-precision, the
+    // deviation math itself stays fp32).
     const auto ar =
-        runtime_.reducer().cost(n, runtime_.virtual_model_bytes());
+        runtime_.reducer().cost(n, runtime_.virtual_model_wire());
     const double finish = grads_done + ar.seconds;
     for (std::size_t g = 0; g < n; ++g) {
       runtime_.gpu(g).wait_all_until(finish);

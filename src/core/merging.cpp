@@ -105,6 +105,42 @@ inline void merge_block(std::span<const float* const> sources,
   }
 }
 
+// Quantized-source variant of merge_block: the accumulator starts at
+// wsum * global (the untouched-mass term of the delta reconstruction) and
+// each replica contributes w_i * dequant(code). Block == scale group on the
+// dense path; on the touched-row path `group` stays the union-row index
+// across a row's blocks.
+static_assert(kQuantGroupCols == kMergeBlock,
+              "quantized scale groups must cover whole merge blocks");
+
+inline void merge_block_quantized(const QuantizedSources& src,
+                                  std::size_t code_off, std::size_t group,
+                                  std::size_t out_off, std::size_t len,
+                                  double wsum, const MergeUpdate& u,
+                                  float* global, float* prev,
+                                  const vec::VecKernels& vk) {
+  double acc[kMergeBlock];
+  vk.merge_init(acc, global + out_off, wsum, len);
+  if (src.precision == comm::MergePrecision::kInt8) {
+    for (std::size_t i = 0; i < src.i8.size(); ++i) {
+      vk.merge_accum_i8(acc, src.i8[i] + code_off, u.weights[i],
+                        src.scales[i][group], len);
+    }
+  } else {
+    for (std::size_t i = 0; i < src.fp16.size(); ++i) {
+      vk.merge_accum_fp16(acc, src.fp16[i] + code_off, u.weights[i],
+                          src.dequant_scale, len);
+    }
+  }
+  float* g = global + out_off;
+  float* p = prev + out_off;
+  if (u.momentum) {
+    vk.merge_finalize_momentum(acc, g, p, static_cast<float>(u.gamma), len);
+  } else {
+    vk.merge_finalize_plain(acc, g, p, len);
+  }
+}
+
 inline void merge_range(std::span<const float* const> sources,
                         const MergeUpdate& u, float* global, float* prev,
                         std::size_t begin, std::size_t end,
@@ -137,6 +173,66 @@ void merge_segment(std::span<const float* const> replicas, std::size_t len,
         for (std::size_t s = s0; s < s1; ++s) {
           merge_range(replicas, u, global.data(), prev.data(),
                       len * s / shards, len * (s + 1) / shards, vk);
+        }
+      });
+}
+
+void merge_segment_quantized(const QuantizedSources& src, std::size_t len,
+                             double wsum, const MergeUpdate& u,
+                             std::span<float> global, std::span<float> prev,
+                             std::size_t min_shards,
+                             const kernels::Context& ctx) {
+  assert(src.num_replicas() == u.weights.size());
+  assert(global.size() == len);
+  assert(prev.size() == len);
+  if (len == 0) return;
+  const std::size_t num_groups =
+      (len + kQuantGroupCols - 1) / kQuantGroupCols;
+  const std::size_t work = len * u.weights.size();
+  // Shards split on group boundaries so every block sees one scale; group
+  // scales are fixed by element index, so the per-element math (and the
+  // result) is independent of the shard count.
+  std::size_t shards = std::max<std::size_t>(1, min_shards);
+  if (ctx.should_parallelize(work)) {
+    shards = std::max(shards, ctx.workers_for(len));
+  }
+  shards = std::min(shards, num_groups);
+  const auto& vk = vec::kernels();
+  kernels::parallel_for_ranges(
+      ctx, shards, work, [&](std::size_t s0, std::size_t s1) {
+        for (std::size_t s = s0; s < s1; ++s) {
+          const std::size_t g0 = num_groups * s / shards;
+          const std::size_t g1 = num_groups * (s + 1) / shards;
+          for (std::size_t g = g0; g < g1; ++g) {
+            const std::size_t off = g * kQuantGroupCols;
+            merge_block_quantized(src, off, g, off,
+                                  std::min(kQuantGroupCols, len - off), wsum,
+                                  u, global.data(), prev.data(), vk);
+          }
+        }
+      });
+}
+
+void merge_touched_rows_quantized(const QuantizedSources& src,
+                                  std::span<const std::uint32_t> rows,
+                                  std::size_t cols, double wsum,
+                                  const MergeUpdate& u, float* global,
+                                  float* prev, const kernels::Context& ctx) {
+  assert(src.num_replicas() == u.weights.size());
+  if (rows.empty() || cols == 0) return;
+  const std::size_t work = rows.size() * cols * u.weights.size();
+  const auto& vk = vec::kernels();
+  kernels::parallel_for_ranges(
+      ctx, rows.size(), work, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const std::size_t out_base =
+              static_cast<std::size_t>(rows[r]) * cols;
+          const std::size_t code_base = r * cols;
+          for (std::size_t o = 0; o < cols; o += kMergeBlock) {
+            merge_block_quantized(src, code_base + o, /*group=*/r,
+                                  out_base + o, std::min(kMergeBlock, cols - o),
+                                  wsum, u, global, prev, vk);
+          }
         }
       });
 }

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/quant.h"
 #include "sparse/sparse_gradient.h"
 #include "util/kernel_context.h"
 
@@ -121,6 +122,66 @@ void merge_touched_rows(std::span<const float* const> replicas,
                         std::span<const std::uint32_t> rows, std::size_t cols,
                         const MergeUpdate& u, float* global, float* prev,
                         const kernels::Context& ctx);
+
+// ---- Quantized merge (compressed payloads, DESIGN.md §10) ----------------
+//
+// When cfg.merge_precision != fp32 the runtime ships per-replica *deltas*
+// d_i = replica_i - global (with the error-feedback residual folded in)
+// quantized to fp16 or int8, and the fused merge reconstructs
+//   merged = (sum_i w_i) * global[j] + sum_i w_i * dequant(q_i[j])
+// in double precision — global initializes the accumulator once with the
+// summed weight, then each replica's dequantized code is added in index
+// order. dequant(q) is always the single-rounded float code*scale, so the
+// per-element expression (and therefore the merged model) is bit-identical
+// on every ISA and at every shard/thread count, exactly like the fp32
+// kernels above. fp16/int8 results intentionally differ from fp32 — the
+// fp32 path never goes through these functions and stays the bit-exact
+// oracle.
+
+/// Scale-group width of the quantized dense path: int8 payloads carry one
+/// fp32 scale per kQuantGroupCols-element block (W1 rows group by row in
+/// sparse mode instead). Equal to the merge accumulator block so each merge
+/// block sees exactly one scale.
+inline constexpr std::size_t kQuantGroupCols = 512;
+
+/// Per-replica quantized delta codes for one contiguous code region.
+/// Exactly one of fp16/i8 is non-empty, matching `precision` (never
+/// kFp32). For int8, scales[i] points at replica i's per-group fp32
+/// scales for the same region; for fp16, dequant_scale is the shared
+/// 1/loss_scale multiplier.
+struct QuantizedSources {
+  comm::MergePrecision precision = comm::MergePrecision::kFp16;
+  std::span<const std::uint16_t* const> fp16;
+  std::span<const std::int8_t* const> i8;
+  std::span<const float* const> scales;
+  float dequant_scale = 1.0f;
+
+  std::size_t num_replicas() const {
+    return precision == comm::MergePrecision::kInt8 ? i8.size() : fp16.size();
+  }
+};
+
+/// Quantized counterpart of merge_segment: fuses
+///   merged = wsum * global[j] + sum_i w_i * dequant(codes_i[j])
+/// with the momentum/plain finalize. Codes and scales are segment-local
+/// (code j maps to segment element j; scale group g covers elements
+/// [g*kQuantGroupCols, ...)). Sharding splits on group boundaries, so any
+/// shard/thread count is bit-identical.
+void merge_segment_quantized(const QuantizedSources& src, std::size_t len,
+                             double wsum, const MergeUpdate& u,
+                             std::span<float> global, std::span<float> prev,
+                             std::size_t min_shards,
+                             const kernels::Context& ctx);
+
+/// Quantized counterpart of merge_touched_rows. Codes are packed in union
+/// order (union row u's codes start at u*cols); global/prev point at the
+/// full segment base and row u updates rows[u]. For int8, scales[i][u] is
+/// replica i's scale for union row u (one group per W1 row).
+void merge_touched_rows_quantized(const QuantizedSources& src,
+                                  std::span<const std::uint32_t> rows,
+                                  std::size_t cols, double wsum,
+                                  const MergeUpdate& u, float* global,
+                                  float* prev, const kernels::Context& ctx);
 
 /// Closed-form complement of merge_touched_rows: rows NOT in `touched` are
 /// bit-identical across replicas (untouched since the last broadcast), so

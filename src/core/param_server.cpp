@@ -25,8 +25,11 @@ void ParamServerTrainer::dispatch(std::size_t g, double earliest) {
   slot.active = true;
 
   // Pull the current model over the shared host link, compute, push the
-  // gradient back. All PS traffic contends on the host link.
-  const std::size_t model_bytes = runtime_.virtual_model_bytes();
+  // gradient back. All PS traffic contends on the host link. Compressed
+  // merge precisions shrink both directions to the quantized wire size
+  // (cost-only modeling).
+  const std::size_t model_bytes =
+      static_cast<std::size_t>(runtime_.virtual_model_wire().total());
   const double pull = runtime_.links().transfer_seconds(
       model_bytes, sim::LinkModel::kHost, static_cast<int>(g),
       runtime_.num_gpus());

@@ -1,9 +1,12 @@
 #include "core/runtime.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cmath>
 
 #include "core/merging.h"
+#include "tensor/vec/vec.h"
 
 #include "util/logging.h"
 
@@ -70,6 +73,26 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
     touched_w1_.resize(n);
     for (auto& t : touched_w1_) t.reset(num_features);
     merge_union_.reset(num_features);
+  }
+  {
+    // Flat layout of the model segments (residual indexing) and the dense
+    // 512-block group count (cost-only billing of model-sized transfers).
+    const auto segs = global_->segment_views();
+    seg_offset_.resize(segs.size());
+    std::size_t off = 0;
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      seg_offset_[s] = off;
+      off += segs[s].size();
+      model_groups_ += (segs[s].size() + kQuantGroupCols - 1) / kQuantGroupCols;
+    }
+  }
+  if (compressed_merge()) {
+    const std::size_t params = global_->num_parameters();
+    residual_.resize(n);
+    for (auto& r : residual_) r.assign(params, 0.0f);
+    q16_scratch_.resize(n);
+    q8_scratch_.resize(n);
+    scale_scratch_.resize(n);
   }
   broadcast_global();
 }
@@ -147,8 +170,13 @@ std::vector<std::size_t> MultiGpuRuntime::apply_crashes_until(double t) {
     alive_[ev.device] = 0;
     crash_time_[ev.device] = ev.time;
     // Drop the crashed replica's pending merge contributions: its
-    // touched-row union and accumulated loss vanish with the device.
+    // touched-row union, accumulated loss, and error-feedback residual
+    // vanish with the device.
     if (cfg_.sparse_merge) touched_w1_[ev.device].clear();
+    if (!residual_.empty()) {
+      std::fill(residual_[ev.device].begin(), residual_[ev.device].end(),
+                0.0f);
+    }
     loss_slots_[ev.device] = LossSlot{};
     fault_stats_.crashes += 1;
     crashed.push_back(ev.device);
@@ -164,6 +192,12 @@ std::vector<std::size_t> MultiGpuRuntime::apply_joins_until(double t) {
     if (alive_[ev.device]) continue;  // already a member (restored state)
     gpus_[ev.device]->revive_at(t);
     replicas_[ev.device]->copy_from(*global_);
+    // A joiner seeds from the merged global model; any residual left from
+    // its previous membership describes deltas that no longer exist.
+    if (!residual_.empty()) {
+      std::fill(residual_[ev.device].begin(), residual_[ev.device].end(),
+                0.0f);
+    }
     alive_[ev.device] = 1;
     fault_stats_.joins += 1;
     // Outage time: from the crash event to the merge boundary that
@@ -290,6 +324,53 @@ double MultiGpuRuntime::host_roundtrip_seconds() const {
   return host_roundtrip_seconds(virtual_model_bytes());
 }
 
+comm::WirePayload MultiGpuRuntime::virtual_wire(std::size_t params,
+                                                std::size_t groups) const {
+  if (!compressed_merge()) {
+    // Reproduce virtual_payload_bytes exactly (size_t cast included) so the
+    // fp32 billing stays bit-identical to the uncompressed code path.
+    return comm::WirePayload{
+        static_cast<double>(virtual_payload_bytes(params)), 0.0};
+  }
+  comm::WirePayload w =
+      comm::wire_payload(cfg_.merge_precision, groups, params);
+  w.payload_bytes *= cfg_.comm_scale;
+  w.metadata_bytes *= cfg_.comm_scale;
+  return w;
+}
+
+comm::WirePayload MultiGpuRuntime::virtual_model_wire() const {
+  return virtual_wire(global_->num_parameters(), model_groups_);
+}
+
+std::size_t MultiGpuRuntime::build_quant_groups(
+    std::span<const std::uint32_t> union_rows, std::size_t hidden) {
+  quant_groups_.clear();
+  const auto segs = global_->segment_views();
+  std::size_t dst = 0;
+  const auto add_dense_segment = [&](std::size_t s) {
+    const std::size_t len = segs[s].size();
+    for (std::size_t o = 0; o < len; o += kQuantGroupCols) {
+      const std::size_t blen = std::min(kQuantGroupCols, len - o);
+      quant_groups_.push_back({s, o, seg_offset_[s] + o, dst, blen});
+      dst += blen;
+    }
+  };
+  if (cfg_.sparse_merge) {
+    // One scale group per union W1 row (segment 0 by the Model contract),
+    // then 512-blocks of the dense tail.
+    for (const std::uint32_t r : union_rows) {
+      const std::size_t off = static_cast<std::size_t>(r) * hidden;
+      quant_groups_.push_back({0, off, seg_offset_[0] + off, dst, hidden});
+      dst += hidden;
+    }
+    for (std::size_t s = 1; s < segs.size(); ++s) add_dense_segment(s);
+  } else {
+    for (std::size_t s = 0; s < segs.size(); ++s) add_dense_segment(s);
+  }
+  return dst;
+}
+
 double MultiGpuRuntime::host_roundtrip_seconds(std::size_t bytes) const {
   const double up =
       links_.transfer_seconds(bytes, 0, sim::LinkModel::kHost, 1);
@@ -343,44 +424,237 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
   };
 
   std::size_t payload_params = global_->num_parameters();
-  if (!cfg_.sparse_merge) {
-    for (std::size_t s = 0; s < num_segments; ++s) merge_dense_segment(s);
+  std::size_t payload_groups = 0;
+  if (!compressed_merge()) {
+    // ---- fp32 (bit-exact oracle) path: ships raw floats. ----------------
+    if (!cfg_.sparse_merge) {
+      for (std::size_t s = 0; s < num_segments; ++s) merge_dense_segment(s);
+    } else {
+      // Delta path: only the cross-replica union of touched input-layer rows
+      // is reduced (and later rebroadcast); untouched rows — bit-identical
+      // across replicas since the last broadcast — collapse to the
+      // closed-form sum_i w_i * global_row, same accumulation order. The
+      // sparse layer is segment 0 of segment_views() by the Model contract.
+      merge_union_.clear();
+      // Crashed replicas' unions were dropped at apply_crashes_until; union
+      // only the alive members so the reduced set matches the survivor run.
+      for (const std::size_t g : alive_idx) merge_union_.add(touched_w1_[g]);
+      merge_union_.sorted_rows(merge_rows_scratch_);
+      const auto& info = global_->info();
+      const std::size_t hidden = info.input_cols();
+      for (std::size_t i = 0; i < n; ++i) bases[i] = replica_segs[i][0].data();
+      merge_touched_rows(bases, merge_rows_scratch_, hidden, update,
+                         global_segs[0].data(), prev_segs[0].data(),
+                         merge_ctx_);
+      merge_untouched_rows(merge_union_, info.input_rows(), hidden, update,
+                           global_segs[0], prev_segs[0], merge_ctx_);
+      for (std::size_t s = 1; s < num_segments; ++s) merge_dense_segment(s);
+      for (auto& t : touched_w1_) t.clear();
+      timing.touched_rows = merge_union_.size();
+      // Communication payload: the touched-row delta plus the dense tail.
+      payload_params =
+          merge_union_.size() * hidden +
+          (global_->num_parameters() - info.input_rows() * hidden);
+    }
   } else {
-    // Delta path: only the cross-replica union of touched input-layer rows
-    // is reduced (and later rebroadcast); untouched rows — bit-identical
-    // across replicas since the last broadcast — collapse to the
-    // closed-form sum_i w_i * global_row, same accumulation order. The
-    // sparse layer is segment 0 of segment_views() by the Model contract.
-    merge_union_.clear();
-    // Crashed replicas' unions were dropped at apply_crashes_until; union
-    // only the alive members so the reduced set matches the survivor run.
-    for (const std::size_t g : alive_idx) merge_union_.add(touched_w1_[g]);
-    merge_union_.sorted_rows(merge_rows_scratch_);
+    // ---- Compressed merge: ship quantized deltas with error feedback. ---
+    // Each replica's contribution is its delta d_i = replica - global (the
+    // pending residual folded in), quantized per cfg.merge_precision; the
+    // fused merge reconstructs wsum*global + sum_i w_i*dequant(q_i). See
+    // DESIGN.md §10 for the pass structure and determinism argument.
     const auto& info = global_->info();
     const std::size_t hidden = info.input_cols();
-    for (std::size_t i = 0; i < n; ++i) bases[i] = replica_segs[i][0].data();
-    merge_touched_rows(bases, merge_rows_scratch_, hidden, update,
-                       global_segs[0].data(), prev_segs[0].data(),
-                       merge_ctx_);
-    merge_untouched_rows(merge_union_, info.input_rows(), hidden, update,
-                         global_segs[0], prev_segs[0], merge_ctx_);
-    for (std::size_t s = 1; s < num_segments; ++s) merge_dense_segment(s);
-    for (auto& t : touched_w1_) t.clear();
-    timing.touched_rows = merge_union_.size();
-    // Communication payload: the touched-row delta plus the dense tail.
-    payload_params =
-        merge_union_.size() * hidden +
-        (global_->num_parameters() - info.input_rows() * hidden);
+    std::span<const std::uint32_t> union_rows{};
+    if (cfg_.sparse_merge) {
+      merge_union_.clear();
+      for (const std::size_t g : alive_idx) merge_union_.add(touched_w1_[g]);
+      merge_union_.sorted_rows(merge_rows_scratch_);
+      union_rows = merge_rows_scratch_;
+      timing.touched_rows = merge_union_.size();
+      for (auto& t : touched_w1_) t.clear();
+    }
+    const std::size_t elems = build_quant_groups(union_rows, hidden);
+    const std::size_t num_groups = quant_groups_.size();
+    payload_params = elems;
+    payload_groups = num_groups;
+    const auto& vk = vec::kernels();
+    const bool is_i8 = cfg_.merge_precision == comm::MergePrecision::kInt8;
+    // Summed merge weight for the global term of the delta reconstruction
+    // (fixed summation order over the survivor set).
+    double wsum = 0.0;
+    for (const double w : alive_weights) wsum += w;
+
+    // Pass A — error feedback: r += replica - global over the merge region
+    // (pre-merge global). W1 rows outside the union keep their pending
+    // residual until a later merge ships them.
+    for (std::size_t i = 0; i < n; ++i) {
+      float* res = residual_[alive_idx[i]].data();
+      const auto& rsegs = replica_segs[i];
+      kernels::parallel_for_ranges(
+          merge_ctx_, num_groups, elems, [&](std::size_t g0, std::size_t g1) {
+            for (std::size_t g = g0; g < g1; ++g) {
+              const auto& q = quant_groups_[g];
+              vk.ef_delta(rsegs[q.seg].data() + q.off,
+                          global_segs[q.seg].data() + q.off, res + q.flat,
+                          q.len);
+            }
+          });
+    }
+
+    // Pass B — quantize from the residuals (retry-safe: the residuals are
+    // not modified until pass D).
+    std::vector<const std::uint16_t*> code16(n, nullptr);
+    std::vector<const std::int8_t*> code8(n, nullptr);
+    std::vector<const float*> scale_ptrs(n, nullptr);
+    if (is_i8) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t g = alive_idx[i];
+        q8_scratch_[g].resize(elems);
+        scale_scratch_[g].resize(num_groups);
+        float* scales = scale_scratch_[g].data();
+        std::int8_t* codes = q8_scratch_[g].data();
+        const float* res = residual_[g].data();
+        kernels::parallel_for_ranges(
+            merge_ctx_, num_groups, elems,
+            [&](std::size_t g0, std::size_t g1) {
+              for (std::size_t k = g0; k < g1; ++k) {
+                const auto& q = quant_groups_[k];
+                const float amax = vk.absmax(res + q.flat, q.len);
+                float store = 0.0f;  // wire scale: code * store = value
+                float mult = 0.0f;   // quantization multiplier
+                if (amax > 0.0f && std::isfinite(amax)) {
+                  store = amax / 127.0f;
+                  mult = 127.0f / amax;
+                }
+                scales[k] = store;
+                vk.quant_i8(res + q.flat, codes + q.dst, mult, q.len);
+              }
+            });
+        code8[i] = codes;
+        scale_ptrs[i] = scales;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        q16_scratch_[alive_idx[i]].resize(elems);
+      }
+      // Dynamic loss scale: halve and requantize while any element
+      // overflows fp16 range; only the *count being nonzero* matters, so
+      // the retry decision is deterministic on every ISA.
+      bool any_overflow = false;
+      for (;;) {
+        const float s = loss_scale_.scale;
+        std::atomic<std::size_t> over{0};
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t g = alive_idx[i];
+          std::uint16_t* codes = q16_scratch_[g].data();
+          const float* res = residual_[g].data();
+          kernels::parallel_for_ranges(
+              merge_ctx_, num_groups, elems,
+              [&](std::size_t g0, std::size_t g1) {
+                std::size_t local = 0;
+                for (std::size_t k = g0; k < g1; ++k) {
+                  const auto& q = quant_groups_[k];
+                  local += vk.quant_fp16(res + q.flat, codes + q.dst, s,
+                                         q.len);
+                }
+                over.fetch_add(local, std::memory_order_relaxed);
+              });
+        }
+        if (over.load(std::memory_order_relaxed) == 0) break;
+        any_overflow = true;
+        const float before = loss_scale_.scale;
+        loss_scale_.on_overflow();
+        if (loss_scale_.scale == before) break;  // at the floor; ship as-is
+      }
+      if (!any_overflow) loss_scale_.on_clean_merge();
+      for (std::size_t i = 0; i < n; ++i) {
+        code16[i] = q16_scratch_[alive_idx[i]].data();
+      }
+    }
+    const float inv_scale = 1.0f / loss_scale_.scale;
+
+    // Pass C — fused quantized merge + momentum, region by region.
+    QuantizedSources qsrc;
+    qsrc.precision = cfg_.merge_precision;
+    qsrc.dequant_scale = inv_scale;
+    std::vector<const std::uint16_t*> r16(n);
+    std::vector<const std::int8_t*> r8(n);
+    std::vector<const float*> rsc(n);
+    const auto region_sources = [&](std::size_t code_off,
+                                    std::size_t scale_off) {
+      if (is_i8) {
+        for (std::size_t i = 0; i < n; ++i) {
+          r8[i] = code8[i] + code_off;
+          rsc[i] = scale_ptrs[i] + scale_off;
+        }
+        qsrc.i8 = r8;
+        qsrc.scales = rsc;
+        qsrc.fp16 = {};
+      } else {
+        for (std::size_t i = 0; i < n; ++i) r16[i] = code16[i] + code_off;
+        qsrc.fp16 = r16;
+        qsrc.i8 = {};
+        qsrc.scales = {};
+      }
+    };
+    std::size_t code_off = 0;
+    std::size_t scale_off = 0;
+    std::size_t first_dense = 0;
+    if (cfg_.sparse_merge) {
+      region_sources(0, 0);
+      merge_touched_rows_quantized(qsrc, union_rows, hidden, wsum, update,
+                                   global_segs[0].data(),
+                                   prev_segs[0].data(), merge_ctx_);
+      merge_untouched_rows(merge_union_, info.input_rows(), hidden, update,
+                           global_segs[0], prev_segs[0], merge_ctx_);
+      code_off = union_rows.size() * hidden;
+      scale_off = union_rows.size();
+      first_dense = 1;
+    }
+    for (std::size_t s = first_dense; s < num_segments; ++s) {
+      region_sources(code_off, scale_off);
+      merge_segment_quantized(qsrc, global_segs[s].size(), wsum, update,
+                              global_segs[s], prev_segs[s],
+                              reducer_->num_streams(), merge_ctx_);
+      code_off += global_segs[s].size();
+      scale_off +=
+          (global_segs[s].size() + kQuantGroupCols - 1) / kQuantGroupCols;
+    }
+
+    // Pass D — residual update: r -= dequant(q), leaving exactly the
+    // quantization error to be re-injected into the next merge.
+    for (std::size_t i = 0; i < n; ++i) {
+      float* res = residual_[alive_idx[i]].data();
+      const std::uint16_t* codes16 = code16[i];
+      const std::int8_t* codes8 = code8[i];
+      const float* scales = scale_ptrs[i];
+      kernels::parallel_for_ranges(
+          merge_ctx_, num_groups, elems, [&](std::size_t g0, std::size_t g1) {
+            for (std::size_t k = g0; k < g1; ++k) {
+              const auto& q = quant_groups_[k];
+              if (is_i8) {
+                vk.residual_i8(codes8 + q.dst, scales[k], res + q.flat,
+                               q.len);
+              } else {
+                vk.residual_fp16(codes16 + q.dst, inv_scale, res + q.flat,
+                                 q.len);
+              }
+            }
+          });
+    }
   }
   broadcast_global();
 
   // Charge the collective at the simulated (paper-scale) payload size, like
-  // every other kernel/transfer cost.
-  const std::size_t payload_bytes = virtual_payload_bytes(payload_params);
-  const auto cost = reducer_->cost(n, payload_bytes);
+  // every other kernel/transfer cost; compressed merges bill the quantized
+  // element bytes plus their scale/header metadata.
+  const auto wire = virtual_wire(payload_params, payload_groups);
+  const auto cost = reducer_->cost(n, wire);
   timing.allreduce_seconds = cost.seconds;
   timing.payload_bytes = cost.payload_bytes;
-  timing.host_roundtrip_seconds = host_roundtrip_seconds(payload_bytes);
+  timing.wire_bytes = cost.wire_bytes;
+  timing.host_roundtrip_seconds =
+      host_roundtrip_seconds(static_cast<std::size_t>(wire.total()));
 
   timing.finish =
       sync_time + timing.allreduce_seconds + timing.host_roundtrip_seconds;

@@ -15,6 +15,7 @@
 
 #include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "comm/allreduce.h"
@@ -170,6 +171,41 @@ class MultiGpuRuntime {
         static_cast<double>(params * sizeof(float)) * cfg_.comm_scale);
   }
 
+  /// True when merges ship compressed payloads (cfg.merge_precision !=
+  /// fp32): per-replica error-feedback residuals and the loss-scale guard
+  /// are live state.
+  bool compressed_merge() const {
+    return cfg_.merge_precision != comm::MergePrecision::kFp32;
+  }
+
+  /// Wire description (element data + compression metadata, both scaled by
+  /// comm_scale) of a payload of `params` parameters carrying `groups`
+  /// quantization scale groups under cfg.merge_precision. fp32 reproduces
+  /// virtual_payload_bytes exactly (cast included) so uncompressed billing
+  /// stays bit-identical.
+  comm::WirePayload virtual_wire(std::size_t params, std::size_t groups) const;
+
+  /// virtual_wire for the whole model under the dense 512-block grouping —
+  /// the cost-only transfer size for trainers that bill model-sized
+  /// exchanges (sync, CROSSBOW, parameter server) without running the
+  /// quantized merge math.
+  comm::WirePayload virtual_model_wire() const;
+
+  /// Per-replica error-feedback residual (flat model layout; empty when the
+  /// merge is uncompressed). Exposed for checkpointing and tests.
+  std::span<float> residual_state(std::size_t g) {
+    return residual_.empty() ? std::span<float>{}
+                             : std::span<float>(residual_[g]);
+  }
+  std::span<const float> residual_state(std::size_t g) const {
+    return residual_.empty() ? std::span<const float>{}
+                             : std::span<const float>(residual_[g]);
+  }
+
+  /// fp16 dynamic loss-scale state (checkpointed with the residuals).
+  comm::LossScaleGuard& loss_scale_guard() { return loss_scale_; }
+  const comm::LossScaleGuard& loss_scale_guard() const { return loss_scale_; }
+
   /// Cost-only step accounting: charges device g for the batch transfer and
   /// the kernel sequence of one SGD step over `x`, without running any
   /// math. Trainers that manage model math themselves (gradient
@@ -209,6 +245,9 @@ class MultiGpuRuntime {
     // otherwise).
     std::size_t touched_rows = 0;
     double payload_bytes = 0.0;
+    // Total bytes on the wire: payload_bytes plus compression metadata
+    // (scales, header, loss scale). Equals payload_bytes for fp32 merges.
+    double wire_bytes = 0.0;
   };
 
   /// Merges replicas with the given weights via the configured all-reduce,
@@ -298,6 +337,40 @@ class MultiGpuRuntime {
   std::vector<std::uint32_t> merge_rows_scratch_;
   // Context for the merge kernels (scheduler-side, whole pool).
   kernels::Context merge_ctx_;
+
+  // Merge-payload compression state (cfg.merge_precision != kFp32).
+  // Residuals live in the flat model layout (segment concatenation order),
+  // one buffer per replica, so untouched W1 rows keep their pending
+  // correction across merges whose unions differ. Scratch holds the
+  // per-replica packed code/scale regions of the current merge.
+  std::vector<std::vector<float>> residual_;
+  comm::LossScaleGuard loss_scale_;
+  std::vector<std::size_t> seg_offset_;  // flat offset of each segment
+  std::vector<std::vector<std::uint16_t>> q16_scratch_;
+  std::vector<std::vector<std::int8_t>> q8_scratch_;
+  std::vector<std::vector<float>> scale_scratch_;
+  // Quantization group table of the current merge; see
+  // build_quant_groups(). One entry per scale group (a union W1 row or a
+  // 512-block of a dense segment), addressing the group three ways: by
+  // model segment (seg/off — replica and global reads), by flat model
+  // offset (flat — the residual buffers), and by packed code offset (dst —
+  // the code/scale scratch).
+  struct QuantGroup {
+    std::size_t seg = 0;
+    std::size_t off = 0;   // offset within segment `seg`
+    std::size_t flat = 0;  // residual (flat model) offset
+    std::size_t dst = 0;   // packed code offset
+    std::size_t len = 0;
+  };
+  std::vector<QuantGroup> quant_groups_;
+  std::size_t model_groups_ = 0;  // dense 512-block group count, full model
+
+  // Builds quant_groups_ for the current merge region and returns the total
+  // element count. Sparse mode: one group per union W1 row (width = hidden)
+  // followed by 512-blocks of the dense tail segments; dense mode:
+  // 512-blocks of every segment.
+  std::size_t build_quant_groups(std::span<const std::uint32_t> union_rows,
+                                 std::size_t hidden);
 
   // Loss accumulation (slot per GPU; written only by that GPU's manager —
   // cache-line padded so adjacent slots never false-share across managers).

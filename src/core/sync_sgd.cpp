@@ -68,9 +68,10 @@ void SyncSgdTrainer::run_megabatch(TrainResult& result) {
     // identical, so the math runs once on the canonical model. Gradients
     // must all be taken at the same model point: compute all first, then
     // apply each scaled by 1/|contributed| (equivalent to the average).
-    const auto ar =
-        runtime_.reducer().cost(contributed.size(),
-                                runtime_.virtual_model_bytes());
+    // Under --merge-precision the exchange is billed at the compressed
+    // wire size (cost-only modeling: the aggregate math stays fp32).
+    const auto ar = runtime_.reducer().cost(contributed.size(),
+                                            runtime_.virtual_model_wire());
     const double finish = grads_done + ar.seconds;
     for (std::size_t g : contributed) {
       runtime_.gpu(g).wait_all_until(finish);

@@ -1,12 +1,14 @@
 #include "fault/checkpoint.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
+#include "comm/quant.h"
 #include "nn/serialize.h"
 #include "util/error.h"
 
@@ -15,7 +17,10 @@ namespace hetero::fault {
 namespace {
 
 constexpr char kMagic[4] = {'H', 'G', 'C', 'K'};
-constexpr std::uint32_t kVersion = 1;
+// v2 adds the merge-compression section (error-feedback residuals + fp16
+// loss-scale guard) between the scaling state and the model blobs. v1
+// checkpoints still load; their compression section is defaulted.
+constexpr std::uint32_t kVersion = 2;
 
 void write_bytes(std::ostream& out, const void* p, std::size_t n) {
   out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
@@ -160,6 +165,20 @@ TrainingCheckpoint capture_checkpoint(core::AdaptiveSgdTrainer& trainer) {
   }
 
   ckpt.scaling = trainer.scaling_scheduler().snapshot();
+
+  if (runtime.compressed_merge()) {
+    ckpt.compressed = 1;
+    ckpt.loss_scale = runtime.loss_scale_guard().scale;
+    ckpt.loss_scale_streak = runtime.loss_scale_guard().good_streak;
+    ckpt.residual_blobs.resize(runtime.num_gpus());
+    for (std::size_t g = 0; g < runtime.num_gpus(); ++g) {
+      const auto res = runtime.residual_state(g);
+      ckpt.residual_blobs[g].assign(
+          reinterpret_cast<const char*>(res.data()),
+          res.size() * sizeof(float));
+    }
+  }
+
   ckpt.global_blob = serialize_model(runtime.global_model());
   ckpt.prev_global_blob = serialize_model(runtime.prev_global_model());
   return ckpt;
@@ -195,6 +214,34 @@ void restore_checkpoint(core::AdaptiveSgdTrainer& trainer,
     sgd[g].learning_rate = s.learning_rate;
     sgd[g].updates = s.updates;
   }
+
+  if (ckpt.compressed != 0) {
+    if (!runtime.compressed_merge()) {
+      throw std::runtime_error(
+          "checkpoint: carries merge-compression state but the runtime "
+          "merges at fp32");
+    }
+    if (ckpt.residual_blobs.size() != runtime.num_gpus()) {
+      throw std::runtime_error(
+          "checkpoint: residual count does not match runtime GPU count");
+    }
+    for (std::size_t g = 0; g < runtime.num_gpus(); ++g) {
+      const auto res = runtime.residual_state(g);
+      const auto& blob = ckpt.residual_blobs[g];
+      if (blob.size() != res.size() * sizeof(float)) {
+        throw std::runtime_error(
+            "checkpoint: residual size does not match runtime parameter "
+            "count");
+      }
+      std::memcpy(res.data(), blob.data(), blob.size());
+    }
+    auto& guard = runtime.loss_scale_guard();
+    guard.scale = ckpt.loss_scale;
+    guard.good_streak = ckpt.loss_scale_streak;
+  }
+  // An uncompressed (or v1) checkpoint restoring into a compressed runtime
+  // keeps the fresh trainer's zero residuals and default loss-scale guard —
+  // a valid error-feedback state, the merge just re-learns the residuals.
 
   // At a merge boundary every alive replica holds the freshly broadcast
   // global model.
@@ -243,6 +290,13 @@ void save_checkpoint(std::ostream& out, const TrainingCheckpoint& ckpt) {
   }
   write_u64(out, sc.steps_without_change);
   write_u64(out, sc.reversal_streak);
+  write_u8(out, ckpt.compressed);
+  if (ckpt.compressed != 0) {
+    write_f64(out, static_cast<double>(ckpt.loss_scale));
+    write_u64(out, ckpt.loss_scale_streak);
+    write_u64(out, ckpt.residual_blobs.size());
+    for (const auto& blob : ckpt.residual_blobs) write_blob(out, blob);
+  }
   write_blob(out, ckpt.global_blob);
   write_blob(out, ckpt.prev_global_blob);
   if (!out) throw std::runtime_error("checkpoint: write failed");
@@ -255,7 +309,7 @@ TrainingCheckpoint load_checkpoint(std::istream& in) {
     bad_checkpoint(in, "bad magic");
   }
   const auto version = read_u32(in);
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     bad_checkpoint(in, "unsupported version " + std::to_string(version));
   }
   TrainingCheckpoint ckpt;
@@ -300,6 +354,30 @@ TrainingCheckpoint load_checkpoint(std::istream& in) {
   }
   sc.steps_without_change = read_u64(in);
   sc.reversal_streak = read_u64(in);
+  if (version >= 2) {
+    ckpt.compressed = read_u8(in);
+    if (ckpt.compressed > 1) {
+      bad_checkpoint(in, "invalid compressed flag " +
+                             std::to_string(ckpt.compressed));
+    }
+    if (ckpt.compressed != 0) {
+      const double scale = read_f64(in);
+      if (!std::isfinite(scale) ||
+          scale < static_cast<double>(comm::LossScaleGuard::kMinScale) ||
+          scale > static_cast<double>(comm::LossScaleGuard::kMaxScale)) {
+        bad_checkpoint(in, "loss scale out of range");
+      }
+      ckpt.loss_scale = static_cast<float>(scale);
+      const auto streak = read_u64(in);
+      ckpt.loss_scale_streak = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(streak, 0xffffffffu));
+      // Each residual record is at least its 8-byte length prefix.
+      const auto num_residuals = read_u64(in);
+      check_count(in, num_residuals, 8, "residual");
+      ckpt.residual_blobs.resize(static_cast<std::size_t>(num_residuals));
+      for (auto& blob : ckpt.residual_blobs) blob = read_blob(in);
+    }
+  }
   ckpt.global_blob = read_blob(in);
   ckpt.prev_global_blob = read_blob(in);
   return ckpt;

@@ -7,14 +7,24 @@
 // merge boundary.
 //
 // On-disk format (little-endian host order, like nn/serialize):
-//   magic "HGCK" | version=1 u32 | seed u64 | megabatches_completed u64 |
+//   magic "HGCK" | version u32 (1 or 2) | seed u64 |
+//   megabatches_completed u64 |
 //   samples_served u64 | round_robin_cursor u64 | vtime f64 | best_top1 f64 |
 //   stagnation u64 | num_gpus u64 |
 //   per gpu { batch_size u64 | learning_rate f64 | updates u64 | alive u8 |
 //             busy_seconds f64 | degraded_until f64 | transient_episodes u64 |
 //             rng s[4] u64 | rng cached f64 | rng has_cached u8 } |
-//   scaling-scheduler state | global model blob | prev-global model blob
-//   (model blobs via nn::save_model, size-prefixed).
+//   scaling-scheduler state |
+//   [v2 only] merge-compression section: compressed u8 | when 1:
+//     loss_scale f64 | loss_scale_streak u64 | num_residuals u64 |
+//     per replica residual blob (raw fp32 bytes, size-prefixed) |
+//   global model blob | prev-global model blob
+//   (model blobs via nn::save_model, size-prefixed; always the final two
+//   records, so tail-relative tooling keeps working across versions).
+// Version 1 checkpoints load with an empty compression section: a
+// compressed run restoring one restarts its residuals at zero with the
+// default loss scale, which is a valid (if less converged) error-feedback
+// state.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +59,14 @@ struct TrainingCheckpoint {
   std::vector<GpuState> gpus;
 
   core::ScalingSchedulerState scaling;
+
+  // Merge-compression state (format v2; absent in v1): per-replica
+  // error-feedback residuals as raw fp32 bytes plus the fp16 loss-scale
+  // guard. Empty/defaulted when the run merged at fp32.
+  std::uint8_t compressed = 0;
+  float loss_scale = 1024.0f;
+  std::uint32_t loss_scale_streak = 0;
+  std::vector<std::string> residual_blobs;
 
   // Serialized nn model blobs (nn::save_model format) for the global model
   // and the Algorithm-2 momentum state.

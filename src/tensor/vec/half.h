@@ -1,0 +1,76 @@
+// Software IEEE-754 binary16 <-> binary32 conversion, bit-matching the
+// hardware F16C instructions (vcvtps2ph with round-to-nearest-even /
+// vcvtph2ps) on every input class: normals, subnormals, signed zero,
+// infinity, and NaN (quiet bit forced, payload truncated to the top 10
+// mantissa bits — exactly what vcvtps2ph produces).
+//
+// The scalar kernel table uses these functions directly; the AVX2/AVX-512
+// tables use the F16C/AVX-512F conversion instructions. The fp16 kernels'
+// cross-ISA bit-identity contract (DESIGN.md §9/§10) therefore rests on
+// this file matching the hardware, which tests/test_vec.cpp pins over
+// denormals, ±max-range values and fuzzed inputs.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace hetero::vec {
+
+inline std::uint16_t float_to_half(float f) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t abs = bits & 0x7FFFFFFFu;
+  if (abs >= 0x7F800000u) {  // inf / NaN
+    if (abs == 0x7F800000u) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    // NaN: keep the top 10 payload bits, force the quiet bit like vcvtps2ph.
+    return static_cast<std::uint16_t>(sign | 0x7E00u | ((abs >> 13) & 0x3FFu));
+  }
+  if (abs >= 0x38800000u) {
+    // Normal half range (>= 2^-14 before rounding). Round the 13 dropped
+    // mantissa bits to nearest-even by adding the rounding bias; a mantissa
+    // overflow carries cleanly into the exponent field.
+    const std::uint32_t rounded = abs + 0x00000FFFu + ((abs >> 13) & 1u);
+    if (rounded >= 0x47800000u) {  // rounds to >= 2^16 -> infinity
+      return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+    return static_cast<std::uint16_t>(sign | ((rounded - 0x38000000u) >> 13));
+  }
+  if (abs < 0x33000000u) {  // below 2^-25: underflows to signed zero
+    return static_cast<std::uint16_t>(sign);
+  }
+  // Subnormal half (or a value that rounds up to the smallest normal). The
+  // result unit is 2^-24; shift the 24-bit significand down with
+  // round-to-nearest-even on the remainder. exp >= 102 here, so shift <= 24.
+  const std::uint32_t exp = abs >> 23;
+  const std::uint32_t mant = (abs & 0x7FFFFFu) | 0x800000u;
+  const std::uint32_t shift = 126u - exp;
+  const std::uint32_t q = mant >> shift;
+  const std::uint32_t rem = mant & ((1u << shift) - 1u);
+  const std::uint32_t half_ulp = 1u << (shift - 1u);
+  std::uint32_t h = q;
+  if (rem > half_ulp || (rem == half_ulp && (q & 1u) != 0)) ++h;
+  // h == 1024 overflows the 10-bit field into exponent 1 — the smallest
+  // normal half, which is exactly the right bit pattern.
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+inline float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t bits;
+  if (exp == 0x1Fu) {  // inf / NaN (payload shifts up, like vcvtph2ps)
+    bits = sign | 0x7F800000u | (mant << 13);
+  } else if (exp != 0) {  // normal
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant != 0) {  // subnormal: value = mant * 2^-24, renormalize
+    const int p = 31 - std::countl_zero(mant);  // highest set bit, 0..9
+    bits = sign | (static_cast<std::uint32_t>(103 + p) << 23) |
+           ((mant << (23 - p)) & 0x7FFFFFu);
+  } else {  // signed zero
+    bits = sign;
+  }
+  return std::bit_cast<float>(bits);
+}
+
+}  // namespace hetero::vec

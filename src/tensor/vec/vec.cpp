@@ -32,7 +32,10 @@ namespace {
 
 bool cpu_has_avx2() {
 #if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
-  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  // f16c: the fp16 quantization kernels in the AVX2 table use
+  // vcvtps2ph/vcvtph2ps (in practice every AVX2 CPU has F16C).
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         __builtin_cpu_supports("f16c");
 #else
   return false;
 #endif

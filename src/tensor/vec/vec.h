@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -94,6 +95,41 @@ struct VecKernels {
   // p[i] = g[i]; g[i] = float(acc[i])
   void (*merge_finalize_plain)(const double* acc, float* g, float* p,
                                std::size_t n);
+
+  // Merge-payload quantization kernels (DESIGN.md §10). The dequantized
+  // value is always the single-rounded float `code * scale`; the fused
+  // merge accumulators widen that exact float to double, so all ISAs agree
+  // bit for bit.
+  // r[i] = (w[i] - g[i]) + r[i]  (error-feedback delta accumulation)
+  void (*ef_delta)(const float* w, const float* g, float* r, std::size_t n);
+  // max over |x[i]| (0 when n == 0); fixed 8-virtual-lane + fixed tree with
+  // the maxps expression (m > a) ? m : a at every site
+  float (*absmax)(const float* x, std::size_t n);
+  // q[i] = half(x[i] * scale) RNE; returns count of |x[i] * scale| > 65504
+  // (fp16 overflow — feeds the dynamic loss-scale guard)
+  std::size_t (*quant_fp16)(const float* x, std::uint16_t* q, float scale,
+                            std::size_t n);
+  // x[i] = float(q[i]) * inv_scale
+  void (*dequant_fp16)(const std::uint16_t* q, float* x, float inv_scale,
+                       std::size_t n);
+  // r[i] -= float(q[i]) * inv_scale
+  void (*residual_fp16)(const std::uint16_t* q, float inv_scale, float* r,
+                        std::size_t n);
+  // acc[i] += w * double(float(q[i]) * inv_scale)
+  void (*merge_accum_fp16)(double* acc, const std::uint16_t* q, double w,
+                           float inv_scale, std::size_t n);
+  // q[i] = rne(clamp(x[i] * scale, -127, 127)); NaN products land on +127
+  void (*quant_i8)(const float* x, std::int8_t* q, float scale,
+                   std::size_t n);
+  // x[i] = float(q[i]) * scale
+  void (*dequant_i8)(const std::int8_t* q, float* x, float scale,
+                     std::size_t n);
+  // r[i] -= float(q[i]) * scale
+  void (*residual_i8)(const std::int8_t* q, float scale, float* r,
+                      std::size_t n);
+  // acc[i] += w * double(float(q[i]) * scale)
+  void (*merge_accum_i8)(double* acc, const std::int8_t* q, double w,
+                         float scale, std::size_t n);
 };
 
 /// The active table. First use resolves HETERO_ISA (throwing

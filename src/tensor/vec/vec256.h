@@ -16,11 +16,17 @@
 #if !defined(__AVX2__)
 #error "vec256.h requires -mavx2"
 #endif
+#if !defined(__F16C__)
+#error "vec256.h requires -mf16c (fp16 quantization kernels)"
+#endif
 
 #include <immintrin.h>
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 
 namespace hetero::vec {
 
@@ -80,6 +86,82 @@ struct Avx2F {
     const __m256 keep =
         _mm256_cmp_ps(mask.v, _mm256_setzero_ps(), _CMP_NLE_UQ);
     return {_mm256_and_ps(g.v, keep)};
+  }
+
+  // --- Quantization ops. The scalar table spells out these instructions'
+  // exact NaN/operand-order semantics; see vec_scalar.h. ---
+
+  /// andps with 0x7FFFFFFF — clears the sign bit.
+  static Avx2F abs(Avx2F a) {
+    const __m256 m = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+    return {_mm256_and_ps(a.v, m)};
+  }
+  /// maxps: (a > b) ? a : b — returns b when either operand is NaN.
+  static Avx2F max(Avx2F a, Avx2F b) { return {_mm256_max_ps(a.v, b.v)}; }
+  /// minps: (a < b) ? a : b — returns b when either operand is NaN.
+  static Avx2F min(Avx2F a, Avx2F b) { return {_mm256_min_ps(a.v, b.v)}; }
+  /// Number of lanes with |a| > limit (CMP_GT_OQ: false on NaN).
+  static std::size_t count_abs_gt(Avx2F a, Avx2F limit) {
+    const __m256 cmp = _mm256_cmp_ps(abs(a).v, limit.v, _CMP_GT_OQ);
+    return static_cast<std::size_t>(std::popcount(
+        static_cast<unsigned>(_mm256_movemask_ps(cmp)) & 0xFFu));
+  }
+
+  /// 8 half-precision values widened to float (vcvtph2ps, exact).
+  static Avx2F load_half(const std::uint16_t* p) {
+    return {_mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)))};
+  }
+  static Avx2F load_half_n(const std::uint16_t* p, std::size_t n) {
+    assert(n <= 8);
+    alignas(16) std::uint16_t buf[8] = {};
+    std::memcpy(buf, p, n * sizeof(std::uint16_t));
+    return {_mm256_cvtph_ps(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(buf)))};
+  }
+  /// vcvtps2ph with round-to-nearest-even.
+  void store_half(std::uint16_t* p) const {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(p),
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+  }
+  void store_half_n(std::uint16_t* p, std::size_t n) const {
+    assert(n <= 8);
+    alignas(16) std::uint16_t buf[8];
+    _mm_store_si128(
+        reinterpret_cast<__m128i*>(buf),
+        _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+    std::memcpy(p, buf, n * sizeof(std::uint16_t));
+  }
+
+  /// 8 int8 values widened to float (exact).
+  static Avx2F load_i8(const std::int8_t* p) {
+    const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+    return {_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b))};
+  }
+  static Avx2F load_i8_n(const std::int8_t* p, std::size_t n) {
+    assert(n <= 8);
+    alignas(16) std::int8_t buf[16] = {};
+    std::memcpy(buf, p, n);
+    return {_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(buf))))};
+  }
+  /// cvtps2dq (round-to-nearest-even under the default MXCSR mode) then
+  /// pack to int8. The caller clamps to [-127, 127], so the saturating
+  /// packs are exact.
+  void store_i8_rne(std::int8_t* p) const {
+    const __m256i i32 = _mm256_cvtps_epi32(v);
+    const __m128i lo = _mm256_castsi256_si128(i32);
+    const __m128i hi = _mm256_extracti128_si256(i32, 1);
+    const __m128i p16 = _mm_packs_epi32(lo, hi);
+    const __m128i p8 = _mm_packs_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(p), p8);
+  }
+  void store_i8_rne_n(std::int8_t* p, std::size_t n) const {
+    assert(n <= 8);
+    alignas(16) std::int8_t buf[8];
+    store_i8_rne(buf);
+    std::memcpy(p, buf, n);
   }
 };
 

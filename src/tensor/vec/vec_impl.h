@@ -12,7 +12,9 @@
 // one fixed tree.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #include "tensor/vec/vec.h"
 
@@ -307,6 +309,221 @@ void merge_finalize_plain(const double* acc, float* g, float* p,
 }
 
 // ---------------------------------------------------------------------------
+// Quantization kernels (DESIGN.md §10). Element-wise over VF with the same
+// width-agnostic discipline as above; the dequantized value is always the
+// single-rounded float `code * scale`, and the merge accumulators widen that
+// float to double exactly — so every ISA sees the same per-element bits.
+// ---------------------------------------------------------------------------
+
+// r[i] = (w[i] - g[i]) + r[i]  (error-feedback delta: replica minus global
+// plus the carried residual, in exactly this association)
+template <class VF>
+void ef_delta(const float* w, const float* g, float* r, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    ((VF::load(w + i) - VF::load(g + i)) + VF::load(r + i)).store(r + i);
+  }
+  if (const std::size_t r_n = n - i) {
+    ((VF::load_n(w + i, r_n) - VF::load_n(g + i, r_n)) +
+     VF::load_n(r + i, r_n))
+        .store_n(r + i, r_n);
+  }
+}
+
+// max over |x[i]|; 0 when n == 0. Fixed 8-virtual-lane accumulator like the
+// sum reductions, combined with the same fixed tree — but using the maxps
+// expression (m > a) ? m : a at every site, so all ISAs agree bit for bit.
+template <class RF>
+float absmax(const float* x, std::size_t n) {
+  constexpr std::size_t W = RF::kWidth;
+  static_assert(W <= 8 && 8 % W == 0, "reduction lanes must tile 8");
+  constexpr std::size_t kAcc = 8 / W;
+  RF acc[kAcc];
+  for (auto& v : acc) v = RF::zero();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t k = 0; k < kAcc; ++k) {
+      acc[k] = RF::max(acc[k], RF::abs(RF::load(x + i + k * W)));
+    }
+  }
+  alignas(32) float lanes[8];
+  for (std::size_t k = 0; k < kAcc; ++k) acc[k].store(lanes + k * W);
+  for (std::size_t l = 0; i < n; ++i, ++l) {
+    const float a = std::fabs(x[i]);
+    lanes[l] = lanes[l] > a ? lanes[l] : a;
+  }
+  const float t0 = lanes[0] > lanes[4] ? lanes[0] : lanes[4];
+  const float t1 = lanes[1] > lanes[5] ? lanes[1] : lanes[5];
+  const float t2 = lanes[2] > lanes[6] ? lanes[2] : lanes[6];
+  const float t3 = lanes[3] > lanes[7] ? lanes[3] : lanes[7];
+  const float u0 = t0 > t2 ? t0 : t2;
+  const float u1 = t1 > t3 ? t1 : t3;
+  return u0 > u1 ? u0 : u1;
+}
+
+// q[i] = half(x[i] * scale), round-to-nearest-even; returns the number of
+// elements with |x[i] * scale| > 65504 (the fp16 overflow count driving the
+// dynamic loss-scale guard). Dead tail lanes are zero-filled and can never
+// exceed the limit.
+template <class VF>
+std::size_t quant_fp16(const float* x, std::uint16_t* q, float scale,
+                       std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF sv = VF::broadcast(scale);
+  const VF lim = VF::broadcast(65504.0f);
+  std::size_t over = 0;
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const VF v = VF::load(x + i) * sv;
+    over += VF::count_abs_gt(v, lim);
+    v.store_half(q + i);
+  }
+  if (const std::size_t r = n - i) {
+    const VF v = VF::load_n(x + i, r) * sv;
+    over += VF::count_abs_gt(v, lim);
+    v.store_half_n(q + i, r);
+  }
+  return over;
+}
+
+// x[i] = float(q[i]) * inv_scale  (the canonical dequantized value: one
+// float multiply, single rounding)
+template <class VF>
+void dequant_fp16(const std::uint16_t* q, float* x, float inv_scale,
+                  std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF sv = VF::broadcast(inv_scale);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (VF::load_half(q + i) * sv).store(x + i);
+  }
+  if (const std::size_t r = n - i) {
+    (VF::load_half_n(q + i, r) * sv).store_n(x + i, r);
+  }
+}
+
+// r[i] = r[i] - float(q[i]) * inv_scale  (subtract what the receivers will
+// reconstruct; the leftovers carry to the next merge)
+template <class VF>
+void residual_fp16(const std::uint16_t* q, float inv_scale, float* r,
+                   std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF sv = VF::broadcast(inv_scale);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (VF::load(r + i) - VF::load_half(q + i) * sv).store(r + i);
+  }
+  if (const std::size_t r_n = n - i) {
+    (VF::load_n(r + i, r_n) - VF::load_half_n(q + i, r_n) * sv)
+        .store_n(r + i, r_n);
+  }
+}
+
+// acc[i] += w * double(float(q[i]) * inv_scale)  (fused dequantize +
+// weighted accumulate into the merge's double block)
+template <class VF, class VD>
+void merge_accum_fp16(double* acc, const std::uint16_t* q, double w,
+                      float inv_scale, std::size_t n) {
+  constexpr std::size_t WF = VF::kWidth;
+  constexpr std::size_t WD = VD::kWidth;
+  static_assert(WF % WD == 0, "float width must tile the double width");
+  const VF sv = VF::broadcast(inv_scale);
+  const VD wv = VD::broadcast(w);
+  alignas(64) float tmp[WF];
+  std::size_t i = 0;
+  for (; i + WF <= n; i += WF) {
+    (VF::load_half(q + i) * sv).store(tmp);
+    for (std::size_t k = 0; k < WF / WD; ++k) {
+      (VD::load(acc + i + k * WD) + wv * VD::from_float(tmp + k * WD))
+          .store(acc + i + k * WD);
+    }
+  }
+  if (const std::size_t r = n - i) {
+    (VF::load_half_n(q + i, r) * sv).store(tmp);
+    for (std::size_t k = 0; k < r; ++k) {
+      acc[i + k] = acc[i + k] + w * static_cast<double>(tmp[k]);
+    }
+  }
+}
+
+// q[i] = rne(clamp(x[i] * scale, -127, 127)). The clamp is written as
+// minps-then-maxps so a NaN product deterministically lands on +127 on
+// every ISA, and the float->int conversion is round-to-nearest-even
+// (cvtps2dq under the default MXCSR mode / std::nearbyintf).
+template <class VF>
+void quant_i8(const float* x, std::int8_t* q, float scale, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF sv = VF::broadcast(scale);
+  const VF hi = VF::broadcast(127.0f);
+  const VF lo = VF::broadcast(-127.0f);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    VF::max(VF::min(VF::load(x + i) * sv, hi), lo).store_i8_rne(q + i);
+  }
+  if (const std::size_t r = n - i) {
+    VF::max(VF::min(VF::load_n(x + i, r) * sv, hi), lo)
+        .store_i8_rne_n(q + i, r);
+  }
+}
+
+// x[i] = float(q[i]) * scale
+template <class VF>
+void dequant_i8(const std::int8_t* q, float* x, float scale, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF sv = VF::broadcast(scale);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (VF::load_i8(q + i) * sv).store(x + i);
+  }
+  if (const std::size_t r = n - i) {
+    (VF::load_i8_n(q + i, r) * sv).store_n(x + i, r);
+  }
+}
+
+// r[i] = r[i] - float(q[i]) * scale
+template <class VF>
+void residual_i8(const std::int8_t* q, float scale, float* r,
+                 std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF sv = VF::broadcast(scale);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    (VF::load(r + i) - VF::load_i8(q + i) * sv).store(r + i);
+  }
+  if (const std::size_t r_n = n - i) {
+    (VF::load_n(r + i, r_n) - VF::load_i8_n(q + i, r_n) * sv)
+        .store_n(r + i, r_n);
+  }
+}
+
+// acc[i] += w * double(float(q[i]) * scale)
+template <class VF, class VD>
+void merge_accum_i8(double* acc, const std::int8_t* q, double w, float scale,
+                    std::size_t n) {
+  constexpr std::size_t WF = VF::kWidth;
+  constexpr std::size_t WD = VD::kWidth;
+  static_assert(WF % WD == 0, "float width must tile the double width");
+  const VF sv = VF::broadcast(scale);
+  const VD wv = VD::broadcast(w);
+  alignas(64) float tmp[WF];
+  std::size_t i = 0;
+  for (; i + WF <= n; i += WF) {
+    (VF::load_i8(q + i) * sv).store(tmp);
+    for (std::size_t k = 0; k < WF / WD; ++k) {
+      (VD::load(acc + i + k * WD) + wv * VD::from_float(tmp + k * WD))
+          .store(acc + i + k * WD);
+    }
+  }
+  if (const std::size_t r = n - i) {
+    (VF::load_i8_n(q + i, r) * sv).store(tmp);
+    for (std::size_t k = 0; k < r; ++k) {
+      acc[i + k] = acc[i + k] + w * static_cast<double>(tmp[k]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Table assembly. VF: element-wise float type. VD: double type (also used
 // for the double reductions). RF: float reduction type — the avx512 table
 // passes the 8-lane AVX2 type here to honor the 8-virtual-lane contract.
@@ -331,6 +548,16 @@ VecKernels make_table(Isa isa) {
   t.merge_store = &merge_store<VD>;
   t.merge_finalize_momentum = &merge_finalize_momentum<VD>;
   t.merge_finalize_plain = &merge_finalize_plain<VD>;
+  t.ef_delta = &ef_delta<VF>;
+  t.absmax = &absmax<RF>;
+  t.quant_fp16 = &quant_fp16<VF>;
+  t.dequant_fp16 = &dequant_fp16<VF>;
+  t.residual_fp16 = &residual_fp16<VF>;
+  t.merge_accum_fp16 = &merge_accum_fp16<VF, VD>;
+  t.quant_i8 = &quant_i8<VF>;
+  t.dequant_i8 = &dequant_i8<VF>;
+  t.residual_i8 = &residual_i8<VF>;
+  t.merge_accum_i8 = &merge_accum_i8<VF, VD>;
   return t;
 }
 

@@ -1,0 +1,150 @@
+// Fuzzes the HQPK quantized-payload decoder (comm/quant.h). Seeds are real
+// encode_fp16 / encode_i8 outputs over fuzzed float blocks; the mutator's
+// integer smashing reaches the rows/elems/cols fields and the float scales,
+// so this covers hostile scales (0 / inf / nan / denormal), truncated
+// buffers, and length mismatches. Contract: decode_payload() either
+// succeeds or throws hetero::ParseError — never UB, a crash, or an
+// unbounded allocation — and every accepted payload dequantizes into a
+// buffer bounded by its own wire bytes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/quant.h"
+#include "util/error.h"
+#include "util/fuzz.h"
+#include "util/rng.h"
+
+namespace hetero::comm {
+namespace {
+
+namespace fuzz = util::fuzz;
+
+std::vector<float> fuzzed_block(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    // Mix magnitudes so the int8 per-group scales span several orders and
+    // the fp16 encoding produces both normal and subnormal halves.
+    const double mag = rng.uniform(-6.0, 4.0);
+    x = static_cast<float>(rng.uniform(-1.0, 1.0) * std::pow(10.0, mag));
+  }
+  return v;
+}
+
+std::string encoded_seed(MergePrecision p, std::size_t elems,
+                         std::uint32_t cols, std::uint64_t seed) {
+  const auto x = fuzzed_block(elems, seed);
+  std::vector<std::uint8_t> out;
+  if (p == MergePrecision::kFp16) {
+    // Halve the loss scale on overflow, exactly as the merge path does —
+    // the seed must be a clean encoding (no inf halves).
+    float scale = 1024.0f;
+    while (encode_fp16({x.data(), x.size()}, cols, scale, out) > 0 &&
+           scale > LossScaleGuard::kMinScale) {
+      scale *= 0.5f;
+    }
+  } else {
+    encode_i8({x.data(), x.size()}, cols, out);
+  }
+  return std::string(reinterpret_cast<const char*>(out.data()), out.size());
+}
+
+const fuzz::Mutator kBinaryMutator{};
+
+TEST(FuzzQuantPayload, DecoderNeverCrashesOrOverAllocates) {
+  fuzz::Corpus corpus({
+      encoded_seed(MergePrecision::kFp16, 1037, 512, 11),
+      encoded_seed(MergePrecision::kInt8, 1037, 512, 12),
+      encoded_seed(MergePrecision::kFp16, 16, 16, 13),   // one ragged row
+      encoded_seed(MergePrecision::kInt8, 97, 16, 14),   // short last group
+      encoded_seed(MergePrecision::kInt8, 0, 512, 15),   // empty payload
+  });
+  auto opts = fuzz::Options::from_env({});
+  QuantizedPayload payload;
+  std::vector<float> decoded;
+  const auto stats = fuzz::run(
+      opts, corpus, kBinaryMutator, [&](const std::string& input) {
+        const auto* bytes =
+            reinterpret_cast<const std::uint8_t*>(input.data());
+        decode_payload({bytes, input.size()}, payload);
+        // Accepted payloads are bounded by their own bytes: elems was
+        // validated against the wire size before any allocation.
+        const auto esize = precision_elem_bytes(payload.precision);
+        if (payload.elems * esize > input.size() ||
+            payload.scales.size() * sizeof(float) > input.size()) {
+          throw std::logic_error("payload fields exceed input size");
+        }
+        dequantize(payload, decoded);
+        if (decoded.size() != payload.elems) {
+          throw std::logic_error("dequantize size mismatch");
+        }
+      });
+  EXPECT_GE(stats.iterations, 10000u);
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+TEST(FuzzQuantPayload, RoundTripSurvivesDecodeAndRejectsHostileScales) {
+  // Unfuzzed round trip: what the encoders emit must decode cleanly.
+  for (const auto p : {MergePrecision::kFp16, MergePrecision::kInt8}) {
+    const auto bytes = encoded_seed(p, 600, 100, 21);
+    QuantizedPayload payload;
+    decode_payload(
+        {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()},
+        payload);
+    EXPECT_EQ(payload.precision, p);
+    EXPECT_EQ(payload.elems, 600u);
+    EXPECT_EQ(payload.rows, 6u);
+    std::vector<float> x;
+    dequantize(payload, x);
+    ASSERT_EQ(x.size(), 600u);
+    for (const float v : x) ASSERT_TRUE(std::isfinite(v));
+  }
+
+  // Surgical scale corruption: inf loss scale (fp16, offset 12) and a nan
+  // per-group scale (int8, offset 32) must be typed errors.
+  auto fp16_bytes = encoded_seed(MergePrecision::kFp16, 64, 64, 22);
+  const float inf = std::numeric_limits<float>::infinity();
+  std::memcpy(fp16_bytes.data() + 12, &inf, sizeof(inf));
+  QuantizedPayload payload;
+  EXPECT_THROW(
+      decode_payload({reinterpret_cast<const std::uint8_t*>(
+                          fp16_bytes.data()),
+                      fp16_bytes.size()},
+                     payload),
+      hetero::ParseError);
+
+  auto i8_bytes = encoded_seed(MergePrecision::kInt8, 64, 64, 23);
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  std::memcpy(i8_bytes.data() + 32, &qnan, sizeof(qnan));
+  try {
+    decode_payload({reinterpret_cast<const std::uint8_t*>(i8_bytes.data()),
+                    i8_bytes.size()},
+                   payload);
+    FAIL() << "expected ParseError";
+  } catch (const hetero::ParseError& e) {
+    EXPECT_EQ(e.source(), "quant-payload");
+    EXPECT_NE(e.offset(), hetero::ParseError::npos);
+  }
+
+  // Truncation: every proper prefix is a typed error.
+  const auto whole = encoded_seed(MergePrecision::kInt8, 200, 64, 24);
+  for (const double frac : {0.0, 0.2, 0.6, 0.99}) {
+    const auto cut =
+        static_cast<std::size_t>(frac * static_cast<double>(whole.size()));
+    EXPECT_THROW(
+        decode_payload({reinterpret_cast<const std::uint8_t*>(whole.data()),
+                        cut},
+                       payload),
+        hetero::ParseError)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace hetero::comm

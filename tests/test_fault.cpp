@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "comm/quant.h"
 #include "core/adaptive_sgd.h"
 #include "core/merging.h"
 #include "core/runtime.h"
@@ -598,6 +599,199 @@ TEST_F(FaultTest, ResumedRunBitIdenticalToUninterrupted) {
                      sgd_full[g].learning_rate);
   }
   std::remove(path.c_str());
+}
+
+// ---- compressed-merge state in checkpoints (format v2) --------------------
+
+TEST_F(FaultTest, QuantizedResumedRunBitIdenticalToUninterrupted) {
+  // The error-feedback residuals are part of the merge state: if the
+  // checkpoint dropped them, the resumed run's first merge would quantize
+  // different values and diverge bitwise from the uninterrupted run.
+  for (const auto precision :
+       {comm::MergePrecision::kFp16, comm::MergePrecision::kInt8}) {
+    auto cfg = config();
+    cfg.num_megabatches = 6;
+    cfg.merge_precision = precision;
+
+    core::AdaptiveSgdTrainer full(dataset_, cfg, sim::v100_heterogeneous(3));
+    const auto full_result = full.train();
+
+    auto cfg3 = cfg;
+    cfg3.num_megabatches = 3;
+    core::AdaptiveSgdTrainer first_half(dataset_, cfg3,
+                                        sim::v100_heterogeneous(3));
+    first_half.train();
+    const auto path = temp_path("fault_resume_quant.ckpt");
+    fault::save_checkpoint_file(path, fault::capture_checkpoint(first_half));
+
+    core::AdaptiveSgdTrainer resumed(dataset_, cfg,
+                                     sim::v100_heterogeneous(3));
+    fault::restore_checkpoint(resumed, fault::load_checkpoint_file(path));
+    const auto resumed_result = resumed.train();
+
+    ASSERT_EQ(resumed_result.curve.size(), 4u);
+    ASSERT_EQ(full_result.curve.size(), 7u);
+    for (std::size_t i = 0; i < resumed_result.curve.size(); ++i) {
+      EXPECT_DOUBLE_EQ(resumed_result.curve[i].vtime,
+                       full_result.curve[3 + i].vtime)
+          << comm::precision_name(precision) << " megabatch "
+          << full_result.curve[3 + i].megabatch;
+      EXPECT_DOUBLE_EQ(resumed_result.curve[i].top1,
+                       full_result.curve[3 + i].top1)
+          << comm::precision_name(precision);
+    }
+    EXPECT_EQ(resumed.runtime().global_model().to_flat(),
+              full.runtime().global_model().to_flat())
+        << comm::precision_name(precision);
+    EXPECT_EQ(resumed.runtime().prev_global_model().to_flat(),
+              full.runtime().prev_global_model().to_flat());
+    for (std::size_t g = 0; g < resumed.runtime().num_gpus(); ++g) {
+      const auto a = resumed.runtime().residual_state(g);
+      const auto b = full.runtime().residual_state(g);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                               a.size() * sizeof(float)))
+          << comm::precision_name(precision) << " residual replica " << g;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(FaultTest, CheckpointRoundTripsCompressionState) {
+  auto cfg = config();
+  cfg.num_megabatches = 2;
+  cfg.merge_precision = comm::MergePrecision::kInt8;
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg,
+                                   sim::v100_heterogeneous(2));
+  trainer.train();
+  const auto ckpt = fault::capture_checkpoint(trainer);
+  EXPECT_EQ(ckpt.compressed, 1u);
+  ASSERT_EQ(ckpt.residual_blobs.size(), 2u);
+  bool any = false;
+  for (const auto& blob : ckpt.residual_blobs) {
+    EXPECT_EQ(blob.size(),
+              trainer.runtime().global_model().num_parameters() *
+                  sizeof(float));
+    for (const char c : blob) any |= (c != 0);
+  }
+  EXPECT_TRUE(any) << "int8 merges must leave a nonzero residual";
+
+  const auto path = temp_path("fault_quant_roundtrip.ckpt");
+  fault::save_checkpoint_file(path, ckpt);
+  const auto loaded = fault::load_checkpoint_file(path);
+  EXPECT_EQ(loaded.compressed, ckpt.compressed);
+  EXPECT_EQ(loaded.loss_scale, ckpt.loss_scale);
+  EXPECT_EQ(loaded.loss_scale_streak, ckpt.loss_scale_streak);
+  EXPECT_EQ(loaded.residual_blobs, ckpt.residual_blobs);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, RestoreRejectsCompressionMismatch) {
+  auto cfg = config();
+  cfg.num_megabatches = 2;
+  cfg.merge_precision = comm::MergePrecision::kFp16;
+  core::AdaptiveSgdTrainer quant(dataset_, cfg, sim::v100_heterogeneous(2));
+  quant.train();
+  const auto ckpt = fault::capture_checkpoint(quant);
+
+  // A checkpoint carrying residuals cannot restore into an fp32 runtime.
+  auto cfg_fp32 = cfg;
+  cfg_fp32.merge_precision = comm::MergePrecision::kFp32;
+  core::AdaptiveSgdTrainer plain(dataset_, cfg_fp32,
+                                 sim::v100_heterogeneous(2));
+  EXPECT_THROW(fault::restore_checkpoint(plain, ckpt), std::runtime_error);
+
+  // The reverse direction is allowed: an fp32 checkpoint restores into a
+  // compressed runtime with zero residuals and the default loss scale.
+  core::AdaptiveSgdTrainer plain2(dataset_, cfg_fp32,
+                                  sim::v100_heterogeneous(2));
+  plain2.train();
+  const auto plain_ckpt = fault::capture_checkpoint(plain2);
+  EXPECT_EQ(plain_ckpt.compressed, 0u);
+  core::AdaptiveSgdTrainer quant2(dataset_, cfg, sim::v100_heterogeneous(2));
+  fault::restore_checkpoint(quant2, plain_ckpt);
+  for (std::size_t g = 0; g < quant2.runtime().num_gpus(); ++g) {
+    for (const float v : quant2.runtime().residual_state(g)) {
+      ASSERT_EQ(v, 0.0f);
+    }
+  }
+}
+
+TEST_F(FaultTest, CheckpointVersion1StillLoads) {
+  // A v1 checkpoint is a v2 one minus the merge-compression section; an
+  // uncompressed v2 carries only the single 0 flag byte before the two
+  // model blobs. Rewrite the version field and strip that byte.
+  auto bytes = tiny_checkpoint_bytes();
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 4, &v1, sizeof(v1));
+  const std::size_t flag_at = bytes.size() - (1 + 8 + 96 + 8 + 96);
+  ASSERT_EQ(bytes[flag_at], 0);  // the compressed=0 flag
+  bytes.erase(flag_at, 1);
+  const auto loaded = load_from_bytes(bytes);
+  EXPECT_EQ(loaded.compressed, 0u);
+  EXPECT_TRUE(loaded.residual_blobs.empty());
+  EXPECT_EQ(loaded.global_blob, std::string(96, 'G'));
+  EXPECT_EQ(loaded.prev_global_blob, std::string(96, 'P'));
+}
+
+TEST_F(FaultTest, CorruptCheckpointHostileResidualCountIsTypedError) {
+  // Build a compressed checkpoint, then blast the residual count field.
+  fault::TrainingCheckpoint ckpt;
+  ckpt.gpus.resize(1);
+  ckpt.compressed = 1;
+  ckpt.residual_blobs = {std::string(8, 'R')};
+  ckpt.global_blob = std::string(16, 'G');
+  ckpt.prev_global_blob = std::string(16, 'P');
+  std::ostringstream out(std::ios::binary);
+  fault::save_checkpoint(out, ckpt);
+  auto bytes = out.str();
+  // residual count u64 sits before {8-len + 8 bytes} + two 16-byte blobs.
+  const std::size_t count_at = bytes.size() - (8 + 8 + 8 + 16 + 8 + 16 + 8);
+  write_u64_at(bytes, count_at, std::uint64_t{1} << 61);
+  EXPECT_THROW(load_from_bytes(bytes), hetero::ParseError);
+
+  // Out-of-range loss scale is rejected as well (f64 before the streak and
+  // the residual count).
+  auto bad_scale = out.str();
+  const std::size_t scale_at =
+      bad_scale.size() - (8 + 8 + 8 + 8 + 8 + 16 + 8 + 16 + 8);
+  const double huge = 1e300;
+  std::memcpy(bad_scale.data() + scale_at, &huge, sizeof(huge));
+  EXPECT_THROW(load_from_bytes(bad_scale), hetero::ParseError);
+}
+
+TEST_F(FaultTest, QuantizedCrashZeroesResidualOfDeadReplica) {
+  auto cfg = config();
+  cfg.num_megabatches = 6;
+  cfg.merge_precision = comm::MergePrecision::kInt8;
+
+  core::AdaptiveSgdTrainer healthy(dataset_, cfg, sim::v100_heterogeneous(3));
+  const double total = healthy.train().total_vtime;
+  for (std::size_t g = 0; g < healthy.runtime().num_gpus(); ++g) {
+    bool any = false;
+    for (const float v : healthy.runtime().residual_state(g)) {
+      any |= (v != 0.0f);
+    }
+    EXPECT_TRUE(any) << "healthy replica " << g;
+  }
+
+  // Crash gpu1 mid-run with no rejoin: its residual is zeroed at the crash
+  // and never written again, while survivors keep accumulating.
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg, sim::v100_heterogeneous(3));
+  fault::FaultPlan plan;
+  plan.events.push_back(
+      {fault::FaultKind::kCrash, 1, 0.35 * total, 0.0, 1.0, 0});
+  fault::FaultInjector(plan).arm(trainer.runtime());
+  const auto result = trainer.train();
+  ASSERT_EQ(result.faults.crashes, 1u);
+  for (const float v : trainer.runtime().residual_state(1)) {
+    ASSERT_EQ(v, 0.0f);
+  }
+  bool any = false;
+  for (const float v : trainer.runtime().residual_state(0)) {
+    any |= (v != 0.0f);
+  }
+  EXPECT_TRUE(any) << "survivor residual should be nonzero";
 }
 
 TEST_F(FaultTest, PeriodicCheckpointHookWritesAtCadenceAndEnd) {

@@ -7,12 +7,14 @@
 // vectors, never EXPECT_NEAR — over fuzzed shapes, perturbed weights with
 // sum != 1, momentum on and off, and 1..16 pool threads.
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "comm/allreduce.h"
+#include "comm/quant.h"
 #include "core/merging.h"
 #include "core/runtime.h"
 #include "data/synthetic.h"
@@ -374,6 +376,140 @@ TEST_F(DeltaMergeRuntimeTest, RepeatedDeltaRunsAreDeterministic) {
     return run_schedule(rt);
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// ---- Compressed merge payloads (DESIGN.md §10) ---------------------------
+
+class QuantizedMergeRuntimeTest : public DeltaMergeRuntimeTest {
+ protected:
+  core::TrainerConfig qconfig(comm::MergePrecision precision,
+                              bool sparse_merge, std::size_t kernel_threads,
+                              bool threaded) const {
+    auto cfg = config(sparse_merge, true, kernel_threads, threaded);
+    cfg.merge_precision = precision;
+    return cfg;
+  }
+};
+
+TEST_F(QuantizedMergeRuntimeTest, DeterministicAcrossThreadCounts) {
+  for (const auto precision :
+       {comm::MergePrecision::kFp16, comm::MergePrecision::kInt8}) {
+    for (const bool sparse : {true, false}) {
+      core::MultiGpuRuntime ref_rt(
+          dataset_, qconfig(precision, sparse, 1, false),
+          sim::v100_heterogeneous(4));
+      const auto ref = run_schedule(ref_rt);
+      for (const std::size_t threads : {1u, 4u}) {
+        for (const bool threaded : {false, true}) {
+          core::MultiGpuRuntime rt(
+              dataset_, qconfig(precision, sparse, threads, threaded),
+              sim::v100_heterogeneous(4));
+          const auto got = run_schedule(rt);
+          ASSERT_EQ(got, ref)
+              << "precision=" << comm::precision_name(precision)
+              << " sparse=" << sparse << " threads=" << threads
+              << " threaded=" << threaded;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(QuantizedMergeRuntimeTest, PayloadBytesShrinkExactly) {
+  std::vector<core::MultiGpuRuntime::MergeTiming> fp32_t, fp16_t, int8_t_;
+  {
+    core::MultiGpuRuntime rt(
+        dataset_, qconfig(comm::MergePrecision::kFp32, true, 1, false),
+        sim::v100_heterogeneous(4));
+    run_schedule(rt, &fp32_t);
+  }
+  {
+    core::MultiGpuRuntime rt(
+        dataset_, qconfig(comm::MergePrecision::kFp16, true, 1, false),
+        sim::v100_heterogeneous(4));
+    run_schedule(rt, &fp16_t);
+  }
+  {
+    core::MultiGpuRuntime rt(
+        dataset_, qconfig(comm::MergePrecision::kInt8, true, 1, false),
+        sim::v100_heterogeneous(4));
+    run_schedule(rt, &int8_t_);
+  }
+  ASSERT_EQ(fp32_t.size(), fp16_t.size());
+  ASSERT_EQ(fp32_t.size(), int8_t_.size());
+  for (std::size_t m = 0; m < fp32_t.size(); ++m) {
+    // The schedule (and thus the touched-row union) is identical across
+    // precisions, so element payloads are exactly 2x / 4x smaller.
+    EXPECT_DOUBLE_EQ(fp16_t[m].payload_bytes * 2.0, fp32_t[m].payload_bytes)
+        << "merge " << m;
+    EXPECT_DOUBLE_EQ(int8_t_[m].payload_bytes * 4.0, fp32_t[m].payload_bytes)
+        << "merge " << m;
+    // Wire bytes bill the header/scale metadata on top of the elements —
+    // strictly more than the payload, still well under the fp32 wire.
+    EXPECT_GT(fp16_t[m].wire_bytes, fp16_t[m].payload_bytes);
+    EXPECT_GT(int8_t_[m].wire_bytes, int8_t_[m].payload_bytes);
+    EXPECT_LT(fp16_t[m].wire_bytes, fp32_t[m].wire_bytes);
+    EXPECT_LT(int8_t_[m].wire_bytes, fp16_t[m].wire_bytes);
+    EXPECT_DOUBLE_EQ(fp32_t[m].wire_bytes, fp32_t[m].payload_bytes);
+    // Cheaper wire = cheaper simulated clock.
+    EXPECT_LT(fp16_t[m].allreduce_seconds, fp32_t[m].allreduce_seconds);
+    EXPECT_LT(int8_t_[m].allreduce_seconds, fp16_t[m].allreduce_seconds);
+  }
+}
+
+TEST_F(QuantizedMergeRuntimeTest, ErrorFeedbackTracksFp32Oracle) {
+  // Error feedback keeps the quantized global model close to the fp32
+  // oracle — the residual carries each merge's rounding error into the
+  // next one instead of dropping it. Loose tolerance: this is a sanity
+  // bound, the real time-to-accuracy comparison lives in merge_bench.
+  core::MultiGpuRuntime fp32_rt(
+      dataset_, qconfig(comm::MergePrecision::kFp32, true, 1, false),
+      sim::v100_heterogeneous(4));
+  const auto fp32_globals = run_schedule(fp32_rt);
+  for (const auto precision :
+       {comm::MergePrecision::kFp16, comm::MergePrecision::kInt8}) {
+    core::MultiGpuRuntime rt(dataset_, qconfig(precision, true, 1, false),
+                             sim::v100_heterogeneous(4));
+    const auto globals = run_schedule(rt);
+    const auto& a = fp32_globals.back();
+    const auto& b = globals.back();
+    ASSERT_EQ(a.size(), b.size());
+    float max_diff = 0.0f;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      max_diff = std::max(max_diff, std::fabs(a[j] - b[j]));
+    }
+    EXPECT_LT(max_diff, 0.05f)
+        << comm::precision_name(precision) << " drifted from fp32";
+    EXPECT_GT(max_diff, 0.0f);  // quantization is genuinely lossy per merge
+  }
+}
+
+TEST_F(QuantizedMergeRuntimeTest, RepeatedQuantizedRunsAreDeterministic) {
+  for (const auto precision :
+       {comm::MergePrecision::kFp16, comm::MergePrecision::kInt8}) {
+    const auto run_once = [&] {
+      core::MultiGpuRuntime rt(dataset_, qconfig(precision, true, 4, true),
+                               sim::v100_heterogeneous(4));
+      return run_schedule(rt);
+    };
+    EXPECT_EQ(run_once(), run_once())
+        << comm::precision_name(precision);
+  }
+}
+
+TEST_F(QuantizedMergeRuntimeTest, ResidualStateResetOnCrashAndJoin) {
+  auto cfg = qconfig(comm::MergePrecision::kInt8, true, 1, false);
+  core::MultiGpuRuntime rt(dataset_, cfg, sim::v100_heterogeneous(4));
+  ASSERT_TRUE(rt.compressed_merge());
+  run_schedule(rt);
+  // After a few int8 merges every replica has accumulated some residual.
+  for (std::size_t g = 0; g < rt.num_gpus(); ++g) {
+    const auto res = rt.residual_state(g);
+    ASSERT_FALSE(res.empty());
+    bool any = false;
+    for (const float v : res) any |= (v != 0.0f);
+    EXPECT_TRUE(any) << "replica " << g << " residual never charged";
+  }
 }
 
 }  // namespace

@@ -221,6 +221,161 @@ TEST_F(VecBitIdentity, MergeKernels) {
   }
 }
 
+// Fuzzed inputs for the quantization kernels: the usual small values plus
+// magnitudes straddling the fp16 overflow threshold (65504), denormals, and
+// the occasional NaN/infinity so the clamp/compare paths are exercised.
+std::vector<float> fuzz_quant_floats(std::size_t n, util::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    const double roll = rng.uniform(0.0, 1.0);
+    const float sign = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    if (roll < 0.08) {
+      x = sign * 0.0f;
+    } else if (roll < 0.14) {
+      x = sign * std::numeric_limits<float>::denorm_min();
+    } else if (roll < 0.20) {
+      x = sign * 65504.0f;  // fp16 max finite
+    } else if (roll < 0.26) {
+      x = sign * static_cast<float>(rng.uniform(60000.0, 80000.0));
+    } else if (roll < 0.30) {
+      x = sign * std::numeric_limits<float>::max();
+    } else if (roll < 0.33) {
+      x = sign * std::numeric_limits<float>::infinity();
+    } else if (roll < 0.36) {
+      x = std::numeric_limits<float>::quiet_NaN();
+    } else if (roll < 0.44) {
+      // fp16 subnormal range: |x| < 2^-14
+      x = sign * static_cast<float>(rng.uniform(0.0, 6.0e-5));
+    } else {
+      x = sign * static_cast<float>(rng.uniform(0.0, 4.0));
+    }
+  }
+  return v;
+}
+
+TEST_F(VecBitIdentity, QuantKernelsBitIdentity) {
+  for (const std::size_t n : kSizes) {
+    const auto w = fuzz_quant_floats(n, rng_);
+    const auto g = fuzz_floats(n, rng_);
+    const auto r0 = fuzz_floats(n, rng_);
+    const auto x = fuzz_quant_floats(n, rng_);
+    const float scale = 1024.0f, inv_scale = 1.0f / 1024.0f;
+    const float i8_scale = 0.03125f, i8_mult = 32.0f;
+    const double wgt = 0.375;
+
+    // Scalar reference codes feed every ISA's decode-side kernels.
+    std::vector<std::uint16_t> q16_ref(n);
+    std::vector<std::int8_t> q8_ref(n);
+    const std::size_t over_ref =
+        scalar_.quant_fp16(x.data(), q16_ref.data(), scale, n);
+    scalar_.quant_i8(x.data(), q8_ref.data(), i8_mult, n);
+    std::vector<double> acc0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc0[i] = static_cast<double>(g[i]) * 1.5;
+    }
+
+    for (const auto isa : isas_) {
+      const auto& vk = *vec::kernels_for(isa);
+
+      auto ref = r0, got = r0;
+      scalar_.ef_delta(w.data(), g.data(), ref.data(), n);
+      vk.ef_delta(w.data(), g.data(), got.data(), n);
+      expect_same_bits(ref, got, "ef_delta", isa, n);
+
+      const float amax_ref = scalar_.absmax(x.data(), n);
+      const float amax = vk.absmax(x.data(), n);
+      EXPECT_EQ(0, std::memcmp(&amax_ref, &amax, sizeof(float)))
+          << "absmax on " << vec::isa_name(isa) << " at n=" << n;
+
+      std::vector<std::uint16_t> q16(n);
+      const std::size_t over = vk.quant_fp16(x.data(), q16.data(), scale, n);
+      EXPECT_EQ(over_ref, over)
+          << "quant_fp16 overflow count on " << vec::isa_name(isa)
+          << " at n=" << n;
+      expect_same_bits(q16_ref, q16, "quant_fp16", isa, n);
+
+      ref.assign(n, 0.0f), got.assign(n, 0.0f);
+      scalar_.dequant_fp16(q16_ref.data(), ref.data(), inv_scale, n);
+      vk.dequant_fp16(q16_ref.data(), got.data(), inv_scale, n);
+      expect_same_bits(ref, got, "dequant_fp16", isa, n);
+
+      ref = r0, got = r0;
+      scalar_.residual_fp16(q16_ref.data(), inv_scale, ref.data(), n);
+      vk.residual_fp16(q16_ref.data(), inv_scale, got.data(), n);
+      expect_same_bits(ref, got, "residual_fp16", isa, n);
+
+      auto acc_ref = acc0, acc_got = acc0;
+      scalar_.merge_accum_fp16(acc_ref.data(), q16_ref.data(), wgt,
+                               inv_scale, n);
+      vk.merge_accum_fp16(acc_got.data(), q16_ref.data(), wgt, inv_scale, n);
+      expect_same_bits(acc_ref, acc_got, "merge_accum_fp16", isa, n);
+
+      std::vector<std::int8_t> q8(n);
+      vk.quant_i8(x.data(), q8.data(), i8_mult, n);
+      expect_same_bits(q8_ref, q8, "quant_i8", isa, n);
+
+      ref.assign(n, 0.0f), got.assign(n, 0.0f);
+      scalar_.dequant_i8(q8_ref.data(), ref.data(), i8_scale, n);
+      vk.dequant_i8(q8_ref.data(), got.data(), i8_scale, n);
+      expect_same_bits(ref, got, "dequant_i8", isa, n);
+
+      ref = r0, got = r0;
+      scalar_.residual_i8(q8_ref.data(), i8_scale, ref.data(), n);
+      vk.residual_i8(q8_ref.data(), i8_scale, got.data(), n);
+      expect_same_bits(ref, got, "residual_i8", isa, n);
+
+      acc_ref = acc0, acc_got = acc0;
+      scalar_.merge_accum_i8(acc_ref.data(), q8_ref.data(), wgt, i8_scale, n);
+      vk.merge_accum_i8(acc_got.data(), q8_ref.data(), wgt, i8_scale, n);
+      expect_same_bits(acc_ref, acc_got, "merge_accum_i8", isa, n);
+    }
+  }
+}
+
+TEST_F(VecBitIdentity, QuantKernelSemantics) {
+  const auto& vk = *vec::kernels_for(vec::active_isa());
+
+  // fp16 exact codes and overflow accounting at the 65504 boundary.
+  const std::vector<float> vals = {1.0f,     -2.0f, 65504.0f, -65504.0f,
+                                   65520.0f, 0.0f,  -0.0f};
+  std::vector<std::uint16_t> q(vals.size());
+  const auto over = vk.quant_fp16(vals.data(), q.data(), 1.0f, vals.size());
+  EXPECT_EQ(1u, over);  // only 65520 exceeds the max finite half
+  EXPECT_EQ(0x3C00u, q[0]);
+  EXPECT_EQ(0xC000u, q[1]);
+  EXPECT_EQ(0x7BFFu, q[2]);  // +65504, the largest finite half
+  EXPECT_EQ(0xFBFFu, q[3]);
+  EXPECT_EQ(0x0000u, q[5]);
+  EXPECT_EQ(0x8000u, q[6]);  // signed zero survives the round trip
+  std::vector<float> back(vals.size());
+  vk.dequant_fp16(q.data(), back.data(), 1.0f, vals.size());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(vals[i], back[i]) << "half round trip at i=" << i;
+  }
+
+  // int8: RNE rounding, saturation at ±127, NaN lands on +127.
+  const std::vector<float> iv = {0.5f,   1.5f,  2.5f, -0.5f, 200.0f, -200.0f,
+                                 std::numeric_limits<float>::quiet_NaN(),
+                                 std::numeric_limits<float>::infinity()};
+  std::vector<std::int8_t> q8(iv.size());
+  vk.quant_i8(iv.data(), q8.data(), 1.0f, iv.size());
+  EXPECT_EQ(0, q8[0]);   // 0.5 rounds to even 0
+  EXPECT_EQ(2, q8[1]);   // 1.5 rounds to even 2
+  EXPECT_EQ(2, q8[2]);   // 2.5 rounds to even 2
+  EXPECT_EQ(0, q8[3]);
+  EXPECT_EQ(127, q8[4]);
+  EXPECT_EQ(-127, q8[5]);
+  EXPECT_EQ(127, q8[6]);
+  EXPECT_EQ(127, q8[7]);
+
+  // absmax ignores NaN via the maxps (m > a) ? m : a expression when the
+  // running max is already numeric, and is exactly 0 on empty input.
+  EXPECT_EQ(0.0f, vk.absmax(nullptr, 0));
+  const std::vector<float> ax = {1.0f, std::numeric_limits<float>::quiet_NaN(),
+                                 -3.0f, 2.0f};
+  EXPECT_EQ(3.0f, vk.absmax(ax.data(), ax.size()));
+}
+
 TEST_F(VecBitIdentity, IsaSelectionErrors) {
   EXPECT_THROW(vec::set_isa_from_string("sse9"), ParseError);
   vec::set_isa_from_string("");  // empty = flag not given, no-op
