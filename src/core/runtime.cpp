@@ -506,6 +506,9 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
     std::vector<const std::uint16_t*> code16(n, nullptr);
     std::vector<const std::int8_t*> code8(n, nullptr);
     std::vector<const float*> scale_ptrs(n, nullptr);
+    // Scale the fp16 codes were actually quantized with (the loss-scale
+    // guard may grow past it after a clean merge).
+    float quant_scale = loss_scale_.scale;
     if (is_i8) {
       for (std::size_t i = 0; i < n; ++i) {
         const std::size_t g = alive_idx[i];
@@ -543,6 +546,7 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
       bool any_overflow = false;
       for (;;) {
         const float s = loss_scale_.scale;
+        quant_scale = s;
         std::atomic<std::size_t> over{0};
         for (std::size_t i = 0; i < n; ++i) {
           const std::size_t g = alive_idx[i];
@@ -566,12 +570,15 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
         loss_scale_.on_overflow();
         if (loss_scale_.scale == before) break;  // at the floor; ship as-is
       }
+      // Grow the scale only *after* this merge: the codes above were
+      // quantized with quant_scale, so dequant must use exactly that scale
+      // or every shipped delta lands at half magnitude on a growth merge.
       if (!any_overflow) loss_scale_.on_clean_merge();
       for (std::size_t i = 0; i < n; ++i) {
         code16[i] = q16_scratch_[alive_idx[i]].data();
       }
     }
-    const float inv_scale = 1.0f / loss_scale_.scale;
+    const float inv_scale = 1.0f / quant_scale;
 
     // Pass C — fused quantized merge + momentum, region by region.
     QuantizedSources qsrc;

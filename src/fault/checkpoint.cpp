@@ -238,10 +238,17 @@ void restore_checkpoint(core::AdaptiveSgdTrainer& trainer,
     auto& guard = runtime.loss_scale_guard();
     guard.scale = ckpt.loss_scale;
     guard.good_streak = ckpt.loss_scale_streak;
+  } else if (runtime.compressed_merge()) {
+    // An uncompressed (or v1) checkpoint restoring into a compressed
+    // runtime: zero the error-feedback residuals and reset the loss-scale
+    // guard explicitly rather than trusting the runtime to be untouched —
+    // a valid state, the merge just re-learns the residuals.
+    for (std::size_t g = 0; g < runtime.num_gpus(); ++g) {
+      const auto res = runtime.residual_state(g);
+      std::fill(res.begin(), res.end(), 0.0f);
+    }
+    runtime.loss_scale_guard() = comm::LossScaleGuard{};
   }
-  // An uncompressed (or v1) checkpoint restoring into a compressed runtime
-  // keeps the fresh trainer's zero residuals and default loss-scale guard —
-  // a valid error-feedback state, the merge just re-learns the residuals.
 
   // At a merge boundary every alive replica holds the freshly broadcast
   // global model.

@@ -709,12 +709,24 @@ TEST_F(FaultTest, RestoreRejectsCompressionMismatch) {
   const auto plain_ckpt = fault::capture_checkpoint(plain2);
   EXPECT_EQ(plain_ckpt.compressed, 0u);
   core::AdaptiveSgdTrainer quant2(dataset_, cfg, sim::v100_heterogeneous(2));
+  // Dirty the error-feedback state first: restore must reset it
+  // explicitly rather than trust the runtime to be freshly constructed.
+  quant2.runtime().loss_scale_guard().scale = 64.0f;
+  quant2.runtime().loss_scale_guard().good_streak = 7;
+  for (std::size_t g = 0; g < quant2.runtime().num_gpus(); ++g) {
+    auto res = quant2.runtime().residual_state(g);
+    ASSERT_FALSE(res.empty());
+    res[0] = 0.5f;
+  }
   fault::restore_checkpoint(quant2, plain_ckpt);
   for (std::size_t g = 0; g < quant2.runtime().num_gpus(); ++g) {
     for (const float v : quant2.runtime().residual_state(g)) {
       ASSERT_EQ(v, 0.0f);
     }
   }
+  EXPECT_EQ(quant2.runtime().loss_scale_guard().scale,
+            comm::LossScaleGuard{}.scale);
+  EXPECT_EQ(quant2.runtime().loss_scale_guard().good_streak, 0u);
 }
 
 TEST_F(FaultTest, CheckpointVersion1StillLoads) {

@@ -497,6 +497,26 @@ TEST_F(QuantizedMergeRuntimeTest, RepeatedQuantizedRunsAreDeterministic) {
   }
 }
 
+TEST_F(QuantizedMergeRuntimeTest, LossScaleGrowthOnlyAffectsNextMerge) {
+  // Prime the guard so the very first clean merge doubles the scale. The
+  // codes for that merge were quantized with the pre-growth scale, so its
+  // merged global must be bit-identical to an unprimed run — growth may
+  // only change quantization from the *next* merge on.
+  const auto cfg = qconfig(comm::MergePrecision::kFp16, true, 1, false);
+  core::MultiGpuRuntime primed(dataset_, cfg, sim::v100_heterogeneous(4));
+  core::MultiGpuRuntime plain(dataset_, cfg, sim::v100_heterogeneous(4));
+  const float scale0 = plain.loss_scale_guard().scale;
+  primed.loss_scale_guard().good_streak =
+      comm::LossScaleGuard::kGrowEvery - 1;
+  const auto primed_globals = run_schedule(primed);
+  const auto plain_globals = run_schedule(plain);
+  EXPECT_EQ(primed_globals[0], plain_globals[0]);
+  // The growth path genuinely fired on merge 0 (all three merges in this
+  // schedule are clean, so the unprimed guard never moves).
+  EXPECT_EQ(plain.loss_scale_guard().scale, scale0);
+  EXPECT_EQ(primed.loss_scale_guard().scale, 2.0f * scale0);
+}
+
 TEST_F(QuantizedMergeRuntimeTest, ResidualStateResetOnCrashAndJoin) {
   auto cfg = qconfig(comm::MergePrecision::kInt8, true, 1, false);
   core::MultiGpuRuntime rt(dataset_, cfg, sim::v100_heterogeneous(4));
