@@ -10,9 +10,25 @@
 //   - kernel fusion off       -> every primitive kernel pays launch overhead
 //   - beta sweep              -> Algorithm 1 step size
 //   - mega-batch size sweep   -> merge frequency
+//
+// Plus the optimizer ablation (DESIGN.md §11): time-to-accuracy over the
+// {sgd, adam, adamw, adagrad} x {average, keep, reset moment-merge} x
+// {dense, sparse merge} grid at per-optimizer tuned learning rates, written
+// to BENCH_ablation.json (override with --out). The shared accuracy target
+// is derived from the SGD baseline, so each stateful optimizer's TTA reads
+// directly as "how much sooner (or later) than SGD it reaches SGD-grade
+// accuracy".
+//
+//   ./build/bench/ablation_bench           # full text tables + TTA grid
+//   ./build/bench/ablation_bench --smoke   # tiny TTA grid only (bench-smoke)
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "core/result_io.h"
 
 using namespace hetero;
 
@@ -24,17 +40,52 @@ void report(const char* label, const core::TrainResult& r) {
               100 * r.perturbation_frequency());
 }
 
+struct OptimizerRun {
+  nn::OptimizerKind kind;
+  core::MomentMerge policy;
+  bool sparse_merge;
+  double lr;
+  core::TrainResult result;
+};
+
+/// Per-optimizer learning rate for the TTA grid. SGD keeps the bench
+/// baseline rate; the adaptive rules run at their own scale (Adam-family
+/// steps are preconditioned by sqrt(v), so SGD-sized rates diverge).
+double grid_lr(nn::OptimizerKind kind, double sgd_lr) {
+  switch (kind) {
+    case nn::OptimizerKind::kSgd:
+      return sgd_lr;
+    case nn::OptimizerKind::kAdam:
+    case nn::OptimizerKind::kAdamW:
+      return 0.02;
+    case nn::OptimizerKind::kAdagrad:
+      return 0.1;
+  }
+  return sgd_lr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   const auto megabatches =
       static_cast<std::size_t>(args.get_int("megabatches", 8));
+  const bool smoke = args.get_bool("smoke", false);
+  const auto out_path = args.get_string("out", "BENCH_ablation.json");
   if (args.report_unknown()) return 1;
 
-  const auto dataset = data::generate_xml_dataset(bench::bench_amazon());
+  auto data_cfg = bench::bench_amazon();
+  auto base_cfg = bench::bench_trainer_config(megabatches);
+  if (smoke) {
+    data_cfg.num_train = 3'000;
+    data_cfg.num_test = 600;
+    base_cfg.num_megabatches = 4;
+    base_cfg.batches_per_megabatch = 10;
+    base_cfg.batch_max = 64;
+    base_cfg.eval_samples = 300;
+  }
+  const auto dataset = data::generate_xml_dataset(data_cfg);
   const auto devices = sim::v100_heterogeneous(4, 0.32);
-  const auto base_cfg = bench::bench_trainer_config(megabatches);
 
   const auto run = [&](core::TrainerConfig cfg) {
     auto trainer =
@@ -42,7 +93,86 @@ int main(int argc, char** argv) {
     return trainer->train();
   };
 
-  std::printf("=== Ablation: Adaptive SGD mechanisms (4 heterogeneous GPUs) ===\n");
+  // ---- optimizer x moment-merge x sparse-merge TTA grid -----------------
+  std::vector<OptimizerRun> opt_runs;
+  {
+    constexpr nn::OptimizerKind kKinds[] = {
+        nn::OptimizerKind::kSgd, nn::OptimizerKind::kAdam,
+        nn::OptimizerKind::kAdamW, nn::OptimizerKind::kAdagrad};
+    constexpr core::MomentMerge kPolicies[] = {core::MomentMerge::kAverage,
+                                               core::MomentMerge::kKeep,
+                                               core::MomentMerge::kReset};
+    std::printf(
+        "=== Ablation: optimizer x moment-merge x sparse-merge (TTA) ===\n");
+    std::printf("  %-8s %-8s %-6s %-6s | %9s | %-10s | %s\n", "opt",
+                "moments", "sparse", "lr", "vtime", "best top1", "final");
+    for (const bool sparse : {false, true}) {
+      for (const auto kind : kKinds) {
+        for (const auto policy : kPolicies) {
+          auto cfg = base_cfg;
+          cfg.optimizer.kind = kind;
+          cfg.moment_merge = policy;
+          cfg.sparse_merge = sparse;
+          cfg.learning_rate = grid_lr(kind, base_cfg.learning_rate);
+          cfg.weight_decay = 1e-4;  // makes adam vs adamw a real contrast
+          OptimizerRun r{kind, policy, sparse, cfg.learning_rate, run(cfg)};
+          std::printf("  %-8s %-8s %-6s %-6.3f | %9.4fs | %9.2f%% | %6.2f%%\n",
+                      nn::to_string(kind).c_str(),
+                      core::to_string(policy).c_str(), sparse ? "on" : "off",
+                      r.lr, r.result.total_vtime, 100 * r.result.best_top1(),
+                      100 * r.result.final_top1());
+          opt_runs.push_back(std::move(r));
+        }
+      }
+    }
+
+    // Shared target from the SGD baseline: 95% of the best top-1 any SGD
+    // arm reached. Every optimizer's TTA then answers "when did it reach
+    // SGD-grade accuracy" on the same virtual timeline.
+    double sgd_best = 0.0;
+    for (const auto& r : opt_runs) {
+      if (r.kind == nn::OptimizerKind::kSgd) {
+        sgd_best = std::max(sgd_best, r.result.best_top1());
+      }
+    }
+    const double target = 0.95 * sgd_best;
+    std::printf("  (TTA target: %.2f%% = 95%% of best SGD top-1)\n",
+                100 * target);
+    for (const auto& r : opt_runs) {
+      const auto tta = r.result.time_to_accuracy(target);
+      std::printf("  tta %-8s %-8s sparse=%-3s : %s\n",
+                  nn::to_string(r.kind).c_str(),
+                  core::to_string(r.policy).c_str(),
+                  r.sparse_merge ? "on" : "off",
+                  tta ? (std::to_string(*tta) + "s").c_str() : "never");
+    }
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\"bench\":\"ablation\",\"gpus\":4,\"weight_decay\":1e-4,"
+        << "\"target_top1\":" << target << ",\"runs\":[";
+    for (std::size_t i = 0; i < opt_runs.size(); ++i) {
+      const auto& r = opt_runs[i];
+      if (i > 0) out << ',';
+      const auto tta = r.result.time_to_accuracy(target);
+      out << "{\"optimizer\":\"" << nn::to_string(r.kind) << "\","
+          << "\"moment_merge\":\"" << core::to_string(r.policy) << "\","
+          << "\"sparse_merge\":" << (r.sparse_merge ? "true" : "false")
+          << ",\"lr\":" << r.lr
+          << ",\"tta\":" << (tta ? std::to_string(*tta) : "null")
+          << ",\"result\":";
+      core::write_result_json(out, r.result);
+      out << '}';
+    }
+    out << "]}\n";
+    std::printf("results written to %s\n", out_path.c_str());
+  }
+  if (smoke) return 0;
+
+  std::printf("\n=== Ablation: Adaptive SGD mechanisms (4 heterogeneous GPUs) ===\n");
   std::printf("  %-28s | %10s | %-11s | %-12s | %s\n", "variant", "vtime",
               "best top1", "final top1", "pert freq");
 

@@ -4,12 +4,17 @@
 //   ./build/examples/hetero_train --method adaptive --gpus 4 --gap 0.32
 //       --megabatches 6 --batch-max 128 --lr 0.5 --trace run.trace.json
 //   ./build/examples/hetero_train --model deep --hidden 256,128 --sparse-merge
+//   ./build/examples/hetero_train --optimizer adamw --lr 0.02
+//       --weight-decay 1e-4 --moment-merge average
 //   ./build/examples/hetero_train --fault-plan "crash@2.5:gpu1;join@4.0:gpu1"
 //       --checkpoint-every 2 --checkpoint-path run.ckpt
 //   ./build/examples/hetero_train --resume-from run.ckpt
 //
 // Methods: adaptive | elastic | sync | crossbow | async | slide
 // Models:  mlp (single hidden layer) | deep (--hidden takes a comma list)
+// --optimizer sgd|adam|adamw|adagrad picks the update rule (sgd default,
+// bit-identical to the pre-optimizer builds); --moment-merge
+// average|keep|reset governs Adam/Adagrad state at merge boundaries.
 // --isa scalar|avx2|avx512 pins the SIMD kernel table (default: best the
 // host supports; results are bit-identical on every ISA).
 // The trace file can be loaded in chrome://tracing or https://ui.perfetto.dev
@@ -87,6 +92,11 @@ int run(int argc, char** argv) {
   const auto trace_path = args.get_string("trace", "");
   const bool threaded = args.get_bool("threaded", false);
   const auto weight_decay = args.get_double("weight-decay", 0.0);
+  // Update rule (nn/optimizer.h): sgd is the fused bit-identical default;
+  // adam/adamw/adagrad keep lazy touched-row state for the sparse layer.
+  const auto optimizer_name = args.get_string("optimizer", "sgd");
+  // Merge-boundary policy for the optimizer state (DESIGN.md §11).
+  const auto moment_merge_name = args.get_string("moment-merge", "average");
   const auto warmup = static_cast<std::size_t>(args.get_int("warmup", 0));
   const bool adaptive_cadence = args.get_bool("adaptive-cadence", false);
   const auto speeds_str = args.get_string("speeds", "");  // "1.0,0.9,0.76"
@@ -174,6 +184,24 @@ int run(int argc, char** argv) {
                  "unknown --merge-precision %s (expected fp32, fp16, or "
                  "int8)\n",
                  merge_precision_name.c_str());
+    return 1;
+  }
+  if (const auto kind = nn::parse_optimizer_kind(optimizer_name)) {
+    cfg.optimizer.kind = *kind;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --optimizer %s (expected sgd, adam, adamw, or "
+                 "adagrad)\n",
+                 optimizer_name.c_str());
+    return 1;
+  }
+  if (const auto mm = core::parse_moment_merge(moment_merge_name)) {
+    cfg.moment_merge = *mm;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --moment-merge %s (expected average, keep, or "
+                 "reset)\n",
+                 moment_merge_name.c_str());
     return 1;
   }
   cfg.allreduce_streams = allreduce_streams;

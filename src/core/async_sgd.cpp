@@ -53,8 +53,8 @@ void AsyncSgdTrainer::run_megabatch(TrainResult& result) {
 
     auto& slot = in_flight_[g];
     // Apply the (possibly stale) gradient to the shared model.
-    runtime_.global_model().apply_gradients(
-        *gradients_[g],
+    runtime_.global_optimizer().apply(
+        runtime_.global_model(), *gradients_[g],
         static_cast<float>(cfg_.learning_rate * lr_schedule_factor()),
         static_cast<float>(cfg_.weight_decay));
     staleness_sum_ += global_version_ - slot.snapshot_version;

@@ -19,6 +19,7 @@
 #include "comm/allreduce.h"
 #include "core/merging.h"
 #include "nn/model.h"
+#include "nn/optimizer.h"
 #include "sim/device.h"
 
 namespace hetero::core {
@@ -86,8 +87,20 @@ struct TrainerConfig {
   bool adaptive_scaling_cadence = false;
 
   /// L2 weight decay coefficient (0 = off). Applied with the sparse-update
-  /// rule: only parameters touched by the batch decay.
+  /// rule: only parameters touched by the batch decay. Semantics per
+  /// optimizer (nn/optimizer.h): coupled L2 for sgd/adam/adagrad, decoupled
+  /// for adamw.
   double weight_decay = 0.0;
+
+  /// Update rule applied by every replica (and by the global model of the
+  /// gradient-aggregating trainers). Defaults to fused SGD — bit-identical
+  /// to the pre-optimizer-refactor trainers. Adam/AdamW/Adagrad keep lazy
+  /// touched-row state for the sparse input layer (nn/optimizer.h).
+  nn::OptimizerConfig optimizer;
+
+  /// Merge-boundary policy for per-replica optimizer state (moments,
+  /// accumulators, lazy row counters). Ignored for sgd (no state).
+  MomentMerge moment_merge = MomentMerge::kAverage;
 
   /// Learning-rate warmup over the first `warmup_megabatches` mega-batches
   /// (linear ramp from lr/width to lr, the Goyal et al. recipe the paper

@@ -71,7 +71,7 @@ void CrossbowTrainer::run_megabatch(TrainResult& result) {
         }
         off += len;
       }
-      replica.apply_gradients(runtime_.workspace(g), lr);
+      runtime_.optimizer(g).apply(replica, runtime_.workspace(g), lr, 0.0f);
     }
     const double scale =
         static_cast<double>(eta) / static_cast<double>(n);

@@ -7,6 +7,25 @@
 
 namespace hetero::core {
 
+std::string to_string(MomentMerge policy) {
+  switch (policy) {
+    case MomentMerge::kAverage:
+      return "average";
+    case MomentMerge::kKeep:
+      return "keep";
+    case MomentMerge::kReset:
+      return "reset";
+  }
+  return "average";
+}
+
+std::optional<MomentMerge> parse_moment_merge(const std::string& text) {
+  if (text == "average") return MomentMerge::kAverage;
+  if (text == "keep") return MomentMerge::kKeep;
+  if (text == "reset") return MomentMerge::kReset;
+  return std::nullopt;
+}
+
 MergeWeights compute_merge_weights(const MergeInputs& inputs) {
   const std::size_t n = inputs.updates.size();
   assert(inputs.batch_sizes.size() == n);

@@ -15,7 +15,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "comm/quant.h"
@@ -39,6 +41,29 @@ enum class MergeNormalization {
   /// of samples each replica consumed.
   kUpdatesTimesBatch,
 };
+
+/// What happens to per-replica optimizer state (Adam/AdamW moments, Adagrad
+/// accumulators, lazy row counters) at a merge boundary (DESIGN.md §11).
+/// Replica WEIGHTS are always merged by Algorithm 2; this policy only
+/// governs the optimizer state living beside them.
+enum class MomentMerge {
+  /// Algorithm-2-weighted average of the state across alive replicas,
+  /// written back to every alive replica: touched-row union for segment 0
+  /// under sparse_merge (untouched rows keep local state), full segments
+  /// otherwise. Lazy row counters take the max across alive replicas.
+  /// Ships num_slots extra model-sized fp32 payloads per merge.
+  kAverage,
+  /// Each replica keeps its local state across the merge. Free.
+  kKeep,
+  /// Zero all state at every merge boundary (fresh-start ablation). Free.
+  kReset,
+};
+
+/// Flag / display name: "average", "keep", "reset".
+std::string to_string(MomentMerge policy);
+
+/// Parses a flag value; nullopt on anything but the three names.
+std::optional<MomentMerge> parse_moment_merge(const std::string& text);
 
 struct MergeInputs {
   std::vector<std::size_t> updates;      // u_i per GPU

@@ -80,8 +80,9 @@ void ParamServerTrainer::run_megabatch(TrainResult& result) {
     }
 
     auto& slot = in_flight_[g];
-    runtime_.global_model().apply_gradients(
-        *gradients_[g], lr, static_cast<float>(cfg_.weight_decay));
+    runtime_.global_optimizer().apply(runtime_.global_model(), *gradients_[g],
+                                      lr,
+                                      static_cast<float>(cfg_.weight_decay));
     staleness_sum_ += global_version_ - slot.snapshot_version;
     ++staleness_count_;
     ++global_version_;

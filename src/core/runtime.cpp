@@ -29,6 +29,7 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
                            num_classes);
   global_->init(init_rng);
   prev_global_ = global_->clone();
+  global_optimizer_ = nn::Optimizer::make(cfg_.optimizer, *global_);
 
   const std::size_t n = devices.size();
   const std::size_t streams =
@@ -42,13 +43,16 @@ MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
   for (std::size_t g = 0; g < n; ++g) {
     gpus_.push_back(std::make_unique<sim::VirtualGpu>(
         static_cast<int>(g), devices[g], seeder.next_u64(), streams));
-    // Persistent allocations: model replica + dense gradients/optimizer
-    // state (2x the model) stay resident for the whole run.
-    gpus_.back()->allocate(2 * global_->num_bytes());
+    // Persistent allocations: model replica + dense gradients plus one
+    // model-sized state matrix per optimizer slot (adam/adamw: 2, adagrad:
+    // 1, sgd: 0) stay resident for the whole run.
+    gpus_.back()->allocate(
+        (2 + global_optimizer_->num_slots()) * global_->num_bytes());
     replicas_.push_back(global_->clone());
   }
   for (std::size_t g = 0; g < n; ++g) {
     workspaces_.push_back(global_->make_workspace());
+    optimizers_.push_back(nn::Optimizer::make(cfg_.optimizer, *replicas_[g]));
   }
   // Cap absurd requests (e.g. a negative CLI value cast through size_t)
   // before sizing the pool; oversubscription past this helps nobody.
@@ -177,6 +181,7 @@ std::vector<std::size_t> MultiGpuRuntime::apply_crashes_until(double t) {
       std::fill(residual_[ev.device].begin(), residual_[ev.device].end(),
                 0.0f);
     }
+    optimizers_[ev.device]->reset_state();
     loss_slots_[ev.device] = LossSlot{};
     fault_stats_.crashes += 1;
     crashed.push_back(ev.device);
@@ -198,6 +203,9 @@ std::vector<std::size_t> MultiGpuRuntime::apply_joins_until(double t) {
       std::fill(residual_[ev.device].begin(), residual_[ev.device].end(),
                 0.0f);
     }
+    // The joiner's moments described a trajectory that ended at its crash;
+    // it restarts from the merged global model with fresh optimizer state.
+    optimizers_[ev.device]->reset_state();
     alive_[ev.device] = 1;
     fault_stats_.joins += 1;
     // Outage time: from the crash event to the merge boundary that
@@ -274,9 +282,14 @@ double MultiGpuRuntime::run_update_step(std::size_t g, Batch batch, double lr,
   auto stored = std::make_shared<Batch>(std::move(batch));
   last_batch_[g] = stored;
   executor_->dispatch(g, [this, g, stored, lr] {
-    const auto stats = replicas_[g]->train_step(
-        stored->x, stored->y, static_cast<float>(lr), *workspaces_[g],
-        static_cast<float>(cfg_.weight_decay));
+    // compute + apply through the optimizer: for sgd this is bit-identical
+    // to the old fused train_step (train_step == compute_gradients +
+    // apply_gradients, and SgdOptimizer::apply IS apply_gradients).
+    const auto stats = replicas_[g]->compute_gradients(stored->x, stored->y,
+                                                       *workspaces_[g]);
+    optimizers_[g]->apply(*replicas_[g], *workspaces_[g],
+                          static_cast<float>(lr),
+                          static_cast<float>(cfg_.weight_decay));
     // Delta-merge bookkeeping rides inside the manager's work item: the
     // workspace gradient keys are only valid until the next step on g.
     if (cfg_.sparse_merge) {
@@ -377,6 +390,119 @@ double MultiGpuRuntime::host_roundtrip_seconds(std::size_t bytes) const {
   const double down = links_.transfer_seconds(bytes, sim::LinkModel::kHost, 0,
                                               gpus_.size());
   return up + down;
+}
+
+std::size_t MultiGpuRuntime::merge_optimizer_state(
+    std::span<const std::size_t> alive_idx,
+    std::span<const double> alive_weights) {
+  const std::size_t num_slots = global_optimizer_->num_slots();
+  if (num_slots == 0) return 0;  // sgd: nothing to merge
+  const std::size_t n = alive_idx.size();
+  switch (cfg_.moment_merge) {
+    case MomentMerge::kKeep:
+      return 0;
+    case MomentMerge::kReset:
+      for (const std::size_t g : alive_idx) optimizers_[g]->reset_state();
+      return 0;
+    case MomentMerge::kAverage:
+      break;
+  }
+
+  // Algorithm-2 weights renormalized to sum 1: the perturbation may
+  // deliberately denormalize the model weights, but state matrices are
+  // magnitude-bearing (second moments, accumulators) and must stay a
+  // convex combination.
+  double wsum = 0.0;
+  for (const double w : alive_weights) wsum += w;
+  std::vector<double> nw(n);
+  for (std::size_t i = 0; i < n; ++i) nw[i] = alive_weights[i] / wsum;
+
+  // Per element: merged = float(sum_i nw_i * s_i[j]) accumulated in double
+  // in replica index order, written back to every alive replica. Sharding
+  // partitions elements without reordering any sum — bit-identical at any
+  // thread count, like the model merge kernels.
+  const auto average_span = [&](std::span<float* const> bases,
+                                std::size_t off, std::size_t len) {
+    for (std::size_t j = off; j < off + len; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += nw[i] * static_cast<double>(bases[i][j]);
+      }
+      const float merged = static_cast<float>(acc);
+      for (std::size_t i = 0; i < n; ++i) bases[i][j] = merged;
+    }
+  };
+  const auto average_region = [&](std::span<float* const> bases,
+                                  std::size_t len) {
+    kernels::parallel_for_ranges(merge_ctx_, len, len * n,
+                                 [&](std::size_t b, std::size_t e) {
+                                   average_span(bases, b, e - b);
+                                 });
+  };
+
+  const auto& info = global_->info();
+  const std::size_t hidden = info.input_cols();
+  std::vector<float*> bases(n);
+  std::size_t shipped = 0;
+  for (std::size_t slot = 0; slot < num_slots; ++slot) {
+    std::vector<std::vector<std::span<float>>> views;
+    views.reserve(n);
+    for (const std::size_t g : alive_idx) {
+      views.push_back(optimizers_[g]->slot_views(slot));
+    }
+    const std::size_t num_segments = views[0].size();
+    std::size_t first_dense = 0;
+    if (cfg_.sparse_merge) {
+      // Segment 0: the touched union only — untouched rows keep local
+      // state, which is still bit-equal across replicas (any previously
+      // touched row was averaged at the merge that shipped it).
+      for (std::size_t i = 0; i < n; ++i) bases[i] = views[i][0].data();
+      const std::span<const std::uint32_t> rows = merge_rows_scratch_;
+      kernels::parallel_for_ranges(
+          merge_ctx_, rows.size(), rows.size() * hidden * n,
+          [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t s = r0; s < r1; ++s) {
+              average_span(bases,
+                           static_cast<std::size_t>(rows[s]) * hidden,
+                           hidden);
+            }
+          });
+      shipped += rows.size() * hidden;
+      first_dense = 1;
+    }
+    for (std::size_t seg = first_dense; seg < num_segments; ++seg) {
+      for (std::size_t i = 0; i < n; ++i) bases[i] = views[i][seg].data();
+      average_region(bases, views[0][seg].size());
+      shipped += views[0][seg].size();
+    }
+  }
+
+  // Lazy row counters (adam/adamw): a merged moment reflects the most
+  // advanced replica's trajectory, so counters take the max — written back
+  // so the survivor set stays bit-equal. Dense-tail step likewise.
+  if (!optimizers_[alive_idx[0]]->row_steps().empty()) {
+    std::vector<std::span<std::uint32_t>> steps;
+    steps.reserve(n);
+    for (const std::size_t g : alive_idx) {
+      steps.push_back(optimizers_[g]->row_steps());
+    }
+    const auto sync_row = [&](std::size_t r) {
+      std::uint32_t m = 0;
+      for (std::size_t i = 0; i < n; ++i) m = std::max(m, steps[i][r]);
+      for (std::size_t i = 0; i < n; ++i) steps[i][r] = m;
+    };
+    if (cfg_.sparse_merge) {
+      for (const std::uint32_t r : merge_rows_scratch_) sync_row(r);
+    } else {
+      for (std::size_t r = 0; r < info.input_rows(); ++r) sync_row(r);
+    }
+  }
+  std::uint64_t max_step = 0;
+  for (const std::size_t g : alive_idx) {
+    max_step = std::max(max_step, optimizers_[g]->step());
+  }
+  for (const std::size_t g : alive_idx) optimizers_[g]->set_step(max_step);
+  return shipped;
 }
 
 MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
@@ -650,12 +776,21 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
           });
     }
   }
+  // Merge-boundary policy for the per-replica optimizer state; must run
+  // while merge_rows_scratch_ still holds this merge's touched union.
+  const std::size_t moment_params =
+      merge_optimizer_state(alive_idx, alive_weights);
   broadcast_global();
 
   // Charge the collective at the simulated (paper-scale) payload size, like
   // every other kernel/transfer cost; compressed merges bill the quantized
-  // element bytes plus their scale/header metadata.
-  const auto wire = virtual_wire(payload_params, payload_groups);
+  // element bytes plus their scale/header metadata. The moment-merge state
+  // exchange ships as raw fp32 regardless of cfg.merge_precision.
+  auto wire = virtual_wire(payload_params, payload_groups);
+  if (moment_params != 0) {
+    wire.payload_bytes +=
+        static_cast<double>(virtual_payload_bytes(moment_params));
+  }
   const auto cost = reducer_->cost(n, wire);
   timing.allreduce_seconds = cost.seconds;
   timing.payload_bytes = cost.payload_bytes;

@@ -26,6 +26,7 @@
 #include "data/synthetic.h"
 #include "nn/evaluate.h"
 #include "nn/model.h"
+#include "nn/optimizer.h"
 #include "sim/profiles.h"
 #include "sim/trace.h"
 #include "sim/virtual_gpu.h"
@@ -49,6 +50,21 @@ class MultiGpuRuntime {
   const sim::VirtualGpu& gpu(std::size_t g) const { return *gpus_[g]; }
   nn::Model& replica(std::size_t g) { return *replicas_[g]; }
   nn::ModelWorkspace& workspace(std::size_t g) { return *workspaces_[g]; }
+
+  /// Replica g's update rule + state (cfg.optimizer). Trainers whose
+  /// replicas advance independently (adaptive/elastic via run_update_step,
+  /// CROSSBOW via its SMA loop) apply updates through these; the moment
+  /// merge policy (cfg.moment_merge) acts on them at merge boundaries.
+  nn::Optimizer& optimizer(std::size_t g) { return *optimizers_[g]; }
+  const nn::Optimizer& optimizer(std::size_t g) const {
+    return *optimizers_[g];
+  }
+
+  /// Shared update rule + state for the global model: the
+  /// gradient-aggregating trainers (sync, async, parameter server) apply
+  /// their aggregated gradients through this one.
+  nn::Optimizer& global_optimizer() { return *global_optimizer_; }
+  const nn::Optimizer& global_optimizer() const { return *global_optimizer_; }
 
   /// Sets the kernel worker count for virtual GPU g's training-step math
   /// (bounded by cfg.kernel_threads, which sizes the shared pool). Lets
@@ -322,6 +338,20 @@ class MultiGpuRuntime {
 
   std::vector<std::unique_ptr<nn::Model>> replicas_;
   std::vector<std::unique_ptr<nn::ModelWorkspace>> workspaces_;
+  // Update rules + state (cfg.optimizer): one per replica plus one for the
+  // global model. Crash/join always resets the affected replica's state
+  // (moments describing a dead replica's trajectory are meaningless to the
+  // fresh seed); merge boundaries apply cfg.moment_merge.
+  std::vector<std::unique_ptr<nn::Optimizer>> optimizers_;
+  std::unique_ptr<nn::Optimizer> global_optimizer_;
+
+  // Merge-boundary optimizer-state policy (cfg.moment_merge, DESIGN.md
+  // §11) over the alive subset; uses merge_rows_scratch_ (the current
+  // touched union) for segment 0 when sparse_merge is on. Returns the
+  // fp32 element count shipped for the state exchange (0 for keep/reset
+  // and for stateless optimizers).
+  std::size_t merge_optimizer_state(std::span<const std::size_t> alive_idx,
+                                    std::span<const double> alive_weights);
   // Shared ownership: in threaded mode the manager's work item must keep
   // its batch alive even after the scheduler dispatches the next one.
   std::vector<std::shared_ptr<Batch>> last_batch_;

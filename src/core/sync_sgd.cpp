@@ -95,7 +95,7 @@ void SyncSgdTrainer::run_megabatch(TrainResult& result) {
       }
       const float scaled_lr = static_cast<float>(lr / static_cast<double>(k));
       for (std::size_t i = 0; i < k; ++i) {
-        model.apply_gradients(*grads[i], scaled_lr);
+        runtime_.global_optimizer().apply(model, *grads[i], scaled_lr, 0.0f);
       }
     });
     runtime_.math_barrier();

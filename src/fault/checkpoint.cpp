@@ -18,9 +18,10 @@ namespace {
 
 constexpr char kMagic[4] = {'H', 'G', 'C', 'K'};
 // v2 adds the merge-compression section (error-feedback residuals + fp16
-// loss-scale guard) between the scaling state and the model blobs. v1
-// checkpoints still load; their compression section is defaulted.
-constexpr std::uint32_t kVersion = 2;
+// loss-scale guard) between the scaling state and the model blobs; v3 adds
+// the per-replica optimizer-state section after it. v1/v2 checkpoints still
+// load; their missing sections are defaulted (fresh optimizer state).
+constexpr std::uint32_t kVersion = 3;
 
 void write_bytes(std::ostream& out, const void* p, std::size_t n) {
   out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
@@ -179,6 +180,31 @@ TrainingCheckpoint capture_checkpoint(core::AdaptiveSgdTrainer& trainer) {
     }
   }
 
+  // Optimizer section (v3): the adaptive trainer's updates all flow through
+  // the per-replica optimizers, so those states (plus kind/shape metadata)
+  // are exactly what bit-identical resume needs.
+  {
+    auto& opt0 = runtime.optimizer(0);
+    ckpt.opt_kind = static_cast<std::uint8_t>(opt0.kind());
+    ckpt.opt_num_slots = static_cast<std::uint8_t>(opt0.num_slots());
+    ckpt.opt_has_row_steps = opt0.row_steps().empty() ? 0 : 1;
+    ckpt.opt_replicas.resize(runtime.num_gpus());
+    for (std::size_t g = 0; g < runtime.num_gpus(); ++g) {
+      auto& opt = runtime.optimizer(g);
+      auto& s = ckpt.opt_replicas[g];
+      s.step = opt.step();
+      const auto steps = opt.row_steps();
+      s.row_steps.assign(steps.begin(), steps.end());
+      s.slots.resize(opt.num_slots());
+      for (std::size_t slot = 0; slot < opt.num_slots(); ++slot) {
+        auto& flat = s.slots[slot];
+        for (const auto seg : opt.slot_views(slot)) {
+          flat.insert(flat.end(), seg.begin(), seg.end());
+        }
+      }
+    }
+  }
+
   ckpt.global_blob = serialize_model(runtime.global_model());
   ckpt.prev_global_blob = serialize_model(runtime.prev_global_model());
   return ckpt;
@@ -250,6 +276,60 @@ void restore_checkpoint(core::AdaptiveSgdTrainer& trainer,
     runtime.loss_scale_guard() = comm::LossScaleGuard{};
   }
 
+  if (!ckpt.opt_replicas.empty()) {
+    const auto kind = nn::optimizer_kind_from_byte(ckpt.opt_kind);
+    if (!kind || *kind != runtime.optimizer(0).kind()) {
+      throw std::runtime_error(
+          "checkpoint: optimizer kind does not match config");
+    }
+    if (ckpt.opt_replicas.size() != runtime.num_gpus()) {
+      throw std::runtime_error(
+          "checkpoint: optimizer replica count does not match runtime");
+    }
+    for (std::size_t g = 0; g < runtime.num_gpus(); ++g) {
+      auto& opt = runtime.optimizer(g);
+      const auto& s = ckpt.opt_replicas[g];
+      if (s.slots.size() != opt.num_slots()) {
+        throw std::runtime_error(
+            "checkpoint: optimizer slot count does not match config");
+      }
+      const auto steps = opt.row_steps();
+      if (s.row_steps.size() != steps.size()) {
+        throw std::runtime_error(
+            "checkpoint: optimizer row-counter count does not match model");
+      }
+      std::copy(s.row_steps.begin(), s.row_steps.end(), steps.begin());
+      opt.set_step(s.step);
+      for (std::size_t slot = 0; slot < opt.num_slots(); ++slot) {
+        const auto& flat = s.slots[slot];
+        auto views = opt.slot_views(slot);
+        std::size_t total = 0;
+        for (const auto seg : views) total += seg.size();
+        if (flat.size() != total) {
+          throw std::runtime_error(
+              "checkpoint: optimizer state size does not match model");
+        }
+        std::size_t off = 0;
+        for (auto seg : views) {
+          std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                    flat.begin() + static_cast<std::ptrdiff_t>(off) +
+                        static_cast<std::ptrdiff_t>(seg.size()),
+                    seg.begin());
+          off += seg.size();
+        }
+      }
+    }
+  } else {
+    // v1/v2 checkpoint (no optimizer section): restart the moments,
+    // accumulators and lazy counters from zero — explicitly, so a reused
+    // trainer cannot smuggle stale state past the restore. A valid state;
+    // bit-identical resume of a stateful run needs a v3 checkpoint.
+    for (std::size_t g = 0; g < runtime.num_gpus(); ++g) {
+      runtime.optimizer(g).reset_state();
+    }
+    runtime.global_optimizer().reset_state();
+  }
+
   // At a merge boundary every alive replica holds the freshly broadcast
   // global model.
   runtime.broadcast_global();
@@ -304,6 +384,22 @@ void save_checkpoint(std::ostream& out, const TrainingCheckpoint& ckpt) {
     write_u64(out, ckpt.residual_blobs.size());
     for (const auto& blob : ckpt.residual_blobs) write_blob(out, blob);
   }
+  write_u8(out, ckpt.opt_kind);
+  write_u8(out, ckpt.opt_num_slots);
+  write_u8(out, ckpt.opt_has_row_steps);
+  write_u64(out, ckpt.opt_replicas.size());
+  for (const auto& s : ckpt.opt_replicas) {
+    write_u64(out, s.step);
+    if (ckpt.opt_has_row_steps != 0) {
+      write_u64(out, s.row_steps.size());
+      write_bytes(out, s.row_steps.data(),
+                  s.row_steps.size() * sizeof(std::uint32_t));
+    }
+    for (const auto& slot : s.slots) {
+      write_u64(out, slot.size());
+      write_bytes(out, slot.data(), slot.size() * sizeof(float));
+    }
+  }
   write_blob(out, ckpt.global_blob);
   write_blob(out, ckpt.prev_global_blob);
   if (!out) throw std::runtime_error("checkpoint: write failed");
@@ -316,7 +412,7 @@ TrainingCheckpoint load_checkpoint(std::istream& in) {
     bad_checkpoint(in, "bad magic");
   }
   const auto version = read_u32(in);
-  if (version != 1 && version != kVersion) {
+  if (version < 1 || version > kVersion) {
     bad_checkpoint(in, "unsupported version " + std::to_string(version));
   }
   TrainingCheckpoint ckpt;
@@ -383,6 +479,66 @@ TrainingCheckpoint load_checkpoint(std::istream& in) {
       check_count(in, num_residuals, 8, "residual");
       ckpt.residual_blobs.resize(static_cast<std::size_t>(num_residuals));
       for (auto& blob : ckpt.residual_blobs) blob = read_blob(in);
+    }
+  }
+  if (version >= 3) {
+    ckpt.opt_kind = read_u8(in);
+    const auto kind = nn::optimizer_kind_from_byte(ckpt.opt_kind);
+    if (!kind) {
+      bad_checkpoint(in, "invalid optimizer kind " +
+                             std::to_string(ckpt.opt_kind));
+    }
+    ckpt.opt_num_slots = read_u8(in);
+    ckpt.opt_has_row_steps = read_u8(in);
+    // The shape metadata is implied by the kind; hostile values fail here,
+    // before any record is parsed under the wrong layout.
+    std::uint8_t want_slots = 0;
+    std::uint8_t want_rows = 0;
+    switch (*kind) {
+      case nn::OptimizerKind::kSgd:
+        break;
+      case nn::OptimizerKind::kAdagrad:
+        want_slots = 1;
+        break;
+      case nn::OptimizerKind::kAdam:
+      case nn::OptimizerKind::kAdamW:
+        want_slots = 2;
+        want_rows = 1;
+        break;
+    }
+    if (ckpt.opt_num_slots != want_slots ||
+        ckpt.opt_has_row_steps != want_rows) {
+      bad_checkpoint(in, "optimizer shape metadata does not match kind " +
+                             std::to_string(ckpt.opt_kind));
+    }
+    // Each replica record is at least its 8-byte step counter.
+    const auto num_states = read_u64(in);
+    check_count(in, num_states, 8, "optimizer replica");
+    ckpt.opt_replicas.resize(static_cast<std::size_t>(num_states));
+    for (auto& s : ckpt.opt_replicas) {
+      s.step = read_u64(in);
+      if (ckpt.opt_has_row_steps != 0) {
+        const auto n = read_u64(in);
+        check_count(in, n, sizeof(std::uint32_t), "row counter");
+        s.row_steps.resize(static_cast<std::size_t>(n));
+        read_bytes(in, s.row_steps.data(), s.row_steps.size() *
+                                               sizeof(std::uint32_t));
+      }
+      s.slots.resize(ckpt.opt_num_slots);
+      for (auto& slot : s.slots) {
+        const auto n = read_u64(in);
+        check_count(in, n, sizeof(float), "optimizer slot");
+        slot.resize(static_cast<std::size_t>(n));
+        read_bytes(in, slot.data(), slot.size() * sizeof(float));
+        for (const float v : slot) {
+          // Moments/accumulators feed divisions and square roots on the hot
+          // path; a NaN/Inf smuggled through a checkpoint would poison the
+          // model silently. Typed parse failure instead.
+          if (!std::isfinite(v)) {
+            bad_checkpoint(in, "non-finite optimizer state value");
+          }
+        }
+      }
     }
   }
   ckpt.global_blob = read_blob(in);

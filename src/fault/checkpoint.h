@@ -7,7 +7,7 @@
 // merge boundary.
 //
 // On-disk format (little-endian host order, like nn/serialize):
-//   magic "HGCK" | version u32 (1 or 2) | seed u64 |
+//   magic "HGCK" | version u32 (1, 2 or 3) | seed u64 |
 //   megabatches_completed u64 |
 //   samples_served u64 | round_robin_cursor u64 | vtime f64 | best_top1 f64 |
 //   stagnation u64 | num_gpus u64 |
@@ -15,16 +15,25 @@
 //             busy_seconds f64 | degraded_until f64 | transient_episodes u64 |
 //             rng s[4] u64 | rng cached f64 | rng has_cached u8 } |
 //   scaling-scheduler state |
-//   [v2 only] merge-compression section: compressed u8 | when 1:
+//   [v2+] merge-compression section: compressed u8 | when 1:
 //     loss_scale f64 | loss_scale_streak u64 | num_residuals u64 |
 //     per replica residual blob (raw fp32 bytes, size-prefixed) |
+//   [v3] optimizer section: opt_kind u8 | opt_num_slots u8 |
+//     opt_has_row_steps u8 | num_replica_states u64 | per replica {
+//       step u64 | [has_row_steps] row-counter count u64 + raw u32 |
+//       per slot: element count u64 + raw f32 } |
 //   global model blob | prev-global model blob
 //   (model blobs via nn::save_model, size-prefixed; always the final two
 //   records, so tail-relative tooling keeps working across versions).
 // Version 1 checkpoints load with an empty compression section: a
 // compressed run restoring one restarts its residuals at zero with the
 // default loss scale, which is a valid (if less converged) error-feedback
-// state.
+// state. Versions 1 and 2 load with an empty optimizer section: restoring
+// one into a stateful-optimizer run resets moments/counters to zero (a
+// valid fresh-start state; bit-identical resume needs a v3 checkpoint).
+// All length/count fields are validated against the remaining stream size
+// and every optimizer-state float must be finite — violations throw
+// hetero::ParseError, never a bad_alloc or a poisoned runtime.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +76,20 @@ struct TrainingCheckpoint {
   float loss_scale = 1024.0f;
   std::uint32_t loss_scale_streak = 0;
   std::vector<std::string> residual_blobs;
+
+  // Optimizer state (format v3; absent in v1/v2): the update rule the run
+  // trained with and each replica's state matrices + lazy row counters
+  // (nn/optimizer.h). For sgd the per-replica records carry only the step
+  // counter (no slots, no counters).
+  std::uint8_t opt_kind = 0;  // nn::OptimizerKind byte
+  std::uint8_t opt_num_slots = 0;
+  std::uint8_t opt_has_row_steps = 0;
+  struct OptimizerReplicaState {
+    std::uint64_t step = 0;
+    std::vector<std::uint32_t> row_steps;   // empty unless adam/adamw
+    std::vector<std::vector<float>> slots;  // flat state, one per slot
+  };
+  std::vector<OptimizerReplicaState> opt_replicas;
 
   // Serialized nn model blobs (nn::save_model format) for the global model
   // and the Algorithm-2 momentum state.

@@ -58,6 +58,17 @@ struct DeepWorkspace : ModelWorkspace {
     return grad_w1.rows();
   }
   void swap_gradients(ModelWorkspace& other) override;
+  /// Segment order W0,b0,W1,b1,...: dense spans are [b0, W1, b1, ...].
+  GradientViews gradient_views() const override {
+    GradientViews views;
+    views.input = &grad_w1;
+    views.dense.push_back({grad_b[0].data(), grad_b[0].size()});
+    for (std::size_t l = 1; l < grad_b.size(); ++l) {
+      views.dense.push_back(grad_w[l - 1].flat());
+      views.dense.push_back({grad_b[l].data(), grad_b[l].size()});
+    }
+    return views;
+  }
 };
 
 class DeepMlp : public Model {

@@ -39,6 +39,7 @@
 
 #include "sim/cost_model.h"
 #include "sparse/csr.h"
+#include "sparse/sparse_gradient.h"
 #include "tensor/matrix.h"
 #include "util/kernel_context.h"
 #include "util/rng.h"
@@ -84,6 +85,17 @@ class ModelWorkspace {
   /// Gradient-aggregating trainers stage per-batch gradients this way
   /// without copying, leaving both workspaces reusable.
   virtual void swap_gradients(ModelWorkspace& other) = 0;
+
+  /// Read-only views of the gradients staged by the last compute_gradients,
+  /// aligned with Model::segment_views(): `input` is the touched-row sparse
+  /// gradient of segment 0, `dense` holds one flat span per remaining
+  /// segment, in segment order. This is how nn::Optimizer implementations
+  /// consume gradients without knowing the concrete workspace type.
+  struct GradientViews {
+    const sparse::SparseGradient* input = nullptr;
+    std::vector<std::span<const float>> dense;
+  };
+  virtual GradientViews gradient_views() const = 0;
 };
 
 struct StepStats {

@@ -1,0 +1,84 @@
+// Internal base for the stateful optimizers (adam/adamw/adagrad): state
+// matrices shaped by Model::segment_views() at construction, flat per-slot
+// storage addressed per segment, plus the lazy per-row step counters of the
+// sparse input layer. Not part of the public nn/ surface — include
+// nn/optimizer.h instead.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/optimizer.h"
+
+namespace hetero::nn::detail {
+
+class StatefulOptimizer : public Optimizer {
+ public:
+  StatefulOptimizer(Model& model, std::size_t num_slots, bool lazy_row_steps)
+      : input_rows_(model.info().input_rows()),
+        input_cols_(model.info().input_cols()) {
+    std::size_t offset = 0;
+    for (const auto seg : model.segment_views()) {
+      seg_offsets_.push_back(offset);
+      seg_sizes_.push_back(seg.size());
+      offset += seg.size();
+    }
+    slots_.assign(num_slots, std::vector<float>(offset, 0.0f));
+    if (lazy_row_steps) row_steps_.assign(input_rows_, 0);
+  }
+
+  std::size_t num_slots() const override { return slots_.size(); }
+
+  std::vector<std::span<float>> slot_views(std::size_t slot) override {
+    assert(slot < slots_.size());
+    std::vector<std::span<float>> views;
+    views.reserve(seg_sizes_.size());
+    for (std::size_t seg = 0; seg < seg_sizes_.size(); ++seg) {
+      views.push_back({slots_[slot].data() + seg_offsets_[seg],
+                       seg_sizes_[seg]});
+    }
+    return views;
+  }
+
+  std::span<std::uint32_t> row_steps() override { return row_steps_; }
+  std::uint64_t step() const override { return step_; }
+  void set_step(std::uint64_t step) override { step_ = step; }
+
+  void reset_state() override {
+    for (auto& slot : slots_) slot.assign(slot.size(), 0.0f);
+    row_steps_.assign(row_steps_.size(), 0);
+    step_ = 0;
+  }
+
+ protected:
+  /// 1 / (1 - beta^t): the Adam bias correction, computed in double and
+  /// rounded once — the same value for a given (beta, t) on every ISA and
+  /// thread count.
+  static float bias_correction(double beta, std::uint64_t t) {
+    return static_cast<float>(
+        1.0 / (1.0 - std::pow(beta, static_cast<double>(t))));
+  }
+
+  float* slot_seg(std::size_t slot, std::size_t seg) {
+    return slots_[slot].data() + seg_offsets_[seg];
+  }
+
+  std::size_t input_rows_ = 0;
+  std::size_t input_cols_ = 0;
+  std::vector<std::size_t> seg_sizes_;
+  std::vector<std::size_t> seg_offsets_;
+  std::vector<std::vector<float>> slots_;  // flat num_parameters each
+  std::vector<std::uint32_t> row_steps_;   // empty unless lazy (adam/adamw)
+  std::uint64_t step_ = 0;
+};
+
+std::unique_ptr<Optimizer> make_adam_optimizer(const OptimizerConfig& cfg,
+                                               Model& model, bool decoupled);
+std::unique_ptr<Optimizer> make_adagrad_optimizer(const OptimizerConfig& cfg,
+                                                  Model& model);
+
+}  // namespace hetero::nn::detail

@@ -44,6 +44,13 @@ struct Workspace : ModelWorkspace {
     return grad_w1.rows();
   }
   void swap_gradients(ModelWorkspace& other) override;
+  /// Segment order W1, b1, W2, b2: dense spans are [b1, W2, b2].
+  GradientViews gradient_views() const override {
+    return {&grad_w1,
+            {{grad_b1.data(), grad_b1.size()},
+             {grad_w2.data(), grad_w2.rows() * grad_w2.cols()},
+             {grad_b2.data(), grad_b2.size()}}};
+  }
 };
 
 /// Runs forward+backward+update on `model` with learning rate `lr`.

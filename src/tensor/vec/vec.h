@@ -52,6 +52,28 @@ bool isa_supported(Isa isa);
 /// Best supported ISA on this host (avx512 > avx2 > scalar).
 Isa best_supported_isa();
 
+/// Per-element constants of one fused Adam/AdamW update call (see the
+/// adam_update table entry for the exact expression). bias1/bias2 are the
+/// 1/(1 - beta^t) corrections for the step the touched row is on — the lazy
+/// sparse path passes a different t per row, the dense path one t per call.
+struct AdamParams {
+  float lr = 0.0f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float bias1 = 1.0f;         // 1 / (1 - beta1^t)
+  float bias2 = 1.0f;         // 1 / (1 - beta2^t)
+  float weight_decay = 0.0f;  // coupled L2 folded into the gradient (Adam)
+  float keep = 1.0f;          // decoupled multiplicative decay (AdamW)
+};
+
+/// Per-element constants of one Adagrad update call.
+struct AdagradParams {
+  float lr = 0.0f;
+  float eps = 1e-10f;
+  float weight_decay = 0.0f;  // coupled L2 folded into the gradient
+};
+
 /// The per-ISA kernel table. Every pointer is non-null in every table.
 /// Sizes are element counts; all pointers may alias only as documented at
 /// the call sites (no kernel reads an output span it has already written
@@ -130,6 +152,23 @@ struct VecKernels {
   // acc[i] += w * double(float(q[i]) * scale)
   void (*merge_accum_i8)(double* acc, const std::int8_t* q, double w,
                          float scale, std::size_t n);
+
+  // Optimizer update kernels (nn/optimizer.*, DESIGN.md §11). Element-wise
+  // with sqrtps/divps — both IEEE correctly rounded, so every ISA produces
+  // the same bits. One fused kernel covers Adam (coupled L2 via
+  // weight_decay, keep = 1) and AdamW (weight_decay = 0, decoupled
+  // keep = 1 - lr*wd); bias corrections arrive precomputed per row step.
+  //   g' = g[i] + weight_decay * w[i]
+  //   m[i] = beta1 * m[i] + (1 - beta1) * g'
+  //   v[i] = beta2 * v[i] + (1 - beta2) * (g' * g')
+  //   w[i] = keep * w[i] - lr * ((m[i] * bias1) / (sqrt(v[i] * bias2) + eps))
+  void (*adam_update)(float* w, const float* g, float* m, float* v,
+                      const AdamParams& p, std::size_t n);
+  //   g' = g[i] + weight_decay * w[i]
+  //   a[i] = a[i] + g' * g'
+  //   w[i] = w[i] - lr * (g' / (sqrt(a[i]) + eps))
+  void (*adagrad_update)(float* w, const float* g, float* a,
+                         const AdagradParams& p, std::size_t n);
 };
 
 /// The active table. First use resolves HETERO_ISA (throwing

@@ -74,6 +74,12 @@ struct Avx2F {
   friend Avx2F operator*(Avx2F a, Avx2F b) {
     return {_mm256_mul_ps(a.v, b.v)};
   }
+  /// divps — IEEE correctly rounded, matches the scalar division bit for bit.
+  friend Avx2F operator/(Avx2F a, Avx2F b) {
+    return {_mm256_div_ps(a.v, b.v)};
+  }
+  /// sqrtps — IEEE correctly rounded, matches std::sqrt bit for bit.
+  static Avx2F sqrt(Avx2F a) { return {_mm256_sqrt_ps(a.v)}; }
 
   /// max(v, 0): max_ps(0, v) returns v on NaN and -0.0 on -0.0, exactly the
   /// scalar (v < 0) ? 0 : v.

@@ -53,6 +53,12 @@ struct Avx512F {
   friend Avx512F operator*(Avx512F a, Avx512F b) {
     return {_mm512_mul_ps(a.v, b.v)};
   }
+  /// divps — IEEE correctly rounded, matches the scalar division bit for bit.
+  friend Avx512F operator/(Avx512F a, Avx512F b) {
+    return {_mm512_div_ps(a.v, b.v)};
+  }
+  /// sqrtps — IEEE correctly rounded, matches std::sqrt bit for bit.
+  static Avx512F sqrt(Avx512F a) { return {_mm512_sqrt_ps(a.v)}; }
 
   static Avx512F relu(Avx512F a) {
     return {_mm512_max_ps(_mm512_setzero_ps(), a.v)};

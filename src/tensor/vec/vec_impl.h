@@ -524,6 +524,76 @@ void merge_accum_i8(double* acc, const std::int8_t* q, double w, float scale,
 }
 
 // ---------------------------------------------------------------------------
+// Optimizer update kernels (DESIGN.md §11). Element-wise over VF; the only
+// non-arithmetic primitives are sqrt and division, both IEEE correctly
+// rounded on every ISA (sqrtss/sqrtps, divss/divps), so the per-element
+// bits match across tables just like the mul/add kernels above.
+// ---------------------------------------------------------------------------
+
+// Fused Adam/AdamW step (see vec.h for the exact per-element expression).
+template <class VF>
+void adam_update(float* w, const float* g, float* m, float* v,
+                 const AdamParams& p, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF lr = VF::broadcast(p.lr);
+  const VF b1 = VF::broadcast(p.beta1);
+  const VF c1 = VF::broadcast(1.0f - p.beta1);
+  const VF b2 = VF::broadcast(p.beta2);
+  const VF c2 = VF::broadcast(1.0f - p.beta2);
+  const VF eps = VF::broadcast(p.eps);
+  const VF bc1 = VF::broadcast(p.bias1);
+  const VF bc2 = VF::broadcast(p.bias2);
+  const VF wd = VF::broadcast(p.weight_decay);
+  const VF keep = VF::broadcast(p.keep);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const VF wv = VF::load(w + i);
+    const VF gv = VF::load(g + i) + wd * wv;
+    const VF mv = b1 * VF::load(m + i) + c1 * gv;
+    const VF vv = b2 * VF::load(v + i) + c2 * (gv * gv);
+    mv.store(m + i);
+    vv.store(v + i);
+    (keep * wv - lr * ((mv * bc1) / (VF::sqrt(vv * bc2) + eps)))
+        .store(w + i);
+  }
+  if (const std::size_t r = n - i) {
+    const VF wv = VF::load_n(w + i, r);
+    const VF gv = VF::load_n(g + i, r) + wd * wv;
+    const VF mv = b1 * VF::load_n(m + i, r) + c1 * gv;
+    const VF vv = b2 * VF::load_n(v + i, r) + c2 * (gv * gv);
+    mv.store_n(m + i, r);
+    vv.store_n(v + i, r);
+    (keep * wv - lr * ((mv * bc1) / (VF::sqrt(vv * bc2) + eps)))
+        .store_n(w + i, r);
+  }
+}
+
+// Adagrad step (see vec.h for the exact per-element expression).
+template <class VF>
+void adagrad_update(float* w, const float* g, float* a,
+                    const AdagradParams& p, std::size_t n) {
+  constexpr std::size_t W = VF::kWidth;
+  const VF lr = VF::broadcast(p.lr);
+  const VF eps = VF::broadcast(p.eps);
+  const VF wd = VF::broadcast(p.weight_decay);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const VF wv = VF::load(w + i);
+    const VF gv = VF::load(g + i) + wd * wv;
+    const VF av = VF::load(a + i) + gv * gv;
+    av.store(a + i);
+    (wv - lr * (gv / (VF::sqrt(av) + eps))).store(w + i);
+  }
+  if (const std::size_t r = n - i) {
+    const VF wv = VF::load_n(w + i, r);
+    const VF gv = VF::load_n(g + i, r) + wd * wv;
+    const VF av = VF::load_n(a + i, r) + gv * gv;
+    av.store_n(a + i, r);
+    (wv - lr * (gv / (VF::sqrt(av) + eps))).store_n(w + i, r);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Table assembly. VF: element-wise float type. VD: double type (also used
 // for the double reductions). RF: float reduction type — the avx512 table
 // passes the 8-lane AVX2 type here to honor the 8-virtual-lane contract.
@@ -558,6 +628,8 @@ VecKernels make_table(Isa isa) {
   t.dequant_i8 = &dequant_i8<VF>;
   t.residual_i8 = &residual_i8<VF>;
   t.merge_accum_i8 = &merge_accum_i8<VF, VD>;
+  t.adam_update = &adam_update<VF>;
+  t.adagrad_update = &adagrad_update<VF>;
   return t;
 }
 

@@ -35,6 +35,10 @@ struct ScalarF {
   friend ScalarF operator+(ScalarF a, ScalarF b) { return {a.v + b.v}; }
   friend ScalarF operator-(ScalarF a, ScalarF b) { return {a.v - b.v}; }
   friend ScalarF operator*(ScalarF a, ScalarF b) { return {a.v * b.v}; }
+  /// divss — IEEE correctly rounded, bit-identical to divps on every ISA.
+  friend ScalarF operator/(ScalarF a, ScalarF b) { return {a.v / b.v}; }
+  /// sqrtss — IEEE correctly rounded, bit-identical to sqrtps on every ISA.
+  static ScalarF sqrt(ScalarF a) { return {std::sqrt(a.v)}; }
 
   /// max(v, 0) with std::max's exact tie/NaN behavior: (v < 0) ? 0 : v.
   static ScalarF relu(ScalarF a) { return {a.v < 0.0f ? 0.0f : a.v}; }

@@ -730,15 +730,18 @@ TEST_F(FaultTest, RestoreRejectsCompressionMismatch) {
 }
 
 TEST_F(FaultTest, CheckpointVersion1StillLoads) {
-  // A v1 checkpoint is a v2 one minus the merge-compression section; an
-  // uncompressed v2 carries only the single 0 flag byte before the two
-  // model blobs. Rewrite the version field and strip that byte.
+  // A v1 checkpoint is a v3 one minus the merge-compression section (a
+  // single 0 flag byte when uncompressed) and the optimizer section (3
+  // metadata bytes + u64 record count when the run used stateless sgd with
+  // no captured replicas). Rewrite the version field and strip both.
   auto bytes = tiny_checkpoint_bytes();
   const std::uint32_t v1 = 1;
   std::memcpy(bytes.data() + 4, &v1, sizeof(v1));
-  const std::size_t flag_at = bytes.size() - (1 + 8 + 96 + 8 + 96);
+  const std::size_t kOptSection = 3 + 8;
+  const std::size_t flag_at =
+      bytes.size() - (1 + kOptSection + 8 + 96 + 8 + 96);
   ASSERT_EQ(bytes[flag_at], 0);  // the compressed=0 flag
-  bytes.erase(flag_at, 1);
+  bytes.erase(flag_at, 1 + kOptSection);
   const auto loaded = load_from_bytes(bytes);
   EXPECT_EQ(loaded.compressed, 0u);
   EXPECT_TRUE(loaded.residual_blobs.empty());
@@ -757,8 +760,11 @@ TEST_F(FaultTest, CorruptCheckpointHostileResidualCountIsTypedError) {
   std::ostringstream out(std::ios::binary);
   fault::save_checkpoint(out, ckpt);
   auto bytes = out.str();
-  // residual count u64 sits before {8-len + 8 bytes} + two 16-byte blobs.
-  const std::size_t count_at = bytes.size() - (8 + 8 + 8 + 16 + 8 + 16 + 8);
+  // residual count u64 sits before {8-len + 8 bytes} + the empty optimizer
+  // section (3 + 8 bytes) + two 16-byte blobs.
+  const std::size_t kOptSection = 3 + 8;
+  const std::size_t count_at =
+      bytes.size() - (8 + 8 + kOptSection + 8 + 16 + 8 + 16 + 8);
   write_u64_at(bytes, count_at, std::uint64_t{1} << 61);
   EXPECT_THROW(load_from_bytes(bytes), hetero::ParseError);
 
@@ -766,7 +772,7 @@ TEST_F(FaultTest, CorruptCheckpointHostileResidualCountIsTypedError) {
   // the residual count).
   auto bad_scale = out.str();
   const std::size_t scale_at =
-      bad_scale.size() - (8 + 8 + 8 + 8 + 8 + 16 + 8 + 16 + 8);
+      bad_scale.size() - (8 + 8 + 8 + 8 + kOptSection + 8 + 16 + 8 + 16 + 8);
   const double huge = 1e300;
   std::memcpy(bad_scale.data() + scale_at, &huge, sizeof(huge));
   EXPECT_THROW(load_from_bytes(bad_scale), hetero::ParseError);
@@ -876,6 +882,312 @@ TEST_F(FaultTest, ResumeWithFaultPlanSkipsAlreadyAppliedEvents) {
   EXPECT_EQ(resumed_result.faults.crashes, 0u);  // fresh stats, no re-fire
   EXPECT_EQ(resumed.runtime().global_model().to_flat(),
             reference.runtime().global_model().to_flat());
+}
+
+// ---- optimizer state: moment merge + checkpoints (format v3) --------------
+
+namespace {
+
+std::vector<float> flat_optimizer_state(nn::Optimizer& opt,
+                                        std::size_t slot) {
+  std::vector<float> flat;
+  for (const auto seg : opt.slot_views(slot)) {
+    flat.insert(flat.end(), seg.begin(), seg.end());
+  }
+  return flat;
+}
+
+}  // namespace
+
+// The survivor-renormalized moment merge must equal the oracle computed
+// over exactly the surviving replicas: renormalized weights, per-element
+// double accumulation in replica index order, one rounding to float.
+TEST_F(FaultTest, MomentMergeBitIdenticalToSurvivorOracle) {
+  auto cfg = config();
+  cfg.optimizer.kind = nn::OptimizerKind::kAdam;
+  cfg.moment_merge = core::MomentMerge::kAverage;
+  core::MultiGpuRuntime rt(dataset_, cfg, sim::v100_heterogeneous(3));
+  for (int i = 0; i < 9; ++i) {
+    const auto g = static_cast<std::size_t>(i % 3);
+    rt.run_update_step(g, rt.next_batch(32), 0.02, rt.gpu_free_at(g));
+  }
+  rt.math_barrier();
+
+  double now = 0.0;
+  for (std::size_t g = 0; g < 3; ++g) {
+    now = std::max(now, rt.gpu(g).device_free_at());
+  }
+  rt.schedule_crash(1, now);
+  ASSERT_EQ(rt.apply_crashes_until(now), (std::vector<std::size_t>{1}));
+
+  // Pre-merge snapshots of the survivors' state.
+  std::vector<std::vector<float>> pre0, pre2;
+  for (std::size_t slot = 0; slot < 2; ++slot) {
+    pre0.push_back(flat_optimizer_state(rt.optimizer(0), slot));
+    pre2.push_back(flat_optimizer_state(rt.optimizer(2), slot));
+  }
+  std::vector<std::uint32_t> steps0(rt.optimizer(0).row_steps().begin(),
+                                    rt.optimizer(0).row_steps().end());
+  std::vector<std::uint32_t> steps2(rt.optimizer(2).row_steps().begin(),
+                                    rt.optimizer(2).row_steps().end());
+  const std::uint64_t step0 = rt.optimizer(0).step();
+  const std::uint64_t step2 = rt.optimizer(2).step();
+
+  const std::vector<double> survivor_w{0.7, 0.3};
+  const auto full = core::expand_alive_weights(
+      survivor_w, std::vector<std::size_t>{0, 2}, 3);
+  rt.merge_and_update(full, now);
+
+  // Oracle: weights renormalized over the survivors (the perturbation may
+  // denormalize Algorithm-2 weights; state must stay a convex combination).
+  const double wsum = survivor_w[0] + survivor_w[1];
+  const double w0 = survivor_w[0] / wsum;
+  const double w2 = survivor_w[1] / wsum;
+  for (std::size_t slot = 0; slot < 2; ++slot) {
+    std::vector<float> expect(pre0[slot].size());
+    for (std::size_t j = 0; j < expect.size(); ++j) {
+      expect[j] = static_cast<float>(
+          w0 * static_cast<double>(pre0[slot][j]) +
+          w2 * static_cast<double>(pre2[slot][j]));
+    }
+    for (const std::size_t g : {std::size_t{0}, std::size_t{2}}) {
+      const auto got = flat_optimizer_state(rt.optimizer(g), slot);
+      ASSERT_EQ(got.size(), expect.size());
+      EXPECT_EQ(0, std::memcmp(got.data(), expect.data(),
+                               got.size() * sizeof(float)))
+          << "slot " << slot << " replica " << g;
+    }
+  }
+  // Row counters and dense step take the max over the survivors — written
+  // back to both so the survivor set stays bit-equal.
+  for (std::size_t r = 0; r < steps0.size(); ++r) {
+    const auto want = std::max(steps0[r], steps2[r]);
+    EXPECT_EQ(rt.optimizer(0).row_steps()[r], want) << "row " << r;
+    EXPECT_EQ(rt.optimizer(2).row_steps()[r], want) << "row " << r;
+  }
+  EXPECT_EQ(rt.optimizer(0).step(), std::max(step0, step2));
+  EXPECT_EQ(rt.optimizer(2).step(), std::max(step0, step2));
+  // The crashed replica's state was reset, not merged.
+  for (const float x : flat_optimizer_state(rt.optimizer(1), 0)) {
+    ASSERT_EQ(x, 0.0f);
+  }
+}
+
+TEST_F(FaultTest, MomentMergeKeepAndResetPolicies) {
+  for (const auto policy :
+       {core::MomentMerge::kKeep, core::MomentMerge::kReset}) {
+    auto cfg = config();
+    cfg.optimizer.kind = nn::OptimizerKind::kAdagrad;
+    cfg.moment_merge = policy;
+    core::MultiGpuRuntime rt(dataset_, cfg, sim::v100_heterogeneous(2));
+    for (int i = 0; i < 4; ++i) {
+      const auto g = static_cast<std::size_t>(i % 2);
+      rt.run_update_step(g, rt.next_batch(32), 0.1, rt.gpu_free_at(g));
+    }
+    rt.math_barrier();
+    const auto pre = flat_optimizer_state(rt.optimizer(0), 0);
+    double now = 0.0;
+    for (std::size_t g = 0; g < 2; ++g) {
+      now = std::max(now, rt.gpu(g).device_free_at());
+    }
+    rt.merge_and_update(std::vector<double>{0.5, 0.5}, now);
+    const auto post = flat_optimizer_state(rt.optimizer(0), 0);
+    if (policy == core::MomentMerge::kKeep) {
+      EXPECT_EQ(pre, post);  // local state rides through the merge
+    } else {
+      for (const float x : post) ASSERT_EQ(x, 0.0f);
+      EXPECT_EQ(rt.optimizer(0).step(), 0u);
+    }
+  }
+}
+
+TEST_F(FaultTest, CheckpointV3RoundTripsOptimizerState) {
+  auto cfg = config();
+  cfg.optimizer.kind = nn::OptimizerKind::kAdam;
+  cfg.weight_decay = 1e-4;
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg, sim::v100_heterogeneous(3));
+  trainer.train();
+  const auto ckpt = fault::capture_checkpoint(trainer);
+  EXPECT_EQ(ckpt.opt_kind,
+            static_cast<std::uint8_t>(nn::OptimizerKind::kAdam));
+  EXPECT_EQ(ckpt.opt_num_slots, 2u);
+  EXPECT_EQ(ckpt.opt_has_row_steps, 1u);
+  ASSERT_EQ(ckpt.opt_replicas.size(), 3u);
+
+  std::ostringstream out(std::ios::binary);
+  fault::save_checkpoint(out, ckpt);
+  std::istringstream in(out.str(), std::ios::binary);
+  const auto loaded = fault::load_checkpoint(in);
+  EXPECT_EQ(loaded.opt_kind, ckpt.opt_kind);
+  EXPECT_EQ(loaded.opt_num_slots, ckpt.opt_num_slots);
+  EXPECT_EQ(loaded.opt_has_row_steps, ckpt.opt_has_row_steps);
+  ASSERT_EQ(loaded.opt_replicas.size(), ckpt.opt_replicas.size());
+  for (std::size_t g = 0; g < ckpt.opt_replicas.size(); ++g) {
+    EXPECT_EQ(loaded.opt_replicas[g].step, ckpt.opt_replicas[g].step);
+    EXPECT_EQ(loaded.opt_replicas[g].row_steps,
+              ckpt.opt_replicas[g].row_steps);
+    ASSERT_EQ(loaded.opt_replicas[g].slots.size(),
+              ckpt.opt_replicas[g].slots.size());
+    for (std::size_t s = 0; s < ckpt.opt_replicas[g].slots.size(); ++s) {
+      const auto& a = ckpt.opt_replicas[g].slots[s];
+      const auto& b = loaded.opt_replicas[g].slots[s];
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+          << "replica " << g << " slot " << s;
+    }
+  }
+}
+
+TEST_F(FaultTest, AdamResumedRunBitIdenticalToUninterrupted) {
+  // The v3 optimizer section is what makes a stateful-optimizer resume
+  // exact: if the moments or lazy row counters were dropped, the resumed
+  // run's first post-restore step would bias-correct differently and
+  // diverge bitwise.
+  auto cfg = config();
+  cfg.num_megabatches = 6;
+  cfg.optimizer.kind = nn::OptimizerKind::kAdamW;
+  cfg.learning_rate = 0.02;
+  cfg.weight_decay = 1e-4;
+
+  core::AdaptiveSgdTrainer full(dataset_, cfg, sim::v100_heterogeneous(3));
+  const auto full_result = full.train();
+
+  auto cfg3 = cfg;
+  cfg3.num_megabatches = 3;
+  core::AdaptiveSgdTrainer first_half(dataset_, cfg3,
+                                      sim::v100_heterogeneous(3));
+  first_half.train();
+  const auto path = temp_path("fault_resume_adam.ckpt");
+  fault::save_checkpoint_file(path, fault::capture_checkpoint(first_half));
+
+  core::AdaptiveSgdTrainer resumed(dataset_, cfg, sim::v100_heterogeneous(3));
+  fault::restore_checkpoint(resumed, fault::load_checkpoint_file(path));
+  const auto resumed_result = resumed.train();
+
+  ASSERT_EQ(resumed_result.curve.size(), 4u);
+  ASSERT_EQ(full_result.curve.size(), 7u);
+  for (std::size_t i = 0; i < resumed_result.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(resumed_result.curve[i].top1,
+                     full_result.curve[3 + i].top1)
+        << "megabatch " << full_result.curve[3 + i].megabatch;
+  }
+  EXPECT_EQ(resumed.runtime().global_model().to_flat(),
+            full.runtime().global_model().to_flat());
+  EXPECT_EQ(resumed.runtime().prev_global_model().to_flat(),
+            full.runtime().prev_global_model().to_flat());
+  for (std::size_t g = 0; g < full.runtime().num_gpus(); ++g) {
+    auto& of = full.runtime().optimizer(g);
+    auto& orr = resumed.runtime().optimizer(g);
+    EXPECT_EQ(orr.step(), of.step()) << "replica " << g;
+    const auto rf = of.row_steps();
+    const auto rr = orr.row_steps();
+    ASSERT_EQ(rf.size(), rr.size());
+    EXPECT_EQ(0, std::memcmp(rf.data(), rr.data(),
+                             rf.size() * sizeof(std::uint32_t)))
+        << "replica " << g;
+    for (std::size_t slot = 0; slot < of.num_slots(); ++slot) {
+      const auto a = flat_optimizer_state(of, slot);
+      const auto b = flat_optimizer_state(orr, slot);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+          << "replica " << g << " slot " << slot;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultTest, RestoreRejectsOptimizerKindMismatch) {
+  auto cfg = config();
+  cfg.optimizer.kind = nn::OptimizerKind::kAdagrad;
+  core::AdaptiveSgdTrainer adagrad(dataset_, cfg, sim::v100_heterogeneous(2));
+  adagrad.train();
+  const auto ckpt = fault::capture_checkpoint(adagrad);
+
+  auto adam_cfg = cfg;
+  adam_cfg.optimizer.kind = nn::OptimizerKind::kAdam;
+  core::AdaptiveSgdTrainer adam(dataset_, adam_cfg,
+                                sim::v100_heterogeneous(2));
+  EXPECT_THROW(fault::restore_checkpoint(adam, ckpt), std::runtime_error);
+}
+
+TEST_F(FaultTest, CorruptCheckpointHostileOptimizerSectionIsTypedError) {
+  auto cfg = config();
+  cfg.optimizer.kind = nn::OptimizerKind::kAdam;
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg, sim::v100_heterogeneous(2));
+  trainer.train();
+  const auto ckpt = fault::capture_checkpoint(trainer);
+  std::ostringstream out(std::ios::binary);
+  fault::save_checkpoint(out, ckpt);
+  const std::string bytes = out.str();
+
+  // Locate the optimizer section tail-relative: the two size-prefixed model
+  // blobs are always the final records, and the section length follows
+  // exactly from the captured struct.
+  const std::size_t tail =
+      (8 + ckpt.global_blob.size()) + (8 + ckpt.prev_global_blob.size());
+  std::size_t section = 3 + 8;
+  for (const auto& rep : ckpt.opt_replicas) {
+    section += 8;  // step
+    section += 8 + rep.row_steps.size() * sizeof(std::uint32_t);
+    for (const auto& slot : rep.slots) {
+      section += 8 + slot.size() * sizeof(float);
+    }
+  }
+  const std::size_t start = bytes.size() - tail - section;
+
+  const auto expect_parse_error = [&](std::string mutated, const char* what) {
+    std::istringstream in(mutated, std::ios::binary);
+    EXPECT_THROW(fault::load_checkpoint(in), ParseError) << what;
+  };
+
+  // Out-of-range optimizer kind byte.
+  auto bad_kind = bytes;
+  bad_kind[start] = 0x07;
+  expect_parse_error(bad_kind, "kind byte");
+
+  // Kind/shape mismatch: the sgd byte with adam-shaped slot metadata.
+  auto sgd_kind = bytes;
+  sgd_kind[start] = 0x00;
+  expect_parse_error(sgd_kind, "kind vs shape");
+
+  // Hostile row-counter count of replica 0 (would allocate ~2^60 entries
+  // if the loader trusted it).
+  auto bad_rows = bytes;
+  const std::size_t row_count_at = start + 3 + 8 + 8;
+  for (int i = 0; i < 8; ++i) {
+    bad_rows[row_count_at + i] = static_cast<char>(0xee);
+  }
+  expect_parse_error(bad_rows, "row-counter count");
+
+  // Hostile element count of replica 0 slot 0 (truncated moment matrix:
+  // the count claims more floats than the stream holds).
+  auto bad_slot = bytes;
+  const std::size_t slot_count_at =
+      row_count_at + 8 +
+      ckpt.opt_replicas[0].row_steps.size() * sizeof(std::uint32_t);
+  for (int i = 0; i < 8; ++i) {
+    bad_slot[slot_count_at + i] = static_cast<char>(0xee);
+  }
+  expect_parse_error(bad_slot, "slot element count");
+
+  // Non-finite moment value: loaded state must be arithmetic-safe.
+  auto nan_ckpt = ckpt;
+  nan_ckpt.opt_replicas[0].slots[1][3] =
+      std::numeric_limits<float>::quiet_NaN();
+  std::ostringstream nan_out(std::ios::binary);
+  fault::save_checkpoint(nan_out, nan_ckpt);
+  expect_parse_error(nan_out.str(), "non-finite moment");
+
+  auto inf_ckpt = ckpt;
+  inf_ckpt.opt_replicas[1].slots[0][0] =
+      std::numeric_limits<float>::infinity();
+  std::ostringstream inf_out(std::ios::binary);
+  fault::save_checkpoint(inf_out, inf_ckpt);
+  expect_parse_error(inf_out.str(), "infinite moment");
+
+  // The pristine bytes still load.
+  std::istringstream ok(bytes, std::ios::binary);
+  EXPECT_NO_THROW(fault::load_checkpoint(ok));
 }
 
 }  // namespace

@@ -156,6 +156,47 @@ TEST_F(VecBitIdentity, ReluKernelsOnIeeeEdgeValues) {
   }
 }
 
+TEST_F(VecBitIdentity, AdamAndAdagradUpdateKernels) {
+  for (const std::size_t n : kSizes) {
+    const auto w0 = fuzz_floats(n, rng_);
+    const auto g = fuzz_floats(n, rng_);
+    const auto m0 = fuzz_floats(n, rng_);
+    // Second moments / accumulators are sums of squares: keep them >= 0 so
+    // sqrt sees the values the optimizer actually produces.
+    auto v0 = fuzz_floats(n, rng_);
+    for (auto& x : v0) x = std::abs(x);
+
+    vec::AdamParams ap;
+    ap.lr = 0.05f;
+    ap.bias1 = 1.0f / (1.0f - 0.9f * 0.9f);
+    ap.bias2 = 1.0f / (1.0f - 0.999f * 0.999f);
+    ap.weight_decay = 0.01f;
+    ap.keep = 0.995f;
+    vec::AdagradParams gp;
+    gp.lr = 0.1f;
+    gp.weight_decay = 0.01f;
+
+    for (const auto isa : isas_) {
+      const auto& vk = *vec::kernels_for(isa);
+
+      auto wr = w0, mr = m0, vr = v0;
+      auto wg = w0, mg = m0, vg = v0;
+      scalar_.adam_update(wr.data(), g.data(), mr.data(), vr.data(), ap, n);
+      vk.adam_update(wg.data(), g.data(), mg.data(), vg.data(), ap, n);
+      expect_same_bits(wr, wg, "adam_update(w)", isa, n);
+      expect_same_bits(mr, mg, "adam_update(m)", isa, n);
+      expect_same_bits(vr, vg, "adam_update(v)", isa, n);
+
+      auto awr = w0, aar = v0;
+      auto awg = w0, aag = v0;
+      scalar_.adagrad_update(awr.data(), g.data(), aar.data(), gp, n);
+      vk.adagrad_update(awg.data(), g.data(), aag.data(), gp, n);
+      expect_same_bits(awr, awg, "adagrad_update(w)", isa, n);
+      expect_same_bits(aar, aag, "adagrad_update(a)", isa, n);
+    }
+  }
+}
+
 TEST_F(VecBitIdentity, Reductions) {
   for (const std::size_t n : kSizes) {
     const auto x = fuzz_floats(n, rng_);
