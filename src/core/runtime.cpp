@@ -814,6 +814,7 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
                   sync_time + timing.allreduce_seconds,
                   timing.host_roundtrip_seconds});
   }
+  if (publish_hook_) publish_hook_(*global_, timing.finish);
   return timing;
 }
 

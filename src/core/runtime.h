@@ -316,6 +316,17 @@ class MultiGpuRuntime {
   void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
   sim::Tracer* tracer() { return tracer_; }
 
+  /// Fired at the end of every merge_and_update, after the momentum global
+  /// update and broadcast, with the new global model and the boundary's
+  /// virtual finish time. This is the serving publication point
+  /// (serve::SnapshotStore::publish): the model passed is exactly the
+  /// state a checkpoint captured at the same boundary would serialize.
+  /// Runs on the training thread — keep it cheap (a clone + swap).
+  /// Distinct from the Trainer boundary hook so checkpointing and serving
+  /// can coexist. Pass nullptr to detach.
+  using PublishHook = std::function<void(const nn::Model&, double vtime)>;
+  void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
+
  private:
   const data::XmlDataset& dataset_;
   TrainerConfig cfg_;
@@ -425,6 +436,7 @@ class MultiGpuRuntime {
   FaultStats fault_stats_;
 
   sim::Tracer* tracer_ = nullptr;
+  PublishHook publish_hook_;
 };
 
 }  // namespace hetero::core

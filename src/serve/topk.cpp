@@ -1,0 +1,45 @@
+#include "serve/topk.h"
+
+#include <algorithm>
+
+namespace hetero::serve {
+
+namespace {
+
+// Bounded selection: `out` is kept as a max-first sorted array of at most k
+// entries; insertion keeps the ranks_before order, so the final result needs
+// no extra sort. k is small (≤ tens) in serving, so the O(k) shift per
+// accepted candidate beats heap bookkeeping.
+void insert_bounded(std::vector<ScoredLabel>& out, std::size_t k,
+                    ScoredLabel cand) {
+  if (out.size() == k && !ranks_before(cand, out.back())) return;
+  const auto pos = std::upper_bound(
+      out.begin(), out.end(), cand,
+      [](const ScoredLabel& a, const ScoredLabel& b) {
+        return ranks_before(a, b);
+      });
+  out.insert(pos, cand);
+  if (out.size() > k) out.pop_back();
+}
+
+}  // namespace
+
+void select_topk(std::span<const float> scores, std::size_t k,
+                 std::vector<ScoredLabel>& out) {
+  out.clear();
+  if (k == 0) return;
+  out.reserve(std::min(k, scores.size()));
+  for (std::size_t c = 0; c < scores.size(); ++c) {
+    insert_bounded(out, k, {static_cast<std::uint32_t>(c), scores[c]});
+  }
+}
+
+void select_topk(std::span<const ScoredLabel> candidates, std::size_t k,
+                 std::vector<ScoredLabel>& out) {
+  out.clear();
+  if (k == 0) return;
+  out.reserve(std::min(k, candidates.size()));
+  for (const auto& cand : candidates) insert_bounded(out, k, cand);
+}
+
+}  // namespace hetero::serve

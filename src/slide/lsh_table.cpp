@@ -1,7 +1,5 @@
 #include "slide/lsh_table.h"
 
-#include <algorithm>
-
 namespace hetero::slide {
 
 LshIndex::LshIndex(SimHash hasher, std::size_t num_items)
@@ -12,13 +10,21 @@ LshIndex::LshIndex(SimHash hasher, std::size_t num_items)
 
 void LshIndex::query(std::span<const float> query_vec, std::size_t max_items,
                      std::vector<std::uint32_t>& out) const {
-  for (std::size_t t = 0; t < tables_.size() && out.size() < max_items; ++t) {
+  if (out.size() >= max_items) return;
+  // Membership bitmap instead of a linear scan of `out` per candidate:
+  // queries against wide output layers were O(candidates^2) before, which
+  // dominated the serving LSH path.
+  std::vector<char> seen(num_items_, 0);
+  for (const auto item : out) {
+    if (item < num_items_) seen[item] = 1;
+  }
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
     const auto sig = hasher_.signature(t, query_vec);
-    for (auto item : tables_[t][sig]) {
-      if (out.size() >= max_items) break;
-      if (std::find(out.begin(), out.end(), item) == out.end()) {
-        out.push_back(item);
-      }
+    for (const auto item : tables_[t][sig]) {
+      if (seen[item]) continue;
+      seen[item] = 1;
+      out.push_back(item);
+      if (out.size() >= max_items) return;
     }
   }
 }

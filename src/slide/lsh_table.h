@@ -37,6 +37,7 @@ class LshIndex {
              std::vector<std::uint32_t>& out) const;
 
   std::size_t rebuilds() const { return rebuilds_; }
+  std::size_t num_items() const { return num_items_; }
   const SimHash& hasher() const { return hasher_; }
 
  private:

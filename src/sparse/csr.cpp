@@ -80,7 +80,14 @@ bool CsrMatrix::validate() const {
   return true;
 }
 
-void CsrBuilder::add_row(std::vector<Entry> entries) {
+void CsrBuilder::add_row(std::vector<Entry> entries) { append_row(entries); }
+
+void CsrBuilder::add_row(std::span<const Entry> entries) {
+  scratch_.assign(entries.begin(), entries.end());
+  append_row(scratch_);
+}
+
+void CsrBuilder::append_row(std::vector<Entry>& entries) {
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.col < b.col; });
   // Merge duplicates.
@@ -105,7 +112,7 @@ void CsrBuilder::add_indicator_row(std::vector<std::uint32_t> cols) {
   std::vector<Entry> entries;
   entries.reserve(cols.size());
   for (auto c : cols) entries.push_back({c, 1.0f});
-  add_row(std::move(entries));
+  append_row(entries);
 }
 
 CsrMatrix CsrBuilder::build() {

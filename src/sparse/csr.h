@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -84,6 +85,17 @@ class CsrBuilder {
   /// occupy a slot, matching typical libSVM data).
   void add_row(std::vector<Entry> entries);
 
+  /// Same, from a borrowed span. Copies into an internal scratch buffer
+  /// that is reused across rows, so callers that rebuild small batches at
+  /// high rate (the serving wave loop) do not allocate per row.
+  void add_row(std::span<const Entry> entries);
+
+  /// Braced-list convenience (`add_row({{0, 1.0f}, {3, 2.0f}})`); without
+  /// this overload such calls are ambiguous between the two above.
+  void add_row(std::initializer_list<Entry> entries) {
+    add_row(std::span<const Entry>(entries.begin(), entries.size()));
+  }
+
   /// Appends a row with all values = 1 (label rows).
   void add_indicator_row(std::vector<std::uint32_t> cols);
 
@@ -93,10 +105,13 @@ class CsrBuilder {
   CsrMatrix build();
 
  private:
+  void append_row(std::vector<Entry>& entries);
+
   std::size_t cols_;
   std::vector<std::size_t> row_ptr_{0};
   std::vector<std::uint32_t> col_idx_;
   std::vector<float> values_;
+  std::vector<Entry> scratch_;  // reused by the span overload
 };
 
 }  // namespace hetero::sparse

@@ -100,6 +100,58 @@ TEST(LshIndex, QueryDeduplicatesAgainstExisting) {
   EXPECT_EQ(std::count(out.begin(), out.end(), 3u), 1);
 }
 
+TEST(LshIndex, EmptyBucketsYieldNoCandidates) {
+  // All items hash from v; querying with -v flips every hyperplane sign,
+  // so every table lands in an untouched bucket and nothing is appended.
+  // (Serving layers an exact-scan fallback on top of this empty result.)
+  util::Rng rng(9);
+  const std::size_t dim = 8;
+  std::vector<float> v(dim, 1.0f);
+  std::vector<float> negated(dim, -1.0f);
+  LshIndex index(SimHash(dim, 8, 4, rng), 10);
+  index.rebuild([&](std::size_t) {
+    return std::span<const float>(v.data(), dim);
+  });
+  std::vector<std::uint32_t> out;
+  index.query({negated.data(), dim}, 100, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LshIndex, QueryIsDeterministic) {
+  util::Rng rng(10);
+  const std::size_t dim = 16;
+  std::vector<std::vector<float>> items(32, std::vector<float>(dim));
+  for (auto& item : items) {
+    for (auto& x : item) x = static_cast<float>(rng.next_gaussian());
+  }
+  LshIndex index(SimHash(dim, 4, 6, rng), items.size());
+  index.rebuild([&](std::size_t i) {
+    return std::span<const float>(items[i].data(), dim);
+  });
+  std::vector<std::uint32_t> a, b;
+  index.query({items[3].data(), dim}, 20, a);
+  index.query({items[3].data(), dim}, 20, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LshIndex, QueryKeepsOutOfRangeSeedCandidates) {
+  // Pre-seeded mandatory candidates may come from outside the index's item
+  // space (the serving head list is sized independently); they must be
+  // passed through untouched and never confuse the dedup bitmap.
+  util::Rng rng(12);
+  const std::size_t dim = 8;
+  std::vector<float> shared(dim, 1.0f);
+  LshIndex index(SimHash(dim, 2, 4, rng), 5);
+  index.rebuild([&](std::size_t) {
+    return std::span<const float>(shared.data(), dim);
+  });
+  std::vector<std::uint32_t> out{999, 2};
+  index.query({shared.data(), dim}, 100, out);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 999u), 1);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 2u), 1);
+  EXPECT_EQ(index.num_items(), 5u);
+}
+
 TEST(LshIndex, RebuildCountIncrements) {
   util::Rng rng(8);
   std::vector<float> v(4, 1.0f);
