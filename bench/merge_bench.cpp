@@ -25,8 +25,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <numeric>
+#include <span>
 #include <vector>
 
+#include "comm/allreduce.h"
 #include "comm/quant.h"
 #include "core/adaptive_sgd.h"
 #include "core/merging.h"
@@ -579,6 +582,38 @@ BENCHMARK(BM_TrainTimeToAccuracy)
     ->Args({2})
     ->Iterations(2)
     ->Unit(benchmark::kMillisecond);
+
+// args: {log2(bytes), nodes, cpu replicas} — virtual-time cost of one merge
+// of a fixed 4-GPU budget spread across the hierarchy (two-level merge:
+// intra-node multi-stream ring, chunked inter-node ring over one leader per
+// node, intra-node broadcast). The measured wall-clock is the cost-model
+// evaluation itself (cheap by construction); the row's payload is the
+// virtual_merge_ms counter — the simulated milliseconds that topology bills
+// one merge, the number Figure 5's node sweep is built on.
+void BM_HierarchicalMergeCost(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(1));
+  const auto cpus = static_cast<std::size_t>(state.range(2));
+  const auto topo = sim::Topology::partitioned(nodes, 4, cpus);
+  const comm::AllReducer reducer(comm::AllReduceAlgo::kRingMultiStream,
+                                 sim::cluster_links(topo), kStreams);
+  const comm::WirePayload wire{
+      static_cast<double>(std::size_t{1} << state.range(0)), 0.0};
+  std::vector<std::size_t> ranks(topo.num_replicas());
+  std::iota(ranks.begin(), ranks.end(), std::size_t{0});
+  const std::span<const std::size_t> rspan(ranks);
+  const double vseconds = reducer.cost(rspan, wire).seconds;
+  for (auto _ : state) {
+    auto cost = reducer.cost(rspan, wire);
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["virtual_merge_ms"] = 1e3 * vseconds;
+}
+BENCHMARK(BM_HierarchicalMergeCost)
+    ->Args({24, 1, 0})
+    ->Args({24, 2, 0})
+    ->Args({24, 4, 0})
+    ->Args({24, 2, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 // args: {log2(features), replicas, threads, per-replica touched permille}
 // Deep model (hidden 64,32): one extra dense [W,b] segment pair vs the

@@ -9,6 +9,8 @@
 //   ./build/examples/hetero_train --fault-plan "crash@2.5:gpu1;join@4.0:gpu1"
 //       --checkpoint-every 2 --checkpoint-path run.ckpt
 //   ./build/examples/hetero_train --resume-from run.ckpt
+//   ./build/examples/hetero_train --nodes 2 --node-gpus 2 --cpu-replica 1
+//       --batch-min 4 --net-gbs 12.5 --fault-plan "partition@2.0+1.0:node1"
 //
 // Methods: adaptive | elastic | sync | crossbow | async | slide
 // Models:  mlp (single hidden layer) | deep (--hidden takes a comma list)
@@ -72,10 +74,28 @@ int run(int argc, char** argv) {
   const auto method_name = args.get_string("method", "adaptive");
   const auto gpus = static_cast<std::size_t>(args.get_int("gpus", 4));
   const auto gap = args.get_double("gap", 0.32);
+  // Multi-node topology: --nodes N servers of --node-gpus GPUs each
+  // (default: --gpus split evenly), plus --cpu-replica slow CPU compute
+  // replicas scheduled like any other device. The merge is two-level past
+  // one node: the intra-node ring, then a chunked inter-node ring on a
+  // --net-gbs/--net-latency-us network link.
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 1));
+  const auto node_gpus =
+      static_cast<std::size_t>(args.get_int("node-gpus", 0));
+  const auto cpu_replicas =
+      static_cast<std::size_t>(args.get_int("cpu-replica", 0));
+  const auto cpu_slowdown = args.get_double("cpu-slowdown", 25.0);
+  const auto net_gbs = args.get_double("net-gbs", 12.5);
+  const auto net_latency_us = args.get_double("net-latency-us", 50.0);
   const auto megabatches =
       static_cast<std::size_t>(args.get_int("megabatches", 6));
   const auto batch_max =
       static_cast<std::size_t>(args.get_int("batch-max", 128));
+  // b_min for Algorithm 1 (0 = b_max/8). A CPU replica 10-50x slower than
+  // the GPUs needs a deeper floor than the default 8x range to converge to
+  // its equal-update-count batch.
+  const auto batch_min =
+      static_cast<std::size_t>(args.get_int("batch-min", 0));
   const auto batches_per_megabatch =
       static_cast<std::size_t>(args.get_int("batches-per-megabatch", 40));
   const auto lr = args.get_double("lr", 0.5);
@@ -163,6 +183,7 @@ int run(int argc, char** argv) {
   cfg.hidden = hidden_layers.front();
   cfg.hidden_layers = hidden_layers;
   cfg.batch_max = batch_max;
+  cfg.batch_min = batch_min;
   cfg.batches_per_megabatch = batches_per_megabatch;
   cfg.num_megabatches = megabatches;
   cfg.learning_rate = lr;
@@ -258,8 +279,48 @@ int run(int argc, char** argv) {
       std::fprintf(stderr, "unknown --method %s\n", method_name.c_str());
       return 1;
     }
-    const auto devices = speeds.empty() ? sim::v100_heterogeneous(gpus, gap)
-                                        : sim::v100_custom(speeds);
+    const bool cluster = nodes > 1 || node_gpus > 0 || cpu_replicas > 0;
+    if (nodes == 0) {
+      std::fprintf(stderr, "--nodes must be at least 1\n");
+      return 1;
+    }
+    if (cluster && !speeds.empty()) {
+      std::fprintf(stderr,
+                   "--speeds describes a single server; it cannot be "
+                   "combined with --nodes/--node-gpus/--cpu-replica\n");
+      return 1;
+    }
+    std::size_t gpus_per_node = node_gpus;
+    if (cluster && gpus_per_node == 0) {
+      if (gpus % nodes != 0) {
+        std::fprintf(stderr,
+                     "--gpus %zu does not divide across --nodes %zu; pass "
+                     "--node-gpus explicitly\n",
+                     gpus, nodes);
+        return 1;
+      }
+      gpus_per_node = gpus / nodes;
+    }
+    if (cluster && gpus_per_node == 0 && cpu_replicas == 0) {
+      std::fprintf(stderr, "cluster has no devices\n");
+      return 1;
+    }
+    std::vector<sim::DeviceSpec> devices;
+    if (cluster) {
+      devices = sim::cluster_devices(nodes, gpus_per_node, cpu_replicas, gap,
+                                     /*jitter_sigma=*/0.03, cpu_slowdown);
+      cfg.num_nodes = nodes;
+      cfg.cpu_replicas = cpu_replicas;
+      cfg.net_bandwidth_gbs = net_gbs;
+      cfg.net_latency_us = net_latency_us;
+      std::printf(
+          "topology: %zu node(s) x %zu GPU(s) + %zu CPU replica(s), "
+          "net %.1f GB/s %.0fus\n",
+          nodes, gpus_per_node, cpu_replicas, net_gbs, net_latency_us);
+    } else {
+      devices = speeds.empty() ? sim::v100_heterogeneous(gpus, gap)
+                               : sim::v100_custom(speeds);
+    }
     auto trainer = core::make_trainer(method, dataset, cfg, devices);
 
     auto* adaptive = dynamic_cast<core::AdaptiveSgdTrainer*>(trainer.get());
@@ -311,6 +372,17 @@ int run(int argc, char** argv) {
       trainer->runtime().set_tracer(&tracer);
     }
     result = trainer->train();
+    if (adaptive != nullptr && cluster) {
+      // Where Algorithm 1 converged each device: the interesting readout of
+      // a heterogeneous cluster run (the CPU replica should sit far below
+      // the GPUs).
+      std::printf("final batch sizes:");
+      const auto& sgd = adaptive->sgd_state();
+      for (std::size_t g = 0; g < sgd.size() && g < devices.size(); ++g) {
+        std::printf(" %s=%zu", devices[g].name.c_str(), sgd[g].batch_size);
+      }
+      std::printf("\n");
+    }
   }
 
   std::printf("\n%-10s %10s %9s %8s %8s\n", "megabatch", "vtime(s)",
@@ -332,11 +404,12 @@ int run(int argc, char** argv) {
   std::printf("\n");
   if (result.faults.any()) {
     std::printf(
-        "faults: %zu events (%zu slowdowns, %zu stalls, %zu oom windows), "
-        "%zu crashes, %zu joins, %zu oom clamps, %zu degraded merges, "
-        "recovery %.4fs\n",
+        "faults: %zu events (%zu slowdowns, %zu stalls, %zu oom windows, "
+        "%zu node-level), %zu crashes, %zu joins, %zu oom clamps, "
+        "%zu degraded merges, recovery %.4fs\n",
         result.faults.events_injected, result.faults.slowdowns,
-        result.faults.stalls, result.faults.oom_events, result.faults.crashes,
+        result.faults.stalls, result.faults.oom_events,
+        result.faults.node_events, result.faults.crashes,
         result.faults.joins, result.faults.oom_clamps,
         result.faults.degraded_merges, result.faults.recovery_seconds);
   }

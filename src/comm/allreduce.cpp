@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
+#include "comm/collectives.h"
 #include "tensor/vec/vec.h"
 
 namespace hetero::comm {
@@ -121,6 +123,15 @@ AllReduceCost AllReducer::cost(std::size_t num_replicas,
 AllReduceCost AllReducer::cost(std::size_t num_replicas,
                                const WirePayload& wire,
                                double reduce_gbs) const {
+  const sim::Topology& topo = links_.topology();
+  if (!topo.single_node() || topo.cpu_replicas() > 0) {
+    // Non-trivial topology: name the first num_replicas ranks explicitly so
+    // hops are billed on the links they actually ride.
+    std::vector<std::size_t> ranks(
+        std::min(num_replicas, links_.num_devices()));
+    std::iota(ranks.begin(), ranks.end(), std::size_t{0});
+    return cost(ranks, wire, reduce_gbs);
+  }
   AllReduceCost out;
   out.payload_bytes = wire.payload_bytes;
   out.wire_bytes = wire.total();
@@ -198,6 +209,182 @@ AllReduceCost AllReducer::cost(std::size_t num_replicas,
       break;
     }
   }
+  return out;
+}
+
+namespace {
+
+// Slowest hop of the ring ranks[0] -> ranks[1] -> ... -> ranks[0]: ring
+// steps are synchronous, so every step is paced by its worst link.
+double worst_ring_hop_frac(const sim::LinkModel& links,
+                           std::span<const std::size_t> ranks, double bytes) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const int src = static_cast<int>(ranks[i]);
+    const int dst = static_cast<int>(ranks[(i + 1) % ranks.size()]);
+    worst = std::max(worst, links.transfer_seconds_frac(bytes, src, dst, 1));
+  }
+  return worst;
+}
+
+// Worst full-buffer transfer among participant pairs (tree rounds pair
+// arbitrary participants; the slowest pair paces a pipelined round).
+double worst_pair_xfer(const sim::LinkModel& links,
+                       std::span<const std::size_t> ranks,
+                       std::size_t bytes) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranks.size(); ++j) {
+      worst = std::max(worst,
+                       links.transfer_seconds(bytes, static_cast<int>(ranks[i]),
+                                              static_cast<int>(ranks[j]), 1));
+    }
+  }
+  return worst;
+}
+
+double worst_pair_latency(const sim::LinkModel& links,
+                          std::span<const std::size_t> ranks) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranks.size(); ++j) {
+      const auto& link = links.link_for(static_cast<int>(ranks[i]),
+                                        static_cast<int>(ranks[j]));
+      worst = std::max(worst, link.latency_us * 1e-6);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+AllReduceCost AllReducer::single_level_cost(std::span<const std::size_t> ranks,
+                                            const WirePayload& wire,
+                                            double reduce_gbs) const {
+  AllReduceCost out;
+  out.payload_bytes = wire.payload_bytes;
+  out.wire_bytes = wire.total();
+  const std::size_t n = ranks.size();
+  if (n <= 1) return out;
+  const double bytes = wire.total();
+  const auto buffer_bytes = static_cast<std::size_t>(bytes);
+  const auto reduce_seconds = [&](double b) {
+    return 3.0 * b / (reduce_gbs * 1e9);
+  };
+  constexpr double kReduceLaunchSeconds = 15e-6;
+  // On an all-peer node this equals the peer latency — the scalar-overload
+  // arithmetic exactly; a CPU replica in the group drags rounds to the
+  // host-link latency.
+  const double step_latency = worst_pair_latency(links_, ranks);
+
+  switch (algo_) {
+    case AllReduceAlgo::kCentral: {
+      const double up =
+          links_.transfer_seconds(buffer_bytes, static_cast<int>(ranks[0]),
+                                  sim::LinkModel::kHost, n);
+      const double down = links_.transfer_seconds(
+          buffer_bytes, sim::LinkModel::kHost, static_cast<int>(ranks[0]), n);
+      const double host_reduce =
+          reduce_seconds(bytes) * static_cast<double>(n - 1);
+      out.seconds = up + host_reduce + down;
+      out.bytes_moved = 2.0 * bytes * static_cast<double>(n);
+      out.steps = 2;
+      break;
+    }
+    case AllReduceAlgo::kTreeSingleStream: {
+      const auto rounds = static_cast<std::size_t>(
+          std::ceil(std::log2(static_cast<double>(n))));
+      const double xfer = worst_pair_xfer(links_, ranks, buffer_bytes);
+      out.seconds = 2.0 * xfer + reduce_seconds(bytes) +
+                    static_cast<double>(2 * rounds - 2) * step_latency;
+      out.bytes_moved = 2.0 * bytes * static_cast<double>(n - 1);
+      out.steps = 2 * rounds;
+      break;
+    }
+    case AllReduceAlgo::kRingMultiStream: {
+      const std::size_t p = num_streams_;
+      const double chunk = bytes / static_cast<double>(p) /
+                           static_cast<double>(n);
+      const double xfer = worst_ring_hop_frac(links_, ranks, chunk);
+      const double red = reduce_seconds(chunk);
+      const double rs_step = (p > 1 ? std::max(xfer, red) : xfer + red) +
+                             kReduceLaunchSeconds;
+      const double ag_step = xfer + kReduceLaunchSeconds;
+      out.seconds = static_cast<double>(n - 1) * (rs_step + ag_step);
+      out.bytes_moved = 2.0 * bytes * static_cast<double>(n - 1);
+      out.steps = 2 * (n - 1);
+      break;
+    }
+  }
+  return out;
+}
+
+AllReduceCost AllReducer::cost(std::span<const std::size_t> ranks,
+                               const WirePayload& wire,
+                               double reduce_gbs) const {
+  const sim::Topology& topo = links_.topology();
+  const std::vector<std::size_t> rank_vec(ranks.begin(), ranks.end());
+  const auto groups = topo.group_by_node(rank_vec);
+  if (groups.size() <= 1) return single_level_cost(ranks, wire, reduce_gbs);
+
+  // Two-level merge: (1) the configured algorithm within each node — nodes
+  // run concurrently, the slowest paces the phase; (2) a chunked ring over
+  // one leader rank per node, riding the network links (the fbcollective
+  // allreduce_ring_chunked shape: reduce-scatter + all-gather on
+  // bytes/(streams*nodes) chunks); (3) leaders broadcast the merged model
+  // within their node. The merged values are the flat weighted sum either
+  // way — hierarchy only changes where the bytes travel.
+  AllReduceCost out;
+  out.payload_bytes = wire.payload_bytes;
+  out.wire_bytes = wire.total();
+  const double bytes = wire.total();
+  const auto reduce_secs = [&](double b) {
+    return 3.0 * b / (reduce_gbs * 1e9);
+  };
+  constexpr double kReduceLaunchSeconds = 15e-6;
+
+  double intra_seconds = 0.0;
+  std::size_t intra_steps = 0;
+  std::size_t largest_group = 1;
+  for (const auto& g : groups) {
+    largest_group = std::max(largest_group, g.size());
+    if (g.size() <= 1) continue;
+    const AllReduceCost c = single_level_cost(g, wire, reduce_gbs);
+    intra_seconds = std::max(intra_seconds, c.seconds);
+    intra_steps = std::max(intra_steps, c.steps);
+    out.bytes_moved += c.bytes_moved;
+  }
+
+  std::vector<std::size_t> leaders;
+  leaders.reserve(groups.size());
+  for (const auto& g : groups) leaders.push_back(g.front());
+  const std::size_t nodes = leaders.size();
+  const double chunk = bytes / static_cast<double>(num_streams_) /
+                       static_cast<double>(nodes);
+  const double hop = worst_ring_hop_frac(links_, leaders, chunk);
+  const double red = reduce_secs(chunk);
+  const double rs_step =
+      (num_streams_ > 1 ? std::max(hop, red) : hop + red) +
+      kReduceLaunchSeconds;
+  const double ag_step = hop + kReduceLaunchSeconds;
+  const double inter_seconds =
+      static_cast<double>(nodes - 1) * (rs_step + ag_step);
+  out.bytes_moved += 2.0 * bytes * static_cast<double>(nodes - 1);
+
+  double bcast_seconds = 0.0;
+  for (const auto& g : groups) {
+    if (g.size() <= 1) continue;
+    CollectiveParams p;
+    p.bytes = static_cast<std::size_t>(bytes);
+    p.ranks = g;
+    bcast_seconds = std::max(bcast_seconds, broadcast_seconds(links_, p));
+    out.bytes_moved += bytes * static_cast<double>(g.size() - 1);
+  }
+
+  out.seconds = intra_seconds + inter_seconds + bcast_seconds;
+  out.steps = intra_steps + 2 * (nodes - 1) +
+              static_cast<std::size_t>(std::ceil(
+                  std::log2(static_cast<double>(largest_group))));
   return out;
 }
 

@@ -124,10 +124,28 @@ class AllReducer {
   AllReduceCost cost(std::size_t num_replicas, const WirePayload& wire,
                      double reduce_gbs = 300.0) const;
 
+  /// Topology-aware cost for the named participant ranks. When every rank
+  /// lives on one node this is the flat single-level collective over the
+  /// ranks' actual links (bit-identical to the scalar overload on an
+  /// all-peer single-node topology). When ranks span nodes the merge is
+  /// two-level: the configured algorithm within each node (over peer/host
+  /// links, slowest node paces the phase), a chunked inter-node ring over
+  /// one leader rank per node (network links), then an intra-node broadcast
+  /// of the result. The merged *values* are identical either way — only the
+  /// virtual-time cost reflects the hierarchy.
+  AllReduceCost cost(std::span<const std::size_t> ranks,
+                     const WirePayload& wire,
+                     double reduce_gbs = 300.0) const;
+
   AllReduceAlgo algo() const { return algo_; }
   std::size_t num_streams() const { return num_streams_; }
 
  private:
+  /// Flat (single-level) collective over the given ranks' actual links.
+  AllReduceCost single_level_cost(std::span<const std::size_t> ranks,
+                                  const WirePayload& wire,
+                                  double reduce_gbs) const;
+
   AllReduceAlgo algo_;
   sim::LinkModel links_;
   std::size_t num_streams_;

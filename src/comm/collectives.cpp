@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace hetero::comm {
 
@@ -11,60 +12,100 @@ constexpr double kReduceLaunchSeconds = 15e-6;
 double reduce_seconds(double bytes, double reduce_gbs) {
   return 3.0 * bytes / (reduce_gbs * 1e9);
 }
+
+std::vector<std::size_t> effective_ranks(const CollectiveParams& p) {
+  if (!p.ranks.empty()) return p.ranks;
+  std::vector<std::size_t> r(p.num_devices);
+  std::iota(r.begin(), r.end(), std::size_t{0});
+  return r;
+}
+
+// Slowest hop of the ring ranks[0] -> ranks[1] -> ... -> ranks[0]. Ring
+// steps are synchronous, so every step is paced by its worst link.
+double worst_ring_hop_frac(const sim::LinkModel& links,
+                           const std::vector<std::size_t>& ranks,
+                           double bytes) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const int src = static_cast<int>(ranks[i]);
+    const int dst = static_cast<int>(ranks[(i + 1) % ranks.size()]);
+    worst = std::max(worst, links.transfer_seconds_frac(bytes, src, dst, 1));
+  }
+  return worst;
+}
 }  // namespace
 
 double broadcast_seconds(const sim::LinkModel& links,
                          const CollectiveParams& p) {
-  if (p.num_devices <= 1) return 0.0;
+  const std::vector<std::size_t> ranks = effective_ranks(p);
+  const std::size_t n = ranks.size();
+  if (n <= 1) return 0.0;
   const auto rounds = static_cast<std::size_t>(
-      std::ceil(std::log2(static_cast<double>(p.num_devices))));
-  // Pipelined: the buffer crosses one link once, later rounds only add hop
-  // latency (transfers in one round use distinct links).
-  return links.transfer_seconds(p.bytes, 0, 1, 1) +
-         static_cast<double>(rounds - 1) * links.peer().latency_us * 1e-6;
+      std::ceil(std::log2(static_cast<double>(n))));
+  // Pipelined: the buffer crosses the first hop once; each later round only
+  // adds the latency of its slowest hop (transfers in one round use
+  // distinct links). Round k pairs sender i with receiver i + 2^k.
+  double seconds = links.transfer_seconds(
+      p.bytes, static_cast<int>(ranks[0]), static_cast<int>(ranks[1]), 1);
+  for (std::size_t k = 1; k < rounds; ++k) {
+    const std::size_t stride = std::size_t{1} << k;
+    double round_latency = 0.0;
+    for (std::size_t i = 0; i < stride && i + stride < n; ++i) {
+      const auto& link = links.link_for(static_cast<int>(ranks[i]),
+                                        static_cast<int>(ranks[i + stride]));
+      round_latency = std::max(round_latency, link.latency_us * 1e-6);
+    }
+    seconds += round_latency;
+  }
+  return seconds;
 }
 
 double reduce_scatter_seconds(const sim::LinkModel& links,
                               const CollectiveParams& p) {
-  if (p.num_devices <= 1) return 0.0;
+  const std::vector<std::size_t> ranks = effective_ranks(p);
+  const std::size_t n = ranks.size();
+  if (n <= 1) return 0.0;
   const std::size_t streams = std::max<std::size_t>(1, p.num_streams);
   const double chunk = static_cast<double>(p.bytes) /
                        static_cast<double>(streams) /
-                       static_cast<double>(p.num_devices);
+                       static_cast<double>(n);
   // Fractional chunk: truncating to whole bytes underbills small buffers at
   // high stream counts (a sub-byte chunk would be charged latency only).
-  const double xfer = links.transfer_seconds_frac(chunk, 0, 1, 1);
+  const double xfer = worst_ring_hop_frac(links, ranks, chunk);
   const double red = reduce_seconds(chunk, p.reduce_gbs);
   const double per_step =
       (streams > 1 ? std::max(xfer, red) : xfer + red) + kReduceLaunchSeconds;
-  return static_cast<double>(p.num_devices - 1) * per_step;
+  return static_cast<double>(n - 1) * per_step;
 }
 
 double all_gather_seconds(const sim::LinkModel& links,
                           const CollectiveParams& p) {
-  if (p.num_devices <= 1) return 0.0;
+  const std::vector<std::size_t> ranks = effective_ranks(p);
+  const std::size_t n = ranks.size();
+  if (n <= 1) return 0.0;
   const std::size_t streams = std::max<std::size_t>(1, p.num_streams);
   const double chunk = static_cast<double>(p.bytes) /
                        static_cast<double>(streams) /
-                       static_cast<double>(p.num_devices);
-  const double xfer = links.transfer_seconds_frac(chunk, 0, 1, 1);
+                       static_cast<double>(n);
+  const double xfer = worst_ring_hop_frac(links, ranks, chunk);
   // No reduction, but every step still launches a copy kernel.
-  return static_cast<double>(p.num_devices - 1) *
-         (xfer + kReduceLaunchSeconds);
+  return static_cast<double>(n - 1) * (xfer + kReduceLaunchSeconds);
 }
 
 double host_gather_seconds(const sim::LinkModel& links,
                            const CollectiveParams& p) {
-  if (p.num_devices == 0) return 0.0;
-  return links.transfer_seconds(p.bytes, 0, sim::LinkModel::kHost,
-                                p.num_devices);
+  const std::vector<std::size_t> ranks = effective_ranks(p);
+  if (ranks.empty()) return 0.0;
+  return links.transfer_seconds(p.bytes, static_cast<int>(ranks[0]),
+                                sim::LinkModel::kHost, ranks.size());
 }
 
 double host_broadcast_seconds(const sim::LinkModel& links,
                               const CollectiveParams& p) {
-  if (p.num_devices == 0) return 0.0;
-  return links.transfer_seconds(p.bytes, sim::LinkModel::kHost, 0,
-                                p.num_devices);
+  const std::vector<std::size_t> ranks = effective_ranks(p);
+  if (ranks.empty()) return 0.0;
+  return links.transfer_seconds(p.bytes, sim::LinkModel::kHost,
+                                static_cast<int>(ranks[0]), ranks.size());
 }
 
 }  // namespace hetero::comm

@@ -4,11 +4,16 @@
 // a tree all-reduce is reduce + broadcast, and the central scheme is
 // gather + broadcast over the host link.
 //
-// All functions return virtual seconds for `n` devices moving a buffer of
-// `bytes`, on the given link model.
+// All functions return virtual seconds for the participating devices moving
+// a buffer of `bytes` on the given link model. Participants are named by
+// `ranks`; an empty `ranks` means devices 0..num_devices-1 (the original
+// single-server behaviour). Costs are routed through the actual src/dst
+// ranks, so a hop that crosses nodes (or touches a CPU replica) is charged
+// at that link's bandwidth/latency, not a hard-coded peer pair.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "sim/link_model.h"
 
@@ -19,15 +24,20 @@ struct CollectiveParams {
   std::size_t bytes = 0;
   std::size_t num_streams = 1;
   double reduce_gbs = 300.0;  // on-device reduction throughput
+  /// Participating device ranks. Empty = iota(num_devices). When set, the
+  /// participant count is ranks.size() and every hop is billed on the link
+  /// the (src, dst) pair actually rides.
+  std::vector<std::size_t> ranks;
 };
 
-/// One-to-all broadcast over peer links, binomial tree: ceil(log2 n) rounds
-/// each forwarding the full buffer.
+/// One-to-all broadcast, binomial tree: ceil(log2 n) rounds each forwarding
+/// the full buffer (pipelined: later rounds add hop latency only).
 double broadcast_seconds(const sim::LinkModel& links,
                          const CollectiveParams& p);
 
 /// Ring reduce-scatter: after (n-1) steps every device holds the reduced
 /// 1/n-th shard. Multi-stream partitions overlap transfer and reduction.
+/// Each step is paced by the slowest hop of the ring.
 double reduce_scatter_seconds(const sim::LinkModel& links,
                               const CollectiveParams& p);
 

@@ -117,6 +117,26 @@ struct TrainerConfig {
   /// the central average and central-average correction rate).
   double crossbow_eta = 0.1;
 
+  // --- topology -------------------------------------------------------------
+  /// Simulated server nodes. The device list is laid out node-major (GPUs
+  /// split evenly across nodes, CPU replicas at the tail) and the merge
+  /// becomes two-level past one node: the configured all-reduce within each
+  /// node over peer links, then a chunked ring over one leader per node on
+  /// the network link. 1 = the original single server (bit-identical cost
+  /// and model).
+  std::size_t num_nodes = 1;
+
+  /// CPU compute replicas appended after the GPUs in the device list
+  /// (round-robined across nodes). They train like any other replica — the
+  /// adaptive batch scaler absorbs their 10-50x slowdown — and their merge
+  /// traffic rides the host (PCIe) link instead of the peer fabric.
+  std::size_t cpu_replicas = 0;
+
+  /// Inter-node network link (Ethernet/IB-class; default 100 Gb
+  /// InfiniBand: 12.5 GB/s, 50 us). Unused at num_nodes == 1.
+  double net_bandwidth_gbs = 12.5;
+  double net_latency_us = 50.0;
+
   // --- communication -------------------------------------------------------
   comm::AllReduceAlgo allreduce = comm::AllReduceAlgo::kRingMultiStream;
   std::size_t allreduce_streams = 0;    // 0 = number of GPUs (paper optimum)

@@ -36,6 +36,7 @@ struct FaultStats {
   std::size_t joins = 0;            // replicas re-admitted to the group
   std::size_t oom_clamps = 0;       // batches re-clamped after simulated OOM
   std::size_t degraded_merges = 0;  // merges run with a shrunken group
+  std::size_t node_events = 0;      // node-level plan events armed (expanded)
   double recovery_seconds = 0.0;    // summed crash -> rejoin outage time
 
   bool any() const {
@@ -55,7 +56,9 @@ struct GpuTrace {
 struct TrainResult {
   std::string method;
   std::string dataset;
-  std::size_t num_gpus = 0;
+  std::size_t num_gpus = 0;   // total replicas (GPUs + CPU replicas)
+  std::size_t num_nodes = 1;  // server nodes the replicas span
+  std::size_t cpu_replicas = 0;
 
   std::vector<CurvePoint> curve;
   std::vector<GpuTrace> gpus;

@@ -12,12 +12,30 @@
 
 namespace hetero::core {
 
+namespace {
+
+// Topology the runtime's device list implies: the last cfg.cpu_replicas
+// entries are CPU compute replicas, the GPUs in front split node-major
+// across cfg.num_nodes servers. At one node with no CPU replicas the link
+// model degenerates to the original default_links() bit-for-bit.
+sim::LinkModel build_links(const TrainerConfig& cfg,
+                           std::size_t num_devices) {
+  const std::size_t nodes = std::max<std::size_t>(1, cfg.num_nodes);
+  const std::size_t cpus = std::min(cfg.cpu_replicas, num_devices);
+  const auto topo =
+      sim::Topology::partitioned(nodes, num_devices - cpus, cpus);
+  return sim::cluster_links(topo, cfg.net_bandwidth_gbs,
+                            cfg.net_latency_us);
+}
+
+}  // namespace
+
 MultiGpuRuntime::MultiGpuRuntime(const data::XmlDataset& dataset,
                                  const TrainerConfig& cfg,
                                  std::vector<sim::DeviceSpec> devices)
     : dataset_(dataset),
       cfg_(cfg),
-      links_(sim::default_links(devices.size())),
+      links_(build_links(cfg, devices.size())),
       stream_(dataset.train.num_samples(), cfg.seed ^ 0xa5a5a5a5ULL) {
   assert(!devices.empty());
   const std::size_t num_features = dataset.train.features.cols();
@@ -791,7 +809,11 @@ MultiGpuRuntime::MergeTiming MultiGpuRuntime::merge_and_update(
     wire.payload_bytes +=
         static_cast<double>(virtual_payload_bytes(moment_params));
   }
-  const auto cost = reducer_->cost(n, wire);
+  // Bill the collective over the surviving ranks' actual topology: on one
+  // node this is the flat collective (bit-identical to the scalar query);
+  // across nodes it is the two-level intra-ring + chunked inter-node ring.
+  const auto cost = reducer_->cost(std::span<const std::size_t>(alive_idx),
+                                   wire);
   timing.allreduce_seconds = cost.seconds;
   timing.payload_bytes = cost.payload_bytes;
   timing.wire_bytes = cost.wire_bytes;

@@ -55,6 +55,8 @@ TrainResult Trainer::train() {
   result.method = method_name();
   result.dataset = runtime_.dataset().name;
   result.num_gpus = runtime_.num_gpus();
+  result.num_nodes = std::max<std::size_t>(1, cfg_.num_nodes);
+  result.cpu_replicas = cfg_.cpu_replicas;
   result.gpus.resize(runtime_.num_gpus());
 
   on_start(result);

@@ -1,5 +1,6 @@
 #include "fault/fault_injector.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -9,11 +10,18 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
 
 void FaultInjector::arm(core::MultiGpuRuntime& runtime,
                         double applied_until) const {
-  plan_.validate(runtime.num_gpus());
+  const sim::Topology& topo = runtime.links().topology();
+  plan_.validate(topo);
   constexpr double kInf = std::numeric_limits<double>::infinity();
   auto& stats = runtime.fault_stats();
+  stats.node_events += static_cast<std::size_t>(
+      std::count_if(plan_.events.begin(), plan_.events.end(),
+                    [](const FaultEvent& ev) { return ev.node_target; }));
 
-  for (const auto& ev : plan_.events) {
+  // Node events (including partitions) arm as their per-replica expansion:
+  // membership flips ride the existing crash/join merge-boundary schedule.
+  const FaultPlan expanded = plan_.expand(topo);
+  for (const auto& ev : expanded.events) {
     auto& gpu = runtime.gpu(ev.device);
     switch (ev.kind) {
       case FaultKind::kSlowdown:
@@ -44,6 +52,8 @@ void FaultInjector::arm(core::MultiGpuRuntime& runtime,
         if (ev.time <= applied_until) break;
         runtime.schedule_join(ev.device, ev.time);
         break;
+      case FaultKind::kPartition:
+        break;  // expand() rewrote partitions into crash+join pairs
     }
     stats.events_injected += 1;
   }

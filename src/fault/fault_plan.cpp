@@ -22,6 +22,7 @@ FaultKind parse_kind(const std::string& word, const std::string& token) {
   if (word == "crash") return FaultKind::kCrash;
   if (word == "join") return FaultKind::kJoin;
   if (word == "oom") return FaultKind::kOom;
+  if (word == "partition") return FaultKind::kPartition;
   bad_spec("unknown kind \"" + word + "\"", token);
 }
 
@@ -43,14 +44,21 @@ FaultEvent parse_event(const std::string& token) {
   ev.kind = parse_kind(token.substr(0, at), token);
 
   const std::string target = token.substr(colon + 1);
-  if (target.rfind("gpu", 0) != 0 || target.size() == 3) {
-    bad_spec("expected target gpuN", token);
+  std::size_t prefix_len = 0;
+  if (target.rfind("gpu", 0) == 0) {
+    prefix_len = 3;
+  } else if (target.rfind("node", 0) == 0) {
+    prefix_len = 4;
+    ev.node_target = true;
+  }
+  if (prefix_len == 0 || target.size() == prefix_len) {
+    bad_spec("expected target gpuN or nodeN", token);
   }
   // Strict integer parse: "gpu1.5", "gpu-1", and values past 2^53 (where a
   // double->size_t round-trip would be lossy or UB) are all rejected.
   try {
     ev.device = static_cast<std::size_t>(util::parse_u64_strict(
-        target.substr(3), "fault-plan", ParseError::npos,
+        target.substr(prefix_len), "fault-plan", ParseError::npos,
         std::numeric_limits<std::size_t>::max()));
   } catch (const ParseError&) {
     bad_spec("bad device \"" + target + "\"", token);
@@ -95,6 +103,8 @@ std::string to_string(FaultKind kind) {
       return "join";
     case FaultKind::kOom:
       return "oom";
+    case FaultKind::kPartition:
+      return "partition";
   }
   return "?";
 }
@@ -187,17 +197,25 @@ std::string FaultPlan::to_string() const {
         (ev.kind == FaultKind::kOom && ev.mem_bytes == 0)) {
       out << 'x' << ev.factor;
     }
-    out << ":gpu" << ev.device;
+    out << (ev.node_target ? ":node" : ":gpu") << ev.device;
   }
   return out.str();
 }
 
 void FaultPlan::validate(std::size_t num_devices) const {
-  std::vector<char> alive(num_devices, 1);
+  validate(sim::Topology::flat(num_devices));
+}
+
+void FaultPlan::validate(const sim::Topology& topo) const {
+  // Structural checks on the raw events: target ranges, windows, factors.
   double prev_time = -1.0;
   for (const auto& ev : events) {
     const std::string token = fault::to_string(ev.kind) + " event";
-    if (ev.device >= num_devices) {
+    if (ev.node_target) {
+      if (ev.device >= topo.num_nodes) {
+        bad_spec("node index out of range", token);
+      }
+    } else if (ev.device >= topo.num_replicas()) {
       bad_spec("device index out of range", token);
     }
     if (!(ev.time >= 0.0)) bad_spec("negative or NaN time", token);
@@ -218,19 +236,77 @@ void FaultPlan::validate(std::size_t num_devices) const {
           bad_spec("oom factor must be in (0,1)", token);
         }
         break;
+      case FaultKind::kPartition:
+        if (!ev.node_target) bad_spec("partition targets a node", token);
+        if (!(ev.duration > 0.0)) bad_spec("partition needs +duration", token);
+        break;
       case FaultKind::kCrash:
-        if (!alive[ev.device]) bad_spec("crash of already-dead device", token);
-        alive[ev.device] = 0;
-        break;
       case FaultKind::kJoin:
-        if (alive[ev.device]) bad_spec("join of alive device", token);
-        alive[ev.device] = 1;
-        break;
+        break;  // membership replay below, on the expanded plan
+    }
+  }
+
+  // Membership replay on the device-level expansion: a whole-node crash
+  // kills every replica the node owns, so a later per-device crash on one
+  // of them (or a join of a replica the partition already healed) is caught
+  // the same way single-device misuse always was.
+  const FaultPlan expanded = expand(topo);
+  std::vector<char> alive(topo.num_replicas(), 1);
+  for (const auto& ev : expanded.events) {
+    const std::string token = fault::to_string(ev.kind) + " event";
+    if (ev.kind == FaultKind::kCrash) {
+      if (!alive[ev.device]) bad_spec("crash of already-dead device", token);
+      alive[ev.device] = 0;
+    } else if (ev.kind == FaultKind::kJoin) {
+      if (alive[ev.device]) bad_spec("join of alive device", token);
+      alive[ev.device] = 1;
     }
   }
   if (std::none_of(alive.begin(), alive.end(), [](char a) { return a != 0; })) {
     bad_spec("plan leaves no device alive", "plan");
   }
+}
+
+FaultPlan FaultPlan::expand(const sim::Topology& topo) const {
+  FaultPlan out;
+  auto push_outage = [&out](FaultEvent dev, double heal_time) {
+    dev.kind = FaultKind::kCrash;
+    dev.duration = 0.0;
+    out.events.push_back(dev);
+    dev.kind = FaultKind::kJoin;
+    dev.time = heal_time;
+    out.events.push_back(dev);
+  };
+  for (const auto& ev : events) {
+    if (!ev.node_target) {
+      if (ev.kind == FaultKind::kPartition) {
+        // validate() rejects device-level partitions; expand one
+        // defensively as a single-replica outage.
+        FaultEvent dev = ev;
+        push_outage(dev, ev.time + ev.duration);
+      } else {
+        out.events.push_back(ev);
+      }
+      continue;
+    }
+    for (std::size_t r = 0; r < topo.num_replicas(); ++r) {
+      if (topo.node_of[r] != static_cast<int>(ev.device)) continue;
+      FaultEvent dev = ev;
+      dev.node_target = false;
+      dev.device = r;
+      if (ev.kind == FaultKind::kPartition) {
+        push_outage(dev, ev.time + ev.duration);
+      } else {
+        out.events.push_back(dev);
+      }
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.device < b.device;
+                   });
+  return out;
 }
 
 }  // namespace hetero::fault

@@ -7,14 +7,20 @@
 // runtime by fault::FaultInjector.
 //
 // Spec grammar (semicolon-separated events):
-//   kind@time[+duration][xfactor]:gpuN
-//     kind     slow | stall | crash | join | oom
+//   kind@time[+duration][xfactor]:gpuN | kind@time[+duration][xfactor]:nodeN
+//     kind     slow | stall | crash | join | oom | partition
 //     time     virtual seconds of the event start
-//     duration window length (slow/stall/oom); omitted => open-ended for
-//              oom, instantaneous kinds (crash/join) never take one
+//     duration window length (slow/stall/oom: device window; partition:
+//              outage length before the node heals); omitted => open-ended
+//              for oom, instantaneous kinds (crash/join) never take one
 //     factor   slow: throughput multiplier in (0,1]; oom: fraction of
 //              device memory left usable in (0,1)
-//   e.g. "slow@0.5+1.0x0.4:gpu0;crash@2.5:gpu1;join@4.0:gpu1"
+//   A nodeN target applies the event to every replica the topology places
+//   on that node (whole-node crash/rejoin flips the full node's membership
+//   at the next merge boundary). `partition` is node-level only: the node
+//   drops out of the merge group at `time` and rejoins at `time+duration`,
+//   under the same survivor-renormalization contract as per-device crashes.
+//   e.g. "slow@0.5+1.0x0.4:gpu0;crash@2.5:node1;partition@4.0+1.5:node0"
 #pragma once
 
 #include <cstddef>
@@ -22,14 +28,17 @@
 #include <string>
 #include <vector>
 
+#include "sim/topology.h"
+
 namespace hetero::fault {
 
 enum class FaultKind {
-  kSlowdown,  // transient throughput degradation window
-  kStall,     // device unavailable window
-  kCrash,     // replica permanently lost (until a later join)
-  kJoin,      // replica (re-)enters at the next merge boundary
-  kOom,       // memory-cap window forcing simulated OOM pressure
+  kSlowdown,   // transient throughput degradation window
+  kStall,      // device unavailable window
+  kCrash,      // replica permanently lost (until a later join)
+  kJoin,       // replica (re-)enters at the next merge boundary
+  kOom,        // memory-cap window forcing simulated OOM pressure
+  kPartition,  // node-level: network partition for +duration, then heal
 };
 
 std::string to_string(FaultKind kind);
@@ -46,6 +55,9 @@ struct FaultEvent {
   double factor = 1.0;
   /// Oom only: absolute usable-memory cap in bytes (overrides factor).
   std::size_t mem_bytes = 0;
+  /// When true, `device` names a node index and the event applies to every
+  /// replica the topology places on that node.
+  bool node_target = false;
 };
 
 /// Knobs for FaultPlan::random.
@@ -80,8 +92,23 @@ struct FaultPlan {
 
   /// Checks device indices, window parameters, and crash/join ordering by
   /// replaying per-device alive state (crash-on-dead or join-on-alive is
-  /// invalid). Throws hetero::ParseError.
+  /// invalid). Throws hetero::ParseError. Node-level events are validated
+  /// against a single-node topology holding all `num_devices` replicas.
   void validate(std::size_t num_devices) const;
+
+  /// Topology-aware validation: node indices are range-checked against
+  /// `topo.num_nodes` and node events are expanded before the alive-state
+  /// replay (a whole-node crash kills every replica the node owns, so a
+  /// later per-device crash on one of them is invalid). Throws
+  /// hetero::ParseError.
+  void validate(const sim::Topology& topo) const;
+
+  /// Device-level plan with every node event expanded over the topology:
+  /// slow/stall/oom fan out to one window per owned replica, crash/join
+  /// flip every owned replica, and partition becomes crash@time +
+  /// join@time+duration per replica. The result contains no node_target
+  /// events and is sorted by (time, device).
+  FaultPlan expand(const sim::Topology& topo) const;
 };
 
 }  // namespace hetero::fault

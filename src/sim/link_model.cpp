@@ -1,11 +1,31 @@
 #include "sim/link_model.h"
 
 #include <cassert>
+#include <utility>
 
 namespace hetero::sim {
 
 LinkModel::LinkModel(std::size_t num_devices, LinkSpec peer, LinkSpec host)
-    : num_devices_(num_devices), peer_(peer), host_(host) {}
+    : topology_(Topology::flat(num_devices)),
+      peer_(peer),
+      host_(host),
+      net_(peer) {}
+
+LinkModel::LinkModel(Topology topology, LinkSpec peer, LinkSpec host,
+                     LinkSpec net)
+    : topology_(std::move(topology)), peer_(peer), host_(host), net_(net) {}
+
+const LinkSpec& LinkModel::link_for(int src, int dst) const {
+  if (src == kHost || dst == kHost) return host_;
+  const auto s = static_cast<std::size_t>(src);
+  const auto d = static_cast<std::size_t>(dst);
+  assert(s < topology_.num_replicas() && d < topology_.num_replicas());
+  if (!topology_.same_node(src, dst)) return net_;
+  // CPU compute replicas have no peer fabric: same-node traffic to or from
+  // one crosses the host interconnect.
+  if (topology_.is_cpu[s] || topology_.is_cpu[d]) return host_;
+  return peer_;
+}
 
 double LinkModel::transfer_seconds(std::size_t bytes, int src, int dst,
                                    std::size_t concurrent) const {
@@ -15,11 +35,17 @@ double LinkModel::transfer_seconds(std::size_t bytes, int src, int dst,
 
 double LinkModel::transfer_seconds_frac(double bytes, int src, int dst,
                                         std::size_t concurrent) const {
-  assert(src == kHost || static_cast<std::size_t>(src) < num_devices_);
-  assert(dst == kHost || static_cast<std::size_t>(dst) < num_devices_);
+  assert(src == kHost ||
+         static_cast<std::size_t>(src) < topology_.num_replicas());
+  assert(dst == kHost ||
+         static_cast<std::size_t>(dst) < topology_.num_replicas());
+  // A self-transfer never crosses a link: no latency, no bytes on the wire.
+  if (src == dst) return 0.0;
+  // concurrent == 0 is a caller bug (division by zero would silently yield
+  // +inf bandwidth → zero transfer time); assert in debug, clamp in release.
   assert(concurrent >= 1);
-  const bool host_side = (src == kHost) || (dst == kHost);
-  const LinkSpec& link = host_side ? host_ : peer_;
+  if (concurrent == 0) concurrent = 1;
+  const LinkSpec& link = link_for(src, dst);
   const double bandwidth =
       link.bandwidth_gbs * 1e9 / static_cast<double>(concurrent);
   return link.latency_us * 1e-6 + bytes / bandwidth;

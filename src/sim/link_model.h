@@ -1,15 +1,19 @@
-// Interconnect model for the single-server multi-GPU topology.
+// Interconnect model for single-server and multi-node topologies.
 //
-// Transfers are charged latency + bytes/bandwidth. GPU<->GPU (peer-to-peer)
-// and CPU<->GPU (host) links have separate specs; the default profile is
-// PCIe 3.0 x16-class for host and NVLink-class for peers, matching a V100
-// server. Stream-level concurrency is handled by the callers (all-reduce
-// partitions ride separate streams); the link model optionally divides
-// bandwidth among concurrent transfers on the same link.
+// Transfers are charged latency + bytes/bandwidth. Three link classes are
+// distinguished: GPU<->GPU peer links within a node (NVLink-class),
+// CPU<->GPU host links (PCIe-class — also used by CPU compute replicas,
+// which have no peer fabric), and the inter-node network (Ethernet/IB-class).
+// The default profile is PCIe 3.0 x16 for host and NVLink for peers,
+// matching a V100 server. Stream-level concurrency is handled by the
+// callers (all-reduce partitions ride separate streams); the link model
+// optionally divides bandwidth among concurrent transfers on the same link.
 #pragma once
 
 #include <cstddef>
 #include <vector>
+
+#include "sim/topology.h"
 
 namespace hetero::sim {
 
@@ -20,11 +24,18 @@ struct LinkSpec {
 
 class LinkModel {
  public:
+  /// Single-server model: every device pair rides the peer link.
   LinkModel(std::size_t num_devices, LinkSpec peer, LinkSpec host);
+
+  /// Topology-aware model: same-node GPU pairs ride `peer`, pairs that
+  /// involve a CPU replica (or kHost) ride `host`, and cross-node pairs
+  /// ride `net`.
+  LinkModel(Topology topology, LinkSpec peer, LinkSpec host, LinkSpec net);
 
   /// Seconds to move `bytes` from device `src` to device `dst`
   /// (device index, or kHost for the CPU side). `concurrent` transfers
-  /// share the link bandwidth equally.
+  /// share the link bandwidth equally. Self-transfers (`src == dst`) are
+  /// free — nothing crosses a link.
   double transfer_seconds(std::size_t bytes, int src, int dst,
                           std::size_t concurrent = 1) const;
 
@@ -35,16 +46,22 @@ class LinkModel {
   double transfer_seconds_frac(double bytes, int src, int dst,
                                std::size_t concurrent = 1) const;
 
-  std::size_t num_devices() const { return num_devices_; }
+  /// The link class a (src, dst) pair rides.
+  const LinkSpec& link_for(int src, int dst) const;
+
+  std::size_t num_devices() const { return topology_.num_replicas(); }
   const LinkSpec& peer() const { return peer_; }
   const LinkSpec& host() const { return host_; }
+  const LinkSpec& net() const { return net_; }
+  const Topology& topology() const { return topology_; }
 
   static constexpr int kHost = -1;
 
  private:
-  std::size_t num_devices_;
+  Topology topology_;
   LinkSpec peer_;
   LinkSpec host_;
+  LinkSpec net_;
 };
 
 }  // namespace hetero::sim

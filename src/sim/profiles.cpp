@@ -46,6 +46,45 @@ std::vector<DeviceSpec> v100_custom(const std::vector<double>& speed_factors,
   return specs;
 }
 
+DeviceSpec cpu_replica_spec(double slowdown, std::size_t index,
+                            double jitter_sigma) {
+  assert(slowdown >= 1.0);
+  DeviceSpec s;
+  s.name = "CPU-replica#" + std::to_string(index);
+  s.speed_factor = 1.0 / slowdown;
+  // Thread-pool dispatch, not a CUDA launch; and no shared CUDA context to
+  // contend on.
+  s.launch_overhead_us = 2.0;
+  s.launch_contention = 0.0;
+  s.jitter_sigma = jitter_sigma;
+  s.memory_bytes = 256ull * 1024 * 1024 * 1024;  // host RAM
+  return s;
+}
+
+std::vector<DeviceSpec> cluster_devices(std::size_t nodes,
+                                        std::size_t gpus_per_node,
+                                        std::size_t cpu_replicas,
+                                        double max_gap, double jitter_sigma,
+                                        double cpu_slowdown) {
+  assert(nodes >= 1);
+  std::vector<DeviceSpec> specs;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const auto node = v100_heterogeneous(gpus_per_node, max_gap, jitter_sigma);
+    for (std::size_t g = 0; g < node.size(); ++g) {
+      DeviceSpec s = node[g];
+      if (nodes > 1) {
+        s.name = "node" + std::to_string(n) + ":V100-16GB#" +
+                 std::to_string(g);
+      }
+      specs.push_back(std::move(s));
+    }
+  }
+  for (std::size_t c = 0; c < cpu_replicas; ++c) {
+    specs.push_back(cpu_replica_spec(cpu_slowdown, c, jitter_sigma));
+  }
+  return specs;
+}
+
 LinkModel default_links(std::size_t num_devices) {
   LinkSpec peer;   // NVLink-class
   peer.bandwidth_gbs = 24.0;
@@ -54,6 +93,21 @@ LinkModel default_links(std::size_t num_devices) {
   host.bandwidth_gbs = 12.0;
   host.latency_us = 15.0;
   return LinkModel(num_devices, peer, host);
+}
+
+LinkModel cluster_links(const Topology& topology, double net_gbs,
+                        double net_latency_us) {
+  assert(net_gbs > 0.0);
+  LinkSpec peer;   // NVLink-class
+  peer.bandwidth_gbs = 24.0;
+  peer.latency_us = 10.0;
+  LinkSpec host;   // PCIe 3.0 x16-class
+  host.bandwidth_gbs = 12.0;
+  host.latency_us = 15.0;
+  LinkSpec net;    // Ethernet/IB-class
+  net.bandwidth_gbs = net_gbs;
+  net.latency_us = net_latency_us;
+  return LinkModel(topology, peer, host, net);
 }
 
 }  // namespace hetero::sim

@@ -30,7 +30,35 @@ std::vector<DeviceSpec> v100_homogeneous(std::size_t n,
 std::vector<DeviceSpec> v100_custom(const std::vector<double>& speed_factors,
                                     double jitter_sigma = 0.03);
 
+/// CPU compute replica per Ma & Rusu's "Heterogeneous CPU+GPU SGD": a
+/// `slowdown`x slower device than a nominal V100 on the training kernel mix
+/// (they report 10-50x depending on sparsity). Modeled through speed_factor
+/// so the roofline shape is shared with the GPUs; launch overhead is a
+/// function call, not a CUDA launch, and host RAM is plentiful.
+DeviceSpec cpu_replica_spec(double slowdown = 25.0, std::size_t index = 0,
+                            double jitter_sigma = 0.03);
+
+/// Devices for an N-node cluster: `nodes * gpus_per_node` V100s laid out
+/// node-major, each node carrying the same Figure-1 heterogeneity spread
+/// (identical servers), plus `cpu_replicas` CPU compute replicas appended
+/// at the tail. At nodes=1, cpu_replicas=0 this is exactly
+/// v100_heterogeneous(gpus_per_node, max_gap, jitter_sigma).
+std::vector<DeviceSpec> cluster_devices(std::size_t nodes,
+                                        std::size_t gpus_per_node,
+                                        std::size_t cpu_replicas = 0,
+                                        double max_gap = 0.32,
+                                        double jitter_sigma = 0.03,
+                                        double cpu_slowdown = 25.0);
+
 /// Default single-server link model: NVLink-class peer links, PCIe host.
 LinkModel default_links(std::size_t num_devices);
+
+/// Link model for a cluster topology: NVLink-class peers within a node,
+/// PCIe for host and CPU-replica traffic, and an Ethernet/IB-class network
+/// link between nodes (default 100 Gb InfiniBand-class: 12.5 GB/s, 50 us).
+/// At one node with no CPU replicas the network link is never selected, so
+/// this degenerates to default_links bit-for-bit.
+LinkModel cluster_links(const Topology& topology, double net_gbs = 12.5,
+                        double net_latency_us = 50.0);
 
 }  // namespace hetero::sim

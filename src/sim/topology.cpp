@@ -1,0 +1,66 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hetero::sim {
+
+std::vector<int> Topology::nodes_of(
+    const std::vector<std::size_t>& ranks) const {
+  std::vector<int> nodes;
+  for (std::size_t r : ranks) {
+    assert(r < node_of.size());
+    nodes.push_back(node_of[r]);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+std::vector<std::vector<std::size_t>> Topology::group_by_node(
+    const std::vector<std::size_t>& ranks) const {
+  const std::vector<int> nodes = nodes_of(ranks);
+  std::vector<std::vector<std::size_t>> groups(nodes.size());
+  for (std::size_t r : ranks) {
+    const auto it =
+        std::lower_bound(nodes.begin(), nodes.end(), node_of[r]);
+    groups[static_cast<std::size_t>(it - nodes.begin())].push_back(r);
+  }
+  return groups;
+}
+
+Topology Topology::flat(std::size_t num_replicas) {
+  Topology t;
+  t.num_nodes = 1;
+  t.node_of.assign(num_replicas, 0);
+  t.is_cpu.assign(num_replicas, false);
+  return t;
+}
+
+Topology Topology::cluster(std::size_t nodes, std::size_t gpus_per_node,
+                           std::size_t cpu_replicas) {
+  return partitioned(nodes, nodes * gpus_per_node, cpu_replicas);
+}
+
+Topology Topology::partitioned(std::size_t nodes, std::size_t gpus,
+                               std::size_t cpu_replicas) {
+  assert(nodes >= 1);
+  Topology t;
+  t.num_nodes = nodes;
+  const std::size_t base = gpus / nodes;
+  const std::size_t extra = gpus % nodes;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const std::size_t owned = base + (n < extra ? 1 : 0);
+    for (std::size_t g = 0; g < owned; ++g) {
+      t.node_of.push_back(static_cast<int>(n));
+      t.is_cpu.push_back(false);
+    }
+  }
+  for (std::size_t c = 0; c < cpu_replicas; ++c) {
+    t.node_of.push_back(static_cast<int>(c % nodes));
+    t.is_cpu.push_back(true);
+  }
+  return t;
+}
+
+}  // namespace hetero::sim

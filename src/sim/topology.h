@@ -1,0 +1,61 @@
+// Placement of replica ranks onto nodes for the multi-node hierarchy.
+//
+// A Topology maps every replica rank (GPU or CPU compute replica) to a
+// node index and records which ranks are CPU replicas. Replica ranks are
+// laid out node-major: node 0's GPUs first, then node 1's, ..., with CPU
+// replicas appended at the tail (round-robined across nodes). The
+// single-node special case (`Topology::flat`) reproduces the original
+// one-server layout exactly, so all pre-hierarchy call sites keep their
+// behaviour bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetero::sim {
+
+struct Topology {
+  std::size_t num_nodes = 1;
+  /// Node index per replica rank.
+  std::vector<int> node_of;
+  /// True for CPU compute replicas (attached over the host link, not peer).
+  std::vector<bool> is_cpu;
+
+  std::size_t num_replicas() const { return node_of.size(); }
+  bool single_node() const { return num_nodes <= 1; }
+  bool same_node(int a, int b) const {
+    return node_of[static_cast<std::size_t>(a)] ==
+           node_of[static_cast<std::size_t>(b)];
+  }
+  std::size_t cpu_replicas() const {
+    std::size_t n = 0;
+    for (bool c : is_cpu) n += c ? 1 : 0;
+    return n;
+  }
+
+  /// Node index per rank in `ranks`, deduplicated, ascending.
+  std::vector<int> nodes_of(const std::vector<std::size_t>& ranks) const;
+
+  /// Ranks grouped by node (ascending node order; only nodes that own at
+  /// least one of `ranks` appear). Rank order within a group follows the
+  /// order of `ranks`.
+  std::vector<std::vector<std::size_t>> group_by_node(
+      const std::vector<std::size_t>& ranks) const;
+
+  /// One server holding all `num_replicas` ranks (the original layout).
+  static Topology flat(std::size_t num_replicas);
+
+  /// `nodes` servers with `gpus_per_node` GPUs each (node-major ranks),
+  /// plus `cpu_replicas` CPU ranks appended at the tail, round-robined
+  /// across nodes.
+  static Topology cluster(std::size_t nodes, std::size_t gpus_per_node,
+                          std::size_t cpu_replicas = 0);
+
+  /// `gpus` GPUs split as evenly as possible across `nodes` servers
+  /// (node-major; earlier nodes take the remainder), plus `cpu_replicas`
+  /// CPU ranks at the tail. Equals cluster() when gpus divides evenly.
+  static Topology partitioned(std::size_t nodes, std::size_t gpus,
+                              std::size_t cpu_replicas = 0);
+};
+
+}  // namespace hetero::sim

@@ -1190,5 +1190,151 @@ TEST_F(FaultTest, CorruptCheckpointHostileOptimizerSectionIsTypedError) {
   EXPECT_NO_THROW(fault::load_checkpoint(ok));
 }
 
+// ---- node-level fault events (multi-node hierarchy) -----------------------
+
+TEST_F(FaultTest, NodeEventsParseAndRoundTrip) {
+  const auto plan = fault::FaultPlan::parse(
+      "slow@0.5+1.0x0.4:node1;crash@2.0:node1;partition@4.0+1.5:node0");
+  ASSERT_EQ(plan.events.size(), 3u);
+  for (const auto& ev : plan.events) EXPECT_TRUE(ev.node_target);
+  EXPECT_EQ(plan.events[1].kind, fault::FaultKind::kCrash);
+  EXPECT_EQ(plan.events[1].device, 1u);
+  EXPECT_EQ(plan.events[2].kind, fault::FaultKind::kPartition);
+  EXPECT_DOUBLE_EQ(plan.events[2].duration, 1.5);
+
+  const auto reparsed = fault::FaultPlan::parse(plan.to_string());
+  ASSERT_EQ(reparsed.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].kind, plan.events[i].kind);
+    EXPECT_EQ(reparsed.events[i].device, plan.events[i].device);
+    EXPECT_EQ(reparsed.events[i].node_target, plan.events[i].node_target);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].time, plan.events[i].time);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].duration, plan.events[i].duration);
+  }
+}
+
+TEST_F(FaultTest, NodeEventValidationRejectsBadPlans) {
+  const auto topo = sim::Topology::cluster(2, 2);
+  // Node index out of range.
+  EXPECT_THROW(fault::FaultPlan::parse("crash@1.0:node2").validate(topo),
+               hetero::ParseError);
+  // partition is node-level only.
+  EXPECT_THROW(
+      fault::FaultPlan::parse("partition@1.0+0.5:gpu1").validate(topo),
+      hetero::ParseError);
+  // partition needs a heal time.
+  EXPECT_THROW(fault::FaultPlan::parse("partition@1.0:node1").validate(topo),
+               hetero::ParseError);
+  // Crashing a node then one of its (already dead) replicas is invalid.
+  EXPECT_THROW(
+      fault::FaultPlan::parse("crash@1.0:node1;crash@2.0:gpu3").validate(topo),
+      hetero::ParseError);
+  // Crashing both nodes leaves nobody alive.
+  EXPECT_THROW(
+      fault::FaultPlan::parse("crash@1.0:node0;crash@1.0:node1").validate(topo),
+      hetero::ParseError);
+}
+
+TEST_F(FaultTest, NodeEventsExpandToPerReplicaEvents) {
+  const auto topo = sim::Topology::cluster(2, 2, 1);  // nodes: 0,0,1,1,0
+  const auto plan =
+      fault::FaultPlan::parse("crash@1.0:node1;partition@3.0+2.0:node0");
+  const auto expanded = plan.expand(topo);
+  // node1 crash -> replicas {2,3}; node0 partition -> crash+join on {0,1,4}.
+  ASSERT_EQ(expanded.events.size(), 8u);
+  for (const auto& ev : expanded.events) {
+    EXPECT_FALSE(ev.node_target);
+    EXPECT_NE(ev.kind, fault::FaultKind::kPartition);
+  }
+  EXPECT_EQ(expanded.events[0].kind, fault::FaultKind::kCrash);
+  EXPECT_EQ(expanded.events[0].device, 2u);
+  EXPECT_EQ(expanded.events[1].device, 3u);
+  std::size_t crashes_at_3 = 0, joins_at_5 = 0;
+  for (const auto& ev : expanded.events) {
+    if (ev.kind == fault::FaultKind::kCrash && ev.time == 3.0) ++crashes_at_3;
+    if (ev.kind == fault::FaultKind::kJoin && ev.time == 5.0) ++joins_at_5;
+  }
+  EXPECT_EQ(crashes_at_3, 3u);
+  EXPECT_EQ(joins_at_5, 3u);
+}
+
+// Satellite: a whole-node crash armed through the injector produces exactly
+// the survivor-renormalized merge — bit-identical to the fused merge kernel
+// applied to the surviving node's replicas alone.
+TEST_F(FaultTest, WholeNodeCrashRenormalizationMatchesSurvivorOracle) {
+  for (const bool sparse : {false, true}) {
+    auto cfg = config();
+    cfg.sparse_merge = sparse;
+    cfg.num_nodes = 2;
+    core::MultiGpuRuntime rt(dataset_, cfg, sim::cluster_devices(2, 2));
+    ASSERT_EQ(rt.links().topology().num_nodes, 2u);
+    for (int i = 0; i < 8; ++i) {
+      const auto g = static_cast<std::size_t>(i % 4);
+      rt.run_update_step(g, rt.next_batch(32), 0.2, rt.gpu_free_at(g));
+    }
+    rt.math_barrier();
+    const auto r0 = rt.replica(0).to_flat();
+    const auto r1 = rt.replica(1).to_flat();
+    auto oracle_global = rt.global_model().to_flat();
+    auto oracle_prev = rt.prev_global_model().to_flat();
+
+    double now = 0.0;
+    for (std::size_t g = 0; g < 4; ++g) {
+      now = std::max(now, rt.gpu(g).device_free_at());
+    }
+    // Kill node 1 (replicas 2 and 3) through the injector's node path.
+    fault::FaultPlan plan;
+    plan.events.push_back(
+        {fault::FaultKind::kCrash, 1, now, 0.0, 1.0, 0, true});
+    fault::FaultInjector(plan).arm(rt);
+    const auto crashed = rt.apply_crashes_until(now);
+    ASSERT_EQ(crashed, (std::vector<std::size_t>{2, 3}));
+    EXPECT_EQ(rt.num_alive(), 2u);
+    EXPECT_EQ(rt.fault_stats().node_events, 1u);
+
+    const std::vector<double> survivor_w{0.55, 0.45};
+    const std::vector<std::size_t> alive_idx{0, 1};
+    const auto full = core::expand_alive_weights(survivor_w, alive_idx, 4);
+    rt.merge_and_update(full, now);
+
+    const float* bases[2] = {r0.data(), r1.data()};
+    const core::MergeUpdate u{survivor_w, cfg.momentum_gamma,
+                              cfg.enable_momentum};
+    core::merge_segment(std::span<const float* const>(bases, 2),
+                        oracle_global.size(), u,
+                        {oracle_global.data(), oracle_global.size()},
+                        {oracle_prev.data(), oracle_prev.size()},
+                        /*min_shards=*/1, {});
+    EXPECT_EQ(rt.global_model().to_flat(), oracle_global) << "sparse=" << sparse;
+    EXPECT_EQ(rt.prev_global_model().to_flat(), oracle_prev)
+        << "sparse=" << sparse;
+    EXPECT_EQ(rt.fault_stats().degraded_merges, 1u);
+  }
+}
+
+// A node partition heals: the node's replicas leave the merge group for the
+// outage and are all re-admitted afterwards.
+TEST_F(FaultTest, NodePartitionHealsWithFullMembership) {
+  auto cfg = config();
+  cfg.num_nodes = 2;
+  core::AdaptiveSgdTrainer healthy(dataset_, cfg, sim::cluster_devices(2, 2));
+  const double total = healthy.train().total_vtime;
+
+  core::AdaptiveSgdTrainer trainer(dataset_, cfg, sim::cluster_devices(2, 2));
+  fault::FaultInjector(
+      fault::FaultPlan::parse("partition@" + std::to_string(0.3 * total) +
+                              "+" + std::to_string(0.3 * total) + ":node1"))
+      .arm(trainer.runtime());
+  const auto result = trainer.train();
+  EXPECT_EQ(result.faults.node_events, 1u);
+  EXPECT_EQ(result.faults.crashes, 2u);
+  EXPECT_EQ(result.faults.joins, 2u);
+  EXPECT_GE(result.faults.degraded_merges, 1u);
+  std::size_t min_alive = 4;
+  for (const auto& p : result.curve) min_alive = std::min(min_alive, p.alive_gpus);
+  EXPECT_EQ(min_alive, 2u);
+  EXPECT_EQ(result.curve.back().alive_gpus, 4u);
+}
+
 }  // namespace
 }  // namespace hetero
